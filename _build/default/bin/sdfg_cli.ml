@@ -1,0 +1,237 @@
+(* sdfg — command-line interface to the SDFG toolchain.
+
+   Operates on the built-in workload programs (Polybench kernels, the
+   fundamental kernels, BFS, SSE):
+
+     sdfg list                       available programs and transformations
+     sdfg show gemm                  describe the SDFG
+     sdfg dot gemm > gemm.dot        Graphviz export
+     sdfg codegen gemm -t cuda       generated source for a target
+     sdfg transform gemm GPUTransform MapTiling   apply transformations
+     sdfg estimate gemm -t gpu       modeled runtime on the paper testbed
+     sdfg run gemm                   interpret at mini size and print stats *)
+
+open Cmdliner
+module Cost = Machine.Cost
+
+let builders : (string * (unit -> Sdfg_ir.Sdfg.t)) list =
+  List.map
+    (fun (k : Workloads.Polybench.kernel) -> (k.k_name, k.k_build))
+    Workloads.Polybench.all
+  @ [ ("mm", Workloads.Kernels.matmul);
+      ("mm-mapreduce", Workloads.Kernels.matmul_mapreduce);
+      ("histogram", Workloads.Kernels.histogram);
+      ("query", Workloads.Kernels.query);
+      ("spmv", Workloads.Kernels.spmv);
+      ("bfs", Workloads.Graphs.bfs);
+      ("sse-batched", Workloads.Sse.batched);
+      ("sse-naive", Workloads.Sse.naive) ]
+
+let sizes_for name =
+  match
+    List.find_opt
+      (fun (k : Workloads.Polybench.kernel) -> String.equal k.k_name name)
+      Workloads.Polybench.all
+  with
+  | Some k -> k.k_large
+  | None -> (
+    match name with
+    | "mm" | "mm-mapreduce" -> [ ("M", 1024); ("N", 1024); ("K", 1024) ]
+    | "histogram" -> [ ("H", 8192); ("W", 8192) ]
+    | "query" -> [ ("N", 1 lsl 26) ]
+    | "spmv" -> [ ("H", 8192); ("W", 8192); ("nnz", 1 lsl 25) ]
+    | "bfs" -> [ ("V", 1 lsl 20); ("Efull", 1 lsl 22); ("fsz", 4096) ]
+    | "sse-batched" | "sse-naive" -> Workloads.Sse.paper
+    | _ -> [])
+
+let build name =
+  match List.assoc_opt name builders with
+  | Some b -> b ()
+  | None ->
+    Fmt.epr "unknown program %S; try 'sdfg list'@." name;
+    exit 1
+
+let prog_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM")
+
+let target_arg =
+  let target_conv =
+    Arg.enum [ ("cpu", `Cpu); ("cuda", `Gpu); ("gpu", `Gpu); ("fpga", `Fpga) ]
+  in
+  Arg.(value & opt target_conv `Cpu
+       & info [ "t"; "target" ] ~docv:"TARGET"
+           ~doc:"Target platform: cpu, cuda/gpu or fpga.")
+
+(* --- commands ------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "programs:@.";
+    List.iter (fun (n, _) -> Fmt.pr "  %s@." n) builders;
+    Fmt.pr "@.transformations (Appendix B):@.";
+    Transform.Std.register_all ();
+    List.iter
+      (fun (x : Transform.Xform.t) ->
+        Fmt.pr "  %-20s %s@." x.x_name x.x_description)
+      (Transform.Xform.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List programs and transformations")
+    Term.(const run $ const ())
+
+let show_cmd =
+  let run name =
+    let g = build name in
+    Fmt.pr "%a@." Sdfg_ir.Sdfg.pp g;
+    Fmt.pr "free symbols: %s@."
+      (String.concat ", " (Sdfg_ir.Sdfg.free_symbols g))
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Describe a program's SDFG")
+    Term.(const run $ prog_arg)
+
+let save_cmd =
+  let path_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE")
+  in
+  let run name path =
+    Sdfg_ir.Serialize.save (build name) path;
+    Fmt.pr "saved %s to %s@." name path
+  in
+  Cmd.v (Cmd.info "save" ~doc:"Serialize a program's SDFG to a .sdfg file")
+    Term.(const run $ prog_arg $ path_arg)
+
+let load_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let run path =
+    let g = Sdfg_ir.Serialize.load path in
+    Sdfg_ir.Validate.check g;
+    Fmt.pr "%a@.(valid)@." Sdfg_ir.Sdfg.pp g
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Load and validate an SDFG from a .sdfg file")
+    Term.(const run $ path_arg)
+
+let dot_cmd =
+  let run name = print_string (Sdfg_ir.Dot.of_sdfg (build name)) in
+  Cmd.v (Cmd.info "dot" ~doc:"Export the SDFG as Graphviz")
+    Term.(const run $ prog_arg)
+
+let codegen_cmd =
+  let run name target =
+    let g = build name in
+    let t =
+      match target with
+      | `Cpu -> Codegen.Target_cpu
+      | `Gpu -> Codegen.Target_gpu
+      | `Fpga -> Codegen.Target_fpga
+    in
+    (match target with
+    | `Gpu ->
+      Transform.Xform.apply_first g Transform.Device_xforms.gpu_transform
+    | `Fpga ->
+      Transform.Xform.apply_first g Transform.Device_xforms.fpga_transform
+    | `Cpu -> ());
+    print_string (Codegen.generate_string t g)
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Generate target source code (applies the device transform \
+             for cuda/fpga first)")
+    Term.(const run $ prog_arg $ target_arg)
+
+let transform_cmd =
+  let xforms_arg =
+    Arg.(value & pos_right 0 string [] & info [] ~docv:"TRANSFORMATION")
+  in
+  let run name xforms =
+    Transform.Std.register_all ();
+    let g = build name in
+    List.iter
+      (fun xn ->
+        match Transform.Xform.apply_by_name g xn with
+        | () -> Fmt.pr "applied %s@." xn
+        | exception Transform.Xform.Not_applicable msg ->
+          Fmt.pr "not applicable: %s@." msg)
+      xforms;
+    Fmt.pr "@.%a@." Sdfg_ir.Sdfg.pp g
+  in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:"Apply transformations by name and show the resulting SDFG")
+    Term.(const run $ prog_arg $ xforms_arg)
+
+let estimate_cmd =
+  let run name target =
+    let g = build name in
+    let t, tname =
+      match target with
+      | `Cpu -> (Cost.Tcpu, "CPU (Xeon E5-2650 v4)")
+      | `Gpu ->
+        Transform.Xform.apply_first g Transform.Device_xforms.gpu_transform;
+        (Cost.Tgpu, "GPU (Tesla P100)")
+      | `Fpga ->
+        Transform.Xform.apply_first g Transform.Device_xforms.fpga_transform;
+        (Cost.Tfpga, "FPGA (XCVU9P)")
+    in
+    let symbols = sizes_for name in
+    Fmt.pr "sizes: %s@."
+      (String.concat ", "
+         (List.map (fun (s, v) -> Fmt.str "%s=%d" s v) symbols));
+    let r =
+      Cost.estimate ~spec:Machine.Spec.paper_testbed ~target:t ~symbols g
+    in
+    Fmt.pr "%s: %a@." tname Cost.pp_report r
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Modeled runtime on the paper's testbed")
+    Term.(const run $ prog_arg $ target_arg)
+
+let run_cmd =
+  let run name =
+    match
+      List.find_opt
+        (fun (k : Workloads.Polybench.kernel) -> String.equal k.k_name name)
+        Workloads.Polybench.all
+    with
+    | None ->
+      Fmt.epr "'run' supports the Polybench programs (mini sizes)@.";
+      exit 1
+    | Some k ->
+      let g = k.k_build () in
+      let args =
+        Sdfg_ir.Sdfg.descs g
+        |> List.filter_map (fun (dname, d) ->
+               if Sdfg_ir.Defs.ddesc_transient d
+                  || Sdfg_ir.Defs.ddesc_is_stream d
+               then None
+               else
+                 let shape =
+                   Sdfg_ir.Defs.ddesc_shape d
+                   |> List.map (Symbolic.Expr.eval_list k.k_mini)
+                   |> Array.of_list
+                 in
+                 Some
+                   ( dname,
+                     Interp.Tensor.init (Sdfg_ir.Defs.ddesc_dtype d) shape
+                       (fun idx ->
+                         Tasklang.Types.F
+                           (1.0
+                            +. (float_of_int
+                                  (List.fold_left ( + ) (Hashtbl.hash dname mod 7) idx)
+                                /. 13.))) ))
+      in
+      let stats = Interp.Exec.run g ~symbols:k.k_mini ~args in
+      Fmt.pr "ran %s at mini size: %a@." name Interp.Exec.pp_stats stats
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Interpret a Polybench program at mini size")
+    Term.(const run $ prog_arg)
+
+let () =
+  let doc = "the SDFG data-centric toolchain" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "sdfg" ~doc)
+          [ list_cmd; show_cmd; dot_cmd; codegen_cmd; transform_cmd;
+            estimate_cmd; run_cmd; save_cmd; load_cmd ]))

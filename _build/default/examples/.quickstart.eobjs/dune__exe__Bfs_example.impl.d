@@ -1,0 +1,1 @@
+examples/bfs_example.ml: Array Fmt Interp List Tasklang Workloads

@@ -1,0 +1,1 @@
+examples/laplace.ml: Bexp Build Builder Codegen Defs Fmt Interp List Machine Sdfg Sdfg_ir State String Symbolic Tasklang Transform

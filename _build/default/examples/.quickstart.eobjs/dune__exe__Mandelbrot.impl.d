@@ -1,0 +1,1 @@
+examples/mandelbrot.ml: Bexp Build Builder Defs Fmt Interp List Memlet Sdfg Sdfg_ir State String Symbolic Tasklang

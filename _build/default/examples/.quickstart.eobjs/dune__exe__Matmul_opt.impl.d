@@ -1,0 +1,1 @@
+examples/matmul_opt.ml: Baselines Float Fmt Interp List Machine String Symbolic Tasklang Transform Workloads

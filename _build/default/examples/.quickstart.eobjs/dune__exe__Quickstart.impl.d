@@ -1,0 +1,1 @@
+examples/quickstart.ml: Build Builder Codegen Defs Dot Fmt Interp List Machine Sdfg Sdfg_ir Symbolic Tasklang

@@ -1,0 +1,1 @@
+examples/spmv_example.ml: Array Baselines Float Fmt Interp Machine Tasklang Workloads

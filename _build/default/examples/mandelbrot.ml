@@ -1,0 +1,131 @@
+(* Mandelbrot with a nested SDFG (paper Fig. 10b): every pixel needs a
+   different number of iterations, so the per-pixel convergence loop is a
+   nested state machine invoked inside the pixel map.
+
+     dune exec examples/mandelbrot.exe *)
+
+module E = Symbolic.Expr
+module S = Symbolic.Subset
+module T = Tasklang.Types
+open Sdfg_ir
+open Builder
+
+(* inner SDFG: iterate z <- z^2 + c until |z| >= 2 or i = max_iter;
+   containers: cr, ci (constants), itcount (output) *)
+let inner_sdfg () =
+  let g = Sdfg.create ~symbols:[ "MAXIT" ] "escape_time" in
+  List.iter (fun v -> Sdfg.add_scalar g v ~dtype:T.F64)
+    [ "cr"; "ci"; "zr"; "zi"; "norm" ];
+  Sdfg.add_scalar g "itcount" ~dtype:T.I64;
+  let init = Sdfg.add_state g ~label:"init" () in
+  ignore
+    (Build.simple_tasklet g init ~name:"init_z" ~ins:[]
+       ~outs:
+         [ Build.out_elem "zr0" "zr" [ E.zero ];
+           Build.out_elem "zi0" "zi" [ E.zero ];
+           Build.out_elem "it0" "itcount" [ E.zero ];
+           Build.out_elem "n0" "norm" [ E.zero ] ]
+       ~code:(`Src "zr0 = 0.0\nzi0 = 0.0\nit0 = 0\nn0 = 0") ());
+  let update = Sdfg.add_state g ~label:"update" () in
+  ignore
+    (Build.simple_tasklet g update ~name:"z_step"
+       ~ins:
+         [ Build.in_elem "r" "zr" [ E.zero ];
+           Build.in_elem "im" "zi" [ E.zero ];
+           Build.in_elem "crv" "cr" [ E.zero ];
+           Build.in_elem "civ" "ci" [ E.zero ];
+           Build.in_elem "it" "itcount" [ E.zero ] ]
+       ~outs:
+         [ Build.out_elem "ro" "zr" [ E.zero ];
+           Build.out_elem "io" "zi" [ E.zero ];
+           Build.out_elem "ito" "itcount" [ E.zero ];
+           Build.out_elem "no" "norm" [ E.zero ] ]
+       ~code:
+         (`Src
+           "ro = r * r - im * im + crv\n\
+            io = 2.0 * r * im + civ\n\
+            ito = it + 1\n\
+            no = floor(ro * ro + io * io)")
+       ());
+  (* x^2 + y^2 < 4; i < MAXIT: keep iterating (Fig. 10b's condition) *)
+  let continue_ =
+    Bexp.and_
+      (Bexp.lt (E.sym "norm") (E.int 4))
+      (Bexp.lt (E.sym "itcount") (E.sym "MAXIT"))
+  in
+  ignore
+    (Sdfg.add_transition g ~src:(State.id init) ~dst:(State.id update)
+       ~cond:continue_ ());
+  ignore
+    (Sdfg.add_transition g ~src:(State.id update) ~dst:(State.id update)
+       ~cond:continue_ ());
+  g
+
+let mandelbrot () =
+  let g, st = Build.single_state ~symbols:[ "W"; "H"; "MAXIT" ] "mandelbrot" in
+  let w = E.sym "W" and h = E.sym "H" in
+  Sdfg.add_array g "image" ~shape:[ h; w ] ~dtype:T.I64;
+  Sdfg.add_array g "coords_r" ~shape:[ h; w ] ~dtype:T.F64;
+  Sdfg.add_array g "coords_i" ~shape:[ h; w ] ~dtype:T.F64;
+  let entry, exit_ =
+    Build.map_scope st ~schedule:Defs.Cpu_multicore ~params:[ "y"; "x" ]
+      ~ranges:[ S.range E.zero (E.sub h E.one); S.range E.zero (E.sub w E.one) ]
+      ()
+  in
+  let x = E.sym "x" and y = E.sym "y" in
+  let nnode =
+    Build.nested st ~sdfg:(inner_sdfg ()) ~inputs:[ "cr"; "ci" ]
+      ~outputs:[ "itcount" ] ()
+  in
+  let cr_acc = Build.access st "coords_r" in
+  let ci_acc = Build.access st "coords_i" in
+  let img_acc = Build.access st "image" in
+  Build.edge st ~dst_conn:"IN_coords_r"
+    ~memlet:(Memlet.full "coords_r" [ h; w ]) ~src:cr_acc ~dst:entry ();
+  Build.edge st ~dst_conn:"IN_coords_i"
+    ~memlet:(Memlet.full "coords_i" [ h; w ]) ~src:ci_acc ~dst:entry ();
+  Build.edge st ~src_conn:"OUT_coords_r" ~dst_conn:"cr"
+    ~memlet:(Memlet.element "coords_r" [ y; x ]) ~src:entry ~dst:nnode ();
+  Build.edge st ~src_conn:"OUT_coords_i" ~dst_conn:"ci"
+    ~memlet:(Memlet.element "coords_i" [ y; x ]) ~src:entry ~dst:nnode ();
+  Build.edge st ~src_conn:"itcount" ~dst_conn:"IN_image"
+    ~memlet:(Memlet.element "image" [ y; x ]) ~src:nnode ~dst:exit_ ();
+  Build.edge st ~src_conn:"OUT_image" ~memlet:(Memlet.full "image" [ h; w ])
+    ~src:exit_ ~dst:img_acc ();
+  Build.finalize g
+
+let () =
+  let w = 72 and h = 28 and maxit = 40 in
+  let g = mandelbrot () in
+  let cr =
+    Interp.Tensor.init T.F64 [| h; w |] (fun idx ->
+        match idx with
+        | [ _; x ] -> T.F ((float_of_int x /. float_of_int w *. 3.0) -. 2.2)
+        | _ -> T.F 0.)
+  in
+  let ci =
+    Interp.Tensor.init T.F64 [| h; w |] (fun idx ->
+        match idx with
+        | [ y; _ ] -> T.F ((float_of_int y /. float_of_int h *. 2.4) -. 1.2)
+        | _ -> T.F 0.)
+  in
+  let img = Interp.Tensor.create T.I64 [| h; w |] in
+  let stats =
+    Interp.Exec.run g
+      ~symbols:[ ("W", w); ("H", h); ("MAXIT", maxit) ]
+      ~args:[ ("image", img); ("coords_r", cr); ("coords_i", ci) ]
+  in
+  let palette = " .:-=+*#%@" in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let it = T.to_int (Interp.Tensor.get img [ y; x ]) in
+      let c =
+        palette.[min (String.length palette - 1) (it * String.length palette / (maxit + 1))]
+      in
+      print_char c
+    done;
+    print_newline ()
+  done;
+  Fmt.pr "@.(each pixel ran its own nested state machine: %d states \
+          executed in total)@."
+    stats.Interp.Exec.states_executed

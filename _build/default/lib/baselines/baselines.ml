@@ -1,0 +1,187 @@
+(* Models of the comparison systems of §5 and §6.
+
+   Every baseline evaluates the *same* workload SDFG through the machine
+   model ({!Machine.Cost}) under options that encode how that compiler or
+   framework treats the program:
+
+   - general-purpose compilers (GCC/Clang/ICC) run the loop nests
+     sequentially (no auto-parallelization in the Polybench setup) with a
+     partial auto-vectorization factor;
+   - polyhedral compilers (Polly/Pluto) additionally tile for cache
+     (compulsory-traffic model) and, for Pluto's --parallel flags,
+     parallelize the outer loops;
+   - PPCG generates GPU code but conservatively copies arrays around every
+     kernel (the paper attributes its losses to "unnecessary array
+     copies");
+   - naive HLS synthesizes an unpipelined sequential circuit;
+   - vendor libraries (MKL/CUBLAS/CUSPARSE/CUB) are closed-form
+     near-roofline models for the specific operation;
+   - graph frameworks (Galois/Gluon) and Halide/HPX get per-workload
+     effectiveness factors documented with the experiment that uses them.
+
+   Baselines that error out in the paper's evaluation (Fig. 13's
+   "Compiler Error" bars) are recorded in [failures]. *)
+
+module Cost = Machine.Cost
+module Spec = Machine.Spec
+
+type t = {
+  b_name : string;
+  b_target : Cost.target;
+  b_opts : Cost.options;
+  b_factor : float;  (* residual code-quality multiplier (>1 = slower) *)
+}
+
+let base = Cost.default_options
+
+let make ?(factor = 1.0) name target opts =
+  { b_name = name; b_target = target; b_opts = opts; b_factor = factor }
+
+(* --- CPU compilers ------------------------------------------------------------- *)
+
+let gcc =
+  make "GCC" Cost.Tcpu
+    { base with force_sequential = true; vector_override = Some 2.0 }
+
+let clang =
+  make "Clang" Cost.Tcpu ~factor:1.05
+    { base with force_sequential = true; vector_override = Some 1.8 }
+
+let icc =
+  make "ICC" Cost.Tcpu ~factor:0.95
+    { base with force_sequential = true; vector_override = Some 3.0 }
+
+let polly =
+  make "Polly" Cost.Tcpu
+    { base with
+      force_sequential = true;
+      vector_override = Some 2.5;
+      assume_cache_optimal = true }
+
+let pluto =
+  make "Pluto" Cost.Tcpu
+    { base with
+      parallel_efficiency = 0.8;
+      vector_override = Some 2.5;
+      assume_cache_optimal = true }
+
+(* The unoptimized SDFG itself (§5): inherent map parallelism, no
+   transformations, scalar code. *)
+let sdfg_cpu = make "SDFG" Cost.Tcpu base
+
+(* --- GPU ------------------------------------------------------------------------ *)
+
+let ppcg =
+  (* polyhedral GPU code with redundant copies around kernels *)
+  make "PPCG" Cost.Tgpu ~factor:1.15 { base with copy_factor = 4.0 }
+
+let sdfg_gpu = make "SDFG" Cost.Tgpu base
+let nvcc = make "NVCC" Cost.Tgpu ~factor:1.3 { base with copy_factor = 1.5 }
+
+(* --- FPGA ------------------------------------------------------------------------ *)
+
+let naive_hls = make "HLS" Cost.Tfpga { base with naive_fpga = true }
+let sdfg_fpga = make "SDFG" Cost.Tfpga base
+
+(* --- evaluation -------------------------------------------------------------------- *)
+
+let evaluate ?(spec = Spec.paper_testbed) (b : t) ~symbols ?(hints = [])
+    ?(visit_hints = []) g =
+  let opts =
+    { b.b_opts with
+      Cost.hints = hints @ b.b_opts.Cost.hints;
+      visit_hints = visit_hints @ b.b_opts.Cost.visit_hints }
+  in
+  let r = Cost.estimate ~opts ~spec ~target:b.b_target ~symbols g in
+  { r with Cost.r_time_s = r.Cost.r_time_s *. b.b_factor }
+
+(* Fig. 13 "Compiler Error" bars. *)
+let failures =
+  [ ("Pluto", "gramschmidt"); ("PPCG", "durbin") ]
+
+let fails (b : t) kernel = List.mem (b.b_name, kernel) failures
+
+(* --- closed-form vendor-library models ------------------------------------------ *)
+
+(* MKL dgemm: ~93% of CPU peak for large sizes (Goto-style kernels). *)
+let mkl_gemm ?(spec = Spec.paper_testbed) ~m ~n ~k () =
+  let flops = 2.0 *. float_of_int m *. float_of_int n *. float_of_int k in
+  let peak = Spec.cpu_peak_flops spec.Spec.cpu in
+  let bytes = 8.0 *. float_of_int ((m * k) + (k * n) + (2 * m * n)) in
+  Float.max (flops /. (0.93 *. peak))
+    (bytes /. (spec.Spec.cpu.Spec.c_dram_gbs *. 1e9))
+
+(* MKL sparse dcsrmv: bandwidth-bound on values + irregular x gathers
+   (the gathers go at the same random-access bandwidth everyone gets). *)
+let mkl_spmv ?(spec = Spec.paper_testbed) ~nnz ~rows () =
+  let c = spec.Spec.cpu in
+  let stream_bytes = float_of_int ((nnz * 16) + (rows * 16)) in
+  let rand_bytes = float_of_int (nnz * 8) in
+  (stream_bytes /. (c.Spec.c_dram_gbs *. 1e9))
+  +. (rand_bytes /. (c.Spec.c_dram_gbs *. 1e9 *. c.Spec.c_random_bw_frac))
+
+(* CUBLAS dgemm on the GPU: ~90% of fp64 peak, plus the same PCIe
+   transfers the measured SDFG pays (§6: runtimes include memory copy). *)
+let cublas_gemm ?(spec = Spec.paper_testbed) ~m ~n ~k () =
+  let flops = 2.0 *. float_of_int m *. float_of_int n *. float_of_int k in
+  let copy_bytes = float_of_int (((m * k) + (k * n) + (2 * m * n)) * 8) in
+  flops /. (0.90 *. spec.Spec.gpu.Spec.g_fp64_tflops *. 1e12)
+  +. (copy_bytes /. (spec.Spec.gpu.Spec.g_pcie_gbs *. 1e9))
+  +. (spec.Spec.gpu.Spec.g_launch_us *. 1e-6)
+
+(* CUTLASS: ~97% of CUBLAS for this size class. *)
+let cutlass_gemm ?spec ~m ~n ~k () = cublas_gemm ?spec ~m ~n ~k () /. 0.97
+
+(* CUBLAS batched-strided GEMM on tiny matrices (Table 3): launch-bound
+   and padded — the paper reports 86.6% of peak with only 6.1% useful. *)
+let cublas_batched_strided ?(spec = Spec.paper_testbed) ~batches ~nb () =
+  let useful = 2.0 *. float_of_int batches *. float_of_int (nb * nb * nb) in
+  (* tiny operands are padded to full 32x32x32 warp tiles, wasting
+     (32/nb)^3 of the executed flops *)
+  let padded = useful *. ((32. /. float_of_int nb) ** 3.) in
+  padded /. (0.87 *. spec.Spec.gpu.Spec.g_fp64_tflops *. 1e12)
+
+(* cuSPARSE csrmv, including PCIe transfer of the CSR structure. *)
+let cusparse_spmv ?(spec = Spec.paper_testbed) ~nnz ~rows () =
+  let gpu = spec.Spec.gpu in
+  let stream_bytes = float_of_int ((nnz * 16) + (rows * 16)) in
+  let rand_bytes = float_of_int (nnz * 8) in
+  (stream_bytes /. (gpu.Spec.g_hbm_gbs *. 1e9))
+  +. (rand_bytes /. (gpu.Spec.g_hbm_gbs *. 1e9 *. 2.5 *. gpu.Spec.g_random_bw_frac))
+  +. (stream_bytes /. (gpu.Spec.g_pcie_gbs *. 1e9))
+  +. (gpu.Spec.g_launch_us *. 1e-6)
+
+(* CUB device primitives (histogram / select): bandwidth-bound with small
+   fixed overhead, plus PCIe transfer of the input. *)
+let cub_pass ?(spec = Spec.paper_testbed) ~bytes () =
+  (bytes /. (0.85 *. spec.Spec.gpu.Spec.g_hbm_gbs *. 1e9))
+  +. (bytes /. (spec.Spec.gpu.Spec.g_pcie_gbs *. 1e9))
+  +. (2. *. spec.Spec.gpu.Spec.g_launch_us *. 1e-6)
+
+(* Graph frameworks (Fig. 17): time per BFS as a function of edges visited
+   and levels.  Galois's coarse work chunks win on low-diameter social
+   graphs; the fine-grained SDFG map scheduling wins on high-diameter road
+   maps (paper: "up to 2x faster than Galois" on road maps). *)
+let graph_framework ?(spec = Spec.paper_testbed) ~name ~edges ~vertices
+    ~levels () =
+  let c = spec.Spec.cpu in
+  let cores = float_of_int c.Spec.c_cores in
+  let per_edge_ns, per_level_us =
+    match name with
+    | "Galois" -> (1.9, 15.0)
+    | "Gluon" -> (2.4, 25.0)
+    | _ -> (2.0, 20.0)
+  in
+  let edge_time =
+    float_of_int edges *. per_edge_ns *. 1e-9 /. (cores *. 0.7)
+  in
+  let vertex_time = float_of_int vertices *. 1.0e-9 /. cores in
+  edge_time +. vertex_time +. (float_of_int levels *. per_level_us *. 1e-6)
+
+(* HPX / STL parallel algorithms for Query: task overheads dominate. *)
+let hpx_query ?(spec = Spec.paper_testbed) ~n () =
+  let c = spec.Spec.cpu in
+  (float_of_int n *. 8.0 /. (c.Spec.c_dram_gbs *. 1e9 *. 0.5)) +. 2e-3
+
+(* Halide (manually scheduled + autotuned): competitive on stencils. *)
+let halide_factor = 0.85  (* vs tuned SDFG on Jacobi (paper: 20% faster) *)

@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Common Cpu Fmt Fpga Gpu List Sdfg_ir String

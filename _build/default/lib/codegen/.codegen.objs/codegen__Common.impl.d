@@ -1,0 +1,1 @@
+lib/codegen/common.ml: Bexp Buffer Defs Fmt List Option Sdfg Sdfg_ir State String Symbolic Tasklang Wcr

@@ -1,0 +1,1 @@
+lib/codegen/cpu.ml: Buffer Common Defs Fmt Fun Hashtbl List Option Sdfg Sdfg_ir State String Symbolic Tasklang Wcr

@@ -1,0 +1,1 @@
+lib/codegen/fpga.ml: Buffer Common Defs Fmt Hashtbl List Option Sdfg Sdfg_ir State String Symbolic

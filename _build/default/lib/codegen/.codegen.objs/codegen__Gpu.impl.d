@@ -1,0 +1,1 @@
+lib/codegen/gpu.ml: Buffer Common Defs Fmt Hashtbl List Option Sdfg Sdfg_ir State String Symbolic

@@ -1,0 +1,264 @@
+(* Shared helpers for the hierarchical code generator (§4.3 step ❷).
+
+   Code generation "begins by emitting external interface code and the
+   top-level state machine.  Within each state, nodes are traversed in
+   topological order, and a platform-specific dispatcher is assigned to
+   generate the respective code".  The target modules ({!Cpu}, {!Gpu},
+   {!Fpga}) provide the dispatchers; this module holds the pieces they
+   share: linearized index expressions, tasklet prologues/epilogues, and
+   the emission context. *)
+
+module Expr = Symbolic.Expr
+module Subset = Symbolic.Subset
+open Sdfg_ir
+open Defs
+
+type target = Target_cpu | Target_gpu | Target_fpga
+
+let target_name = function
+  | Target_cpu -> "cpu"
+  | Target_gpu -> "cuda"
+  | Target_fpga -> "fpga"
+
+type ctx = {
+  buf : Buffer.t;
+  mutable indent : int;
+  mutable fresh : int;
+  g : Sdfg.t;
+}
+
+let make_ctx g = { buf = Buffer.create 4096; indent = 0; fresh = 0; g }
+
+let fresh ctx prefix =
+  ctx.fresh <- ctx.fresh + 1;
+  Fmt.str "__%s%d" prefix ctx.fresh
+
+let line ctx fmt =
+  Buffer.add_string ctx.buf (String.make (2 * ctx.indent) ' ');
+  Fmt.kstr
+    (fun s ->
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+let raw ctx s = Buffer.add_string ctx.buf s
+
+let indented ctx f =
+  ctx.indent <- ctx.indent + 1;
+  f ();
+  ctx.indent <- ctx.indent - 1
+
+let block ctx header f =
+  line ctx "%s {" header;
+  indented ctx f;
+  line ctx "}"
+
+(* --- types and declarations ------------------------------------------------ *)
+
+let ctype dt = Tasklang.Types.dtype_ctype dt
+
+let desc_ctype d = ctype (ddesc_dtype d)
+
+(* Row-major symbolic strides of an array shape. *)
+let shape_strides shape =
+  let rec go = function
+    | [] -> []
+    | [ _ ] -> [ Expr.one ]
+    | _ :: rest ->
+      let tail = go rest in
+      Expr.mul (List.hd tail) (List.hd rest) :: tail
+  in
+  go shape
+
+let total_size shape = Expr.product shape
+
+(* Linear index expression for accessing [shape] at the start of
+   [subset]. *)
+let linear_index shape (subset : Subset.t) =
+  let strides = shape_strides shape in
+  if shape = [] then Expr.zero
+  else
+    Expr.sum
+      (List.map2 (fun st (r : Subset.range) -> Expr.mul st r.start) strides
+         subset)
+
+let e2c e = Expr.to_string e
+
+(* Pointer expression to the start of a memlet's subset. *)
+let subset_ptr g (m : memlet) =
+  let d = Sdfg.desc g m.m_data in
+  let idx = linear_index (ddesc_shape d) m.m_subset in
+  if Expr.equal idx Expr.zero then m.m_data
+  else Fmt.str "&%s[%s]" m.m_data (e2c idx)
+
+(* Scalar element expression of a memlet addressing one element. *)
+let subset_elem g (m : memlet) =
+  let d = Sdfg.desc g m.m_data in
+  let idx = linear_index (ddesc_shape d) m.m_subset in
+  Fmt.str "%s[%s]" m.m_data (e2c idx)
+
+(* --- tasklet emission -------------------------------------------------------- *)
+
+(* Appendix A.2.2, tasklet rule: generate a prologue P1 binding input
+   connectors, P2 declaring outputs, the code, and an epilogue Ep writing
+   outputs back through their memlets. *)
+let connector_of (t : tasklet) name =
+  match
+    List.find_opt (fun c -> c.k_name = name) (t.t_inputs @ t.t_outputs)
+  with
+  | Some c -> c
+  | None -> invalid "codegen: tasklet %S has no connector %S" t.t_name name
+
+let tasklet_typecheck_conns (t : tasklet) ~extra =
+  List.map
+    (fun c ->
+      { Tasklang.Typecheck.c_name = c.k_name; c_dtype = c.k_dtype;
+        c_rank = c.k_rank })
+    (t.t_inputs @ t.t_outputs)
+  @ List.map
+      (fun p ->
+        { Tasklang.Typecheck.c_name = p; c_dtype = Tasklang.Types.I64;
+          c_rank = 0 })
+      extra
+
+(* WCR write-back statement; [atomic] chooses the target's conflict
+   primitive. *)
+let wcr_writeback ~atomic ~dest ~value = function
+  | None -> Fmt.str "%s = %s;" dest value
+  | Some w ->
+    let combined = Wcr.to_c w ~old_e:dest ~new_e:value in
+    (match w, atomic with
+    | Wcr_sum, `Omp -> Fmt.str "#pragma omp atomic\n%s += %s;" dest value
+    | Wcr_sum, `Cuda -> Fmt.str "atomicAdd(&%s, %s);" dest value
+    | Wcr_min, `Cuda -> Fmt.str "atomicMin(&%s, %s);" dest value
+    | Wcr_max, `Cuda -> Fmt.str "atomicMax(&%s, %s);" dest value
+    | _, `None -> Fmt.str "%s = %s;" dest combined
+    | _, `Omp ->
+      Fmt.str "#pragma omp critical\n{ %s = %s; }" dest combined
+    | _, `Cuda -> Fmt.str "/* CAS loop */ %s = %s;" dest combined)
+
+let emit_tasklet ctx st nid (t : tasklet) ~params ~atomic =
+  let g = ctx.g in
+  let in_edges =
+    State.in_edges st nid
+    |> List.filter (fun (e : edge) -> e.e_dst_conn <> None && e.e_memlet <> None)
+  in
+  let out_edges =
+    State.out_edges st nid
+    |> List.filter (fun (e : edge) -> e.e_src_conn <> None && e.e_memlet <> None)
+  in
+  block ctx "" (fun () ->
+      (* P1: input connector bindings *)
+      List.iter
+        (fun (e : edge) ->
+          let conn = Option.get e.e_dst_conn in
+          let m = Option.get e.e_memlet in
+          let c = connector_of t conn in
+          if ddesc_is_stream (Sdfg.desc g m.m_data) then
+            line ctx "const %s %s = %s.pop();" (ctype c.k_dtype) conn
+              m.m_data
+          else if c.k_rank = 0 then
+            line ctx "const %s %s = %s;" (ctype c.k_dtype) conn
+              (subset_elem g m)
+          else
+            line ctx "const %s* %s = %s;" (ctype c.k_dtype) conn
+              (subset_ptr g m))
+        in_edges;
+      (* P2: output declarations (pointers write through directly) *)
+      List.iter
+        (fun (e : edge) ->
+          let conn = Option.get e.e_src_conn in
+          let m = Option.get e.e_memlet in
+          let c = connector_of t conn in
+          if c.k_rank = 0 || ddesc_is_stream (Sdfg.desc g m.m_data) then
+            line ctx "%s %s;" (ctype c.k_dtype) conn
+          else
+            line ctx "%s* %s = %s;" (ctype c.k_dtype) conn (subset_ptr g m))
+        out_edges;
+      (* the code itself, immutable through transformations (§3.2) *)
+      (match t.t_code with
+      | Code code ->
+        let extra =
+          params @ Sdfg.free_symbols g
+          @ (Sdfg.transitions g
+            |> List.concat_map (fun (tr : istate_edge) ->
+                   List.map fst tr.is_assign))
+        in
+        let connectors = tasklet_typecheck_conns t ~extra in
+        raw ctx
+          (Tasklang.Emit.to_c ~indent:(2 * (ctx.indent + 0)) ~connectors code)
+      | External { language; code } ->
+        line ctx "// external %s tasklet" language;
+        raw ctx code;
+        raw ctx "\n");
+      (* Ep: scalar outputs write back through their memlets *)
+      List.iter
+        (fun (e : edge) ->
+          let conn = Option.get e.e_src_conn in
+          let m = Option.get e.e_memlet in
+          let c = connector_of t conn in
+          if ddesc_is_stream (Sdfg.desc g m.m_data) then
+            line ctx "%s.push(%s);" m.m_data conn
+          else if c.k_rank = 0 then
+            line ctx "%s"
+              (wcr_writeback ~atomic ~dest:(subset_elem g m) ~value:conn
+                 m.m_wcr))
+        out_edges)
+
+(* --- state machine ------------------------------------------------------------ *)
+
+let assigned_symbols g =
+  Sdfg.transitions g
+  |> List.concat_map (fun (t : istate_edge) -> List.map fst t.is_assign)
+  |> List.sort_uniq String.compare
+  |> List.filter (fun s -> not (List.mem s (Sdfg.symbols g)))
+
+(* Emit the top-level state machine with conditional gotos (§4.3: "or
+   using conditional goto statements as a fallback"). *)
+let emit_state_machine ctx ~emit_state =
+  let g = ctx.g in
+  line ctx "// state machine";
+  List.iter
+    (fun (s, e) -> line ctx "long long %s = 0; (void)%s;" s e)
+    (List.map (fun s -> (s, s)) (assigned_symbols g));
+  line ctx "goto __state_%d;" (State.id (Sdfg.start_state g));
+  List.iter
+    (fun st ->
+      line ctx "__state_%d: {" (State.id st);
+      indented ctx (fun () -> emit_state ctx st);
+      (* transitions *)
+      indented ctx (fun () ->
+          List.iter
+            (fun (t : istate_edge) ->
+              block ctx (Fmt.str "if (%s)" (Bexp.to_c t.is_cond)) (fun () ->
+                  List.iter
+                    (fun (s, e) -> line ctx "%s = %s;" s (e2c e))
+                    t.is_assign;
+                  line ctx "goto __state_%d;" t.is_dst))
+            (Sdfg.out_transitions g (State.id st));
+          line ctx "goto __exit;");
+      line ctx "}")
+    (Sdfg.states g);
+  line ctx "__exit: ;"
+
+(* Allocation of transient containers. *)
+let emit_transient_allocation ctx ~storage_filter ~alloc =
+  List.iter
+    (fun (name, d) ->
+      if ddesc_transient d && storage_filter (ddesc_storage d) then
+        alloc ctx name d)
+    (Sdfg.descs ctx.g)
+
+(* Entry-point signature: non-transient containers then symbols
+   ("arguments" of the generated library). *)
+let signature g =
+  let args =
+    List.map
+      (fun (name, d) ->
+        if ddesc_shape d = [] && not (ddesc_is_stream d) then
+          Fmt.str "%s* %s" (desc_ctype d) name
+        else Fmt.str "%s* %s" (desc_ctype d) name)
+      (Sdfg.arguments g)
+  in
+  let syms = List.map (fun s -> Fmt.str "long long %s" s) (Sdfg.free_symbols g) in
+  String.concat ", " (args @ syms)

@@ -1,0 +1,202 @@
+(* CPU dispatcher: generates C++/OpenMP source from an SDFG.
+
+   Maps with the CPU_Multicore schedule become "#pragma omp parallel for"
+   loop nests (§3.3); sequential maps become plain loops; consume scopes
+   become a work loop over the stream; connected components of a state
+   are emitted under "#pragma omp parallel sections" when there are
+   several (§3.3: "different connected components ... are mapped to
+   parallel sections in OpenMP"). *)
+
+module Expr = Symbolic.Expr
+module Subset = Symbolic.Subset
+open Sdfg_ir
+open Defs
+open Common
+
+let rec emit_node ctx st ~params ~parallel nid =
+  let g = ctx.g in
+  match State.node st nid with
+  | Access _ ->
+    List.iter
+      (fun (e : edge) ->
+        match State.node st e.e_dst, e.e_memlet with
+        | Access dst_name, Some m ->
+          let src_name =
+            match State.node st e.e_src with
+            | Access d -> d
+            | _ -> assert false
+          in
+          let d = Sdfg.desc g m.m_data in
+          if ddesc_is_stream (Sdfg.desc g src_name) then
+            line ctx "%s.drain(%s);" src_name dst_name
+          else
+            line ctx "std::memcpy(%s, %s, %s * sizeof(%s));" dst_name
+              src_name
+              (e2c (Subset.volume m.m_subset))
+              (desc_ctype d)
+        | _ -> ())
+      (State.out_edges st nid)
+  | Tasklet t ->
+    emit_tasklet ctx st nid t ~params
+      ~atomic:(if parallel then `Omp else `None)
+  | Map_entry info -> emit_map ctx st ~params ~parallel nid info
+  | Map_exit | Consume_exit -> ()
+  | Consume_entry info -> emit_consume ctx st ~params ~parallel nid info
+  | Reduce r -> emit_reduce ctx st nid r.r_wcr r.r_axes r.r_identity
+  | Nested_sdfg nest ->
+    line ctx "// nested SDFG %s" nest.n_sdfg.g_name;
+    line ctx "%s(%s);"
+      ("sdfg_" ^ nest.n_sdfg.g_name)
+      (String.concat ", "
+         (List.map
+            (fun (e : edge) ->
+              match e.e_memlet with
+              | Some m -> subset_ptr g m
+              | None -> "nullptr")
+            (State.in_edges st nid @ State.out_edges st nid)))
+
+and emit_scope_body ctx st ~params ~parallel entry =
+  let parents = State.scope_parents st in
+  let order = State.topological_order st in
+  let body =
+    List.filter (fun n -> Hashtbl.find parents n = Some entry) order
+  in
+  List.iter (emit_node ctx st ~params ~parallel) body
+
+and emit_map ctx st ~params ~parallel nid (info : map_info) =
+  let n = List.length info.mp_params in
+  (match info.mp_schedule with
+  | Cpu_multicore ->
+    line ctx "#pragma omp parallel for%s"
+      (if n > 1 then Fmt.str " collapse(%d)" n else "")
+  | Mpi -> line ctx "// MPI: range partitioned across ranks"
+  | _ -> ());
+  if info.mp_unroll then line ctx "#pragma unroll";
+  let parallel = parallel || info.mp_schedule = Cpu_multicore in
+  List.iter2
+    (fun p (r : Subset.range) ->
+      line ctx "for (long long %s = %s; %s <= %s; %s += %s) {" p
+        (e2c r.start) p (e2c r.stop) p (e2c r.stride))
+    info.mp_params info.mp_ranges;
+  indented ctx (fun () ->
+      emit_scope_body ctx st ~params:(params @ info.mp_params) ~parallel nid);
+  List.iter (fun _ -> line ctx "}") info.mp_params
+
+and emit_consume ctx st ~params ~parallel nid (info : consume_info) =
+  ignore parallel;
+  line ctx "// consume scope: %s workers over stream %s"
+    (e2c info.cs_num_pes) info.cs_stream;
+  block ctx
+    (Fmt.str "while (!%s.empty())" info.cs_stream)
+    (fun () ->
+      line ctx "auto __element = %s.pop();" info.cs_stream;
+      line ctx "long long %s = omp_get_thread_num();" info.cs_pe_param;
+      emit_scope_body ctx st
+        ~params:(params @ [ info.cs_pe_param ])
+        ~parallel:true nid)
+
+and emit_reduce ctx st nid wcr axes identity =
+  let g = ctx.g in
+  let in_m = Option.get (List.hd (State.in_edges st nid)).e_memlet in
+  let out_m = Option.get (List.hd (State.out_edges st nid)).e_memlet in
+  let in_shape = ddesc_shape (Sdfg.desc g in_m.m_data) in
+  let rank = List.length in_shape in
+  let axes =
+    match axes with Some a -> a | None -> List.init rank Fun.id
+  in
+  line ctx "// reduce %s over axes [%s]" (Wcr.name wcr)
+    (String.concat "; " (List.map string_of_int axes));
+  (match identity with
+  | Some v ->
+    line ctx "std::fill(%s, %s + %s, %s);" out_m.m_data out_m.m_data
+      (e2c (Subset.volume out_m.m_subset))
+      (Fmt.str "%a" Tasklang.Types.pp_value v)
+  | None -> ());
+  let idx_names = List.init rank (fun i -> Fmt.str "__r%d" i) in
+  List.iteri
+    (fun i name ->
+      line ctx "for (long long %s = 0; %s < %s; ++%s) {" name name
+        (e2c (List.nth in_shape i))
+        name)
+    idx_names;
+  indented ctx (fun () ->
+      let kept =
+        List.filteri (fun i _ -> not (List.mem i axes)) idx_names
+      in
+      let strides_in = shape_strides in_shape in
+      let in_idx =
+        String.concat " + "
+          (List.map2 (fun s n -> Fmt.str "%s * %s" (e2c s) n) strides_in
+             idx_names)
+      in
+      let out_shape = ddesc_shape (Sdfg.desc g out_m.m_data) in
+      let out_idx =
+        if kept = [] || out_shape = [] then "0"
+        else
+          String.concat " + "
+            (List.map2
+               (fun s n -> Fmt.str "%s * %s" (e2c s) n)
+               (shape_strides out_shape) kept)
+      in
+      line ctx "%s"
+        (wcr_writeback ~atomic:`None
+           ~dest:(Fmt.str "%s[%s]" out_m.m_data out_idx)
+           ~value:(Fmt.str "%s[%s]" in_m.m_data in_idx)
+           (Some wcr)));
+  List.iter (fun _ -> line ctx "}") idx_names
+
+let emit_state ctx st =
+  let parents = State.scope_parents st in
+  let order = State.topological_order st in
+  let top = List.filter (fun n -> Hashtbl.find parents n = None) order in
+  let components = State.connected_components st in
+  if List.length components > 1 then begin
+    (* concurrent components -> parallel sections (§3.3) *)
+    line ctx "#pragma omp parallel sections";
+    block ctx "" (fun () ->
+        List.iter
+          (fun comp ->
+            line ctx "#pragma omp section";
+            block ctx "" (fun () ->
+                List.iter
+                  (fun nid ->
+                    if List.mem nid comp then
+                      emit_node ctx st ~params:[] ~parallel:false nid)
+                  top))
+          components)
+  end
+  else List.iter (emit_node ctx st ~params:[] ~parallel:false) top
+
+let generate (g : Sdfg.t) : string =
+  let ctx = make_ctx g in
+  line ctx "// Generated by the SDFG compiler — CPU (C++/OpenMP) target";
+  line ctx "#include <cstring>";
+  line ctx "#include <cmath>";
+  line ctx "#include <algorithm>";
+  line ctx "#include <omp.h>";
+  line ctx "#include \"sdfg_runtime.h\"  // streams, thin runtime (§1)";
+  line ctx "";
+  block ctx
+    (Fmt.str "extern \"C\" void sdfg_%s(%s)" (Sdfg.name g) (signature g))
+    (fun () ->
+      emit_transient_allocation ctx
+        ~storage_filter:(fun s -> s <> Gpu_global)
+        ~alloc:(fun ctx name d ->
+          if ddesc_is_stream d then
+            line ctx "sdfg::stream<%s> %s;" (desc_ctype d) name
+          else if ddesc_shape d = [] then
+            line ctx "%s %s_storage = 0; %s* %s = &%s_storage;"
+              (desc_ctype d) name (desc_ctype d) name name
+          else
+            line ctx "%s* %s = new %s[%s];" (desc_ctype d) name
+              (desc_ctype d)
+              (e2c (total_size (ddesc_shape d))));
+      emit_state_machine ctx ~emit_state;
+      (* free transients *)
+      List.iter
+        (fun (name, d) ->
+          if ddesc_transient d && (not (ddesc_is_stream d))
+             && ddesc_shape d <> [] then
+            line ctx "delete[] %s;" name)
+        (Sdfg.descs g));
+  Buffer.contents ctx.buf

@@ -1,0 +1,201 @@
+(* FPGA dispatcher: generates HLS C++ from an SDFG.
+
+   Maps with the FPGA_Device schedule synthesize hardware modules
+   (processing elements, §3.3); FPGA_Unrolled maps replicate processing
+   elements (the systolic-array pattern of Fig. 7); Stream containers
+   instantiate FIFO interfaces (hls::stream) that connect modules (§3.1);
+   concurrent connected components become a DATAFLOW region. *)
+
+module Expr = Symbolic.Expr
+module Subset = Symbolic.Subset
+open Sdfg_ir
+open Defs
+open Common
+
+type modules = { mutable decls : string list; mutable count : int }
+
+let rec emit_module_body ctx st ~params nid =
+  let parents = State.scope_parents st in
+  let order = State.topological_order st in
+  let body =
+    List.filter (fun n -> Hashtbl.find parents n = Some nid) order
+  in
+  List.iter
+    (fun n ->
+      match State.node st n with
+      | Tasklet t -> emit_tasklet ctx st n t ~params ~atomic:`None
+      | Map_entry info ->
+        if info.mp_unroll then line ctx "#pragma HLS UNROLL";
+        List.iter2
+          (fun p (r : Subset.range) ->
+            line ctx "for (long long %s = %s; %s <= %s; %s += %s) {" p
+              (e2c r.start) p (e2c r.stop) p (e2c r.stride);
+            if not info.mp_unroll then line ctx "#pragma HLS PIPELINE II=1")
+          info.mp_params info.mp_ranges;
+        indented ctx (fun () ->
+            emit_module_body ctx st ~params:(params @ info.mp_params) n);
+        List.iter (fun _ -> line ctx "}") info.mp_params
+      | Access d when ddesc_storage (Sdfg.desc ctx.g d) = Fpga_local ->
+        line ctx "%s %s[%s];"
+          (desc_ctype (Sdfg.desc ctx.g d))
+          d
+          (e2c (total_size (ddesc_shape (Sdfg.desc ctx.g d))));
+        line ctx "#pragma HLS ARRAY_PARTITION variable=%s complete" d
+      | Access _ | Map_exit | Consume_exit -> ()
+      | Reduce _ -> line ctx "// accumulator module"
+      | Consume_entry _ -> line ctx "// dynamic stream consumer"
+      | Nested_sdfg nest -> line ctx "// nested SDFG %s" nest.n_sdfg.g_name)
+    body
+
+let emit_device_map ctx modules st nid (info : map_info) =
+  let g = ctx.g in
+  modules.count <- modules.count + 1;
+  let mname = Fmt.str "%s_module%d" (Sdfg.name g) modules.count in
+  let used =
+    State.scope_nodes st nid
+    |> List.concat_map (fun n -> State.in_edges st n @ State.out_edges st n)
+    |> List.filter_map (fun (e : edge) ->
+           Option.map (fun m -> m.m_data) e.e_memlet)
+    |> List.sort_uniq String.compare
+  in
+  let formal d =
+    let desc = Sdfg.desc g d in
+    if ddesc_is_stream desc then
+      Fmt.str "hls::stream<%s>& %s" (desc_ctype desc) d
+    else Fmt.str "%s* %s" (desc_ctype desc) d
+  in
+  let mctx = make_ctx g in
+  block mctx
+    (Fmt.str "void %s(%s)" mname
+       (String.concat ", "
+          (List.map formal used
+           @ List.map (fun s -> Fmt.str "long long %s" s)
+               (Sdfg.free_symbols g))))
+    (fun () ->
+      line mctx "#pragma HLS INTERFACE m_axi port=%s"
+        (String.concat "," used);
+      if info.mp_unroll || info.mp_schedule = Fpga_unrolled then begin
+        (* replicated processing elements (systolic array, Fig. 7) *)
+        List.iter2
+          (fun p (r : Subset.range) ->
+            line mctx "for (long long %s = %s; %s <= %s; %s += %s) {" p
+              (e2c r.start) p (e2c r.stop) p (e2c r.stride);
+            line mctx "#pragma HLS UNROLL  // one processing element per %s"
+              p)
+          info.mp_params info.mp_ranges
+      end
+      else
+        List.iter2
+          (fun p (r : Subset.range) ->
+            line mctx "for (long long %s = %s; %s <= %s; %s += %s) {" p
+              (e2c r.start) p (e2c r.stop) p (e2c r.stride);
+            line mctx "#pragma HLS PIPELINE II=1")
+          info.mp_params info.mp_ranges;
+      indented mctx (fun () ->
+          emit_module_body mctx st ~params:info.mp_params nid);
+      List.iter (fun _ -> line mctx "}") info.mp_params);
+  modules.decls <- modules.decls @ [ Buffer.contents mctx.buf ];
+  line ctx "%s(%s);" mname
+    (String.concat ", " (used @ Sdfg.free_symbols g))
+
+let emit_state ctx modules st =
+  let parents = State.scope_parents st in
+  let order = State.topological_order st in
+  let top = List.filter (fun n -> Hashtbl.find parents n = None) order in
+  let components = State.connected_components st in
+  if List.length components > 1 then
+    line ctx "#pragma HLS DATAFLOW  // concurrent components overlap";
+  List.iter
+    (fun nid ->
+      match State.node st nid with
+      | Map_entry info
+        when info.mp_schedule = Fpga_device
+             || info.mp_schedule = Fpga_unrolled ->
+        emit_device_map ctx modules st nid info
+      | Map_entry info ->
+        List.iter2
+          (fun p (r : Subset.range) ->
+            line ctx "for (long long %s = %s; %s <= %s; %s += %s) {" p
+              (e2c r.start) p (e2c r.stop) p (e2c r.stride))
+          info.mp_params info.mp_ranges;
+        indented ctx (fun () -> emit_module_body ctx st ~params:info.mp_params nid);
+        List.iter (fun _ -> line ctx "}") info.mp_params
+      | Access _ ->
+        List.iter
+          (fun (e : edge) ->
+            match State.node st e.e_dst, e.e_memlet with
+            | Access dst, Some m ->
+              let src =
+                match State.node st e.e_src with
+                | Access d -> d
+                | _ -> assert false
+              in
+              line ctx
+                "memcpy_burst(%s, %s, %s * sizeof(%s));  // AXI burst" dst
+                src
+                (e2c (Subset.volume m.m_subset))
+                (desc_ctype (Sdfg.desc ctx.g m.m_data))
+            | _ -> ())
+          (State.out_edges st nid)
+      | Tasklet t -> emit_tasklet ctx st nid t ~params:[] ~atomic:`None
+      | Reduce _ -> line ctx "// reduction tree module"
+      | Consume_entry _ | Map_exit | Consume_exit -> ()
+      | Nested_sdfg nest -> line ctx "// nested SDFG %s" nest.n_sdfg.g_name)
+    top
+
+let generate (g : Sdfg.t) : string =
+  let ctx = make_ctx g in
+  let modules = { decls = []; count = 0 } in
+  let body_ctx = make_ctx g in
+  block body_ctx
+    (Fmt.str "extern \"C\" void sdfg_%s(%s)" (Sdfg.name g) (signature g))
+    (fun () ->
+      emit_transient_allocation body_ctx
+        ~storage_filter:(fun _ -> true)
+        ~alloc:(fun ctx name d ->
+          if ddesc_is_stream d then begin
+            line ctx "hls::stream<%s> %s(\"%s\");" (desc_ctype d) name name;
+            line ctx "#pragma HLS STREAM variable=%s depth=%s" name
+              (let buffer =
+                 match d with Stream s -> s.s_buffer | Array _ -> Expr.zero
+               in
+               if Expr.equal buffer Expr.zero then "64" else e2c buffer)
+          end
+          else
+            line ctx "%s %s[%s];  // %s" (desc_ctype d) name
+              (e2c (total_size (ddesc_shape d)))
+              (storage_name (ddesc_storage d)));
+      emit_state_machine body_ctx ~emit_state:(fun ctx st ->
+          emit_state ctx modules st));
+  line ctx "// Generated by the SDFG compiler — FPGA (HLS C++) target";
+  line ctx "#include <hls_stream.h>";
+  line ctx "#include <cstring>";
+  line ctx "#include \"sdfg_runtime.h\"";
+  line ctx "";
+  List.iter (fun m -> raw ctx m) modules.decls;
+  line ctx "";
+  raw ctx (Buffer.contents body_ctx.buf);
+  Buffer.contents ctx.buf
+
+(* A tiny report on synthesized resources, mirroring the place-and-route
+   summary a performance engineer would inspect. *)
+let resource_report (g : Sdfg.t) =
+  let pes = ref 0 and fifos = ref 0 and brams = ref 0 in
+  List.iter
+    (fun st ->
+      List.iter
+        (fun (_, n) ->
+          match n with
+          | Map_entry m
+            when m.mp_schedule = Fpga_device
+                 || m.mp_schedule = Fpga_unrolled ->
+            incr pes
+          | _ -> ())
+        (State.nodes st))
+    (Sdfg.states g);
+  List.iter
+    (fun (_, d) ->
+      if ddesc_is_stream d then incr fifos
+      else if ddesc_storage d = Fpga_local then incr brams)
+    (Sdfg.descs g);
+  Fmt.str "modules=%d fifos=%d local_buffers=%d" !pes !fifos !brams

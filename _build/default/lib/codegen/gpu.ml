@@ -1,0 +1,198 @@
+(* GPU dispatcher: generates CUDA source from an SDFG.
+
+   Maps with the GPU_Device schedule become __global__ kernels with the
+   map range as grid/thread-block indices (§3.3); copies between host and
+   GPU_Global containers become cudaMemcpy calls; different connected
+   components are assigned to different CUDA streams (§3.3). *)
+
+module Expr = Symbolic.Expr
+module Subset = Symbolic.Subset
+open Sdfg_ir
+open Defs
+open Common
+
+(* Containers live on host or device depending on storage. *)
+let on_device g name =
+  match ddesc_storage (Sdfg.desc g name) with
+  | Gpu_global | Gpu_shared -> true
+  | _ -> false
+
+type kernels = { mutable decls : string list; mutable count : int }
+
+let rec emit_kernel_body ctx st ~params nid =
+  let parents = State.scope_parents st in
+  let order = State.topological_order st in
+  let body =
+    List.filter (fun n -> Hashtbl.find parents n = Some nid) order
+  in
+  List.iter
+    (fun n ->
+      match State.node st n with
+      | Tasklet t -> emit_tasklet ctx st n t ~params ~atomic:`Cuda
+      | Map_entry info ->
+        (* nested maps inside a kernel: thread-block or sequential loops *)
+        if info.mp_unroll then line ctx "#pragma unroll";
+        List.iter2
+          (fun p (r : Subset.range) ->
+            line ctx "for (long long %s = %s; %s <= %s; %s += %s) {" p
+              (e2c r.start) p (e2c r.stop) p (e2c r.stride))
+          info.mp_params info.mp_ranges;
+        indented ctx (fun () ->
+            emit_kernel_body ctx st ~params:(params @ info.mp_params) n);
+        List.iter (fun _ -> line ctx "}") info.mp_params
+      | Access d when ddesc_storage (Sdfg.desc ctx.g d) = Gpu_shared ->
+        line ctx "__shared__ %s %s[%s];"
+          (desc_ctype (Sdfg.desc ctx.g d))
+          d
+          (e2c (total_size (ddesc_shape (Sdfg.desc ctx.g d))));
+        line ctx "__syncthreads();"
+      | Access _ | Map_exit | Consume_exit -> ()
+      | Reduce _ -> line ctx "// in-kernel reduce lowered to WCR atomics"
+      | Consume_entry _ ->
+        line ctx "// consume scope: grid-wide work queue (atomics)"
+      | Nested_sdfg nest ->
+        line ctx "// inlined nested SDFG %s" nest.n_sdfg.g_name)
+    body
+
+let emit_device_map ctx kernels st nid (info : map_info) =
+  let g = ctx.g in
+  kernels.count <- kernels.count + 1;
+  let kname = Fmt.str "%s_kernel%d" (Sdfg.name g) kernels.count in
+  (* kernel parameters: containers referenced by the scope's memlets *)
+  let used =
+    (State.scope_nodes st nid
+     |> List.concat_map (fun n ->
+            State.in_edges st n @ State.out_edges st n)
+     |> List.filter_map (fun (e : edge) ->
+            Option.map (fun m -> m.m_data) e.e_memlet))
+    @ (State.in_edges st nid @ State.out_edges st (State.exit_of st nid)
+       |> List.filter_map (fun (e : edge) ->
+              Option.map (fun m -> m.m_data) e.e_memlet))
+    |> List.sort_uniq String.compare
+  in
+  let formals =
+    List.map
+      (fun d -> Fmt.str "%s* %s" (desc_ctype (Sdfg.desc g d)) d)
+      used
+    @ List.map (fun s -> Fmt.str "long long %s" s) (Sdfg.free_symbols g)
+  in
+  (* the kernel itself, collected into the prelude *)
+  let kctx = make_ctx g in
+  block kctx (Fmt.str "__global__ void %s(%s)" kname (String.concat ", " formals))
+    (fun () ->
+      (* map range -> grid: first dimension on x, rest sequential *)
+      (match info.mp_params, info.mp_ranges with
+      | p0 :: prest, r0 :: rrest ->
+        line kctx
+          "long long %s = %s + (blockIdx.x * blockDim.x + threadIdx.x) * %s;"
+          p0 (e2c r0.start) (e2c r0.stride);
+        line kctx "if (%s > %s) return;" p0 (e2c r0.stop);
+        List.iter2
+          (fun p (r : Subset.range) ->
+            line kctx "for (long long %s = %s; %s <= %s; %s += %s) {" p
+              (e2c r.start) p (e2c r.stop) p (e2c r.stride))
+          prest rrest;
+        indented kctx (fun () ->
+            emit_kernel_body kctx st ~params:info.mp_params nid);
+        List.iter (fun _ -> line kctx "}") prest
+      | _ -> assert false));
+  kernels.decls <- kernels.decls @ [ Buffer.contents kctx.buf ];
+  (* host-side launch *)
+  let trips = e2c (Subset.num_elements (List.hd info.mp_ranges)) in
+  line ctx "{";
+  indented ctx (fun () ->
+      line ctx "dim3 __block(256);";
+      line ctx "dim3 __grid((%s + 255) / 256);" trips;
+      line ctx "%s<<<__grid, __block, 0, __stream0>>>(%s);" kname
+        (String.concat ", " (used @ Sdfg.free_symbols g)));
+  line ctx "}"
+
+let emit_copy ctx st (e : edge) =
+  let g = ctx.g in
+  match State.node st e.e_src, State.node st e.e_dst, e.e_memlet with
+  | Access src, Access dst, Some m ->
+    let dir =
+      match on_device g src, on_device g dst with
+      | false, true -> "cudaMemcpyHostToDevice"
+      | true, false -> "cudaMemcpyDeviceToHost"
+      | true, true -> "cudaMemcpyDeviceToDevice"
+      | false, false -> "cudaMemcpyHostToHost"
+    in
+    line ctx "cudaMemcpyAsync(%s, %s, %s * sizeof(%s), %s, __stream0);" dst
+      src
+      (e2c (Subset.volume m.m_subset))
+      (desc_ctype (Sdfg.desc g m.m_data))
+      dir
+  | _ -> ()
+
+let emit_state ctx kernels st =
+  let parents = State.scope_parents st in
+  let order = State.topological_order st in
+  let top = List.filter (fun n -> Hashtbl.find parents n = None) order in
+  List.iter
+    (fun nid ->
+      match State.node st nid with
+      | Map_entry info when info.mp_schedule = Gpu_device ->
+        emit_device_map ctx kernels st nid info
+      | Map_entry info ->
+        (* residual host map (e.g. sequential glue) *)
+        List.iter2
+          (fun p (r : Subset.range) ->
+            line ctx "for (long long %s = %s; %s <= %s; %s += %s) {" p
+              (e2c r.start) p (e2c r.stop) p (e2c r.stride))
+          info.mp_params info.mp_ranges;
+        indented ctx (fun () -> emit_kernel_body ctx st ~params:info.mp_params nid);
+        List.iter (fun _ -> line ctx "}") info.mp_params
+      | Access _ -> List.iter (emit_copy ctx st) (State.out_edges st nid)
+      | Tasklet t -> emit_tasklet ctx st nid t ~params:[] ~atomic:`None
+      | Reduce _ -> line ctx "// device reduction (cub::DeviceReduce)"
+      | Consume_entry _ -> line ctx "// device work queue"
+      | Map_exit | Consume_exit -> ()
+      | Nested_sdfg nest -> line ctx "// nested SDFG %s" nest.n_sdfg.g_name)
+    top;
+  line ctx "cudaStreamSynchronize(__stream0);"
+
+let generate (g : Sdfg.t) : string =
+  let ctx = make_ctx g in
+  let kernels = { decls = []; count = 0 } in
+  let body_ctx = make_ctx g in
+  block body_ctx
+    (Fmt.str "extern \"C\" void sdfg_%s(%s)" (Sdfg.name g) (signature g))
+    (fun () ->
+      line body_ctx "cudaStream_t __stream0;";
+      line body_ctx "cudaStreamCreate(&__stream0);";
+      emit_transient_allocation body_ctx
+        ~storage_filter:(fun _ -> true)
+        ~alloc:(fun ctx name d ->
+          match ddesc_storage d with
+          | Gpu_global ->
+            line ctx "%s* %s;" (desc_ctype d) name;
+            line ctx "cudaMalloc(&%s, %s * sizeof(%s));" name
+              (e2c (total_size (ddesc_shape d)))
+              (desc_ctype d)
+          | _ ->
+            if ddesc_is_stream d then
+              line ctx "sdfg::stream<%s> %s;" (desc_ctype d) name
+            else if ddesc_shape d = [] then
+              line ctx "%s %s_storage = 0; %s* %s = &%s_storage;"
+                (desc_ctype d) name (desc_ctype d) name name
+            else
+              line ctx "%s* %s = new %s[%s];" (desc_ctype d) name
+                (desc_ctype d)
+                (e2c (total_size (ddesc_shape d))));
+      emit_state_machine body_ctx ~emit_state:(fun ctx st ->
+          emit_state ctx kernels st);
+      List.iter
+        (fun (name, d) ->
+          if ddesc_transient d && ddesc_storage d = Gpu_global then
+            line body_ctx "cudaFree(%s);" name)
+        (Sdfg.descs g));
+  line ctx "// Generated by the SDFG compiler — GPU (CUDA) target";
+  line ctx "#include <cuda_runtime.h>";
+  line ctx "#include <cmath>";
+  line ctx "#include \"sdfg_runtime.h\"";
+  line ctx "";
+  List.iter (fun k -> raw ctx k) kernels.decls;
+  line ctx "";
+  raw ctx (Buffer.contents body_ctx.buf);
+  Buffer.contents ctx.buf

@@ -1,0 +1,1 @@
+lib/core/bexp.ml: Defs Fmt List String Symbolic

@@ -1,0 +1,1 @@
+lib/core/bexp.mli: Defs Format Symbolic

@@ -1,0 +1,1 @@
+lib/core/defs.ml: Fmt Hashtbl List Symbolic Tasklang

@@ -1,0 +1,1 @@
+lib/core/dot.ml: Bexp Buffer Defs Fmt Fun List Memlet Sdfg State String Symbolic

@@ -1,0 +1,1 @@
+lib/core/memlet.ml: Bool Defs Fmt List Option String Symbolic Tasklang Wcr

@@ -1,0 +1,1 @@
+lib/core/memlet.mli: Defs Format Symbolic

@@ -1,0 +1,1 @@
+lib/core/propagate.ml: Defs Hashtbl Int List Sdfg State String Symbolic

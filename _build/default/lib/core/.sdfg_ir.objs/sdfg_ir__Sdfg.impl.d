@@ -1,0 +1,1 @@
+lib/core/sdfg.ml: Bexp Defs Fmt Hashtbl Int List Memlet Option State String Symbolic Tasklang

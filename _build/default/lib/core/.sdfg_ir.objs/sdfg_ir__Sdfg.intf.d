@@ -1,0 +1,1 @@
+lib/core/sdfg.mli: Defs Format Symbolic

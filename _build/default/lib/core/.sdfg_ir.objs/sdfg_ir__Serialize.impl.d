@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Buffer Defs Fmt Fun Hashtbl List Sdfg State String Symbolic Tasklang

@@ -1,0 +1,1 @@
+lib/core/state.ml: Defs Fmt Hashtbl Int List Option Queue Set String Symbolic Wcr

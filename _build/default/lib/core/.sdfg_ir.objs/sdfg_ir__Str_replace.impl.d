@@ -1,0 +1,1 @@
+lib/core/str_replace.ml: Buffer String

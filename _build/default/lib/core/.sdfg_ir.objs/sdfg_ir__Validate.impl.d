@@ -1,0 +1,1 @@
+lib/core/validate.ml: Defs Hashtbl List Memlet Sdfg State String Symbolic Tasklang

@@ -1,0 +1,1 @@
+lib/core/wcr.ml: Defs Float Fmt Str_replace Tasklang

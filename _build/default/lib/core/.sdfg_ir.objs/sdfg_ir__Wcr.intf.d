@@ -1,0 +1,1 @@
+lib/core/wcr.mli: Defs Format Tasklang

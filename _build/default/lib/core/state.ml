@@ -1,0 +1,384 @@
+(* Operations on SDFG states — the acyclic dataflow multigraphs.
+
+   A state owns its nodes and edges in mutable tables (transformations are
+   "find and replace" operations that edit states in place, paper §4.1).
+   Node and edge identifiers are dense integers, never reused, so
+   transformations can hold on to ids across edits. *)
+
+module Expr = Symbolic.Expr
+module Subset = Symbolic.Subset
+open Defs
+
+type t = state
+
+let create ?(label = "state") id : t =
+  { st_id = id;
+    st_label = label;
+    st_nodes = Hashtbl.create 16;
+    st_edges = Hashtbl.create 16;
+    st_next_node = 0;
+    st_next_edge = 0;
+    st_scope_exit = Hashtbl.create 4 }
+
+let id (s : t) = s.st_id
+let label (s : t) = s.st_label
+let set_label (s : t) l = s.st_label <- l
+
+(* --- node and edge CRUD ----------------------------------------------- *)
+
+let add_node (s : t) (n : node) : int =
+  let nid = s.st_next_node in
+  s.st_next_node <- nid + 1;
+  Hashtbl.replace s.st_nodes nid n;
+  nid
+
+let node (s : t) nid =
+  match Hashtbl.find_opt s.st_nodes nid with
+  | Some n -> n
+  | None -> invalid "state %S: no node %d" s.st_label nid
+
+let has_node (s : t) nid = Hashtbl.mem s.st_nodes nid
+
+let replace_node (s : t) nid n =
+  if not (Hashtbl.mem s.st_nodes nid) then
+    invalid "state %S: replacing missing node %d" s.st_label nid;
+  Hashtbl.replace s.st_nodes nid n
+
+let add_edge (s : t) ?src_conn ?dst_conn ?memlet ~src ~dst () : edge =
+  if not (Hashtbl.mem s.st_nodes src) then
+    invalid "state %S: edge source %d missing" s.st_label src;
+  if not (Hashtbl.mem s.st_nodes dst) then
+    invalid "state %S: edge destination %d missing" s.st_label dst;
+  let eid = s.st_next_edge in
+  s.st_next_edge <- eid + 1;
+  let e =
+    { e_id = eid; e_src = src; e_src_conn = src_conn; e_dst = dst;
+      e_dst_conn = dst_conn; e_memlet = memlet }
+  in
+  Hashtbl.replace s.st_edges eid e;
+  e
+
+let edge (s : t) eid =
+  match Hashtbl.find_opt s.st_edges eid with
+  | Some e -> e
+  | None -> invalid "state %S: no edge %d" s.st_label eid
+
+let remove_edge (s : t) eid = Hashtbl.remove s.st_edges eid
+
+let remove_node (s : t) nid =
+  Hashtbl.remove s.st_nodes nid;
+  Hashtbl.remove s.st_scope_exit nid;
+  let stale =
+    Hashtbl.fold
+      (fun eid e acc -> if e.e_src = nid || e.e_dst = nid then eid :: acc else acc)
+      s.st_edges []
+  in
+  List.iter (remove_edge s) stale
+
+let nodes (s : t) =
+  Hashtbl.fold (fun nid n acc -> (nid, n) :: acc) s.st_nodes []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let node_ids (s : t) = List.map fst (nodes s)
+
+let edges (s : t) =
+  Hashtbl.fold (fun _ e acc -> e :: acc) s.st_edges []
+  |> List.sort (fun a b -> Int.compare a.e_id b.e_id)
+
+let num_nodes (s : t) = Hashtbl.length s.st_nodes
+let num_edges (s : t) = Hashtbl.length s.st_edges
+
+let in_edges (s : t) nid =
+  List.filter (fun e -> e.e_dst = nid) (edges s)
+
+let out_edges (s : t) nid =
+  List.filter (fun e -> e.e_src = nid) (edges s)
+
+let in_degree s nid = List.length (in_edges s nid)
+let out_degree s nid = List.length (out_edges s nid)
+
+let predecessors s nid =
+  List.sort_uniq Int.compare (List.map (fun e -> e.e_src) (in_edges s nid))
+
+let successors s nid =
+  List.sort_uniq Int.compare (List.map (fun e -> e.e_dst) (out_edges s nid))
+
+(* --- scopes (Map/Consume pairing, §3.3) -------------------------------- *)
+
+let set_scope (s : t) ~entry ~exit_ =
+  Hashtbl.replace s.st_scope_exit entry exit_
+
+let exit_of (s : t) entry =
+  match Hashtbl.find_opt s.st_scope_exit entry with
+  | Some x -> x
+  | None -> invalid "state %S: node %d has no scope exit" s.st_label entry
+
+let entry_of (s : t) exit_ =
+  let found =
+    Hashtbl.fold
+      (fun en ex acc -> if ex = exit_ then Some en else acc)
+      s.st_scope_exit None
+  in
+  match found with
+  | Some en -> en
+  | None -> invalid "state %S: node %d has no scope entry" s.st_label exit_
+
+let is_scope_entry (s : t) nid =
+  match node s nid with
+  | Map_entry _ | Consume_entry _ -> true
+  | Access _ | Tasklet _ | Map_exit | Consume_exit | Reduce _
+  | Nested_sdfg _ -> false
+
+let is_scope_exit (s : t) nid =
+  match node s nid with
+  | Map_exit | Consume_exit -> true
+  | Access _ | Tasklet _ | Map_entry _ | Consume_entry _ | Reduce _
+  | Nested_sdfg _ -> false
+
+(* The scope-parent table: for every node, the innermost enclosing scope
+   entry (None at state top level).  Well-formed SDFGs have every scope
+   subgraph dominated by its entry and post-dominated by its exit
+   (paper §3.3), so a forward pass in topological order suffices. *)
+let scope_parents (s : t) : (int, int option) Hashtbl.t =
+  let parents = Hashtbl.create 16 in
+  let order = ref [] in
+  (* Kahn topological order. *)
+  let indeg = Hashtbl.create 16 in
+  List.iter (fun (nid, _) -> Hashtbl.replace indeg nid (in_degree s nid)) (nodes s);
+  let queue = Queue.create () in
+  Hashtbl.iter (fun nid d -> if d = 0 then Queue.add nid queue) indeg;
+  while not (Queue.is_empty queue) do
+    let nid = Queue.pop queue in
+    order := nid :: !order;
+    List.iter
+      (fun e ->
+        let d = Hashtbl.find indeg e.e_dst - 1 in
+        Hashtbl.replace indeg e.e_dst d;
+        if d = 0 then Queue.add e.e_dst queue)
+      (out_edges s nid)
+  done;
+  let order = List.rev !order in
+  if List.length order <> num_nodes s then
+    invalid "state %S: dataflow graph has a cycle" s.st_label;
+  List.iter
+    (fun nid ->
+      let parent =
+        match in_edges s nid with
+        | [] -> None
+        | e :: _ ->
+          let p = e.e_src in
+          if is_scope_exit s nid && is_scope_entry s p then
+            (* an exit directly connected to its entry: same parent *)
+            Hashtbl.find parents p
+          else if is_scope_entry s p then Some p
+          else if is_scope_exit s p then
+            (* successor of an exit leaves that scope *)
+            Hashtbl.find parents (entry_of s p)
+          else Hashtbl.find parents p
+      in
+      (* An exit node's parent is its entry's parent. *)
+      let parent =
+        if is_scope_exit s nid then Hashtbl.find parents (entry_of s nid)
+        else parent
+      in
+      Hashtbl.replace parents nid parent)
+    order;
+  parents
+
+let topological_order (s : t) : int list =
+  let indeg = Hashtbl.create 16 in
+  List.iter (fun (nid, _) -> Hashtbl.replace indeg nid (in_degree s nid)) (nodes s);
+  (* Stable: prefer lower node ids for determinism. *)
+  let module IS = Set.Make (Int) in
+  let ready = ref IS.empty in
+  Hashtbl.iter (fun nid d -> if d = 0 then ready := IS.add nid !ready) indeg;
+  let out = ref [] in
+  while not (IS.is_empty !ready) do
+    let nid = IS.min_elt !ready in
+    ready := IS.remove nid !ready;
+    out := nid :: !out;
+    List.iter
+      (fun e ->
+        let d = Hashtbl.find indeg e.e_dst - 1 in
+        Hashtbl.replace indeg e.e_dst d;
+        if d = 0 then ready := IS.add e.e_dst !ready)
+      (out_edges s nid)
+  done;
+  let order = List.rev !out in
+  if List.length order <> num_nodes s then
+    invalid "state %S: dataflow graph has a cycle" s.st_label;
+  order
+
+(* All nodes strictly inside the scope of [entry] (excluding the entry and
+   exit themselves), i.e. the expanded subgraph of Fig. 6. *)
+let scope_nodes (s : t) entry : int list =
+  let exit_ = exit_of s entry in
+  let parents = scope_parents s in
+  let rec inside nid =
+    match Hashtbl.find_opt parents nid with
+    | Some (Some p) -> p = entry || inside p
+    | _ -> false
+  in
+  nodes s
+  |> List.filter_map (fun (nid, _) ->
+         if nid <> entry && nid <> exit_ && inside nid then Some nid else None)
+
+(* --- memlet paths ------------------------------------------------------ *)
+
+(* Follow a memlet through scope nodes: edges entering a Map entry at
+   connector IN_x continue from OUT_x inside the scope, and symmetrically
+   at exits.  Returns the full chain of edges from the outermost producer
+   to the innermost consumer (or vice versa), as in DaCe's memlet_path. *)
+let conn_suffix prefix conn =
+  match conn with
+  | Some c when String.length c > String.length prefix
+                && String.sub c 0 (String.length prefix) = prefix ->
+    Some (String.sub c (String.length prefix)
+            (String.length c - String.length prefix))
+  | _ -> None
+
+let memlet_path (s : t) (e : edge) : edge list =
+  let rec backward e acc =
+    let src = e.e_src in
+    if is_scope_entry s src || is_scope_exit s src then
+      match conn_suffix "OUT_" e.e_src_conn with
+      | None -> acc
+      | Some base -> (
+        let want = "IN_" ^ base in
+        match
+          List.find_opt (fun e' -> e'.e_dst_conn = Some want) (in_edges s src)
+        with
+        | Some e' -> backward e' (e' :: acc)
+        | None -> acc)
+    else acc
+  in
+  let rec forward e acc =
+    let dst = e.e_dst in
+    if is_scope_entry s dst || is_scope_exit s dst then
+      match conn_suffix "IN_" e.e_dst_conn with
+      | None -> acc
+      | Some base -> (
+        let want = "OUT_" ^ base in
+        match
+          List.find_opt
+            (fun e' -> e'.e_src_conn = Some want)
+            (out_edges s dst)
+        with
+        | Some e' -> forward e' (acc @ [ e' ])
+        | None -> acc)
+    else acc
+  in
+  backward e [ e ] |> fun prefix -> forward e prefix
+
+(* --- queries ------------------------------------------------------------ *)
+
+let access_nodes (s : t) : (int * string) list =
+  nodes s
+  |> List.filter_map (fun (nid, n) ->
+         match n with Access d -> Some (nid, d) | _ -> None)
+
+let access_nodes_of (s : t) data =
+  access_nodes s |> List.filter (fun (_, d) -> String.equal d data)
+
+let tasklets (s : t) =
+  nodes s
+  |> List.filter_map (fun (nid, n) ->
+         match n with Tasklet t -> Some (nid, t) | _ -> None)
+
+let map_entries (s : t) =
+  nodes s
+  |> List.filter_map (fun (nid, n) ->
+         match n with Map_entry m -> Some (nid, m) | _ -> None)
+
+(* Containers read or written anywhere in the state. *)
+let used_containers (s : t) =
+  let names =
+    List.filter_map
+      (fun e ->
+        match e.e_memlet with Some m -> Some m.m_data | None -> None)
+      (edges s)
+    @ List.map snd (access_nodes s)
+  in
+  List.sort_uniq String.compare names
+
+(* Weakly-connected components — distinct components execute concurrently
+   (paper §3.3: "different connected components ... run concurrently"). *)
+let connected_components (s : t) : int list list =
+  let parent = Hashtbl.create 16 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | Some p when p <> x ->
+      let r = find p in
+      Hashtbl.replace parent x r;
+      r
+    | _ -> x
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  List.iter (fun (nid, _) -> Hashtbl.replace parent nid nid) (nodes s);
+  List.iter (fun e -> union e.e_src e.e_dst) (edges s);
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (nid, _) ->
+      let r = find nid in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt groups r) in
+      Hashtbl.replace groups r (nid :: cur))
+    (nodes s);
+  Hashtbl.fold (fun _ members acc -> List.sort Int.compare members :: acc)
+    groups []
+  |> List.sort (fun a b -> Int.compare (List.hd a) (List.hd b))
+
+(* --- cloning ------------------------------------------------------------ *)
+
+let rec clone_node (n : node) : node =
+  match n with
+  | Access _ | Tasklet _ | Map_entry _ | Map_exit | Consume_entry _
+  | Consume_exit | Reduce _ -> n
+  | Nested_sdfg nest -> Nested_sdfg { nest with n_sdfg = clone_sdfg nest.n_sdfg }
+
+and clone (s : t) ?(id = s.st_id) () : t =
+  let s' = create ~label:s.st_label id in
+  Hashtbl.iter (fun nid n -> Hashtbl.replace s'.st_nodes nid (clone_node n)) s.st_nodes;
+  Hashtbl.iter
+    (fun eid e -> Hashtbl.replace s'.st_edges eid { e with e_id = e.e_id })
+    s.st_edges;
+  Hashtbl.iter (fun en ex -> Hashtbl.replace s'.st_scope_exit en ex)
+    s.st_scope_exit;
+  s'.st_next_node <- s.st_next_node;
+  s'.st_next_edge <- s.st_next_edge;
+  s'
+
+and clone_sdfg (g : sdfg) : sdfg =
+  let g' =
+    { g_name = g.g_name;
+      g_descs = g.g_descs;
+      g_states = Hashtbl.create 8;
+      g_istate_edges = g.g_istate_edges;
+      g_start = g.g_start;
+      g_next_state = g.g_next_state;
+      g_symbols = g.g_symbols }
+  in
+  Hashtbl.iter
+    (fun sid st -> Hashtbl.replace g'.g_states sid (clone st ()))
+    g.g_states;
+  g'
+
+(* --- node labels for display ------------------------------------------- *)
+
+let node_label (s : t) nid =
+  match node s nid with
+  | Access d -> d
+  | Tasklet t -> t.t_name
+  | Map_entry m ->
+    Fmt.str "[%s]"
+      (String.concat ", "
+         (List.map2
+            (fun p r -> Fmt.str "%s=%s" p (Fmt.str "%a" Subset.pp_range r))
+            m.mp_params m.mp_ranges))
+  | Map_exit -> "map_exit"
+  | Consume_entry c -> Fmt.str "[%s=0:%a]" c.cs_pe_param Expr.pp c.cs_num_pes
+  | Consume_exit -> "consume_exit"
+  | Reduce r -> Fmt.str "reduce(%s)" (Wcr.name r.r_wcr)
+  | Nested_sdfg n -> Fmt.str "invoke(%s)" n.n_sdfg.g_name

@@ -1,0 +1,118 @@
+(** Operations on SDFG states — the acyclic dataflow multigraphs whose
+    nodes are containers, computation and scopes, and whose edges carry
+    memlets (paper §3 and Appendix A.1).
+
+    States are mutable: transformations are "find and replace" operations
+    that edit them in place (§4.1).  Node and edge identifiers are dense
+    integers that are never reused. *)
+
+type t = Defs.state
+
+val create : ?label:string -> int -> t
+val id : t -> int
+val label : t -> string
+val set_label : t -> string -> unit
+
+(** {1 Nodes and edges} *)
+
+val add_node : t -> Defs.node -> int
+(** Insert a node, returning its fresh identifier. *)
+
+val node : t -> int -> Defs.node
+(** @raise Defs.Invalid_sdfg on an unknown identifier. *)
+
+val has_node : t -> int -> bool
+
+val replace_node : t -> int -> Defs.node -> unit
+(** Swap a node's payload in place, keeping its identity and edges. *)
+
+val add_edge :
+  t ->
+  ?src_conn:string ->
+  ?dst_conn:string ->
+  ?memlet:Defs.memlet ->
+  src:int ->
+  dst:int ->
+  unit ->
+  Defs.edge
+(** Connect two nodes.  Scope nodes use the [IN_<name>]/[OUT_<name>]
+    connector convention; an edge without a memlet is a pure ordering
+    dependency. *)
+
+val edge : t -> int -> Defs.edge
+val remove_edge : t -> int -> unit
+
+val remove_node : t -> int -> unit
+(** Also removes all incident edges and any scope registration. *)
+
+val nodes : t -> (int * Defs.node) list
+(** All nodes, sorted by identifier. *)
+
+val node_ids : t -> int list
+val edges : t -> Defs.edge list
+val num_nodes : t -> int
+val num_edges : t -> int
+val in_edges : t -> int -> Defs.edge list
+val out_edges : t -> int -> Defs.edge list
+val in_degree : t -> int -> int
+val out_degree : t -> int -> int
+val predecessors : t -> int -> int list
+val successors : t -> int -> int list
+
+(** {1 Scopes (Map/Consume pairing, §3.3)} *)
+
+val set_scope : t -> entry:int -> exit_:int -> unit
+(** Register the exit node paired with a scope entry. *)
+
+val exit_of : t -> int -> int
+val entry_of : t -> int -> int
+val is_scope_entry : t -> int -> bool
+val is_scope_exit : t -> int -> bool
+
+val scope_parents : t -> (int, int option) Hashtbl.t
+(** For every node, its innermost enclosing scope-entry node ([None] at
+    the state's top level).  Well-formed scopes are dominated by their
+    entry and post-dominated by their exit, so a single forward pass in
+    topological order computes this.
+    @raise Defs.Invalid_sdfg if the dataflow graph is cyclic. *)
+
+val topological_order : t -> int list
+(** Deterministic (lowest-id-first) topological order.
+    @raise Defs.Invalid_sdfg if the graph has a cycle. *)
+
+val scope_nodes : t -> int -> int list
+(** All nodes strictly inside the scope of an entry node — the subgraph
+    replicated by map expansion (Fig. 6). *)
+
+(** {1 Memlet paths} *)
+
+val memlet_path : t -> Defs.edge -> Defs.edge list
+(** The full chain of edges a memlet traverses through scope connectors
+    ([IN_x] continues from [OUT_x]), from outermost producer to innermost
+    consumer. *)
+
+(** {1 Queries} *)
+
+val access_nodes : t -> (int * string) list
+val access_nodes_of : t -> string -> (int * string) list
+val tasklets : t -> (int * Defs.tasklet) list
+val map_entries : t -> (int * Defs.map_info) list
+
+val used_containers : t -> string list
+(** Containers read or written anywhere in this state. *)
+
+val connected_components : t -> int list list
+(** Weakly-connected components; distinct components execute concurrently
+    (§3.3) and are mapped to OpenMP sections / CUDA streams / FPGA
+    command queues by the code generators. *)
+
+(** {1 Cloning} *)
+
+val clone_node : Defs.node -> Defs.node
+(** Deep copy (nested SDFGs are copied recursively). *)
+
+val clone : t -> ?id:int -> unit -> t
+val clone_sdfg : Defs.sdfg -> Defs.sdfg
+
+val node_label : t -> int -> string
+(** Human-readable node label, as used by the Graphviz export. *)

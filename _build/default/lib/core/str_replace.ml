@@ -1,0 +1,31 @@
+(* Tiny string-replacement helper (identifier-boundary aware) used by code
+   generation; avoids a dependency on the [re] package for this one need. *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+(* Replace every whole-identifier occurrence of [sub] in [s] by [by]. *)
+let replace_all s ~sub ~by =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then s
+  else begin
+    let buf = Buffer.create (n + 16) in
+    let i = ref 0 in
+    while !i < n do
+      if
+        !i + m <= n
+        && String.sub s !i m = sub
+        && (!i = 0 || not (is_ident_char s.[!i - 1]))
+        && (!i + m >= n || not (is_ident_char s.[!i + m]))
+      then begin
+        Buffer.add_string buf by;
+        i := !i + m
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  end

@@ -1,0 +1,15 @@
+(** SDFG validation — step ❶ of the compilation pipeline (paper §4.3):
+    scopes correctly structured, memlets connected with matching
+    dimensionality, tasklets touching only their connectors, and map
+    schedules / storage locations feasible (e.g. a GPU thread-block map
+    must be nested inside a GPU device map). *)
+
+val check : Defs.sdfg -> unit
+(** Validate recursively (including nested SDFGs).
+    @raise Defs.Invalid_sdfg with a descriptive message on the first
+    violation. *)
+
+val check_state : Defs.sdfg -> Defs.state -> unit
+
+val is_valid : Defs.sdfg -> bool
+(** Boolean convenience wrapper around {!check}. *)

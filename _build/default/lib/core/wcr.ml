@@ -1,0 +1,90 @@
+(* Write-conflict resolution functions (paper Table 1 and §3.3).
+
+   A WCR is a function [S × S → S] receiving the old value present at the
+   destination and the incoming new value.  Depending on the target it is
+   lowered to atomics, critical sections or accumulator modules; here we
+   provide its mathematical definition (for the interpreter) and its
+   identity element (for Reduce initialization and privatization). *)
+
+open Tasklang.Types
+
+type t = Defs.wcr
+
+let sum : t = Defs.Wcr_sum
+let prod : t = Defs.Wcr_prod
+let min_ : t = Defs.Wcr_min
+let max_ : t = Defs.Wcr_max
+let custom e : t = Defs.Wcr_custom e
+
+(* Parse a custom combiner from source text over variables "old"/"new",
+   e.g. "old + new" or "max(old, new)". *)
+let of_code src : t = Defs.Wcr_custom (Tasklang.Parse.expression src)
+
+let apply (w : t) ~old_v ~new_v =
+  match w with
+  | Defs.Wcr_sum -> (
+    match old_v, new_v with
+    | I a, I b -> I (a + b)
+    | a, b -> F (to_float a +. to_float b))
+  | Defs.Wcr_prod -> (
+    match old_v, new_v with
+    | I a, I b -> I (a * b)
+    | a, b -> F (to_float a *. to_float b))
+  | Defs.Wcr_min -> (
+    match old_v, new_v with
+    | I a, I b -> I (min a b)
+    | a, b -> F (Float.min (to_float a) (to_float b)))
+  | Defs.Wcr_max -> (
+    match old_v, new_v with
+    | I a, I b -> I (max a b)
+    | a, b -> F (Float.max (to_float a) (to_float b)))
+  | Defs.Wcr_custom e ->
+    Tasklang.Eval.eval_expression
+      ~scalars:[ ("old", old_v); ("new", new_v) ]
+      e
+
+(* Identity element for a dtype, used to initialize reductions. *)
+let identity (w : t) (dt : dtype) : value option =
+  match w with
+  | Defs.Wcr_sum -> Some (if is_float dt then F 0. else I 0)
+  | Defs.Wcr_prod -> Some (if is_float dt then F 1. else I 1)
+  | Defs.Wcr_min ->
+    Some (if is_float dt then F Float.infinity else I max_int)
+  | Defs.Wcr_max ->
+    Some (if is_float dt then F Float.neg_infinity else I min_int)
+  | Defs.Wcr_custom _ -> None
+
+let is_commutative = function
+  | Defs.Wcr_sum | Defs.Wcr_prod | Defs.Wcr_min | Defs.Wcr_max -> true
+  | Defs.Wcr_custom _ -> false (* unknown; treated conservatively *)
+
+let name = function
+  | Defs.Wcr_sum -> "Sum"
+  | Defs.Wcr_prod -> "Prod"
+  | Defs.Wcr_min -> "Min"
+  | Defs.Wcr_max -> "Max"
+  | Defs.Wcr_custom _ -> "Custom"
+
+(* C expression combining [old_e] and [new_e] — used by code generation
+   when lowering WCR to a read-modify-write or an atomic. *)
+let to_c (w : t) ~old_e ~new_e =
+  match w with
+  | Defs.Wcr_sum -> Fmt.str "(%s + %s)" old_e new_e
+  | Defs.Wcr_prod -> Fmt.str "(%s * %s)" old_e new_e
+  | Defs.Wcr_min -> Fmt.str "std::min(%s, %s)" old_e new_e
+  | Defs.Wcr_max -> Fmt.str "std::max(%s, %s)" old_e new_e
+  | Defs.Wcr_custom e ->
+    let body = Tasklang.Emit.expr_to_c e in
+    let body = Str_replace.replace_all body ~sub:"old" ~by:old_e in
+    Str_replace.replace_all body ~sub:"new" ~by:new_e
+
+let pp ppf w = Fmt.string ppf (name w)
+
+let equal (a : t) (b : t) =
+  match a, b with
+  | Defs.Wcr_sum, Defs.Wcr_sum
+  | Defs.Wcr_prod, Defs.Wcr_prod
+  | Defs.Wcr_min, Defs.Wcr_min
+  | Defs.Wcr_max, Defs.Wcr_max -> true
+  | Defs.Wcr_custom x, Defs.Wcr_custom y -> x = y
+  | _ -> false

@@ -1,0 +1,34 @@
+(** Write-conflict resolution functions (paper Table 1 and §3.3): a
+    combiner [S x S -> S] applied when memlets may write concurrently to
+    the same location.  Targets lower it to atomics, critical sections or
+    accumulator modules; here it has a mathematical definition (for the
+    interpreter) and an identity element (for Reduce initialization and
+    privatization). *)
+
+type t = Defs.wcr
+
+val sum : t
+val prod : t
+val min_ : t
+val max_ : t
+
+val custom : Tasklang.Ast.expr -> t
+(** Custom combiner over the free variables ["old"] and ["new"]. *)
+
+val of_code : string -> t
+(** Parse a combiner from source, e.g. ["old + new"]. *)
+
+val apply : t -> old_v:Tasklang.Types.value -> new_v:Tasklang.Types.value ->
+  Tasklang.Types.value
+
+val identity : t -> Tasklang.Types.dtype -> Tasklang.Types.value option
+(** Identity element, when one is known ([None] for custom combiners). *)
+
+val is_commutative : t -> bool
+val name : t -> string
+
+val to_c : t -> old_e:string -> new_e:string -> string
+(** C expression combining two operand expressions (code generation). *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

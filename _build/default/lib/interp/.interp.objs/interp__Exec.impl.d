@@ -1,0 +1,1 @@
+lib/interp/exec.ml: Array Bexp Defs Fmt Fun Hashtbl List Option Queue Sdfg Sdfg_ir State String Symbolic Tasklang Tensor Wcr

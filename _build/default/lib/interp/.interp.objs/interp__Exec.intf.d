@@ -1,0 +1,1 @@
+lib/interp/exec.mli: Format Queue Sdfg_ir Tasklang Tensor

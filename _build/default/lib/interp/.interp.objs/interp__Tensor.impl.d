@@ -1,0 +1,1 @@
+lib/interp/tensor.ml: Array Float Fmt List String Symbolic Tasklang

@@ -1,0 +1,1 @@
+lib/interp/tensor.mli: Format Symbolic Tasklang

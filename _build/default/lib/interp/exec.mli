@@ -1,0 +1,57 @@
+(** Reference interpreter for SDFGs — an executable rendition of the
+    operational semantics of Appendix A.
+
+    Execution follows the state machine: run the current state's dataflow
+    to quiescence in topological order, evaluate outgoing transitions,
+    apply assignments, repeat until no condition holds.  Map scopes
+    expand their symbolic ranges (Fig. 6b); consume scopes process
+    streams dynamically until quiescence (Fig. 8); WCR memlets combine
+    values with their resolution function; nested SDFGs run on aliased
+    views of the outer memory.
+
+    The interpreter is the semantic oracle of the test suite: every
+    transformation and device offload is checked to preserve its
+    results. *)
+
+exception Runtime_error of string
+
+type stream_rt = {
+  qs : Tasklang.Types.value Queue.t array;
+  q_shape : int array;
+  q_dtype : Tasklang.Types.dtype;
+}
+
+type container = Tens of Tensor.t | Strm of stream_rt
+
+(** Instrumentation counters gathered during a run. *)
+type stats = {
+  mutable elements_moved : int;   (** memlet-bound element transfers *)
+  mutable tasklet_execs : int;
+  mutable map_iterations : int;
+  mutable stream_pushes : int;
+  mutable stream_pops : int;
+  mutable states_executed : int;
+  mutable wcr_writes : int;       (** write-conflict resolutions applied *)
+}
+
+val fresh_stats : unit -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val register_external :
+  string -> ((string * Tasklang.Eval.binding) list -> unit) -> unit
+(** Provide the native implementation for an [External] tasklet (paper
+    Fig. 5), keyed by tasklet name.  The bindings give the connector
+    accessors; the implementation must not touch anything else. *)
+
+val run :
+  ?max_states:int ->
+  ?symbols:(string * int) list ->
+  ?args:(string * Tensor.t) list ->
+  Sdfg_ir.Sdfg.t ->
+  stats
+(** Execute an SDFG.  [symbols] binds the free symbols (sizes);
+    [args] binds non-transient containers to caller-owned tensors,
+    which are mutated in place (the array-based interface of §2.1).
+    Containers not supplied are allocated zero-initialized.
+    [max_states] bounds state-machine steps (default 1,000,000).
+    @raise Runtime_error on stuck or ill-formed programs. *)

@@ -1,0 +1,261 @@
+(* Runtime tensors for the SDFG interpreter.
+
+   A tensor is a typed row-major view over a flat buffer: shape, strides
+   and an offset, so nested-SDFG invocations and memlet-scoped bindings
+   can alias sub-regions of a parent allocation without copying —
+   mirroring how generated code passes pointers into arrays (paper §2.1:
+   "memlets that are larger than one element are pointers"). *)
+
+open Tasklang.Types
+
+type buf =
+  | Fbuf of float array
+  | Ibuf of int array
+
+type t = {
+  shape : int array;
+  strides : int array;   (* in elements *)
+  offset : int;          (* in elements *)
+  buf : buf;
+  dtype : dtype;
+}
+
+exception Bounds of string
+
+let bounds_error fmt = Fmt.kstr (fun s -> raise (Bounds s)) fmt
+
+let row_major_strides shape =
+  let n = Array.length shape in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * shape.(i + 1)
+  done;
+  strides
+
+let num_elements_shape shape = Array.fold_left ( * ) 1 shape
+
+let create dtype shape : t =
+  let n = num_elements_shape shape in
+  let buf =
+    if is_float dtype then Fbuf (Array.make n 0.)
+    else Ibuf (Array.make n 0)
+  in
+  { shape; strides = row_major_strides shape; offset = 0; buf; dtype }
+
+let scalar dtype : t = create dtype [||]
+
+let shape t = t.shape
+let dtype t = t.dtype
+let rank t = Array.length t.shape
+let num_elements t = num_elements_shape t.shape
+
+let size_bytes t = num_elements t * dtype_size_bytes t.dtype
+
+(* Whether this tensor is a dense row-major view starting at offset 0 of
+   its own buffer (i.e., not a strided alias). *)
+let is_contiguous t =
+  t.offset = 0
+  && t.strides = row_major_strides t.shape
+  &&
+  match t.buf with
+  | Fbuf a -> Array.length a = num_elements t
+  | Ibuf a -> Array.length a = num_elements t
+
+let linear_index t idx =
+  let n = Array.length t.shape in
+  if List.length idx <> n then
+    bounds_error "tensor of rank %d indexed with %d indices" n
+      (List.length idx);
+  let li = ref t.offset in
+  List.iteri
+    (fun d i ->
+      if i < 0 || i >= t.shape.(d) then
+        bounds_error "index %d out of bounds for dimension %d (size %d)" i d
+          t.shape.(d);
+      li := !li + (i * t.strides.(d)))
+    idx;
+  !li
+
+let get_linear t li =
+  match t.buf with
+  | Fbuf a -> F a.(li)
+  | Ibuf a -> I a.(li)
+
+let set_linear t li v =
+  match t.buf with
+  | Fbuf a -> a.(li) <- to_float v
+  | Ibuf a -> a.(li) <- to_int v
+
+let get t idx = get_linear t (linear_index t idx)
+let set t idx v = set_linear t (linear_index t idx) v
+
+let get_scalar t = get_linear t t.offset
+let set_scalar t v = set_linear t t.offset v
+
+let fill t v =
+  let n = num_elements t in
+  (* Iterate in logical order to respect views. *)
+  let idx = Array.make (rank t) 0 in
+  for _ = 1 to n do
+    set t (Array.to_list idx) v;
+    let rec carry d =
+      if d >= 0 then begin
+        idx.(d) <- idx.(d) + 1;
+        if idx.(d) >= t.shape.(d) then begin
+          idx.(d) <- 0;
+          carry (d - 1)
+        end
+      end
+    in
+    carry (rank t - 1)
+  done
+
+(* A strided sub-view: [starts], [counts], [steps] per dimension. *)
+let view t ~starts ~counts ~steps : t =
+  let n = rank t in
+  if Array.length starts <> n || Array.length counts <> n then
+    bounds_error "view: rank mismatch";
+  let offset = ref t.offset in
+  Array.iteri
+    (fun d s ->
+      if s < 0 || (counts.(d) > 0 && s + ((counts.(d) - 1) * steps.(d)) >= t.shape.(d))
+      then
+        bounds_error "view: dimension %d out of range (start %d count %d)" d s
+          counts.(d);
+      offset := !offset + (s * t.strides.(d)))
+    starts;
+  { t with
+    shape = Array.copy counts;
+    strides = Array.mapi (fun d st -> st * steps.(d)) t.strides;
+    offset = !offset }
+
+(* View through a concrete memlet subset. *)
+let view_subset t (ranges : Symbolic.Subset.concrete_range list) : t =
+  let ranges = Array.of_list ranges in
+  if rank t = 0 then t
+  else begin
+    if Array.length ranges <> rank t then
+      bounds_error "view_subset: subset rank %d vs tensor rank %d"
+        (Array.length ranges) (rank t);
+    let starts = Array.map (fun r -> r.Symbolic.Subset.c_start) ranges in
+    let steps = Array.map (fun r -> r.Symbolic.Subset.c_stride) ranges in
+    let counts =
+      Array.map
+        (fun r ->
+          ((r.Symbolic.Subset.c_stop - r.Symbolic.Subset.c_start)
+           / r.Symbolic.Subset.c_stride)
+          + 1)
+        ranges
+    in
+    view t ~starts ~counts ~steps
+  end
+
+(* Drop all unit dimensions (memlet squeezing: a [1,3] window binds to a
+   rank-1 connector of 3 elements). *)
+let squeeze t =
+  let keep =
+    Array.to_list (Array.mapi (fun d s -> (d, s)) t.shape)
+    |> List.filter (fun (_, s) -> s <> 1)
+  in
+  { t with
+    shape = Array.of_list (List.map snd keep);
+    strides = Array.of_list (List.map (fun (d, _) -> t.strides.(d)) keep) }
+
+(* Copy [src] into [dst]; shapes must contain the same number of elements
+   (reshape-on-copy is allowed, as generated memcpys are linear). *)
+let copy_into ~src ~dst =
+  let n = num_elements src in
+  if num_elements dst <> n then
+    bounds_error "copy: %d elements into %d" n (num_elements dst);
+  let sidx = Array.make (rank src) 0 in
+  let didx = Array.make (rank dst) 0 in
+  let advance t idx =
+    let rec carry d =
+      if d >= 0 then begin
+        idx.(d) <- idx.(d) + 1;
+        if idx.(d) >= t.shape.(d) then begin
+          idx.(d) <- 0;
+          carry (d - 1)
+        end
+      end
+    in
+    carry (Array.length idx - 1)
+  in
+  for _ = 1 to n do
+    set dst (Array.to_list didx) (get src (Array.to_list sidx));
+    advance src sidx;
+    advance dst didx
+  done
+
+(* --- construction helpers -------------------------------------------- *)
+
+let of_float_array dtype shape a : t =
+  let t = create dtype shape in
+  (match t.buf with
+  | Fbuf b ->
+    if Array.length a <> Array.length b then bounds_error "of_float_array";
+    Array.blit a 0 b 0 (Array.length a)
+  | Ibuf b ->
+    if Array.length a <> Array.length b then bounds_error "of_float_array";
+    Array.iteri (fun i x -> b.(i) <- int_of_float x) a);
+  t
+
+let of_int_array dtype shape a : t =
+  let t = create dtype shape in
+  (match t.buf with
+  | Ibuf b ->
+    if Array.length a <> Array.length b then bounds_error "of_int_array";
+    Array.blit a 0 b 0 (Array.length a)
+  | Fbuf b ->
+    if Array.length a <> Array.length b then bounds_error "of_int_array";
+    Array.iteri (fun i x -> b.(i) <- float_of_int x) a);
+  t
+
+let init dtype shape f : t =
+  let t = create dtype shape in
+  let idx = Array.make (Array.length shape) 0 in
+  let n = num_elements t in
+  for _ = 1 to n do
+    set t (Array.to_list idx) (f (Array.to_list idx));
+    let rec carry d =
+      if d >= 0 then begin
+        idx.(d) <- idx.(d) + 1;
+        if idx.(d) >= shape.(d) then begin
+          idx.(d) <- 0;
+          carry (d - 1)
+        end
+      end
+    in
+    carry (Array.length shape - 1)
+  done;
+  t
+
+let to_float_list t =
+  let acc = ref [] in
+  let idx = Array.make (rank t) 0 in
+  for _ = 1 to num_elements t do
+    acc := to_float (get t (Array.to_list idx)) :: !acc;
+    let rec carry d =
+      if d >= 0 then begin
+        idx.(d) <- idx.(d) + 1;
+        if idx.(d) >= t.shape.(d) then begin
+          idx.(d) <- 0;
+          carry (d - 1)
+        end
+      end
+    in
+    carry (rank t - 1)
+  done;
+  List.rev !acc
+
+let equal ?(eps = 1e-9) a b =
+  a.shape = b.shape
+  &&
+  let fa = to_float_list a and fb = to_float_list b in
+  List.for_all2 (fun x y -> Float.abs (x -. y) <= eps *. (1. +. Float.abs y))
+    fa fb
+
+let pp ppf t =
+  Fmt.pf ppf "tensor<%s>[%s]"
+    (dtype_name t.dtype)
+    (String.concat "x" (Array.to_list (Array.map string_of_int t.shape)))

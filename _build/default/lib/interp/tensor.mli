@@ -1,0 +1,65 @@
+(** Runtime tensors for the SDFG interpreter: typed row-major views over
+    flat buffers, with shape, strides and an offset — so nested-SDFG
+    invocations and memlet-scoped bindings alias sub-regions of a parent
+    allocation without copying (paper §2.1: "memlets that are larger than
+    one element are pointers"). *)
+
+type buf = Fbuf of float array | Ibuf of int array
+
+type t = {
+  shape : int array;
+  strides : int array;  (** in elements *)
+  offset : int;         (** in elements *)
+  buf : buf;
+  dtype : Tasklang.Types.dtype;
+}
+
+exception Bounds of string
+
+val row_major_strides : int array -> int array
+
+val create : Tasklang.Types.dtype -> int array -> t
+(** Zero-initialized dense tensor. *)
+
+val scalar : Tasklang.Types.dtype -> t
+
+val shape : t -> int array
+val dtype : t -> Tasklang.Types.dtype
+val rank : t -> int
+val num_elements : t -> int
+val size_bytes : t -> int
+val is_contiguous : t -> bool
+
+val get : t -> int list -> Tasklang.Types.value
+(** @raise Bounds on rank mismatch or out-of-range indices. *)
+
+val set : t -> int list -> Tasklang.Types.value -> unit
+val get_linear : t -> int -> Tasklang.Types.value
+val set_linear : t -> int -> Tasklang.Types.value -> unit
+val get_scalar : t -> Tasklang.Types.value
+val set_scalar : t -> Tasklang.Types.value -> unit
+val fill : t -> Tasklang.Types.value -> unit
+
+val view : t -> starts:int array -> counts:int array -> steps:int array -> t
+(** A strided sub-view sharing the buffer. *)
+
+val view_subset : t -> Symbolic.Subset.concrete_range list -> t
+(** View through a concretized memlet subset. *)
+
+val squeeze : t -> t
+(** Drop unit dimensions (memlet squeezing: a [1,3] window binds to a
+    rank-1 connector of 3 elements). *)
+
+val copy_into : src:t -> dst:t -> unit
+(** Element-count-preserving copy; reshape-on-copy is allowed. *)
+
+val of_float_array : Tasklang.Types.dtype -> int array -> float array -> t
+val of_int_array : Tasklang.Types.dtype -> int array -> int array -> t
+val init :
+  Tasklang.Types.dtype -> int array -> (int list -> Tasklang.Types.value) -> t
+
+val to_float_list : t -> float list
+(** All elements in row-major logical order. *)
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/machine/cost.ml: Array Bexp Defs Float Fmt Hashtbl List Option Sdfg Sdfg_ir Spec State String Symbolic Tasklang

@@ -1,0 +1,925 @@
+(* Analytic performance model: executes a scheduled SDFG against a
+   machine description.
+
+   The model is driven by exactly the information the IR carries (the
+   paper's thesis): memlet volumes give data movement, propagated scope
+   memlets give unique working sets (so tiling/local storage change
+   modeled traffic the way they change measured traffic), schedules give
+   parallelism, WCR edges give atomic traffic, and unrolled innermost
+   maps give vector lanes.  Times come from a roofline over the target's
+   peak compute and bandwidth plus explicit overheads (kernel launches,
+   OpenMP forks, PCIe copies, FPGA initiation intervals). *)
+
+module Expr = Symbolic.Expr
+module Subset = Symbolic.Subset
+open Sdfg_ir
+open Defs
+
+type target = Tcpu | Tgpu | Tfpga
+
+exception Cost_error of string
+
+let cost_error fmt = Fmt.kstr (fun s -> raise (Cost_error s)) fmt
+
+(* Modeling knobs, used both for SDFG evaluation and for the baseline
+   compiler models in {!Baselines}. *)
+type options = {
+  force_sequential : bool;     (* drop all parallel schedules *)
+  parallel_efficiency : float; (* fraction of linear speedup achieved *)
+  vector_override : float option;  (* force a SIMD factor *)
+  assume_cache_optimal : bool; (* charge only compulsory traffic *)
+  copy_factor : float;         (* multiplier on host<->device copies *)
+  naive_fpga : bool;           (* unpipelined HLS behaviour *)
+  hints : (string * float) list;   (* tasklet-name -> avg inner trips *)
+  visit_hints : (string * float) list;  (* state-label -> visit count *)
+}
+
+let default_options =
+  { force_sequential = false;
+    parallel_efficiency = 0.92;
+    vector_override = None;
+    assume_cache_optimal = false;
+    copy_factor = 1.0;
+    naive_fpga = false;
+    hints = [];
+    visit_hints = [] }
+
+(* --- per-execution accounting ---------------------------------------------- *)
+
+type acct = {
+  flops : float;          (* floating-point operations *)
+  iops : float;           (* integer/address operations *)
+  bytes : float;          (* DRAM traffic, streaming *)
+  rand_bytes : float;     (* DRAM traffic, irregular/indirect *)
+  dyn_bytes : float;      (* dynamic-memlet traffic, invisible to scope
+                             boundary volumes and thus never collapsed by
+                             the cache model *)
+  atomics : float;        (* conflicting WCR commits *)
+  copies : float;         (* host<->device bytes *)
+  launches : float;       (* device kernel launches *)
+  vec_width : float;      (* innermost SIMD lanes exposed (1 = scalar) *)
+  fpga_pes : float;       (* replicated processing elements *)
+  fpga_ii : float;        (* initiation interval of the pipeline *)
+  iterations : float;     (* dynamic innermost iterations *)
+}
+
+let zero_acct =
+  { flops = 0.; iops = 0.; bytes = 0.; rand_bytes = 0.; dyn_bytes = 0.;
+    atomics = 0.;
+    copies = 0.; launches = 0.; vec_width = 1.; fpga_pes = 1.; fpga_ii = 1.;
+    iterations = 0. }
+
+let ( ++ ) a b =
+  { flops = a.flops +. b.flops;
+    iops = a.iops +. b.iops;
+    bytes = a.bytes +. b.bytes;
+    rand_bytes = a.rand_bytes +. b.rand_bytes;
+    dyn_bytes = a.dyn_bytes +. b.dyn_bytes;
+    atomics = a.atomics +. b.atomics;
+    copies = a.copies +. b.copies;
+    launches = a.launches +. b.launches;
+    vec_width = Float.max a.vec_width b.vec_width;
+    fpga_pes = Float.max a.fpga_pes b.fpga_pes;
+    fpga_ii = Float.max a.fpga_ii b.fpga_ii;
+    iterations = a.iterations +. b.iterations }
+
+let scale k a =
+  { a with
+    flops = k *. a.flops;
+    iops = k *. a.iops;
+    bytes = k *. a.bytes;
+    rand_bytes = k *. a.rand_bytes;
+    dyn_bytes = k *. a.dyn_bytes;
+    atomics = k *. a.atomics;
+    copies = k *. a.copies;
+    launches = k *. a.launches;
+    iterations = k *. a.iterations }
+
+(* --- tasklet operation counting -------------------------------------------- *)
+
+let rec expr_ops (e : Tasklang.Ast.expr) =
+  match e with
+  | Float_lit _ | Int_lit _ | Bool_lit _ | Var _ -> (0., 0.)
+  | Index (_, idxs) ->
+    List.fold_left
+      (fun (f, i) e ->
+        let f', i' = expr_ops e in
+        (f +. f', i +. i' +. 1.))
+      (0., 0.) idxs
+  | Unop (op, a) ->
+    let f, i = expr_ops a in
+    (match op with
+    | Neg | Abs -> (f +. 1., i)
+    | Sqrt | Exp | Log | Sin | Cos -> (f +. 10., i)  (* SFU-class op *)
+    | Floor -> (f +. 1., i)
+    | Not -> (f, i +. 1.))
+  | Binop (op, a, b) ->
+    let fa, ia = expr_ops a and fb, ib = expr_ops b in
+    let f = fa +. fb and i = ia +. ib in
+    (match op with
+    | Add | Sub | Mul -> (f +. 1., i)
+    | Div -> (f +. 4., i)
+    | Pow -> (f +. 10., i)
+    | Mod -> (f, i +. 4.)
+    | Min | Max -> (f +. 1., i)
+    | Lt | Le | Gt | Ge | Eq | Ne | And | Or -> (f, i +. 1.))
+  | Cond (c, t, fl) ->
+    let fc, ic = expr_ops c in
+    let ft, it = expr_ops t in
+    let ff, if_ = expr_ops fl in
+    (fc +. ((ft +. ff) /. 2.), ic +. ((it +. if_) /. 2.) +. 1.)
+
+let rec stmt_ops ?(resolve = fun _ -> None) ~hint (s : Tasklang.Ast.stmt) =
+  let stmt_ops = stmt_ops ~resolve in
+  match s with
+  | Assign (lhs, e) ->
+    let f, i = expr_ops e in
+    let f', i' =
+      match lhs with
+      | Lvar _ -> (0., 0.)
+      | Lindex (_, idxs) ->
+        List.fold_left
+          (fun (f, i) e ->
+            let f', i' = expr_ops e in
+            (f +. f', i +. i' +. 1.))
+          (0., 0.) idxs
+    in
+    (f +. f', i +. i')
+  | If (c, t, fl) ->
+    let fc, ic = expr_ops c in
+    let sum branch =
+      List.fold_left
+        (fun (f, i) s ->
+          let f', i' = stmt_ops ~hint s in
+          (f +. f', i +. i'))
+        (0., 0.) branch
+    in
+    let ft, it = sum t and ff, if_ = sum fl in
+    (fc +. ((ft +. ff) /. 2.), ic +. ((it +. if_) /. 2.) +. 1.)
+  | For (_, lo, hi, body) ->
+    let trips =
+      (* constant and symbolic bounds fold; data-dependent bounds use the
+         caller's hint *)
+      let const e =
+        match e with
+        | Tasklang.Ast.Int_lit n -> Some n
+        | Tasklang.Ast.Var v -> resolve v
+        | _ -> None
+      in
+      match const lo, const hi with
+      | Some l, Some h -> float_of_int (max 0 (h - l))
+      | _ -> hint
+    in
+    let fb, ib =
+      List.fold_left
+        (fun (f, i) s ->
+          let f', i' = stmt_ops ~hint s in
+          (f +. f', i +. i'))
+        (0., 0.) body
+    in
+    (trips *. fb, trips *. (ib +. 1.))
+
+(* Connectors accessed through data-dependent (indirect) indices, e.g.
+   x[cols[j]]: a small taint analysis over the tasklet body.  Indirect
+   accesses pay the random-access bandwidth penalty; all other dynamic
+   accesses (sequential scans like vals[j] inside a For) stream. *)
+let indirect_connectors (t : tasklet) : string list =
+  match t.t_code with
+  | External _ -> []
+  | Code code ->
+    let tainted = Hashtbl.create 8 in
+    let result = ref [] in
+    let rec expr_tainted (e : Tasklang.Ast.expr) =
+      match e with
+      | Float_lit _ | Int_lit _ | Bool_lit _ -> false
+      | Var v -> Hashtbl.mem tainted v
+      | Index (_, _) -> true  (* reading through a connector *)
+      | Unop (_, a) -> expr_tainted a
+      | Binop (_, a, b) -> expr_tainted a || expr_tainted b
+      | Cond (c, a, b) -> expr_tainted c || expr_tainted a || expr_tainted b
+    in
+    let rec collect_expr (e : Tasklang.Ast.expr) =
+      match e with
+      | Float_lit _ | Int_lit _ | Bool_lit _ | Var _ -> ()
+      | Index (c, idxs) ->
+        if List.exists expr_tainted idxs then
+          if not (List.mem c !result) then result := c :: !result;
+        List.iter collect_expr idxs
+      | Unop (_, a) -> collect_expr a
+      | Binop (_, a, b) -> collect_expr a; collect_expr b
+      | Cond (c, a, b) -> collect_expr c; collect_expr a; collect_expr b
+    in
+    let rec scan_stmt (s : Tasklang.Ast.stmt) =
+      match s with
+      | Assign (lhs, e) ->
+        (match lhs with
+        | Lvar x -> if expr_tainted e then Hashtbl.replace tainted x ()
+        | Lindex (c, idxs) ->
+          if List.exists expr_tainted idxs then
+            if not (List.mem c !result) then result := c :: !result;
+          List.iter collect_expr idxs);
+        collect_expr e
+      | If (c, a, b) ->
+        collect_expr c;
+        List.iter scan_stmt a;
+        List.iter scan_stmt b
+      | For (_, lo, hi, body) ->
+        collect_expr lo;
+        collect_expr hi;
+        List.iter scan_stmt body
+    in
+    (* two passes reach a fixpoint for straight-line taint *)
+    List.iter scan_stmt code;
+    List.iter scan_stmt code;
+    !result
+
+let tasklet_ops ?resolve ~hint (t : tasklet) =
+  match t.t_code with
+  | Code code ->
+    List.fold_left
+      (fun (f, i) s ->
+        let f', i' = stmt_ops ?resolve ~hint s in
+        (f +. f', i +. i'))
+      (0., 0.) code
+  | External _ -> (hint, hint)
+
+(* --- memlet volumes ---------------------------------------------------------- *)
+
+let eval_env symbols params name =
+  match List.assoc_opt name params with
+  | Some v -> Some v
+  | None -> List.assoc_opt name symbols
+
+(* Bytes moved by a memlet, under an environment binding all parameters.
+   Dynamic memlets report via the [dyn] branch. *)
+let memlet_bytes g ~symbols ~params (m : memlet) =
+  let d = Sdfg.desc g m.m_data in
+  let elem = float_of_int (Tasklang.Types.dtype_size_bytes (ddesc_dtype d)) in
+  if m.m_dynamic then `Dyn elem
+  else
+    let v =
+      try float_of_int (Expr.eval (eval_env symbols params) m.m_accesses)
+      with Expr.Unbound_symbol _ -> (
+        try
+          float_of_int
+            (Expr.eval (eval_env symbols params)
+               (Subset.volume m.m_subset))
+        with Expr.Unbound_symbol _ -> 1.)
+    in
+    `Vol (Float.max 0. v *. elem)
+
+(* --- scope analysis ------------------------------------------------------------ *)
+
+type ctx = {
+  g : Sdfg.t;
+  opts : options;
+  symbols : (string * int) list;
+  cache_bytes : float;
+  target : target;
+}
+
+let hint_for ctx name =
+  Option.value ~default:1.0 (List.assoc_opt name ctx.opts.hints)
+
+let eval_extent ctx params e =
+  try float_of_int (Expr.eval (eval_env ctx.symbols params) e)
+  with Expr.Unbound_symbol s ->
+    cost_error "cost model: unbound symbol %S in extent %s" s
+      (Expr.to_string e)
+
+(* Representative binding for a parameter: its range start. *)
+let bind_params ctx params (info : map_info) =
+  params
+  @ List.map2
+      (fun p (r : Subset.range) ->
+        ( p,
+          try Expr.eval (eval_env ctx.symbols params) r.start
+          with Expr.Unbound_symbol _ -> 0 ))
+      info.mp_params info.mp_ranges
+
+(* Map parameters of a state with the free symbols of their range
+   expressions, for conflict derivation: an inner parameter i whose range
+   depends on a tile parameter tile_i takes distinct values for distinct
+   tile_i, so a subset containing i is also disambiguated by tile_i. *)
+let param_deps st : (string * string list) list =
+  State.nodes st
+  |> List.concat_map (fun (_, n) ->
+         match n with
+         | Map_entry m ->
+           List.map2
+             (fun p (r : Subset.range) ->
+               (p, Expr.free_syms r.start @ Expr.free_syms r.stop))
+             m.mp_params m.mp_ranges
+         | _ -> [])
+
+(* [covers deps p syms]: does some symbol in [syms] (transitively) derive
+   from parameter [p]? *)
+let covers deps p syms =
+  let rec go depth qs =
+    depth < 5
+    && List.exists
+         (fun q ->
+           String.equal q p
+           ||
+           match List.assoc_opt q deps with
+           | Some ds -> go (depth + 1) ds
+           | None -> false)
+         qs
+  in
+  go 0 syms
+
+let is_parallel_schedule = function
+  | Cpu_multicore | Gpu_device | Gpu_threadblock | Mpi | Fpga_unrolled ->
+    true
+  | Sequential | Fpga_device -> false
+
+(* Analyze one execution of a node at its scope level; returns the acct
+   for the node including everything nested below it.  [par_params] are
+   the map parameters whose iterations actually run concurrently: for
+   CPU-multicore maps only the outermost parameter (OpenMP parallel-for
+   without collapse, as the code generator emits), for GPU/unrolled-FPGA
+   maps all parameters. *)
+let rec node_acct ctx st ~params ~par_params nid : acct =
+  match State.node st nid with
+  | Access d ->
+    (* copy edges *)
+    List.fold_left
+      (fun acc (e : edge) ->
+        match State.node st e.e_dst, e.e_memlet with
+        | Access d', Some m ->
+          let bytes =
+            match memlet_bytes ctx.g ~symbols:ctx.symbols ~params m with
+            | `Vol b -> b
+            | `Dyn elem -> elem *. hint_for ctx ("copy_" ^ d)
+          in
+          ignore d';
+          let cross_device =
+            let sp x = ddesc_storage (Sdfg.desc ctx.g x) in
+            match sp d, sp d' with
+            | (Gpu_global | Fpga_global), (Gpu_global | Fpga_global) ->
+              false
+            | (Gpu_global | Fpga_global), _ | _, (Gpu_global | Fpga_global)
+              ->
+              true
+            | _ -> false
+          in
+          if cross_device then
+            { zero_acct with copies = bytes *. ctx.opts.copy_factor }
+          else { zero_acct with bytes = 2. *. bytes }
+        | _ -> acc |> fun _ -> zero_acct)
+      zero_acct (State.out_edges st nid)
+  | Tasklet t ->
+    let hint = hint_for ctx t.t_name in
+    let resolve name = eval_env ctx.symbols params name in
+    let f, i = tasklet_ops ~resolve ~hint t in
+    let edges = State.in_edges st nid @ State.out_edges st nid in
+    let indirect = indirect_connectors t in
+    let conn_of (e : edge) =
+      match e.e_dst_conn, e.e_src_conn with
+      | Some c, _ when e.e_dst = nid -> Some c
+      | _, Some c when e.e_src = nid -> Some c
+      | _ -> None
+    in
+    (* containers that live entirely in registers/L1 cost no DRAM traffic *)
+    let cache_resident m =
+      let d = Sdfg.desc ctx.g m.m_data in
+      ddesc_transient d
+      &&
+      try
+        let sz =
+          Expr.eval (eval_env ctx.symbols params)
+            (Expr.product (ddesc_shape d))
+        in
+        float_of_int (sz * Tasklang.Types.dtype_size_bytes (ddesc_dtype d))
+        <= 4096.
+      with Expr.Unbound_symbol _ -> false
+    in
+    (* Spatial locality: the per-iteration cost of an access depends on
+       how its address moves as the innermost map parameter advances.
+       stride 0 stays in a register, small strides stream (one new element
+       per iteration, neighbouring window reads hit cache), large strides
+       touch a fresh cache line every iteration. *)
+    let innermost = match List.rev params with (p, v) :: _ -> Some (p, v) | [] -> None in
+    let elem_stride (m : memlet) =
+      match innermost with
+      | None -> None
+      | Some (p, v) ->
+        let d = Sdfg.desc ctx.g m.m_data in
+        let shape = ddesc_shape d in
+        let strides =
+          let rec go = function
+            | [] -> []
+            | [ _ ] -> [ Expr.one ]
+            | _ :: rest ->
+              let tail = go rest in
+              Expr.mul (List.hd tail) (List.hd rest) :: tail
+          in
+          go shape
+        in
+        if shape = [] then Some 0
+        else
+          let lin env =
+            List.fold_left2
+              (fun acc st (r : Subset.range) ->
+                acc + (Expr.eval env st * Expr.eval env r.start))
+              0 strides m.m_subset
+          in
+          let env_at x name =
+            if String.equal name p then Some x
+            else eval_env ctx.symbols params name
+          in
+          (try Some (abs (lin (env_at (v + 1)) - lin (env_at v)))
+           with Expr.Unbound_symbol _ | Invalid_argument _ -> None)
+    in
+    (* streaming reads of the same container share cache lines: count the
+       container once *)
+    let stream_by_container : (string, float) Hashtbl.t = Hashtbl.create 4 in
+    let bytes0, rand, dynb =
+      List.fold_left
+        (fun (b, r, dn) (e : edge) ->
+          match e.e_memlet with
+          | None -> (b, r, dn)
+          | Some m when cache_resident m -> (b, r, dn)
+          | Some m -> (
+            let is_indirect =
+              match conn_of e with
+              | Some c -> List.mem c indirect
+              | None -> false
+            in
+            let is_stream = ddesc_is_stream (Sdfg.desc ctx.g m.m_data) in
+            match memlet_bytes ctx.g ~symbols:ctx.symbols ~params m with
+            | `Vol v -> (
+              if is_indirect then (b, r +. v, dn)
+              else
+                let d = Sdfg.desc ctx.g m.m_data in
+                let esz =
+                  float_of_int
+                    (Tasklang.Types.dtype_size_bytes (ddesc_dtype d))
+                in
+                match elem_stride m with
+                | Some 0 -> (b, r, dn)  (* register-resident *)
+                | Some s when s <= 8 ->
+                  (* streaming: one new element per iteration *)
+                  let contrib = Float.min v (float_of_int s *. esz) in
+                  let cur =
+                    Option.value ~default:0.
+                      (Hashtbl.find_opt stream_by_container m.m_data)
+                  in
+                  Hashtbl.replace stream_by_container m.m_data
+                    (Float.max cur contrib);
+                  (b, r, dn)
+                | Some _ ->
+                  (* large stride: a fresh cache line per iteration *)
+                  (b +. Float.max v 64., r, dn)
+                | None -> (b +. v, r, dn))
+            | `Dyn elem ->
+              if is_indirect then (b, r +. (elem *. hint), dn)
+              else if is_stream then (b, r, dn +. elem)
+              else (b, r, dn +. (elem *. hint))))
+        (0., 0., 0.) edges
+    in
+    let bytes =
+      Hashtbl.fold (fun _ v acc -> acc +. v) stream_by_container bytes0
+    in
+    (* a floating WCR commit is itself one flop (the combine) *)
+    let wcr_flops =
+      List.fold_left
+        (fun a (e : edge) ->
+          match e.e_memlet with
+          | Some m when m.m_wcr <> None -> a +. 1.
+          | _ -> a)
+        0. (State.out_edges st nid)
+    in
+    let atomics =
+      if ctx.opts.force_sequential || par_params = [] then 0.
+      else
+        List.fold_left
+          (fun a (e : edge) ->
+            match e.e_memlet with
+            | Some m when m.m_wcr <> None ->
+              (* Conflicting only if a concurrently-executing parameter is
+                 missing from the subset (same-location commits from
+                 different workers).  Writes into transients are
+                 privatized (AccumulateTransient/LocalStorage) and free. *)
+              if ddesc_transient (Sdfg.desc ctx.g m.m_data) then a
+              else
+                let syms = Subset.free_syms m.m_subset in
+                let deps = param_deps st in
+                let missing =
+                  List.exists (fun p -> not (covers deps p syms)) par_params
+                in
+                if missing then a +. Float.max 1. hint else a
+            | _ -> a)
+          0. (State.out_edges st nid)
+    in
+    { zero_acct with
+      flops = f +. wcr_flops; iops = i; bytes; rand_bytes = rand;
+      dyn_bytes = dynb; atomics; iterations = 1. }
+  | Reduce _ -> (
+    match State.in_edges st nid, State.out_edges st nid with
+    | [ e_in ], [ e_out ] ->
+      let vol m =
+        match memlet_bytes ctx.g ~symbols:ctx.symbols ~params m with
+        | `Vol b -> b
+        | `Dyn e -> e
+      in
+      let b_in = vol (Option.get e_in.e_memlet) in
+      let b_out = vol (Option.get e_out.e_memlet) in
+      { zero_acct with
+        flops = b_in /. 8.;
+        bytes = b_in +. b_out;
+        iterations = b_in /. 8. }
+    | _ -> zero_acct)
+  | Map_entry info -> scope_acct ctx st ~params ~par_params nid info
+  | Consume_entry info ->
+    (* dynamic stream processing: trips from the hint *)
+    let trips = hint_for ctx ("consume_" ^ info.cs_stream) in
+    let parents = State.scope_parents st in
+    let body =
+      List.filter
+        (fun n -> Hashtbl.find parents n = Some nid)
+        (State.topological_order st)
+    in
+    let inner =
+      List.fold_left
+        (fun acc n ->
+          acc
+          ++ node_acct ctx st ~params
+               ~par_params:(info.cs_pe_param :: par_params) n)
+        zero_acct body
+    in
+    scale trips inner
+  | Map_exit | Consume_exit -> zero_acct
+  | Nested_sdfg nest ->
+    let inner_symbols =
+      List.map
+        (fun (s, e) ->
+          (s, Expr.eval (eval_env ctx.symbols params) e))
+        nest.n_symbol_map
+      @ ctx.symbols
+    in
+    let inner_ctx = { ctx with g = nest.n_sdfg; symbols = inner_symbols } in
+    sdfg_acct inner_ctx
+
+and scope_acct ctx st ~params ~par_params entry (info : map_info) : acct =
+  let trips =
+    List.fold_left
+      (fun acc (r : Subset.range) ->
+        let n =
+          Float.floor
+            (eval_extent ctx params (Expr.sub r.stop r.start)
+             /. Float.max 1. (eval_extent ctx params r.stride))
+          +. 1.
+        in
+        acc *. Float.max 0. n)
+      1. info.mp_ranges
+  in
+  let params' = bind_params ctx params info in
+  let par_new =
+    if ctx.opts.force_sequential then []
+    else
+      match info.mp_schedule with
+      | Cpu_multicore | Mpi -> [ List.hd info.mp_params ]
+      | Gpu_device | Gpu_threadblock | Fpga_unrolled -> info.mp_params
+      | Sequential | Fpga_device -> []
+  in
+  let parents = State.scope_parents st in
+  let body =
+    List.filter
+      (fun n -> Hashtbl.find parents n = Some entry)
+      (State.topological_order st)
+  in
+  let per_iter =
+    List.fold_left
+      (fun acc n ->
+        acc
+        ++ node_acct ctx st ~params:params'
+             ~par_params:(par_new @ par_params)
+             n)
+      zero_acct body
+  in
+  (* unrolled innermost map over unit-stride data = vector lanes *)
+  let vec =
+    if info.mp_unroll then Float.max per_iter.vec_width trips
+    else per_iter.vec_width
+  in
+  let pes =
+    if info.mp_schedule = Fpga_unrolled then
+      Float.max per_iter.fpga_pes trips
+    else per_iter.fpga_pes
+  in
+  let total = scale trips per_iter in
+  (* cache model: if one iteration's data fits in cache, unique traffic
+     at this scope's boundary replaces the re-read traffic *)
+  let boundary =
+    (* unique data crossing the scope boundary: the *subset volume* of the
+       propagated memlets, not their access count *)
+    let edges =
+      State.in_edges st entry @ State.out_edges st (State.exit_of st entry)
+    in
+    List.fold_left
+      (fun b (e : edge) ->
+        match e.e_memlet with
+        | None -> b
+        | Some m ->
+          if m.m_dynamic then b
+          else
+            let d = Sdfg.desc ctx.g m.m_data in
+            let elem =
+              float_of_int
+                (Tasklang.Types.dtype_size_bytes (ddesc_dtype d))
+            in
+            let v =
+              try
+                float_of_int
+                  (Expr.eval (eval_env ctx.symbols params)
+                     (Subset.volume m.m_subset))
+              with Expr.Unbound_symbol _ -> 0.
+            in
+            b +. (Float.max 0. v *. elem))
+      0. edges
+  in
+  let bytes =
+    (* the scope's unique data fits in cache: every byte is loaded once,
+       so traffic collapses to the boundary volume (this is what makes
+       MapTiling and LocalStorage pay off in the model exactly as on
+       hardware) *)
+    if ctx.opts.assume_cache_optimal then Float.min boundary total.bytes
+    else if boundary > 0. && boundary <= ctx.cache_bytes then
+      Float.min boundary total.bytes
+    else total.bytes
+  in
+  { total with bytes; vec_width = vec; fpga_pes = pes }
+
+(* --- states and the state machine ---------------------------------------------- *)
+
+and state_acct ctx (st : state) : acct =
+  let parents = State.scope_parents st in
+  let top =
+    List.filter
+      (fun n -> Hashtbl.find parents n = None)
+      (State.topological_order st)
+  in
+  let acc =
+    List.fold_left
+      (fun acc n -> acc ++ node_acct ctx st ~params:[] ~par_params:[] n)
+      zero_acct top
+  in
+  (* each top-level parallel map costs a kernel launch (GPU) or an OpenMP
+     fork (CPU) per state execution *)
+  let launches =
+    List.fold_left
+      (fun l n ->
+        match State.node st n with
+        | Map_entry m when is_parallel_schedule m.mp_schedule -> l +. 1.
+        | _ -> l)
+      0. top
+  in
+  { acc with launches = acc.launches +. launches }
+
+(* Walk the transition system on symbols alone, recording each state's
+   visits together with the inter-state symbol environment at each visit —
+   triangular loop nests (cholesky, lu, ...) need the loop symbol bound to
+   evaluate their map extents.  Data-dependent conditions fall back to the
+   caller's visit hints. *)
+and state_visits ctx : (int * (string * int) list list) list =
+  let g = ctx.g in
+  let visits : (int, (string * int) list list) Hashtbl.t = Hashtbl.create 8 in
+  let record sid env =
+    Hashtbl.replace visits sid
+      (env :: Option.value ~default:[] (Hashtbl.find_opt visits sid))
+  in
+  let sym_table = Hashtbl.create 8 in
+  List.iter (fun (s, v) -> Hashtbl.replace sym_table s v) ctx.symbols;
+  let lookup name = Hashtbl.find_opt sym_table name in
+  let snapshot () =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) sym_table []
+  in
+  let exception Data_dependent in
+  let ok =
+    try
+      let current = ref (State.id (Sdfg.start_state g)) in
+      let steps = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        incr steps;
+        if !steps > 200_000 then raise Data_dependent;
+        record !current (snapshot ());
+        let outgoing = Sdfg.out_transitions g !current in
+        let taken =
+          List.find_opt
+            (fun (t : istate_edge) ->
+              try Bexp.eval lookup t.is_cond
+              with Expr.Unbound_symbol _ -> raise Data_dependent)
+            outgoing
+        in
+        match taken with
+        | None -> continue_ := false
+        | Some t ->
+          List.iter
+            (fun (s, e) ->
+              Hashtbl.replace sym_table s (Expr.eval lookup e))
+            t.is_assign;
+          current := t.is_dst
+      done;
+      true
+    with Data_dependent | Expr.Unbound_symbol _ -> false
+  in
+  if ok then Hashtbl.fold (fun sid envs acc -> (sid, envs) :: acc) visits []
+  else
+    (* hints by state label; default one visit per state *)
+    Sdfg.states g
+    |> List.map (fun st ->
+           let n =
+             Option.value ~default:1.
+               (List.assoc_opt (State.label st) ctx.opts.visit_hints)
+           in
+           ( State.id st,
+             List.init (max 1 (int_of_float n)) (fun _ -> ctx.symbols) ))
+
+and sdfg_acct ctx : acct =
+  let visits = state_visits ctx in
+  List.fold_left
+    (fun acc (sid, envs) ->
+      let st = Sdfg.state ctx.g sid in
+      let n = List.length envs in
+      (* evaluate the state under up to 32 sampled symbol environments and
+         scale — exact for affine extents, accurate for triangular ones *)
+      let samples =
+        if n <= 32 then envs
+        else begin
+          let arr = Array.of_list envs in
+          List.init 32 (fun i -> arr.(i * n / 32))
+        end
+      in
+      let per =
+        List.fold_left
+          (fun a env -> a ++ state_acct { ctx with symbols = env } st)
+          zero_acct samples
+      in
+      acc ++ scale (float_of_int n /. float_of_int (List.length samples)) per)
+    zero_acct visits
+
+(* --- time conversion -------------------------------------------------------------- *)
+
+type report = {
+  r_time_s : float;
+  r_compute_s : float;
+  r_memory_s : float;
+  r_atomic_s : float;
+  r_copy_s : float;
+  r_overhead_s : float;
+  r_flops : float;
+  r_bytes : float;
+  r_acct : acct;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "time=%.6gs (compute %.3g, memory %.3g, atomics %.3g, copies %.3g, \
+     overhead %.3g) flops=%.4g bytes=%.4g"
+    r.r_time_s r.r_compute_s r.r_memory_s r.r_atomic_s r.r_copy_s
+    r.r_overhead_s r.r_flops r.r_bytes
+
+(* Degree of parallelism available to the top-level scopes of the SDFG on
+   the CPU: max trips over parallel-scheduled top maps. *)
+let cpu_parallel_degree ctx =
+  let g = ctx.g in
+  Sdfg.states g
+  |> List.concat_map (fun st ->
+         let parents = State.scope_parents st in
+         State.map_entries st
+         |> List.filter_map (fun (nid, m) ->
+                if
+                  Hashtbl.find parents nid = None
+                  && is_parallel_schedule m.mp_schedule
+                  && not ctx.opts.force_sequential
+                then
+                  Some
+                    (try
+                       List.fold_left
+                         (fun acc (r : Subset.range) ->
+                           acc
+                           *. (Float.floor
+                                 (eval_extent ctx []
+                                    (Expr.sub r.stop r.start)
+                                  /. Float.max 1.
+                                       (eval_extent ctx [] r.stride))
+                               +. 1.))
+                         1. m.mp_ranges
+                     with Cost_error _ ->
+                       (* extent depends on a loop symbol; assume the
+                          average trip count saturates the cores *)
+                       1e9)
+                else None))
+  |> List.fold_left Float.max 1.
+
+let cpu_time (spec : Spec.cpu) ctx (a : acct) : report =
+  let degree =
+    Float.min (float_of_int spec.c_cores) (cpu_parallel_degree ctx)
+  in
+  let degree = Float.max 1. (degree *. ctx.opts.parallel_efficiency) in
+  let vec =
+    match ctx.opts.vector_override with
+    | Some v -> v
+    | None -> Float.min a.vec_width (float_of_int spec.c_vector_width_f64)
+  in
+  let core_flops = Spec.cpu_core_scalar_flops spec in
+  let compute =
+    (a.flops /. (core_flops *. degree *. Float.max 1. vec))
+    +. (a.iops /. (2. *. core_flops *. degree))
+  in
+  let bw =
+    (* a single core cannot saturate the memory controllers *)
+    Float.min (spec.c_dram_gbs *. 1e9)
+      (18e9 *. Float.max 1. degree)
+  in
+  let memory =
+    ((a.bytes +. a.dyn_bytes) /. bw)
+    +. (a.rand_bytes /. (bw *. spec.c_random_bw_frac))
+  in
+  let atomic = a.atomics *. spec.c_atomic_ns *. 1e-9 in
+  let overhead =
+    (a.launches *. spec.c_fork_us *. 1e-6) +. 1e-6
+  in
+  let time = Float.max compute memory +. atomic +. overhead in
+  { r_time_s = time; r_compute_s = compute; r_memory_s = memory;
+    r_atomic_s = atomic; r_copy_s = 0.; r_overhead_s = overhead;
+    r_flops = a.flops;
+    r_bytes = a.bytes +. a.dyn_bytes +. a.rand_bytes;
+    r_acct = a }
+
+let gpu_time (spec : Spec.gpu) _ctx (a : acct) : report =
+  let occupancy =
+    let max_threads = float_of_int (spec.g_sms * spec.g_threads_per_sm) in
+    let per_launch = a.iterations /. Float.max 1. a.launches in
+    Float.min 1. (Float.max (per_launch /. 64.) 1. /. max_threads)
+    |> Float.max 0.02
+  in
+  let peak = spec.g_fp64_tflops *. 1e12 *. occupancy in
+  let compute = (a.flops /. peak) +. (a.iops /. (2. *. peak)) in
+  let memory =
+    ((a.bytes +. a.dyn_bytes) /. (spec.g_hbm_gbs *. 1e9))
+    +. (a.rand_bytes /. (spec.g_hbm_gbs *. 1e9 *. spec.g_random_bw_frac))
+  in
+  let atomic = a.atomics *. spec.g_atomic_ns *. 1e-9 in
+  let copies =
+    a.copies /. (spec.g_pcie_gbs *. 1e9)
+  in
+  let overhead = a.launches *. spec.g_launch_us *. 1e-6 in
+  let time = Float.max compute memory +. atomic +. copies +. overhead in
+  { r_time_s = time; r_compute_s = compute; r_memory_s = memory;
+    r_atomic_s = atomic; r_copy_s = copies; r_overhead_s = overhead;
+    r_flops = a.flops;
+    r_bytes = a.bytes +. a.dyn_bytes +. a.rand_bytes;
+    r_acct = a }
+
+let fpga_time (spec : Spec.fpga) ctx (a : acct) : report =
+  let freq = spec.f_freq_mhz *. 1e6 *. spec.f_route_freq_penalty in
+  let ii =
+    if ctx.opts.naive_fpga then
+      spec.f_naive_ii
+      *. Float.max 1. ((a.flops +. a.iops) /. Float.max 1. a.iterations)
+    else a.fpga_ii
+  in
+  let pes =
+    if ctx.opts.naive_fpga then 1.
+    else
+      (* PE replication bounded by DSP budget: ~8 DSPs per f64 FMA *)
+      Float.min a.fpga_pes (float_of_int spec.f_dsp /. 8.)
+  in
+  let lanes = if ctx.opts.naive_fpga then 1. else Float.max 1. a.vec_width in
+  let cycles = a.iterations *. ii /. (pes *. lanes) in
+  let compute = cycles /. freq in
+  let memory =
+    (((a.bytes +. a.dyn_bytes) /. (spec.f_ddr_gbs *. 1e9))
+     +. (a.rand_bytes /. (spec.f_ddr_gbs *. 1e9 *. 0.1)))
+    *. if ctx.opts.naive_fpga then 8. else 1.
+  in
+  let copies = a.copies /. (spec.f_pcie_gbs *. 1e9) in
+  let time = Float.max compute memory +. copies +. 1e-5 in
+  { r_time_s = time; r_compute_s = compute; r_memory_s = memory;
+    r_atomic_s = 0.; r_copy_s = copies; r_overhead_s = 1e-5;
+    r_flops = a.flops;
+    r_bytes = a.bytes +. a.dyn_bytes +. a.rand_bytes;
+    r_acct = a }
+
+(* --- entry point -------------------------------------------------------------------- *)
+
+let estimate ?(opts = default_options) ~(spec : Spec.t) ~(target : target)
+    ~symbols (g : Sdfg.t) : report =
+  let cache_bytes =
+    match target with
+    | Tcpu ->
+      (* fair share of the LLC per core plus the private L2 *)
+      spec.cpu.c_l2_bytes
+      +. (spec.cpu.c_l3_bytes /. float_of_int spec.cpu.c_cores)
+    | Tgpu -> 131072.0 (* shared memory + L1 + L2 share per SM *)
+    | Tfpga -> spec.fpga.f_bram_bytes
+  in
+  let ctx = { g; opts; symbols; cache_bytes; target } in
+  let a = sdfg_acct ctx in
+  match target with
+  | Tcpu -> cpu_time spec.cpu ctx a
+  | Tgpu -> gpu_time spec.gpu ctx a
+  | Tfpga -> fpga_time spec.fpga ctx a

@@ -1,0 +1,94 @@
+(** Analytic performance model: evaluates a scheduled SDFG against a
+    machine description ({!Spec}).
+
+    The model is driven by exactly the information the IR carries — the
+    paper's thesis that data movement is the first-order concern:
+
+    - memlet volumes give data movement; propagated scope memlets give
+      unique working sets, so MapTiling and LocalStorage change modeled
+      traffic the way they change measured traffic;
+    - per-edge stride analysis w.r.t. the innermost map parameter
+      classifies accesses as register-resident, streaming, or
+      line-granular; a taint analysis of tasklet bodies classifies
+      indirect accesses (x[cols[j]]) as random-bandwidth traffic;
+    - schedules give parallelism (OpenMP parallelizes the outermost map
+      parameter; GPU maps parallelize all of them; FPGA-unrolled maps
+      replicate processing elements);
+    - WCR edges to non-transient containers whose concurrent parameters
+      do not disambiguate the written location pay atomic costs —
+      privatizing transformations (AccumulateTransient, ReducePeeling)
+      therefore remove them;
+    - state-machine visits are counted by walking the transition system
+      on the inter-state symbols, evaluating each state under sampled
+      symbol environments (exact for affine, accurate for triangular
+      loop nests); data-dependent conditions fall back to visit hints.
+
+    Time is a roofline over the target's peak compute and bandwidth plus
+    explicit overheads: OpenMP forks, kernel launches, PCIe copies, FPGA
+    initiation intervals. *)
+
+type target = Tcpu | Tgpu | Tfpga
+
+exception Cost_error of string
+
+(** Modeling knobs; the baseline compiler models in {!Baselines} are
+    configurations of these options applied to the same workload SDFG. *)
+type options = {
+  force_sequential : bool;      (** drop all parallel schedules *)
+  parallel_efficiency : float;  (** fraction of linear speedup achieved *)
+  vector_override : float option;  (** force a SIMD factor *)
+  assume_cache_optimal : bool;  (** charge only compulsory traffic *)
+  copy_factor : float;          (** multiplier on host<->device copies *)
+  naive_fpga : bool;            (** unpipelined HLS behaviour *)
+  hints : (string * float) list;
+      (** tasklet-name -> average data-dependent trip count *)
+  visit_hints : (string * float) list;
+      (** state-label -> visit count, for data-dependent loops *)
+}
+
+val default_options : options
+
+(** Per-execution accounting, before conversion to time. *)
+type acct = {
+  flops : float;
+  iops : float;
+  bytes : float;       (** streaming DRAM traffic *)
+  rand_bytes : float;  (** irregular/indirect DRAM traffic *)
+  dyn_bytes : float;   (** dynamic-memlet traffic (never cache-collapsed) *)
+  atomics : float;
+  copies : float;      (** host<->device bytes *)
+  launches : float;    (** kernel launches / parallel-region entries *)
+  vec_width : float;
+  fpga_pes : float;
+  fpga_ii : float;
+  iterations : float;
+}
+
+type report = {
+  r_time_s : float;
+  r_compute_s : float;
+  r_memory_s : float;
+  r_atomic_s : float;
+  r_copy_s : float;
+  r_overhead_s : float;
+  r_flops : float;
+  r_bytes : float;
+  r_acct : acct;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val indirect_connectors : Sdfg_ir.Defs.tasklet -> string list
+(** Connectors accessed through data-dependent indices (taint analysis of
+    the tasklet body) — exposed for tests and diagnostics. *)
+
+val estimate :
+  ?opts:options ->
+  spec:Spec.t ->
+  target:target ->
+  symbols:(string * int) list ->
+  Sdfg_ir.Sdfg.t ->
+  report
+(** Evaluate an SDFG at concrete sizes on the given machine.
+    @raise Cost_error when a map extent cannot be evaluated (missing
+    symbol or hint). *)

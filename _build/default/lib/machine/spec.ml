@@ -1,0 +1,108 @@
+(* Machine descriptions for the performance model.
+
+   These stand in for the paper's testbed (§6, Experimental Setup): a
+   12-core Xeon E5-2650 v4, a Tesla P100, and a Xilinx XCVU9P (VCU1525
+   board).  Numbers are public datasheet values; the simulator charges
+   time against them from the data movement the memlets describe. *)
+
+type cpu = {
+  c_name : string;
+  c_cores : int;
+  c_freq_ghz : float;
+  c_fma_per_cycle : float;       (* scalar f64 FMA issue rate per core *)
+  c_vector_width_f64 : int;      (* AVX2: 4 doubles *)
+  c_dram_gbs : float;            (* sustained stream bandwidth *)
+  c_l2_bytes : float;            (* per-core private cache *)
+  c_l3_bytes : float;            (* shared LLC *)
+  c_atomic_ns : float;           (* contended atomic RMW *)
+  c_fork_us : float;             (* OpenMP parallel-region entry *)
+  c_random_bw_frac : float;      (* fraction of bw under irregular access *)
+}
+
+type gpu = {
+  g_name : string;
+  g_sms : int;
+  g_fp64_tflops : float;
+  g_fp32_tflops : float;
+  g_hbm_gbs : float;
+  g_pcie_gbs : float;
+  g_launch_us : float;           (* kernel launch latency *)
+  g_atomic_ns : float;           (* global atomic amortized *)
+  g_threads_per_sm : int;
+  g_random_bw_frac : float;
+}
+
+type fpga = {
+  f_name : string;
+  f_freq_mhz : float;
+  f_dsp : int;                   (* DSP slices (f64 FMA ~ 8 DSPs) *)
+  f_bram_bytes : float;
+  f_ddr_gbs : float;
+  f_pcie_gbs : float;
+  f_naive_ii : float;            (* initiation interval of unoptimized HLS *)
+  f_route_freq_penalty : float;  (* fraction of fmax after place & route *)
+}
+
+(* Intel Xeon E5-2650 v4: 12 cores at 2.2 GHz, AVX2 (4-wide f64 FMA),
+   ~60 GB/s over 4 DDR4-2400 channels, 30 MB L3. *)
+let xeon_e5_2650_v4 =
+  { c_name = "Xeon E5-2650 v4";
+    c_cores = 12;
+    c_freq_ghz = 2.2;
+    c_fma_per_cycle = 2.0;
+    c_vector_width_f64 = 4;
+    c_dram_gbs = 60.0;
+    c_l2_bytes = 262144.0;
+    c_l3_bytes = 31457280.0;
+    c_atomic_ns = 10.0;
+    c_fork_us = 3.0;
+    c_random_bw_frac = 0.12 }
+
+(* NVIDIA Tesla P100 (16 GB HBM2). *)
+let p100 =
+  { g_name = "Tesla P100";
+    g_sms = 56;
+    g_fp64_tflops = 4.7;
+    g_fp32_tflops = 9.3;
+    g_hbm_gbs = 732.0;
+    g_pcie_gbs = 12.0;
+    g_launch_us = 5.0;
+    g_atomic_ns = 2.0;
+    g_threads_per_sm = 2048;
+    g_random_bw_frac = 0.15 }
+
+(* NVIDIA Tesla V100, for the Table 3 comparison. *)
+let v100 =
+  { g_name = "Tesla V100";
+    g_sms = 80;
+    g_fp64_tflops = 7.8;
+    g_fp32_tflops = 15.7;
+    g_hbm_gbs = 900.0;
+    g_pcie_gbs = 12.0;
+    g_launch_us = 4.0;
+    g_atomic_ns = 1.5;
+    g_threads_per_sm = 2048;
+    g_random_bw_frac = 0.18 }
+
+(* Xilinx XCVU9P on a VCU1525: 6,840 DSPs, ~43 MB on-chip RAM, 4 DDR4
+   banks at 2400 MT/s (~76.8 GB/s aggregate). *)
+let xcvu9p =
+  { f_name = "Xilinx XCVU9P (VCU1525)";
+    f_freq_mhz = 300.0;
+    f_dsp = 6840;
+    f_bram_bytes = 43.0e6;
+    f_ddr_gbs = 76.8;
+    f_pcie_gbs = 12.0;
+    f_naive_ii = 8.0;
+    f_route_freq_penalty = 0.75 }
+
+type t = { cpu : cpu; gpu : gpu; fpga : fpga }
+
+let paper_testbed = { cpu = xeon_e5_2650_v4; gpu = p100; fpga = xcvu9p }
+
+let cpu_peak_flops c =
+  (* FMA counts as two flops *)
+  float_of_int c.c_cores *. c.c_freq_ghz *. 1e9 *. c.c_fma_per_cycle *. 2.0
+  *. float_of_int c.c_vector_width_f64
+
+let cpu_core_scalar_flops c = c.c_freq_ghz *. 1e9 *. c.c_fma_per_cycle *. 2.0

@@ -1,0 +1,1 @@
+lib/symbolic/expr.ml: Fmt Hashtbl Int List String

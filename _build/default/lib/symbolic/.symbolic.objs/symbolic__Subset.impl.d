@@ -1,0 +1,1 @@
+lib/symbolic/subset.ml: Expr Fmt List String

@@ -1,0 +1,1 @@
+lib/symbolic/subset.mli: Expr Format

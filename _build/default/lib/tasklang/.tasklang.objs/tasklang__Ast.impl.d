@@ -1,0 +1,1 @@
+lib/tasklang/ast.ml: Float Fmt List String

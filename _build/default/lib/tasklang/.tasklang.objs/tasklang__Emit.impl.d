@@ -1,0 +1,1 @@
+lib/tasklang/emit.ml: Ast Buffer Float Fmt Hashtbl List String Typecheck Types

@@ -1,0 +1,1 @@
+lib/tasklang/eval.ml: Ast Float Fmt Hashtbl List Types

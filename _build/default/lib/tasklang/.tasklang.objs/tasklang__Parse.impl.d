@@ -1,0 +1,1 @@
+lib/tasklang/parse.ml: Ast Fmt List String

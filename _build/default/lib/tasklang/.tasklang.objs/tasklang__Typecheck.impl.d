@@ -1,0 +1,1 @@
+lib/tasklang/typecheck.ml: Ast Hashtbl List String Types

@@ -1,0 +1,1 @@
+lib/tasklang/types.ml: Bool Float Fmt Int

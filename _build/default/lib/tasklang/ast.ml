@@ -1,0 +1,132 @@
+(* Abstract syntax of the tasklet mini-language.
+
+   Tasklets are stateless, fine-grained computational functions (paper
+   §3.2): straight-line code with local variables, conditionals and calls
+   to a fixed set of math intrinsics.  They may only touch data that was
+   moved in or out through connectors — there is no way to name external
+   memory from inside a tasklet, which is what makes the dataflow
+   analysis of the enclosing SDFG sound. *)
+
+type unop = Neg | Not | Sqrt | Exp | Log | Abs | Sin | Cos | Floor
+
+type binop =
+  | Add | Sub | Mul | Div | Mod | Pow
+  | Min | Max
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type expr =
+  | Float_lit of float
+  | Int_lit of int
+  | Bool_lit of bool
+  | Var of string
+  | Index of string * expr list  (* connector element access: a[i, j] *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Cond of expr * expr * expr   (* c ? t : f  /  "t if c else f" *)
+
+type lhs =
+  | Lvar of string
+  | Lindex of string * expr list
+
+type stmt =
+  | Assign of lhs * expr
+  | If of expr * stmt list * stmt list
+  | For of string * expr * expr * stmt list
+    (* sequential loop [for v in lo:hi { ... }], hi exclusive — the
+       tasklet-level equivalent of a MapToForLoop'd sequential map, used
+       for data-dependent iteration counts (e.g. CSR neighbor lists) *)
+
+type t = stmt list
+
+(* --- traversals ------------------------------------------------------ *)
+
+let rec expr_names acc = function
+  | Float_lit _ | Int_lit _ | Bool_lit _ -> acc
+  | Var x -> x :: acc
+  | Index (x, es) -> List.fold_left expr_names (x :: acc) es
+  | Unop (_, e) -> expr_names acc e
+  | Binop (_, a, b) -> expr_names (expr_names acc a) b
+  | Cond (c, a, b) -> expr_names (expr_names (expr_names acc c) a) b
+
+let rec stmt_reads acc = function
+  | Assign (lhs, e) ->
+    let acc = expr_names acc e in
+    (match lhs with
+    | Lvar _ -> acc
+    | Lindex (_, es) -> List.fold_left expr_names acc es)
+  | If (c, t, f) ->
+    let acc = expr_names acc c in
+    let acc = List.fold_left stmt_reads acc t in
+    List.fold_left stmt_reads acc f
+  | For (_, lo, hi, body) ->
+    let acc = expr_names (expr_names acc lo) hi in
+    List.fold_left stmt_reads acc body
+
+let rec stmt_writes acc = function
+  | Assign (Lvar x, _) | Assign (Lindex (x, _), _) -> x :: acc
+  | If (_, t, f) ->
+    let acc = List.fold_left stmt_writes acc t in
+    List.fold_left stmt_writes acc f
+  | For (v, _, _, body) -> List.fold_left stmt_writes (v :: acc) body
+
+let reads (code : t) =
+  List.sort_uniq String.compare (List.fold_left stmt_reads [] code)
+
+let writes (code : t) =
+  List.sort_uniq String.compare (List.fold_left stmt_writes [] code)
+
+(* --- printing (round-trips through the parser) ----------------------- *)
+
+let unop_name = function
+  | Neg -> "-" | Not -> "not " | Sqrt -> "sqrt" | Exp -> "exp"
+  | Log -> "log" | Abs -> "abs" | Sin -> "sin" | Cos -> "cos"
+  | Floor -> "floor"
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Pow -> "**" | Min -> "min" | Max -> "max"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | And -> "and" | Or -> "or"
+
+let rec pp_expr ppf = function
+  | Float_lit x ->
+    if Float.is_integer x && Float.abs x < 1e15 then Fmt.pf ppf "%.1f" x
+    else Fmt.pf ppf "%.17g" x
+  | Int_lit n -> Fmt.int ppf n
+  | Bool_lit b -> Fmt.string ppf (if b then "true" else "false")
+  | Var x -> Fmt.string ppf x
+  | Index (x, es) ->
+    Fmt.pf ppf "%s[%a]" x Fmt.(list ~sep:(any ", ") pp_expr) es
+  | Unop (op, e) -> (
+    match op with
+    | Neg -> Fmt.pf ppf "(-%a)" pp_expr e
+    | Not -> Fmt.pf ppf "(not %a)" pp_expr e
+    | _ -> Fmt.pf ppf "%s(%a)" (unop_name op) pp_expr e)
+  | Binop ((Min | Max) as op, a, b) ->
+    Fmt.pf ppf "%s(%a, %a)" (binop_name op) pp_expr a pp_expr b
+  | Binop (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Cond (c, t, f) ->
+    Fmt.pf ppf "(%a if %a else %a)" pp_expr t pp_expr c pp_expr f
+
+let pp_lhs ppf = function
+  | Lvar x -> Fmt.string ppf x
+  | Lindex (x, es) ->
+    Fmt.pf ppf "%s[%a]" x Fmt.(list ~sep:(any ", ") pp_expr) es
+
+let rec pp_stmt ppf = function
+  | Assign (lhs, e) -> Fmt.pf ppf "%a = %a" pp_lhs lhs pp_expr e
+  | If (c, t, []) ->
+    Fmt.pf ppf "if %a { %a }" pp_expr c
+      Fmt.(list ~sep:(any "; ") pp_stmt) t
+  | If (c, t, f) ->
+    Fmt.pf ppf "if %a { %a } else { %a }" pp_expr c
+      Fmt.(list ~sep:(any "; ") pp_stmt) t
+      Fmt.(list ~sep:(any "; ") pp_stmt) f
+  | For (v, lo, hi, body) ->
+    Fmt.pf ppf "for %s in %a:%a { %a }" v pp_expr lo pp_expr hi
+      Fmt.(list ~sep:(any "; ") pp_stmt) body
+
+let pp ppf (code : t) = Fmt.(list ~sep:(any "; ") pp_stmt) ppf code
+let to_string code = Fmt.str "%a" pp code

@@ -1,0 +1,163 @@
+(* C-like code emission for tasklets — the back half of DaCe's
+   Python-to-C++ converter (paper §3.2).  Produces the statement text that
+   the SDFG code generator splices into the generated kernel for each
+   target (the surrounding prologue/epilogue is the code generator's
+   job, Appendix A.2.2 "If q is a tasklet"). *)
+
+open Types
+
+let unop_c = function
+  | Ast.Neg -> "-"
+  | Ast.Not -> "!"
+  | Ast.Sqrt -> "sqrt"
+  | Ast.Exp -> "exp"
+  | Ast.Log -> "log"
+  | Ast.Abs -> "fabs"
+  | Ast.Sin -> "sin"
+  | Ast.Cos -> "cos"
+  | Ast.Floor -> "floor"
+
+let binop_c = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.And -> "&&"
+  | Ast.Or -> "||"
+  | Ast.Pow | Ast.Min | Ast.Max -> assert false (* emitted as calls *)
+
+let rec expr_c buf (e : Ast.expr) =
+  match e with
+  | Ast.Float_lit x ->
+    if Float.is_integer x && Float.abs x < 1e15 then
+      Buffer.add_string buf (Fmt.str "%.1f" x)
+    else Buffer.add_string buf (Fmt.str "%.17g" x)
+  | Ast.Int_lit n -> Buffer.add_string buf (string_of_int n)
+  | Ast.Bool_lit b -> Buffer.add_string buf (if b then "true" else "false")
+  | Ast.Var x -> Buffer.add_string buf x
+  | Ast.Index (x, idxs) ->
+    Buffer.add_string buf x;
+    List.iter
+      (fun i ->
+        Buffer.add_char buf '[';
+        expr_c buf i;
+        Buffer.add_char buf ']')
+      idxs
+  | Ast.Unop (op, a) -> (
+    match op with
+    | Ast.Neg | Ast.Not ->
+      Buffer.add_char buf '(';
+      Buffer.add_string buf (unop_c op);
+      expr_c buf a;
+      Buffer.add_char buf ')'
+    | _ ->
+      Buffer.add_string buf (unop_c op);
+      Buffer.add_char buf '(';
+      expr_c buf a;
+      Buffer.add_char buf ')')
+  | Ast.Binop (Ast.Pow, a, b) ->
+    Buffer.add_string buf "pow(";
+    expr_c buf a;
+    Buffer.add_string buf ", ";
+    expr_c buf b;
+    Buffer.add_char buf ')'
+  | Ast.Binop (Ast.Min, a, b) ->
+    Buffer.add_string buf "std::min(";
+    expr_c buf a;
+    Buffer.add_string buf ", ";
+    expr_c buf b;
+    Buffer.add_char buf ')'
+  | Ast.Binop (Ast.Max, a, b) ->
+    Buffer.add_string buf "std::max(";
+    expr_c buf a;
+    Buffer.add_string buf ", ";
+    expr_c buf b;
+    Buffer.add_char buf ')'
+  | Ast.Binop (op, a, b) ->
+    Buffer.add_char buf '(';
+    expr_c buf a;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (binop_c op);
+    Buffer.add_char buf ' ';
+    expr_c buf b;
+    Buffer.add_char buf ')'
+  | Ast.Cond (c, t, f) ->
+    Buffer.add_char buf '(';
+    expr_c buf c;
+    Buffer.add_string buf " ? ";
+    expr_c buf t;
+    Buffer.add_string buf " : ";
+    expr_c buf f;
+    Buffer.add_char buf ')'
+
+let rec stmt_c buf ~indent ~declared locals (s : Ast.stmt) =
+  let pad = String.make indent ' ' in
+  match s with
+  | Ast.Assign (lhs, e) ->
+    Buffer.add_string buf pad;
+    (match lhs with
+    | Ast.Lvar x when (not (Hashtbl.mem declared x)) && List.mem_assoc x locals
+      ->
+      Hashtbl.replace declared x ();
+      Buffer.add_string buf (dtype_ctype (List.assoc x locals));
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf x
+    | Ast.Lvar x -> Buffer.add_string buf x
+    | Ast.Lindex (x, idxs) ->
+      Buffer.add_string buf x;
+      List.iter
+        (fun i ->
+          Buffer.add_char buf '[';
+          expr_c buf i;
+          Buffer.add_char buf ']')
+        idxs);
+    Buffer.add_string buf " = ";
+    expr_c buf e;
+    Buffer.add_string buf ";\n"
+  | Ast.If (c, t, f) ->
+    Buffer.add_string buf pad;
+    Buffer.add_string buf "if (";
+    expr_c buf c;
+    Buffer.add_string buf ") {\n";
+    List.iter (stmt_c buf ~indent:(indent + 2) ~declared locals) t;
+    Buffer.add_string buf pad;
+    Buffer.add_string buf "}";
+    if f <> [] then begin
+      Buffer.add_string buf " else {\n";
+      List.iter (stmt_c buf ~indent:(indent + 2) ~declared locals) f;
+      Buffer.add_string buf pad;
+      Buffer.add_string buf "}"
+    end;
+    Buffer.add_char buf '\n'
+  | Ast.For (v, lo, hi, body) ->
+    Buffer.add_string buf pad;
+    Buffer.add_string buf (Fmt.str "for (long long %s = " v);
+    expr_c buf lo;
+    Buffer.add_string buf (Fmt.str "; %s < " v);
+    expr_c buf hi;
+    Buffer.add_string buf (Fmt.str "; ++%s) {\n" v);
+    Hashtbl.replace declared v ();
+    List.iter (stmt_c buf ~indent:(indent + 2) ~declared locals) body;
+    Buffer.add_string buf pad;
+    Buffer.add_string buf "}\n"
+
+(* Emit the body of a tasklet as C statements.  [connectors] provides
+   types for inference; locals are declared at first assignment. *)
+let to_c ?(indent = 0) ~connectors (code : Ast.t) : string =
+  let locals = Typecheck.check ~connectors code in
+  let buf = Buffer.create 256 in
+  let declared = Hashtbl.create 8 in
+  List.iter (stmt_c buf ~indent ~declared locals) code;
+  Buffer.contents buf
+
+let expr_to_c (e : Ast.expr) : string =
+  let buf = Buffer.create 64 in
+  expr_c buf e;
+  Buffer.contents buf

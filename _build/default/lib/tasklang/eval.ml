@@ -1,0 +1,145 @@
+(* Evaluator for tasklet code.
+
+   The evaluator is deliberately decoupled from any tensor representation:
+   the host (the SDFG interpreter) supplies per-connector accessors, so a
+   tasklet can only ever touch what its memlets moved in or out — the
+   no-external-memory rule of paper §3.2 enforced by construction. *)
+
+open Types
+
+type binding =
+  | Scalar of value
+  | Buffer of (int list -> value) * (int list -> value -> unit)
+    (* (get, set) pair over local (memlet-relative) indices *)
+
+type env = {
+  bindings : (string * binding) list;
+  locals : (string, value) Hashtbl.t;
+}
+
+exception Eval_error of string
+
+let eval_error fmt = Fmt.kstr (fun s -> raise (Eval_error s)) fmt
+
+let float_op op a b = F (op (to_float a) (to_float b))
+let bool_of v = to_bool v
+
+let arith fop iop a b =
+  match a, b with
+  | I x, I y -> I (iop x y)
+  | _ -> float_op fop a b
+
+let apply_binop op a b =
+  match op with
+  | Ast.Add -> arith ( +. ) ( + ) a b
+  | Ast.Sub -> arith ( -. ) ( - ) a b
+  | Ast.Mul -> arith ( *. ) ( * ) a b
+  | Ast.Div -> (
+    match a, b with
+    | I x, I y ->
+      if y = 0 then eval_error "integer division by zero"
+      else
+        I
+          (let q = x / y and r = x mod y in
+           if r <> 0 && (r < 0) <> (y < 0) then q - 1 else q)
+    | _ -> float_op ( /. ) a b)
+  | Ast.Mod -> (
+    match a, b with
+    | I x, I y ->
+      if y = 0 then eval_error "integer modulo by zero"
+      else
+        I
+          (let r = x mod y in
+           if r <> 0 && (r < 0) <> (y < 0) then r + y else r)
+    | _ -> float_op Float.rem a b)
+  | Ast.Pow -> (
+    match a, b with
+    | I x, I y when y >= 0 ->
+      let rec go acc b e = if e = 0 then acc else go (acc * b) b (e - 1) in
+      I (go 1 x y)
+    | _ -> float_op ( ** ) a b)
+  | Ast.Min -> arith Float.min min a b
+  | Ast.Max -> arith Float.max max a b
+  | Ast.Lt -> B (to_float a < to_float b)
+  | Ast.Le -> B (to_float a <= to_float b)
+  | Ast.Gt -> B (to_float a > to_float b)
+  | Ast.Ge -> B (to_float a >= to_float b)
+  | Ast.Eq -> B (value_equal a b)
+  | Ast.Ne -> B (not (value_equal a b))
+  | Ast.And -> B (bool_of a && bool_of b)
+  | Ast.Or -> B (bool_of a || bool_of b)
+
+let apply_unop op a =
+  match op with
+  | Ast.Neg -> ( match a with I n -> I (-n) | _ -> F (-.to_float a))
+  | Ast.Not -> B (not (bool_of a))
+  | Ast.Sqrt -> F (sqrt (to_float a))
+  | Ast.Exp -> F (exp (to_float a))
+  | Ast.Log -> F (log (to_float a))
+  | Ast.Abs -> ( match a with I n -> I (abs n) | _ -> F (Float.abs (to_float a)))
+  | Ast.Sin -> F (sin (to_float a))
+  | Ast.Cos -> F (cos (to_float a))
+  | Ast.Floor -> I (int_of_float (floor (to_float a)))
+
+let rec eval_expr env (e : Ast.expr) : value =
+  match e with
+  | Ast.Float_lit x -> F x
+  | Ast.Int_lit n -> I n
+  | Ast.Bool_lit b -> B b
+  | Ast.Var x -> (
+    match Hashtbl.find_opt env.locals x with
+    | Some v -> v
+    | None -> (
+      match List.assoc_opt x env.bindings with
+      | Some (Scalar v) -> v
+      | Some (Buffer (get, _)) -> get []
+      | None -> eval_error "unbound name %S" x))
+  | Ast.Index (x, idxs) -> (
+    let is = List.map (fun i -> to_int (eval_expr env i)) idxs in
+    match List.assoc_opt x env.bindings with
+    | Some (Buffer (get, _)) -> get is
+    | Some (Scalar v) ->
+      if List.for_all (fun i -> i = 0) is then v
+      else eval_error "indexing scalar connector %S at nonzero index" x
+    | None -> eval_error "indexing unbound connector %S" x)
+  | Ast.Unop (op, a) -> apply_unop op (eval_expr env a)
+  | Ast.Binop (op, a, b) -> apply_binop op (eval_expr env a) (eval_expr env b)
+  | Ast.Cond (c, t, f) ->
+    if bool_of (eval_expr env c) then eval_expr env t else eval_expr env f
+
+let rec exec_stmt env (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (lhs, e) -> (
+    let v = eval_expr env e in
+    match lhs with
+    | Ast.Lvar x -> (
+      match List.assoc_opt x env.bindings with
+      | Some (Buffer (_, set)) -> set [] v
+      | Some (Scalar _) ->
+        eval_error "writing to input-only connector %S" x
+      | None -> Hashtbl.replace env.locals x v)
+    | Ast.Lindex (x, idxs) -> (
+      let is = List.map (fun i -> to_int (eval_expr env i)) idxs in
+      match List.assoc_opt x env.bindings with
+      | Some (Buffer (_, set)) -> set is v
+      | Some (Scalar _) | None ->
+        eval_error "writing to unbound or scalar connector %S" x))
+  | Ast.If (c, t, f) ->
+    if bool_of (eval_expr env c) then List.iter (exec_stmt env) t
+    else List.iter (exec_stmt env) f
+  | Ast.For (v, lo, hi, body) ->
+    let lo = to_int (eval_expr env lo) and hi = to_int (eval_expr env hi) in
+    for i = lo to hi - 1 do
+      Hashtbl.replace env.locals v (I i);
+      List.iter (exec_stmt env) body
+    done
+
+(* Run a tasklet body under connector bindings. *)
+let run ~bindings (code : Ast.t) : unit =
+  let env = { bindings; locals = Hashtbl.create 8 } in
+  List.iter (exec_stmt env) code
+
+(* Convenience for tests: evaluate one expression under scalar bindings. *)
+let eval_expression ~scalars (e : Ast.expr) : value =
+  let bindings = List.map (fun (n, v) -> (n, Scalar v)) scalars in
+  eval_expr { bindings; locals = Hashtbl.create 4 } e

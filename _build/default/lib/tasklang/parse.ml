@@ -1,0 +1,377 @@
+(* Hand-written lexer and recursive-descent parser for tasklet code.
+
+   Grammar (Python-flavoured, statements separated by newlines or ';'):
+
+     stmt   ::= lhs '=' expr
+              | 'if' expr ':' '{' stmts '}' ('else' '{' stmts '}')?
+     lhs    ::= ident | ident '[' expr (',' expr)* ']'
+     expr   ::= ternary
+     ternary::= or_e ('if' or_e 'else' ternary)?       (Python order)
+     or_e   ::= and_e ('or' and_e)*
+     and_e  ::= cmp ('and' cmp)*
+     cmp    ::= addsub (('<'|'<='|'>'|'>='|'=='|'!=') addsub)?
+     addsub ::= muldiv (('+'|'-') muldiv)*
+     muldiv ::= unary (('*'|'/'|'%') unary)*
+     unary  ::= ('-'|'not') unary | power
+     power  ::= atom ('**' unary)?
+     atom   ::= literal | ident | ident '(' args ')' | ident '[' args ']'
+              | '(' expr ')'
+
+   Calls are restricted to the math intrinsics (sqrt, exp, log, abs, sin,
+   cos, floor, min, max). *)
+
+exception Parse_error of string
+
+let parse_error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+type token =
+  | TInt of int
+  | TFloat of float
+  | TIdent of string
+  | TOp of string
+  | TLparen | TRparen
+  | TLbracket | TRbracket
+  | TLbrace | TRbrace
+  | TComma | TSemi | TColon
+  | TEof
+
+let pp_token ppf = function
+  | TInt n -> Fmt.pf ppf "%d" n
+  | TFloat x -> Fmt.pf ppf "%g" x
+  | TIdent s -> Fmt.string ppf s
+  | TOp s -> Fmt.string ppf s
+  | TLparen -> Fmt.string ppf "("
+  | TRparen -> Fmt.string ppf ")"
+  | TLbracket -> Fmt.string ppf "["
+  | TRbracket -> Fmt.string ppf "]"
+  | TLbrace -> Fmt.string ppf "{"
+  | TRbrace -> Fmt.string ppf "}"
+  | TComma -> Fmt.string ppf ","
+  | TSemi -> Fmt.string ppf ";"
+  | TColon -> Fmt.string ppf ":"
+  | TEof -> Fmt.string ppf "<eof>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '\n' then (push TSemi; incr i)
+    else if c = '#' then begin
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1])
+    then begin
+      let start = !i in
+      let isfloat = ref false in
+      while
+        !i < n
+        && (is_digit src.[!i] || src.[!i] = '.' || src.[!i] = 'e'
+            || src.[!i] = 'E'
+            || ((src.[!i] = '+' || src.[!i] = '-')
+                && !i > start
+                && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E')))
+      do
+        if src.[!i] = '.' || src.[!i] = 'e' || src.[!i] = 'E' then
+          isfloat := true;
+        incr i
+      done;
+      let s = String.sub src start (!i - start) in
+      if !isfloat then push (TFloat (float_of_string s))
+      else push (TInt (int_of_string s))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      push (TIdent (String.sub src start (!i - start)))
+    end
+    else begin
+      let two =
+        if !i + 1 < n then String.sub src !i 2 else ""
+      in
+      match two with
+      | "**" | "<=" | ">=" | "==" | "!=" ->
+        push (TOp two);
+        i := !i + 2
+      | _ -> (
+        incr i;
+        match c with
+        | '(' -> push TLparen
+        | ')' -> push TRparen
+        | '[' -> push TLbracket
+        | ']' -> push TRbracket
+        | '{' -> push TLbrace
+        | '}' -> push TRbrace
+        | ',' -> push TComma
+        | ';' -> push TSemi
+        | ':' -> push TColon
+        | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '=' | '?' ->
+          push (TOp (String.make 1 c))
+        | _ -> parse_error "unexpected character %C" c)
+    end
+  done;
+  List.rev (TEof :: !toks)
+
+(* --- parser state ----------------------------------------------------- *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> TEof | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st t =
+  if peek st = t then advance st
+  else parse_error "expected %a, found %a" pp_token t pp_token (peek st)
+
+let intrinsic_unop = function
+  | "sqrt" -> Some Ast.Sqrt
+  | "exp" -> Some Ast.Exp
+  | "log" -> Some Ast.Log
+  | "abs" -> Some Ast.Abs
+  | "sin" -> Some Ast.Sin
+  | "cos" -> Some Ast.Cos
+  | "floor" -> Some Ast.Floor
+  | _ -> None
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let value = parse_or st in
+  match peek st with
+  | TIdent "if" ->
+    advance st;
+    let cond = parse_or st in
+    (match peek st with
+    | TIdent "else" ->
+      advance st;
+      let other = parse_ternary st in
+      Ast.Cond (cond, value, other)
+    | t -> parse_error "expected 'else' in conditional, found %a" pp_token t)
+  | _ -> value
+
+and parse_or st =
+  let rec go acc =
+    match peek st with
+    | TIdent "or" ->
+      advance st;
+      go (Ast.Binop (Ast.Or, acc, parse_and st))
+    | _ -> acc
+  in
+  go (parse_and st)
+
+and parse_and st =
+  let rec go acc =
+    match peek st with
+    | TIdent "and" ->
+      advance st;
+      go (Ast.Binop (Ast.And, acc, parse_cmp st))
+    | _ -> acc
+  in
+  go (parse_cmp st)
+
+and parse_cmp st =
+  let a = parse_addsub st in
+  let op =
+    match peek st with
+    | TOp "<" -> Some Ast.Lt
+    | TOp "<=" -> Some Ast.Le
+    | TOp ">" -> Some Ast.Gt
+    | TOp ">=" -> Some Ast.Ge
+    | TOp "==" -> Some Ast.Eq
+    | TOp "!=" -> Some Ast.Ne
+    | _ -> None
+  in
+  match op with
+  | None -> a
+  | Some op ->
+    advance st;
+    Ast.Binop (op, a, parse_addsub st)
+
+and parse_addsub st =
+  let rec go acc =
+    match peek st with
+    | TOp "+" ->
+      advance st;
+      go (Ast.Binop (Ast.Add, acc, parse_muldiv st))
+    | TOp "-" ->
+      advance st;
+      go (Ast.Binop (Ast.Sub, acc, parse_muldiv st))
+    | _ -> acc
+  in
+  go (parse_muldiv st)
+
+and parse_muldiv st =
+  let rec go acc =
+    match peek st with
+    | TOp "*" ->
+      advance st;
+      go (Ast.Binop (Ast.Mul, acc, parse_unary st))
+    | TOp "/" ->
+      advance st;
+      go (Ast.Binop (Ast.Div, acc, parse_unary st))
+    | TOp "%" ->
+      advance st;
+      go (Ast.Binop (Ast.Mod, acc, parse_unary st))
+    | _ -> acc
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | TOp "-" ->
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  | TIdent "not" ->
+    advance st;
+    Ast.Unop (Ast.Not, parse_unary st)
+  | _ -> parse_power st
+
+and parse_power st =
+  let base = parse_atom st in
+  match peek st with
+  | TOp "**" ->
+    advance st;
+    Ast.Binop (Ast.Pow, base, parse_unary st)
+  | _ -> base
+
+and parse_args st closing =
+  let rec go acc =
+    let e = parse_expr st in
+    match peek st with
+    | TComma ->
+      advance st;
+      go (e :: acc)
+    | t when t = closing ->
+      advance st;
+      List.rev (e :: acc)
+    | t -> parse_error "expected ',' or close, found %a" pp_token t
+  in
+  go []
+
+and parse_atom st =
+  match peek st with
+  | TInt n ->
+    advance st;
+    Ast.Int_lit n
+  | TFloat x ->
+    advance st;
+    Ast.Float_lit x
+  | TIdent "true" | TIdent "True" ->
+    advance st;
+    Ast.Bool_lit true
+  | TIdent "false" | TIdent "False" ->
+    advance st;
+    Ast.Bool_lit false
+  | TIdent name -> (
+    advance st;
+    match peek st with
+    | TLparen -> (
+      advance st;
+      let args = parse_args st TRparen in
+      match intrinsic_unop name, name, args with
+      | Some op, _, [ a ] -> Ast.Unop (op, a)
+      | _, "min", [ a; b ] -> Ast.Binop (Ast.Min, a, b)
+      | _, "max", [ a; b ] -> Ast.Binop (Ast.Max, a, b)
+      | _ ->
+        parse_error "unknown function %S with %d argument(s)" name
+          (List.length args))
+    | TLbracket ->
+      advance st;
+      let args = parse_args st TRbracket in
+      Ast.Index (name, args)
+    | _ -> Ast.Var name)
+  | TLparen ->
+    advance st;
+    let e = parse_expr st in
+    expect st TRparen;
+    e
+  | t -> parse_error "unexpected token %a" pp_token t
+
+let rec parse_stmt st : Ast.stmt =
+  match peek st with
+  | TIdent "for" ->
+    advance st;
+    let v =
+      match peek st with
+      | TIdent v ->
+        advance st;
+        v
+      | t -> parse_error "expected loop variable, found %a" pp_token t
+    in
+    (match peek st with
+    | TIdent "in" -> advance st
+    | t -> parse_error "expected 'in', found %a" pp_token t);
+    let lo = parse_expr st in
+    expect st TColon;
+    let hi = parse_expr st in
+    expect st TLbrace;
+    let body = parse_stmts_until st TRbrace in
+    expect st TRbrace;
+    Ast.For (v, lo, hi, body)
+  | TIdent "if" ->
+    advance st;
+    let cond = parse_expr st in
+    (match peek st with TColon -> advance st | _ -> ());
+    expect st TLbrace;
+    let then_ = parse_stmts_until st TRbrace in
+    expect st TRbrace;
+    let else_ =
+      match peek st with
+      | TIdent "else" ->
+        advance st;
+        (match peek st with TColon -> advance st | _ -> ());
+        expect st TLbrace;
+        let b = parse_stmts_until st TRbrace in
+        expect st TRbrace;
+        b
+      | _ -> []
+    in
+    Ast.If (cond, then_, else_)
+  | TIdent name -> (
+    advance st;
+    match peek st with
+    | TLbracket ->
+      advance st;
+      let idxs = parse_args st TRbracket in
+      expect st (TOp "=");
+      Ast.Assign (Ast.Lindex (name, idxs), parse_expr st)
+    | TOp "=" ->
+      advance st;
+      Ast.Assign (Ast.Lvar name, parse_expr st)
+    | t -> parse_error "expected '=' or '[' after %S, found %a" name pp_token t)
+  | t -> parse_error "expected statement, found %a" pp_token t
+
+and parse_stmts_until st closing =
+  let rec go acc =
+    match peek st with
+    | TSemi ->
+      advance st;
+      go acc
+    | t when t = closing || t = TEof -> List.rev acc
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+let program src : Ast.t =
+  let st = { toks = tokenize src } in
+  let stmts = parse_stmts_until st TEof in
+  expect st TEof;
+  stmts
+
+let expression src : Ast.expr =
+  let st = { toks = tokenize src } in
+  let e = parse_expr st in
+  (match peek st with
+  | TEof | TSemi -> ()
+  | t -> parse_error "trailing tokens after expression: %a" pp_token t);
+  e

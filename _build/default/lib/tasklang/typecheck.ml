@@ -1,0 +1,112 @@
+(* Type and shape inference for tasklet code.
+
+   This mirrors the role of DaCe's Python-to-C++ converter front half
+   (paper §3.2: "performs type and shape inference, tracks local variables
+   for definitions").  Connectors arrive typed (name, dtype, rank); local
+   variables take the type of their first assignment. *)
+
+open Types
+
+type conn = { c_name : string; c_dtype : dtype; c_rank : int }
+
+type env = {
+  conns : (string, conn) Hashtbl.t;
+  locals : (string, dtype) Hashtbl.t;
+}
+
+let make_env conns =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace tbl c.c_name c) conns;
+  { conns = tbl; locals = Hashtbl.create 8 }
+
+let lookup env name =
+  match Hashtbl.find_opt env.locals name with
+  | Some dt -> Some (dt, 0)
+  | None -> (
+    match Hashtbl.find_opt env.conns name with
+    | Some c -> Some (c.c_dtype, c.c_rank)
+    | None -> None)
+
+let rec infer_expr env (e : Ast.expr) : dtype =
+  match e with
+  | Ast.Float_lit _ -> F64
+  | Ast.Int_lit _ -> I64
+  | Ast.Bool_lit _ -> Bool
+  | Ast.Var x -> (
+    match lookup env x with
+    | Some (dt, _) -> dt
+    | None -> type_error "unbound variable %S in tasklet" x)
+  | Ast.Index (x, idxs) -> (
+    match Hashtbl.find_opt env.conns x with
+    | None -> type_error "indexing unknown connector %S" x
+    | Some c ->
+      if c.c_rank <> 0 && List.length idxs <> c.c_rank then
+        type_error "connector %S has rank %d but %d indices were given" x
+          c.c_rank (List.length idxs);
+      List.iter
+        (fun i ->
+          let t = infer_expr env i in
+          if not (is_int t) then
+            type_error "non-integer index into %S (type %s)" x (dtype_name t))
+        idxs;
+      c.c_dtype)
+  | Ast.Unop (op, a) -> (
+    let ta = infer_expr env a in
+    match op with
+    | Ast.Not ->
+      if ta <> Bool && not (is_int ta) then
+        type_error "'not' applied to %s" (dtype_name ta);
+      Bool
+    | Ast.Neg -> ta
+    | Ast.Abs -> ta
+    | Ast.Floor -> I64  (* floor truncates to integer, enabling indexing *)
+    | Ast.Sqrt | Ast.Exp | Ast.Log | Ast.Sin | Ast.Cos -> F64)
+  | Ast.Binop (op, a, b) -> (
+    let ta = infer_expr env a and tb = infer_expr env b in
+    match op with
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> Bool
+    | Ast.And | Ast.Or -> Bool
+    | Ast.Pow -> if is_int ta && is_int tb then promote ta tb else F64
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Min | Ast.Max ->
+      promote ta tb)
+  | Ast.Cond (c, t, f) ->
+    let tc = infer_expr env c in
+    if tc <> Bool && not (is_int tc) then
+      type_error "conditional guard has type %s" (dtype_name tc);
+    promote (infer_expr env t) (infer_expr env f)
+
+let rec check_stmt env (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (lhs, e) -> (
+    let te = infer_expr env e in
+    match lhs with
+    | Ast.Lvar x -> (
+      match Hashtbl.find_opt env.conns x with
+      | Some _ -> () (* write to a connector: value is coerced on store *)
+      | None -> (
+        match Hashtbl.find_opt env.locals x with
+        | Some t0 -> Hashtbl.replace env.locals x (promote t0 te)
+        | None -> Hashtbl.replace env.locals x te))
+    | Ast.Lindex (x, idxs) ->
+      ignore (infer_expr env (Ast.Index (x, idxs))))
+  | Ast.If (c, t, f) ->
+    let tc = infer_expr env c in
+    if tc <> Bool && not (is_int tc) then
+      type_error "'if' guard has type %s" (dtype_name tc);
+    List.iter (check_stmt env) t;
+    List.iter (check_stmt env) f
+  | Ast.For (v, lo, hi, body) ->
+    if not (is_int (infer_expr env lo)) then
+      type_error "loop bound of %S is not an integer" v;
+    if not (is_int (infer_expr env hi)) then
+      type_error "loop bound of %S is not an integer" v;
+    Hashtbl.replace env.locals v I64;
+    List.iter (check_stmt env) body
+
+(* Typecheck a tasklet body; returns the inferred local-variable types.
+   @raise Types.Type_error on ill-typed code. *)
+let check ~connectors (code : Ast.t) : (string * dtype) list =
+  let env = make_env connectors in
+  List.iter (check_stmt env) code;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) env.locals []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,91 @@
+(* Base types and runtime values of the tasklet mini-language.
+
+   DaCe tasklets are strongly typed (paper §2.1); connectors carry one of
+   these base types.  Only scalar base types exist — multi-dimensional
+   structure lives in the connectors' shapes, not in the type system. *)
+
+type dtype = F32 | F64 | I32 | I64 | Bool
+
+type value = F of float | I of int | B of bool
+
+exception Type_error of string
+
+let type_error fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+let dtype_name = function
+  | F32 -> "float32"
+  | F64 -> "float64"
+  | I32 -> "int32"
+  | I64 -> "int64"
+  | Bool -> "bool"
+
+let dtype_ctype = function
+  | F32 -> "float"
+  | F64 -> "double"
+  | I32 -> "int"
+  | I64 -> "long long"
+  | Bool -> "bool"
+
+let dtype_size_bytes = function
+  | F32 -> 4
+  | F64 -> 8
+  | I32 -> 4
+  | I64 -> 8
+  | Bool -> 1
+
+let is_float = function F32 | F64 -> true | I32 | I64 | Bool -> false
+let is_int = function I32 | I64 -> true | F32 | F64 | Bool -> false
+
+let value_dtype = function F _ -> F64 | I _ -> I64 | B _ -> Bool
+
+let zero_of = function
+  | F32 | F64 -> F 0.
+  | I32 | I64 -> I 0
+  | Bool -> B false
+
+let to_float = function
+  | F x -> x
+  | I n -> float_of_int n
+  | B b -> if b then 1. else 0.
+
+let to_int = function
+  | I n -> n
+  | F x -> int_of_float x
+  | B b -> if b then 1 else 0
+
+let to_bool = function
+  | B b -> b
+  | I n -> n <> 0
+  | F x -> x <> 0.
+
+(* Coerce a value to the representation class of a dtype.  Tasklet
+   arithmetic is performed at f64/i64 precision; storage narrows on
+   write, matching the generated C++ semantics of the original system. *)
+let coerce dt v =
+  match dt with
+  | F32 | F64 -> F (to_float v)
+  | I32 | I64 -> I (to_int v)
+  | Bool -> B (to_bool v)
+
+let value_equal a b =
+  match a, b with
+  | F x, F y -> Float.equal x y
+  | I x, I y -> Int.equal x y
+  | B x, B y -> Bool.equal x y
+  | _ -> Float.equal (to_float a) (to_float b)
+
+let pp_value ppf = function
+  | F x -> Fmt.float ppf x
+  | I n -> Fmt.int ppf n
+  | B b -> Fmt.bool ppf b
+
+let pp_dtype ppf dt = Fmt.string ppf (dtype_name dt)
+
+(* Numeric promotion: float wins over int, wider wins over narrower. *)
+let promote a b =
+  match a, b with
+  | F64, _ | _, F64 -> F64
+  | F32, _ | _, F32 -> F32
+  | I64, _ | _, I64 -> I64
+  | I32, _ | _, I32 -> I32
+  | Bool, Bool -> Bool

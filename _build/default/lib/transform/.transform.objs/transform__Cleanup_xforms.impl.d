@@ -1,0 +1,1 @@
+lib/transform/cleanup_xforms.ml: Defs Helpers List Memlet Sdfg Sdfg_ir State String Symbolic Xform

@@ -1,0 +1,1 @@
+lib/transform/control_xforms.ml: Bexp Defs Fmt Hashtbl Helpers Int List Map_xforms Option Sdfg Sdfg_ir State String Symbolic Xform

@@ -1,0 +1,1 @@
+lib/transform/data_xforms.ml: Defs Fmt Helpers List Memlet Option Pattern Sdfg Sdfg_ir State String Symbolic Xform

@@ -1,0 +1,1 @@
+lib/transform/device_xforms.ml: Bexp Defs Hashtbl Helpers List Memlet Sdfg Sdfg_ir State String Symbolic Xform

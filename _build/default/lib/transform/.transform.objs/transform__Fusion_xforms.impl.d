@@ -1,0 +1,1 @@
+lib/transform/fusion_xforms.ml: Defs Fmt Fun Hashtbl Helpers List Memlet Option Sdfg Sdfg_ir State String Symbolic Wcr Xform

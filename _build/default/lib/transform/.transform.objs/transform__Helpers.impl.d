@@ -1,0 +1,1 @@
+lib/transform/helpers.ml: Builder Defs Fmt List Sdfg Sdfg_ir State String Symbolic Tasklang Xform

@@ -1,0 +1,1 @@
+lib/transform/map_xforms.ml: Defs Fmt Helpers List Sdfg Sdfg_ir State String Symbolic Xform

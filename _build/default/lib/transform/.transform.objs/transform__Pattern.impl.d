@@ -1,0 +1,1 @@
+lib/transform/pattern.ml: Defs Int List Sdfg Sdfg_ir State

@@ -1,0 +1,1 @@
+lib/transform/pattern.mli: Sdfg_ir

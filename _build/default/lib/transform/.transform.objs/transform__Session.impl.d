@@ -1,0 +1,1 @@
+lib/transform/session.ml: Fmt Fun List Option Sdfg Sdfg_ir Xform

@@ -1,0 +1,1 @@
+lib/transform/std.ml: Cleanup_xforms Control_xforms Data_xforms Device_xforms Fusion_xforms List Map_xforms Sdfg_ir Xform

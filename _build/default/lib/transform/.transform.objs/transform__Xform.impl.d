@@ -1,0 +1,1 @@
+lib/transform/xform.ml: Fmt Hashtbl List Propagate Sdfg Sdfg_ir String Validate

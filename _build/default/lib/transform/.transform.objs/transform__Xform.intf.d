@@ -1,0 +1,1 @@
+lib/transform/xform.mli: Format Sdfg_ir

@@ -1,0 +1,329 @@
+(* Control-flow transformations (paper Appendix B):
+   MapToForLoop, InlineSDFG, and ReducePeeling (§6.2). *)
+
+module Expr = Symbolic.Expr
+module Subset = Symbolic.Subset
+open Sdfg_ir
+open Defs
+open Helpers
+
+(* --- MapToForLoop ------------------------------------------------------------ *)
+
+(* Converts a one-dimensional top-level map into a state-machine loop: the
+   map parameter becomes an inter-state symbol driven by transition
+   assignments, and the scope nodes connect directly to the access nodes.
+   Applicable when the map is at the top level of its state. *)
+let map_to_for_loop =
+  Xform.make ~name:"MapToForLoop"
+    ~description:"Converts a map to a for-loop."
+    ~find:(fun g ->
+      Sdfg.states g
+      |> List.concat_map (fun st ->
+             let parents = State.scope_parents st in
+             State.map_entries st
+             |> List.filter_map (fun (nid, m) ->
+                    if
+                      List.length m.mp_params = 1
+                      && Hashtbl.find parents nid = None
+                      && not (List.mem (List.hd m.mp_params) (Sdfg.symbols g))
+                    then
+                      Some
+                        (Xform.candidate ~state:(State.id st)
+                           ~note:(State.node_label st nid)
+                           [ ("map", nid) ])
+                    else None)))
+    ~apply:(fun g c ->
+      let st = state_of g c in
+      let entry = role c "map" in
+      let exit_ = State.exit_of st entry in
+      let m = map_info st entry in
+      let p = List.hd m.mp_params in
+      let r = List.hd m.mp_ranges in
+      (* splice out the scope nodes: src -> entry(IN_x) + entry(OUT_x) -> X
+         becomes src -> X with the inner memlet *)
+      List.iter
+        (fun (e_in : edge) ->
+          match e_in.e_dst_conn with
+          | Some cin when String.length cin > 3 && String.sub cin 0 3 = "IN_"
+            ->
+            let base = String.sub cin 3 (String.length cin - 3) in
+            List.iter
+              (fun (e_out : edge) ->
+                if e_out.e_src_conn = Some ("OUT_" ^ base) then
+                  ignore
+                    (State.add_edge st ~src:e_in.e_src
+                       ?src_conn:e_in.e_src_conn ?dst_conn:e_out.e_dst_conn
+                       ?memlet:e_out.e_memlet ~dst:e_out.e_dst ()))
+              (State.out_edges st entry)
+          | _ -> ())
+        (State.in_edges st entry);
+      List.iter
+        (fun (e_in : edge) ->
+          match e_in.e_dst_conn with
+          | Some cin when String.length cin > 3 && String.sub cin 0 3 = "IN_"
+            ->
+            let base = String.sub cin 3 (String.length cin - 3) in
+            List.iter
+              (fun (e_out : edge) ->
+                if e_out.e_src_conn = Some ("OUT_" ^ base) then
+                  ignore
+                    (State.add_edge st ~src:e_in.e_src
+                       ?src_conn:e_in.e_src_conn ?dst_conn:e_out.e_dst_conn
+                       ?memlet:e_in.e_memlet ~dst:e_out.e_dst ()))
+              (State.out_edges st exit_)
+          | _ -> ())
+        (State.in_edges st exit_);
+      State.remove_node st entry;
+      State.remove_node st exit_;
+      (* loop structure in the state machine *)
+      let sid = State.id st in
+      let guard_in =
+        insert_state_before g ~sid ~label:(Fmt.str "%s_init" p)
+      in
+      (* init: p = start *)
+      List.iter
+        (fun (t : istate_edge) ->
+          if t.is_src = State.id guard_in && t.is_dst = sid then
+            Sdfg.replace_transition g t
+              { t with is_assign = [ (p, r.Subset.start) ] })
+        (Sdfg.transitions g);
+      (* back edge: p <= stop - stride => p += stride; exit otherwise.
+         Existing outgoing transitions gain the exit condition. *)
+      let step = r.Subset.stride in
+      let cont_cond =
+        Bexp.le (Expr.add (Expr.sym p) step) r.Subset.stop
+      in
+      List.iter
+        (fun (t : istate_edge) ->
+          if t.is_src = sid then
+            Sdfg.replace_transition g t
+              { t with is_cond = Bexp.and_ (Bexp.negate cont_cond) t.is_cond })
+        (Sdfg.transitions g);
+      ignore
+        (Sdfg.add_transition g ~src:sid ~dst:sid ~cond:cont_cond
+           ~assign:[ (p, Expr.add (Expr.sym p) step) ]
+           ());
+      Sdfg.declare_symbol g p)
+
+(* --- InlineSDFG ------------------------------------------------------------ *)
+
+(* Inlines a single-state nested SDFG into the parent state.  Connector
+   containers are replaced by the outer containers with composed subsets;
+   inner transients become fresh outer transients. *)
+let inline_sdfg =
+  Xform.make ~name:"InlineSDFG"
+    ~description:"Inlines a single-state nested SDFG into a state."
+    ~find:(fun g ->
+      Sdfg.states g
+      |> List.concat_map (fun st ->
+             State.nodes st
+             |> List.filter_map (fun (nid, n) ->
+                    match n with
+                    | Nested_sdfg nest
+                      when Sdfg.num_states nest.n_sdfg = 1
+                           && nest.n_symbol_map = [] ->
+                      Some
+                        (Xform.candidate ~state:(State.id st)
+                           ~note:nest.n_sdfg.g_name
+                           [ ("nested", nid) ])
+                    | _ -> None)))
+    ~apply:(fun g c ->
+      let st = state_of g c in
+      let nid = role c "nested" in
+      let nest =
+        match State.node st nid with
+        | Nested_sdfg n -> n
+        | _ -> assert false
+      in
+      let inner_g = nest.n_sdfg in
+      let inner_st = Sdfg.start_state inner_g in
+      (* connector -> (outer edge, outer memlet) *)
+      let in_map = Hashtbl.create 8 and out_map = Hashtbl.create 8 in
+      List.iter
+        (fun (e : edge) ->
+          match e.e_dst_conn with
+          | Some conn when List.mem conn nest.n_inputs ->
+            Hashtbl.replace in_map conn e
+          | _ -> ())
+        (State.in_edges st nid);
+      List.iter
+        (fun (e : edge) ->
+          match e.e_src_conn with
+          | Some conn when List.mem conn nest.n_outputs ->
+            Hashtbl.replace out_map conn e
+          | _ -> ())
+        (State.out_edges st nid);
+      (* inner container -> outer name + origin subset *)
+      let renames = Hashtbl.create 8 in
+      List.iter
+        (fun (name, d) ->
+          if List.mem name nest.n_inputs || List.mem name nest.n_outputs then begin
+            let outer_e =
+              match Hashtbl.find_opt in_map name with
+              | Some e -> e
+              | None -> Hashtbl.find out_map name
+            in
+            let m = Option.get outer_e.e_memlet in
+            Hashtbl.replace renames name (m.m_data, m.m_subset)
+          end
+          else begin
+            (* transient: move to outer SDFG under a fresh name *)
+            let fresh = Sdfg.fresh_name g (inner_g.g_name ^ "_" ^ name) in
+            Sdfg.add_desc g fresh d;
+            Hashtbl.replace renames name
+              (fresh, Subset.of_shape (ddesc_shape d))
+          end)
+        (Sdfg.descs inner_g);
+      (* copy inner nodes *)
+      let remap = Hashtbl.create 16 in
+      List.iter
+        (fun (inid, n) ->
+          let n' =
+            match n with
+            | Access d ->
+              let outer, _ = Hashtbl.find renames d in
+              Access outer
+            | other -> State.clone_node other
+          in
+          Hashtbl.replace remap inid (State.add_node st n'))
+        (State.nodes inner_st);
+      List.iter
+        (fun (e : edge) ->
+          let memlet =
+            Option.map
+              (fun m ->
+                match Hashtbl.find_opt renames m.m_data with
+                | Some (outer, origin) ->
+                  { m with
+                    m_data = outer;
+                    m_subset = Subset.compose origin m.m_subset }
+                | None -> m)
+              e.e_memlet
+          in
+          ignore
+            (State.add_edge st ?src_conn:e.e_src_conn ?dst_conn:e.e_dst_conn
+               ?memlet
+               ~src:(Hashtbl.find remap e.e_src)
+               ~dst:(Hashtbl.find remap e.e_dst)
+               ()))
+        (State.edges inner_st);
+      List.iter
+        (fun (inid, _) ->
+          match Hashtbl.find_opt inner_st.st_scope_exit inid with
+          | Some x ->
+            State.set_scope st ~entry:(Hashtbl.find remap inid)
+              ~exit_:(Hashtbl.find remap x)
+          | None -> ())
+        (State.nodes inner_st);
+      (* reconnect exterior edges to the copied source/sink access nodes *)
+      Hashtbl.iter
+        (fun conn (e : edge) ->
+          (* source access of this container inside the inlined graph *)
+          let outer_name, _ = Hashtbl.find renames conn in
+          let target =
+            State.access_nodes_of st outer_name
+            |> List.filter (fun (anid, _) ->
+                   Hashtbl.fold (fun _ v acc -> acc || v = anid) remap false)
+            |> List.map fst
+          in
+          match target with
+          | anid :: _ ->
+            ignore
+              (reconnect st e ~src:e.e_src ~src_conn:e.e_src_conn ~dst:anid
+                 ~dst_conn:None ~memlet:None)
+          | [] -> State.remove_edge st e.e_id)
+        in_map;
+      Hashtbl.iter
+        (fun conn (e : edge) ->
+          let outer_name, _ = Hashtbl.find renames conn in
+          let target =
+            State.access_nodes_of st outer_name
+            |> List.filter (fun (anid, _) ->
+                   Hashtbl.fold (fun _ v acc -> acc || v = anid) remap false)
+            |> List.map fst
+          in
+          match List.rev target with
+          | anid :: _ ->
+            ignore
+              (reconnect st e ~src:anid ~src_conn:None ~dst:e.e_dst
+                 ~dst_conn:e.e_dst_conn ~memlet:e.e_memlet)
+          | [] -> State.remove_edge st e.e_id)
+        out_map;
+      State.remove_node st nid)
+
+(* --- ReducePeeling (§6.2) ------------------------------------------------------ *)
+
+(* Converts the write-conflict-resolution pattern of a map into a
+   sequential accumulation: the parameters that cause the conflict (those
+   absent from the conflicting output subset) are peeled onto an inner
+   sequential map, eliminating the need for atomics.  The WCR stays on the
+   memlet — accumulation order is now sequential, so the code generator
+   and machine model lower it to a plain read-modify-write. *)
+let reduce_peeling =
+  Xform.make ~name:"ReducePeeling"
+    ~description:
+      "Peels conflicting (reduction) dimensions of a map into an inner \
+       sequential loop, removing atomics."
+    ~find:(fun g ->
+      Sdfg.states g
+      |> List.concat_map (fun st ->
+             State.map_entries st
+             |> List.filter_map (fun (nid, m) ->
+                    if List.length m.mp_params < 2 then None
+                    else
+                      let exit_ = State.exit_of st nid in
+                      let conflicting =
+                        State.in_edges st exit_
+                        |> List.exists (fun (e : edge) ->
+                               match e.e_memlet with
+                               | Some mm when mm.m_wcr <> None ->
+                                 (* at least one param missing from subset *)
+                                 let syms = Subset.free_syms mm.m_subset in
+                                 List.exists
+                                   (fun p -> not (List.mem p syms))
+                                   m.mp_params
+                               | _ -> false)
+                      in
+                      if conflicting then
+                        Some
+                          (Xform.candidate ~state:(State.id st)
+                             ~note:(State.node_label st nid)
+                             [ ("map", nid) ])
+                      else None)))
+    ~apply:(fun g c ->
+      let st = state_of g c in
+      let entry = role c "map" in
+      let exit_ = State.exit_of st entry in
+      let m = map_info st entry in
+      (* params used in some conflicting output subset stay parallel *)
+      let wcr_subsets =
+        State.in_edges st exit_
+        |> List.filter_map (fun (e : edge) ->
+               match e.e_memlet with
+               | Some mm when mm.m_wcr <> None -> Some mm.m_subset
+               | _ -> None)
+      in
+      let used_syms =
+        List.concat_map Subset.free_syms wcr_subsets
+        |> List.sort_uniq String.compare
+      in
+      let parallel, peeled =
+        List.partition (fun p -> List.mem p used_syms) m.mp_params
+      in
+      if peeled = [] || parallel = [] then
+        Xform.not_applicable "ReducePeeling: nothing to peel";
+      (* reorder params so parallel ones come first, then expand *)
+      let rank p = if List.mem p parallel then 0 else 1 in
+      let order =
+        List.stable_sort (fun a b -> Int.compare (rank a) (rank b)) m.mp_params
+      in
+      let range_of p =
+        List.nth m.mp_ranges
+          (Option.get
+             (List.find_index (fun q -> String.equal q p) m.mp_params))
+      in
+      set_map_info st entry
+        { m with mp_params = order; mp_ranges = List.map range_of order };
+      let x = Map_xforms.map_expansion_at ~split:(List.length parallel) in
+      x.Xform.x_apply g (Xform.candidate ~state:c.Xform.c_state [ ("map", entry) ]);
+      ignore g)

@@ -1,0 +1,426 @@
+(* Map-scope transformations (paper Appendix B, Table 4):
+   MapCollapse, MapExpansion, MapInterchange, MapTiling, Vectorization. *)
+
+module Expr = Symbolic.Expr
+module Subset = Symbolic.Subset
+open Sdfg_ir
+open Defs
+open Helpers
+
+(* Two directly nested map scopes: every out-edge of the outer entry leads
+   to the inner entry and every in-edge of the outer exit comes from the
+   inner exit. *)
+let find_nested_maps (g : Sdfg.t) =
+  Sdfg.states g
+  |> List.concat_map (fun st ->
+         State.map_entries st
+         |> List.filter_map (fun (outer, _) ->
+                let outs = State.out_edges st outer in
+                match outs with
+                | [] -> None
+                | e0 :: _ ->
+                  let inner = e0.e_dst in
+                  if
+                    State.is_scope_entry st inner
+                    && (match State.node st inner with
+                       | Map_entry _ -> true
+                       | _ -> false)
+                    && List.for_all (fun (e : edge) -> e.e_dst = inner) outs
+                    && List.for_all
+                         (fun (e : edge) -> e.e_src = outer)
+                         (State.in_edges st inner)
+                  then
+                    Some
+                      (Xform.candidate ~state:(State.id st)
+                         ~note:
+                           (Fmt.str "maps %d/%d in %s" outer inner
+                              (State.label st))
+                         [ ("outer", outer); ("inner", inner) ])
+                  else None))
+
+(* Inner ranges must not depend on outer parameters for reordering-style
+   transformations. *)
+let ranges_independent (outer : map_info) (inner : map_info) =
+  List.for_all
+    (fun (r : Subset.range) ->
+      let syms =
+        Expr.free_syms r.start @ Expr.free_syms r.stop
+        @ Expr.free_syms r.stride
+      in
+      List.for_all (fun p -> not (List.mem p syms)) outer.mp_params)
+    inner.mp_ranges
+
+(* --- MapCollapse ---------------------------------------------------------- *)
+
+let map_collapse =
+  Xform.make ~name:"MapCollapse"
+    ~description:
+      "Collapses two nested maps into one; the new map has the union of \
+       the dimensions of the original maps."
+    ~find:(fun g ->
+      find_nested_maps g
+      |> List.filter (fun c ->
+             let st = state_of g c in
+             let o = map_info st (role c "outer") in
+             let i = map_info st (role c "inner") in
+             ranges_independent o i))
+    ~apply:(fun g c ->
+      let st = state_of g c in
+      let outer = role c "outer" and inner = role c "inner" in
+      let o = map_info st outer and i = map_info st inner in
+      let inner_exit = State.exit_of st inner in
+      let outer_exit = State.exit_of st outer in
+      set_map_info st outer
+        { o with
+          mp_params = o.mp_params @ i.mp_params;
+          mp_ranges = o.mp_ranges @ i.mp_ranges };
+      (* Splice out the inner entry: outer OUT_x feeds the inner scope's
+         consumers directly, with the innermost memlets. *)
+      List.iter
+        (fun (e_in : edge) ->
+          match e_in.e_dst_conn with
+          | Some cin when String.length cin > 3 && String.sub cin 0 3 = "IN_"
+            ->
+            let base = String.sub cin 3 (String.length cin - 3) in
+            List.iter
+              (fun (e_out : edge) ->
+                if e_out.e_src_conn = Some ("OUT_" ^ base) then
+                  ignore
+                    (State.add_edge st ~src:outer
+                       ?src_conn:(Some ("OUT_" ^ base))
+                       ?dst_conn:e_out.e_dst_conn ?memlet:e_out.e_memlet
+                       ~dst:e_out.e_dst ()))
+              (State.out_edges st inner)
+          | _ -> ())
+        (State.in_edges st inner);
+      (* Same for the inner exit feeding the outer exit. *)
+      List.iter
+        (fun (e_in : edge) ->
+          match e_in.e_dst_conn with
+          | Some cin when String.length cin > 3 && String.sub cin 0 3 = "IN_"
+            ->
+            let base = String.sub cin 3 (String.length cin - 3) in
+            List.iter
+              (fun (e_out : edge) ->
+                if e_out.e_src_conn = Some ("OUT_" ^ base) then
+                  ignore
+                    (State.add_edge st ~src:e_in.e_src
+                       ?src_conn:e_in.e_src_conn
+                       ?dst_conn:(Some ("IN_" ^ base)) ?memlet:e_in.e_memlet
+                       ~dst:outer_exit ()))
+              (State.out_edges st inner_exit)
+          | _ -> ())
+        (State.in_edges st inner_exit);
+      (* connector-less ordering edges (maps without inputs/outputs) *)
+      List.iter
+        (fun (e : edge) ->
+          if e.e_src_conn = None && e.e_memlet = None then
+            ignore (State.add_edge st ~src:outer ~dst:e.e_dst ()))
+        (State.out_edges st inner);
+      List.iter
+        (fun (e : edge) ->
+          if e.e_dst_conn = None && e.e_memlet = None then
+            ignore (State.add_edge st ~src:e.e_src ~dst:outer_exit ()))
+        (State.in_edges st inner_exit);
+      State.remove_node st inner;
+      State.remove_node st inner_exit)
+
+(* --- MapExpansion ---------------------------------------------------------- *)
+
+(* Split a multi-dimensional map into two nested maps: the first [split]
+   parameters stay on the outer map, the rest move to a fresh inner map. *)
+let map_expansion_at ~split =
+  Xform.make ~name:"MapExpansion"
+    ~description:
+      "Expands a multi-dimensional map to two nested ones; dimensions are \
+       split into two disjoint subsets."
+    ~find:(fun g ->
+      Sdfg.states g
+      |> List.concat_map (fun st ->
+             State.map_entries st
+             |> List.filter_map (fun (nid, m) ->
+                    if List.length m.mp_params >= 2 then
+                      Some
+                        (Xform.candidate ~state:(State.id st)
+                           ~note:(State.node_label st nid)
+                           [ ("map", nid) ])
+                    else None)))
+    ~apply:(fun g c ->
+      let st = state_of g c in
+      let entry = role c "map" in
+      let exit_ = State.exit_of st entry in
+      let m = map_info st entry in
+      let k =
+        let n = List.length m.mp_params in
+        if split <= 0 || split >= n then 1 else split
+      in
+      let take l n = List.filteri (fun i _ -> i < n) l in
+      let drop l n = List.filteri (fun i _ -> i >= n) l in
+      let inner_info =
+        { m with
+          mp_params = drop m.mp_params k;
+          mp_ranges = drop m.mp_ranges k;
+          mp_schedule = Sequential }
+      in
+      set_map_info st entry
+        { m with mp_params = take m.mp_params k; mp_ranges = take m.mp_ranges k };
+      let inner = State.add_node st (Map_entry inner_info) in
+      let inner_exit = State.add_node st Map_exit in
+      State.set_scope st ~entry:inner ~exit_:inner_exit;
+      (* Route every OUT_x of the outer entry through the inner entry. *)
+      List.iter
+        (fun (e : edge) ->
+          match e.e_src_conn with
+          | Some sc when String.length sc > 4 && String.sub sc 0 4 = "OUT_" ->
+            let base = String.sub sc 4 (String.length sc - 4) in
+            ignore
+              (State.add_edge st ~src:entry ~src_conn:sc
+                 ~dst_conn:("IN_" ^ base) ?memlet:e.e_memlet ~dst:inner ());
+            ignore
+              (reconnect st e ~src:inner ~src_conn:(Some sc)
+                 ~dst:e.e_dst ~dst_conn:e.e_dst_conn ~memlet:e.e_memlet)
+          | _ ->
+            (* connector-less ordering edge: reroute through inner scope *)
+            ignore
+              (reconnect st e ~src:inner ~src_conn:None ~dst:e.e_dst
+                 ~dst_conn:e.e_dst_conn ~memlet:e.e_memlet);
+            ignore (State.add_edge st ~src:entry ~dst:inner ()))
+        (State.out_edges st entry);
+      List.iter
+        (fun (e : edge) ->
+          match e.e_dst_conn with
+          | Some dc when String.length dc > 3 && String.sub dc 0 3 = "IN_" ->
+            let base = String.sub dc 3 (String.length dc - 3) in
+            ignore
+              (State.add_edge st ~src:inner_exit ~src_conn:("OUT_" ^ base)
+                 ~dst_conn:dc ?memlet:e.e_memlet ~dst:exit_ ());
+            ignore
+              (reconnect st e ~src:e.e_src ~src_conn:e.e_src_conn
+                 ~dst:inner_exit ~dst_conn:(Some dc) ~memlet:e.e_memlet)
+          | _ ->
+            ignore
+              (reconnect st e ~src:e.e_src ~src_conn:e.e_src_conn
+                 ~dst:inner_exit ~dst_conn:None ~memlet:e.e_memlet);
+            ignore (State.add_edge st ~src:inner_exit ~dst:exit_ ()))
+        (State.in_edges st exit_))
+
+let map_expansion = map_expansion_at ~split:1
+
+(* --- MapInterchange ---------------------------------------------------------- *)
+
+let map_interchange =
+  Xform.make ~name:"MapInterchange"
+    ~description:"Interchanges the position of two nested maps."
+    ~find:(fun g ->
+      find_nested_maps g
+      |> List.filter (fun c ->
+             let st = state_of g c in
+             let o = map_info st (role c "outer") in
+             let i = map_info st (role c "inner") in
+             ranges_independent o i
+             && List.for_all
+                  (fun (r : Subset.range) ->
+                    let syms =
+                      Expr.free_syms r.start @ Expr.free_syms r.stop
+                    in
+                    List.for_all
+                      (fun p -> not (List.mem p syms))
+                      i.mp_params)
+                  o.mp_ranges))
+    ~apply:(fun g c ->
+      let st = state_of g c in
+      let outer = role c "outer" and inner = role c "inner" in
+      let o = map_info st outer and i = map_info st inner in
+      (* Swap parameters and ranges; schedules stay with their position
+         (the outer scope keeps the parallelizing schedule). *)
+      set_map_info st outer
+        { o with mp_params = i.mp_params; mp_ranges = i.mp_ranges };
+      set_map_info st inner
+        { i with mp_params = o.mp_params; mp_ranges = o.mp_ranges })
+
+(* --- MapTiling ---------------------------------------------------------- *)
+
+(* Orthogonal tiling: wrap the matched map in a new outer map iterating
+   over tile origins; the original map becomes the intra-tile loop with a
+   min-clipped range. *)
+let map_tiling_sized ~tile_sizes =
+  Xform.make ~name:"MapTiling"
+    ~description:"Applies orthogonal tiling to a map."
+    ~find:(fun g ->
+      Sdfg.states g
+      |> List.concat_map (fun st ->
+             State.map_entries st
+             |> List.map (fun (nid, _) ->
+                    Xform.candidate ~state:(State.id st)
+                      ~note:(State.node_label st nid)
+                      [ ("map", nid) ])))
+    ~apply:(fun g c ->
+      let st = state_of g c in
+      let entry = role c "map" in
+      let exit_ = State.exit_of st entry in
+      let m = map_info st entry in
+      let tiles =
+        (* cycle tile_sizes to the map's dimensionality *)
+        List.mapi
+          (fun i _ ->
+            List.nth tile_sizes (i mod List.length tile_sizes))
+          m.mp_params
+      in
+      (* fresh parameter names: repeated tiling must not shadow the outer
+         tile parameters *)
+      let used =
+        State.nodes st
+        |> List.concat_map (fun (_, n) ->
+               match n with Map_entry mm -> mm.mp_params | _ -> [])
+      in
+      let tile_params =
+        List.map
+          (fun p ->
+            let base = "tile_" ^ p in
+            if not (List.mem base used) then base
+            else
+              let rec go i =
+                let cand = Fmt.str "%s_%d" base i in
+                if List.mem cand used then go (i + 1) else cand
+              in
+              go 1)
+          m.mp_params
+      in
+      let tile_ranges =
+        List.map2
+          (fun (r : Subset.range) t ->
+            { r with
+              stride = Expr.mul r.stride (Expr.int t) })
+          m.mp_ranges tiles
+      in
+      let inner_ranges =
+        List.map2
+          (fun ((r : Subset.range), tp) t ->
+            let t0 = Expr.sym tp in
+            { Subset.start = t0;
+              stop =
+                Expr.min_ r.stop
+                  (Expr.add t0
+                     (Expr.mul (Expr.int (t - 1)) r.stride));
+              stride = r.stride;
+              tile = r.tile })
+          (List.combine m.mp_ranges tile_params)
+          tiles
+      in
+      let outer_info =
+        { m with mp_params = tile_params; mp_ranges = tile_ranges }
+      in
+      set_map_info st entry
+        { m with mp_ranges = inner_ranges; mp_schedule = Sequential };
+      let o_entry = State.add_node st (Map_entry outer_info) in
+      let o_exit = State.add_node st Map_exit in
+      State.set_scope st ~entry:o_entry ~exit_:o_exit;
+      (* Outer edges of the original entry now pass through the new scope. *)
+      List.iter
+        (fun (e : edge) ->
+          match e.e_dst_conn with
+          | Some dc when String.length dc > 3 && String.sub dc 0 3 = "IN_" ->
+            ignore
+              (reconnect st e ~src:e.e_src ~src_conn:e.e_src_conn ~dst:o_entry
+                 ~dst_conn:(Some dc) ~memlet:e.e_memlet);
+            let base = String.sub dc 3 (String.length dc - 3) in
+            ignore
+              (State.add_edge st ~src:o_entry ~src_conn:("OUT_" ^ base)
+                 ~dst_conn:dc ?memlet:e.e_memlet ~dst:entry ())
+          | _ ->
+            ignore
+              (reconnect st e ~src:e.e_src ~src_conn:e.e_src_conn ~dst:o_entry
+                 ~dst_conn:None ~memlet:e.e_memlet);
+            ignore (State.add_edge st ~src:o_entry ~dst:entry ()))
+        (State.in_edges st entry);
+      List.iter
+        (fun (e : edge) ->
+          match e.e_src_conn with
+          | Some sc when String.length sc > 4 && String.sub sc 0 4 = "OUT_" ->
+            ignore
+              (reconnect st e ~src:o_exit ~src_conn:(Some sc) ~dst:e.e_dst
+                 ~dst_conn:e.e_dst_conn ~memlet:e.e_memlet);
+            let base = String.sub sc 4 (String.length sc - 4) in
+            ignore
+              (State.add_edge st ~src:exit_ ~src_conn:sc
+                 ~dst_conn:("IN_" ^ base) ?memlet:e.e_memlet ~dst:o_exit ())
+          | _ ->
+            ignore
+              (reconnect st e ~src:o_exit ~src_conn:None ~dst:e.e_dst
+                 ~dst_conn:e.e_dst_conn ~memlet:e.e_memlet);
+            ignore (State.add_edge st ~src:exit_ ~dst:o_exit ()))
+        (State.out_edges st exit_);
+      (* Maps without inputs/outputs still need scope-structure edges so
+         the original map is dominated by the new outer entry. *)
+      if State.in_edges st entry = [] then
+        ignore (State.add_edge st ~src:o_entry ~dst:entry ());
+      if State.out_edges st exit_ = [] then
+        ignore (State.add_edge st ~src:exit_ ~dst:o_exit ()))
+
+let map_tiling = map_tiling_sized ~tile_sizes:[ 32 ]
+
+(* --- Vectorization ---------------------------------------------------------- *)
+
+(* Strip-mine the innermost (last) map dimension by the vector width and
+   mark the intra-vector map unrolled — the code generator turns it into
+   vector extensions, and the machine model credits SIMD throughput. *)
+let vectorization_width ~width =
+  Xform.make ~name:"Vectorization"
+    ~description:"Alters the data accesses to use vectors."
+    ~find:(fun g ->
+      Sdfg.states g
+      |> List.concat_map (fun st ->
+             State.map_entries st
+             |> List.filter_map (fun (nid, m) ->
+                    (* innermost: scope contains no further maps *)
+                    let has_inner_map =
+                      State.scope_nodes st nid
+                      |> List.exists (fun x ->
+                             match State.node st x with
+                             | Map_entry _ -> true
+                             | _ -> false)
+                    in
+                    let unit_stride =
+                      match List.rev m.mp_ranges with
+                      | r :: _ -> Expr.as_int r.Subset.stride = Some 1
+                      | [] -> false
+                    in
+                    if (not has_inner_map) && unit_stride && not m.mp_unroll
+                    then
+                      Some
+                        (Xform.candidate ~state:(State.id st)
+                           ~note:(State.node_label st nid)
+                           [ ("map", nid) ])
+                    else None)))
+    ~apply:(fun g c ->
+      let st = state_of g c in
+      let entry = role c "map" in
+      let m = map_info st entry in
+      let n = List.length m.mp_params in
+      (* Expand so the last dimension is alone on an inner map, then turn
+         that inner map into the vector lane loop. *)
+      if n > 1 then begin
+        let x = map_expansion_at ~split:(n - 1) in
+        x.Xform.x_apply g
+          (Xform.candidate ~state:c.Xform.c_state [ ("map", entry) ]);
+        (* the inner map is the newest Map_entry in the state *)
+        let inner =
+          State.map_entries st |> List.map fst
+          |> List.fold_left max 0
+        in
+        let im = map_info st inner in
+        set_map_info st inner
+          { im with mp_unroll = true; mp_schedule = Sequential };
+        let tiled = map_tiling_sized ~tile_sizes:[ width ] in
+        tiled.Xform.x_apply g
+          (Xform.candidate ~state:c.Xform.c_state [ ("map", inner) ])
+      end
+      else begin
+        set_map_info st entry
+          { m with mp_unroll = true; mp_schedule = Sequential };
+        let tiled = map_tiling_sized ~tile_sizes:[ width ] in
+        tiled.Xform.x_apply g
+          (Xform.candidate ~state:c.Xform.c_state [ ("map", entry) ])
+      end)
+
+let vectorization = vectorization_width ~width:8

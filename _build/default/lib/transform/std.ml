@@ -1,0 +1,46 @@
+(* The standard transformation library (paper §4.1: "we provide a standard
+   library of such transformations, which is meant to be used as a
+   baseline for performance engineers"; Appendix B, Table 4). *)
+
+let all : Xform.t list =
+  [ Map_xforms.map_collapse;
+    Map_xforms.map_expansion;
+    Fusion_xforms.map_fusion;
+    Map_xforms.map_interchange;
+    Fusion_xforms.map_reduce_fusion;
+    Map_xforms.map_tiling;
+    Data_xforms.double_buffering;
+    Data_xforms.local_storage;
+    Data_xforms.accumulate_transient;
+    Data_xforms.local_stream;
+    Map_xforms.vectorization;
+    Control_xforms.map_to_for_loop;
+    Fusion_xforms.state_fusion;
+    Control_xforms.inline_sdfg;
+    Device_xforms.fpga_transform;
+    Device_xforms.gpu_transform;
+    Device_xforms.mpi_transform;
+    Data_xforms.redundant_array;
+    Control_xforms.reduce_peeling;
+    Cleanup_xforms.trivial_map_elimination;
+    Cleanup_xforms.state_elimination;
+    Cleanup_xforms.prune_connectors;
+    Cleanup_xforms.map_unroll ]
+
+(* Register the full standard library with the global registry; idempotent. *)
+let register_all () = List.iter Xform.register all
+
+let () = register_all ()
+
+(* Strict transformations can only improve the program and are applied
+   automatically after frontend processing (Appendix D: "strict
+   transformations ... include StateFusion and InlineSDFG"). *)
+let strict : Xform.t list =
+  [ Data_xforms.redundant_array;
+    Fusion_xforms.state_fusion;
+    Control_xforms.inline_sdfg;
+    Cleanup_xforms.trivial_map_elimination;
+    Cleanup_xforms.state_elimination ]
+
+let apply_strict (g : Sdfg_ir.Sdfg.t) =
+  List.iter (fun x -> Xform.apply_until_fixpoint g x) strict

@@ -1,0 +1,113 @@
+(* The transformation interface and registry (paper §4.1).
+
+   A transformation is a named "find and replace" operation: [find]
+   enumerates candidate subgraph matches (pattern matching plus the
+   programmatic [can_be_applied]-style checks), [apply] rewrites the SDFG
+   in place.  Transformations registered here are discoverable by name,
+   which is how DIODE-style interactive tools and the optimization-chain
+   files ("optimization version control", §4.2) refer to them. *)
+
+open Sdfg_ir
+
+type candidate = {
+  c_state : int;                   (* state the match lives in *)
+  c_nodes : (string * int) list;   (* pattern role -> node id *)
+  c_note : string;                 (* human-readable description *)
+}
+
+let candidate ?(note = "") ~state nodes =
+  { c_state = state; c_nodes = nodes; c_note = note }
+
+type t = {
+  x_name : string;
+  x_description : string;
+  x_find : Sdfg.t -> candidate list;
+  x_apply : Sdfg.t -> candidate -> unit;
+}
+
+exception Not_applicable of string
+
+let not_applicable fmt = Fmt.kstr (fun s -> raise (Not_applicable s)) fmt
+
+let make ~name ~description ~find ~apply =
+  { x_name = name; x_description = description; x_find = find; x_apply = apply }
+
+(* --- registry --------------------------------------------------------------- *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let register (x : t) = Hashtbl.replace registry x.x_name x
+
+let lookup name =
+  match Hashtbl.find_opt registry name with
+  | Some x -> x
+  | None -> not_applicable "unknown transformation %S" name
+
+let all () =
+  Hashtbl.fold (fun _ x acc -> x :: acc) registry []
+  |> List.sort (fun a b -> String.compare a.x_name b.x_name)
+
+(* --- application ------------------------------------------------------------- *)
+
+(* Apply a transformation to one candidate and re-validate; propagation
+   keeps outer memlets consistent with the rewritten dataflow. *)
+let apply ?(validate = true) (g : Sdfg.t) (x : t) (c : candidate) =
+  x.x_apply g c;
+  Propagate.propagate g;
+  if validate then Validate.check g
+
+(* Apply to the first candidate found.  Raises {!Not_applicable} if the
+   pattern does not occur. *)
+let apply_first ?(validate = true) (g : Sdfg.t) (x : t) =
+  match x.x_find g with
+  | [] -> not_applicable "%s: no matching subgraph" x.x_name
+  | c :: _ -> apply ~validate g x c
+
+let apply_by_name ?(validate = true) g name =
+  apply_first ~validate g (lookup name)
+
+(* Apply a transformation repeatedly until it no longer matches (bounded,
+   to guard against non-terminating rewrite loops). *)
+let apply_until_fixpoint ?(validate = true) ?(max_iter = 128) g (x : t) =
+  let rec go i =
+    if i >= max_iter then ()
+    else
+      match x.x_find g with
+      | [] -> ()
+      | c :: _ ->
+        apply ~validate g x c;
+        go (i + 1)
+  in
+  go 0
+
+(* An optimization chain: a named sequence of transformation applications,
+   the file format behind "save transformation chains to files" (§4.2). *)
+type chain_step = { cs_xform : string; cs_index : int }
+
+let apply_chain ?(validate = true) g (steps : chain_step list) =
+  List.iter
+    (fun s ->
+      let x = lookup s.cs_xform in
+      let cands = x.x_find g in
+      match List.nth_opt cands s.cs_index with
+      | Some c -> apply ~validate g x c
+      | None ->
+        not_applicable "%s: candidate %d of %d does not exist" s.cs_xform
+          s.cs_index (List.length cands))
+    steps
+
+let chain_to_string steps =
+  String.concat "\n"
+    (List.map (fun s -> Fmt.str "%s %d" s.cs_xform s.cs_index) steps)
+
+let chain_of_string text =
+  text |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.split_on_char ' ' line with
+           | [ name ] -> Some { cs_xform = name; cs_index = 0 }
+           | [ name; idx ] ->
+             Some { cs_xform = name; cs_index = int_of_string idx }
+           | _ -> not_applicable "malformed chain line %S" line)

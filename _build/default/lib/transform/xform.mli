@@ -1,0 +1,73 @@
+(** The transformation interface and registry (paper §4.1).
+
+    A transformation is a named "find and replace" operation on SDFGs:
+    [x_find] enumerates candidate subgraph matches (pattern matching plus
+    programmatic [can_be_applied]-style checks), [x_apply] rewrites the
+    graph in place.  {!apply} re-propagates memlets and re-validates, so
+    transformations compose "in a verifiable manner (without breaking
+    semantics)" (§2). *)
+
+type candidate = {
+  c_state : int;                  (** state the match lives in *)
+  c_nodes : (string * int) list;  (** pattern role -> node id *)
+  c_note : string;                (** human-readable description *)
+}
+
+val candidate :
+  ?note:string -> state:int -> (string * int) list -> candidate
+
+type t = {
+  x_name : string;
+  x_description : string;
+  x_find : Sdfg_ir.Sdfg.t -> candidate list;
+  x_apply : Sdfg_ir.Sdfg.t -> candidate -> unit;
+}
+
+exception Not_applicable of string
+
+val not_applicable : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val make :
+  name:string ->
+  description:string ->
+  find:(Sdfg_ir.Sdfg.t -> candidate list) ->
+  apply:(Sdfg_ir.Sdfg.t -> candidate -> unit) ->
+  t
+
+(** {1 Registry}
+
+    Named registration makes transformations discoverable by interactive
+    tools and by optimization-chain files ("optimization version
+    control", §4.2). *)
+
+val register : t -> unit
+val lookup : string -> t
+val all : unit -> t list
+
+(** {1 Application} *)
+
+val apply : ?validate:bool -> Sdfg_ir.Sdfg.t -> t -> candidate -> unit
+(** Apply to one candidate, then re-run memlet propagation and (unless
+    [validate:false]) the validation pass. *)
+
+val apply_first : ?validate:bool -> Sdfg_ir.Sdfg.t -> t -> unit
+(** Apply to the first candidate.
+    @raise Not_applicable if no subgraph matches. *)
+
+val apply_by_name : ?validate:bool -> Sdfg_ir.Sdfg.t -> string -> unit
+
+val apply_until_fixpoint :
+  ?validate:bool -> ?max_iter:int -> Sdfg_ir.Sdfg.t -> t -> unit
+(** Re-find and apply until the pattern no longer occurs (bounded). *)
+
+(** {1 Optimization chains (§4.2)}
+
+    A chain is a replayable sequence of (transformation, candidate index)
+    steps — the file format behind "save transformation chains to files
+    ... when tuning to different architectures". *)
+
+type chain_step = { cs_xform : string; cs_index : int }
+
+val apply_chain : ?validate:bool -> Sdfg_ir.Sdfg.t -> chain_step list -> unit
+val chain_to_string : chain_step list -> string
+val chain_of_string : string -> chain_step list

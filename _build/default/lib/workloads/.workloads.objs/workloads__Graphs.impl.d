@@ -1,0 +1,1 @@
+lib/workloads/graphs.ml: Array Bexp Build Builder Fmt Interp List Memlet Propagate Queue Random Sdfg Sdfg_ir State Symbolic Tasklang Util Validate Wcr

@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Array Build Builder Defs Hashtbl List Memlet Option Polybench Random Sdfg Sdfg_ir State Symbolic Tasklang Util Wcr

@@ -1,0 +1,1 @@
+lib/workloads/polybench.ml: Build Builder List Sdfg Sdfg_ir String Symbolic Util Wcr

@@ -1,0 +1,1 @@
+lib/workloads/sse.ml: Build Builder List Propagate Sdfg Sdfg_ir State Symbolic Util Validate Wcr

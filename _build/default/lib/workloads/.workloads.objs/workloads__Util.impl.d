@@ -1,0 +1,1 @@
+lib/workloads/util.ml: Bexp Build Builder Defs Interp Random Sdfg Sdfg_ir State Symbolic Tasklang

@@ -1,0 +1,225 @@
+(* Graph workloads (§6.3): data-driven push-based BFS over SDFGs, and
+   synthetic graph generators matched to Table 5's dataset statistics
+   (road networks: average degree ~2.4 and high diameter; social
+   networks/Kronecker: power-law degrees and low diameter). *)
+
+module E = Symbolic.Expr
+module S = Symbolic.Subset
+module T = Tasklang.Types
+open Sdfg_ir
+open Builder
+open Util
+
+(* --- CSR graphs -------------------------------------------------------------- *)
+
+type graph = {
+  gr_name : string;
+  gr_nodes : int;
+  gr_edges : int;
+  gr_row : int array;   (* V+1 *)
+  gr_col : int array;   (* E *)
+  gr_avg_degree : float;
+  gr_max_degree : int;
+}
+
+let of_adjacency name adj =
+  let v = Array.length adj in
+  let e = Array.fold_left (fun acc l -> acc + List.length l) 0 adj in
+  let row = Array.make (v + 1) 0 in
+  let col = Array.make (max 1 e) 0 in
+  let pos = ref 0 in
+  let maxd = ref 0 in
+  Array.iteri
+    (fun i l ->
+      row.(i) <- !pos;
+      let l = List.sort_uniq compare l in
+      maxd := max !maxd (List.length l);
+      List.iter
+        (fun j ->
+          col.(!pos) <- j;
+          incr pos)
+        l)
+    adj;
+  row.(v) <- !pos;
+  let col = Array.sub col 0 (max 1 !pos) in
+  { gr_name = name; gr_nodes = v; gr_edges = !pos; gr_row = row;
+    gr_col = col;
+    gr_avg_degree = float_of_int !pos /. float_of_int (max 1 v);
+    gr_max_degree = !maxd }
+
+(* Road-network analogue: a W x H lattice with occasional diagonal
+   shortcuts — degree ~2-4, very high diameter (like USA/OSM-Europe). *)
+let road_grid ~width ~height ~seed =
+  let st = Random.State.make [| seed |] in
+  let v = width * height in
+  let adj = Array.make v [] in
+  let id x y = (y * width) + x in
+  let link a b =
+    adj.(a) <- b :: adj.(a);
+    adj.(b) <- a :: adj.(b)
+  in
+  (* keep ~72% of lattice edges symmetrically: average degree ~2.9 with
+     road-like high diameter, staying (mostly) connected *)
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      if x + 1 < width && Random.State.float st 1.0 < 0.72 then
+        link (id x y) (id (x + 1) y);
+      if y + 1 < height && Random.State.float st 1.0 < 0.72 then
+        link (id x y) (id x (y + 1))
+    done
+  done;
+  (* a spanning backbone keeps the grid connected *)
+  for y = 0 to height - 1 do
+    if y + 1 < height then link (id 0 y) (id 0 (y + 1))
+  done;
+  for x = 0 to width - 2 do
+    link (id x 0) (id (x + 1) 0)
+  done;
+  of_adjacency (Fmt.str "road_%dx%d" width height) adj
+
+(* RMAT/Kronecker-style generator: power-law degrees, low diameter (like
+   twitter / soc-LiveJournal / kron21). *)
+let rmat ~scale ~edge_factor ~seed =
+  let st = Random.State.make [| seed |] in
+  let v = 1 lsl scale in
+  let e = v * edge_factor in
+  let adj = Array.make v [] in
+  let a, b, c = (0.57, 0.19, 0.19) in
+  for _ = 1 to e do
+    let src = ref 0 and dst = ref 0 in
+    for bit = scale - 1 downto 0 do
+      let r = Random.State.float st 1.0 in
+      if r < a then ()
+      else if r < a +. b then dst := !dst lor (1 lsl bit)
+      else if r < a +. b +. c then src := !src lor (1 lsl bit)
+      else begin
+        src := !src lor (1 lsl bit);
+        dst := !dst lor (1 lsl bit)
+      end
+    done;
+    if !src <> !dst then adj.(!src) <- !dst :: adj.(!src)
+  done;
+  of_adjacency (Fmt.str "rmat_s%d" scale) adj
+
+(* Table 5 datasets, scaled down proportionally for simulation; the bench
+   harness reports the scaled sizes next to the paper's originals. *)
+let datasets ~scale_shift =
+  [ ("usa", `Road (1 lsl (9 - scale_shift), 1 lsl (9 - scale_shift)));
+    ("osm-eur", `Road (1 lsl (10 - scale_shift), 1 lsl (9 - scale_shift)));
+    ("soc-lj", `Rmat (14 - scale_shift, 14));
+    ("twitter", `Rmat (15 - scale_shift, 38));
+    ("kron21", `Rmat (13 - scale_shift, 86)) ]
+
+let load ~scale_shift name =
+  match List.assoc name (datasets ~scale_shift) with
+  | `Road (w, h) -> road_grid ~width:w ~height:h ~seed:42
+  | `Rmat (scale, ef) -> rmat ~scale ~edge_factor:ef ~seed:42
+
+(* --- BFS as an SDFG (Fig. 16) -------------------------------------------------- *)
+
+(* Data-driven push BFS: the primary state maps over the current frontier,
+   pushing newly discovered vertices into a (local, then global) stream,
+   and accumulating the next frontier size with a Sum WCR; the state
+   machine loops while the frontier is non-empty ("fsz>0; d++"). *)
+let bfs () =
+  let g = Sdfg.create ~symbols:[ "V"; "Efull" ] "bfs" in
+  let v = s "V" in
+  Sdfg.add_array g "G_row" ~shape:[ E.add v E.one ] ~dtype:i64;
+  Sdfg.add_array g "G_col" ~shape:[ s "Efull" ] ~dtype:i64;
+  Sdfg.add_array g "depth" ~shape:[ v ] ~dtype:i64;
+  Sdfg.add_array g "frontier" ~shape:[ v ] ~dtype:i64;
+  Sdfg.add_scalar g "fsz" ~dtype:i64;
+  Sdfg.add_scalar g ~transient:true "fsz_next" ~dtype:i64;
+  Sdfg.add_stream g "gstream" ~dtype:i64;
+  (* main level expansion *)
+  let main = Sdfg.add_state g ~label:"level" () in
+  pmap g main ~name:"update_and_push" ~params:[ "f" ]
+    ~ranges:[ rng E.zero (E.sub (s "fsz") E.one) ]
+    ~ins:
+      [ Build.in_elem "src" "frontier" [ s "f" ];
+        Build.in_ ~dynamic:true "grow" "G_row" [ S.full (E.add v E.one) ];
+        Build.in_ ~dynamic:true "gcol" "G_col" [ S.full (s "Efull") ];
+        Build.in_ ~dynamic:true "dep" "depth" [ S.full v ] ]
+    ~outs:
+      [ Build.out_ ~dynamic:true "depw" "depth" [ S.full v ];
+        Build.out_ ~dynamic:true "next" "gstream" [ S.index E.zero ];
+        Build.out_elem ~wcr:Wcr.sum ~dynamic:true "nsz" "fsz_next" [ E.zero ] ]
+    ~code:
+      (`Src
+        "nd = dep[src] + 1\n\
+         for e in grow[src]:grow[src + 1] { nid = gcol[e]\n\
+         if dep[nid] < 0 { depw[nid] = nd\nnext = nid\nnsz = 1 } }");
+  (* drain the stream into the frontier array and swap sizes *)
+  let advance = Sdfg.add_state g ~label:"advance" () in
+  let s_acc = Build.access advance "gstream" in
+  let f_acc = Build.access advance "frontier" in
+  Build.edge advance
+    ~memlet:(Memlet.dyn "gstream" [ S.index E.zero ])
+    ~src:s_acc ~dst:f_acc ();
+  ignore
+    (Build.simple_tasklet g advance ~name:"swap_sizes"
+       ~ins:[ Build.in_elem "nsz" "fsz_next" [ E.zero ] ]
+       ~outs:
+         [ Build.out_elem "fo" "fsz" [ E.zero ];
+           Build.out_elem "nz" "fsz_next" [ E.zero ] ]
+       ~code:(`Src "fo = nsz\nnz = 0") ());
+  ignore (Sdfg.add_transition g ~src:(State.id main) ~dst:(State.id advance) ());
+  ignore
+    (Sdfg.add_transition g ~src:(State.id advance) ~dst:(State.id main)
+       ~cond:(Bexp.gt (s "fsz") E.zero)
+       ());
+  Propagate.propagate g;
+  Validate.check g;
+  g
+
+(* Reference BFS for validation, and host-side preparation. *)
+let reference_bfs (gr : graph) ~source =
+  let depth = Array.make gr.gr_nodes (-1) in
+  depth.(source) <- 0;
+  let q = Queue.create () in
+  Queue.push source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    for e = gr.gr_row.(u) to gr.gr_row.(u + 1) - 1 do
+      let w = gr.gr_col.(e) in
+      if depth.(w) < 0 then begin
+        depth.(w) <- depth.(u) + 1;
+        Queue.push w q
+      end
+    done
+  done;
+  depth
+
+(* Run the BFS SDFG on a concrete graph through the interpreter. *)
+let run_bfs (gr : graph) ~source =
+  let g = bfs () in
+  let vi = gr.gr_nodes in
+  let row =
+    Interp.Tensor.of_int_array T.I64 [| vi + 1 |] gr.gr_row
+  in
+  let col =
+    Interp.Tensor.of_int_array T.I64
+      [| max 1 gr.gr_edges |]
+      (if gr.gr_edges = 0 then [| 0 |] else gr.gr_col)
+  in
+  let depth =
+    Interp.Tensor.init T.I64 [| vi |] (fun idx ->
+        T.I (if List.hd idx = source then 0 else -1))
+  in
+  let frontier =
+    Interp.Tensor.init T.I64 [| vi |] (fun idx ->
+        T.I (if List.hd idx = 0 then source else 0))
+  in
+  let fsz = Interp.Tensor.init T.I64 [||] (fun _ -> T.I 1) in
+  ignore
+    (Interp.Exec.run g
+       ~symbols:[ ("V", vi); ("Efull", max 1 gr.gr_edges) ]
+       ~args:
+         [ ("G_row", row); ("G_col", col); ("depth", depth);
+           ("frontier", frontier); ("fsz", fsz) ]);
+  depth
+
+(* Number of BFS levels — the state-visit hint for the cost model. *)
+let bfs_levels (gr : graph) ~source =
+  let depth = reference_bfs gr ~source in
+  Array.fold_left max 0 depth + 1

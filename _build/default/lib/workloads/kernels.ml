@@ -1,0 +1,191 @@
+(* The five fundamental computational kernels of §6.1:
+   Matrix Multiplication, Jacobi stencil, Histogram, Query, and SpMV —
+   each as the SDFG the frontend would produce, parametric in size. *)
+
+module E = Symbolic.Expr
+module S = Symbolic.Subset
+open Sdfg_ir
+open Builder
+open Util
+
+(* MM: C = A @ B via WCR (the result of MapReduceFusion on Fig. 9b). *)
+let matmul () =
+  let g = Sdfg.create ~symbols:[ "M"; "N"; "K" ] "mm" in
+  let m = s "M" and n = s "N" and k = s "K" in
+  mat g "A" m k;
+  mat g "B" k n;
+  mat g "C" m n;
+  let init = Sdfg.add_state g ~label:"init" () in
+  pmap g init ~name:"zero_c" ~params:[ "i"; "j" ] ~ranges:[ r0 m; r0 n ]
+    ~ins:[]
+    ~outs:[ Build.out_elem "c" "C" [ s "i"; s "j" ] ]
+    ~code:(`Src "c = 0.0");
+  let main = Sdfg.add_state g ~label:"main" () in
+  chain g init main;
+  pmap g main ~name:"mult" ~params:[ "i"; "j"; "k" ]
+    ~ranges:[ r0 m; r0 n; r0 k ]
+    ~ins:
+      [ Build.in_elem "a" "A" [ s "i"; s "k" ];
+        Build.in_elem "b" "B" [ s "k"; s "j" ] ]
+    ~outs:[ Build.out_elem ~wcr:Wcr.sum "c" "C" [ s "i"; s "j" ] ]
+    ~code:(`Src "c = a * b");
+  Build.finalize g
+
+(* The map-reduce form of Fig. 9b (start of the Fig. 15 chain). *)
+let matmul_mapreduce () =
+  let g = Sdfg.create ~symbols:[ "M"; "N"; "K" ] "mm_mapreduce" in
+  let m = s "M" and n = s "N" and k = s "K" in
+  mat g "A" m k;
+  mat g "B" k n;
+  mat g "C" m n;
+  Sdfg.add_array g "tmp" ~transient:true ~shape:[ m; n; k ] ~dtype:f64;
+  let st = Sdfg.add_state g ~label:"main" () in
+  ignore
+    (Build.map_reduce g st ~name:"mult" ~params:[ "i"; "j"; "k" ]
+       ~schedule:Defs.Cpu_multicore
+       ~ranges:[ r0 m; r0 n; r0 k ]
+       ~ins:
+         [ Build.in_elem "a" "A" [ s "i"; s "k" ];
+           Build.in_elem "b" "B" [ s "k"; s "j" ] ]
+       ~out_conn:"t" ~tmp_data:"tmp"
+       ~tmp_subset:(S.of_indices [ s "i"; s "j"; s "k" ])
+       ~out_data:"C"
+       ~out_subset:(S.of_shape [ m; n ])
+       ~wcr:Wcr.sum ~code:(`Src "t = a * b") ());
+  (* reduce over the k axis with identity 0 *)
+  let rnode =
+    State.nodes st
+    |> List.find_map (fun (nid, nd) ->
+           match nd with Defs.Reduce _ -> Some nid | _ -> None)
+    |> Option.get
+  in
+  State.replace_node st rnode
+    (Defs.Reduce
+       { r_wcr = Defs.Wcr_sum; r_axes = Some [ 2 ];
+         r_identity = Some (Tasklang.Types.F 0.) });
+  Build.finalize g
+
+(* Jacobi: 5-point stencil, T time steps, ping-pong buffers (§6.1). *)
+let jacobi () = (Polybench.find "jacobi-2d").Polybench.k_build ()
+
+(* Histogram: 256 bins over an H x W image with a Sum WCR (§6.1). *)
+let histogram () =
+  let g = Sdfg.create ~symbols:[ "H"; "W" ] "histogram" in
+  let h = s "H" and w = s "W" in
+  mat g "image" h w;
+  Sdfg.add_array g "hist" ~shape:[ i 256 ] ~dtype:i64;
+  let init = Sdfg.add_state g ~label:"init" () in
+  pmap g init ~name:"zero_hist" ~params:[ "b" ] ~ranges:[ r0 (i 256) ]
+    ~ins:[]
+    ~outs:[ Build.out_elem "o" "hist" [ s "b" ] ]
+    ~code:(`Src "o = 0");
+  let main = Sdfg.add_state g ~label:"main" () in
+  chain g init main;
+  pmap g main ~name:"bin" ~params:[ "y"; "x" ] ~ranges:[ r0 h; r0 w ]
+    ~ins:[ Build.in_elem "px" "image" [ s "y"; s "x" ] ]
+    ~outs:
+      [ Build.out_ ~wcr:Wcr.sum ~dynamic:true "out" "hist"
+          [ S.full (i 256) ] ]
+    ~code:(`Src "b = floor(px * 256.0)\nout[min(max(b, 0), 255)] = 1");
+  Build.finalize g
+
+(* Query: filter ~50% of a column into a compacted output via a stream,
+   counting matches (§6.1: "streaming data access"). *)
+let query () =
+  let g = Sdfg.create ~symbols:[ "N" ] "query" in
+  let n = s "N" in
+  vec g "column" n;
+  vec g "output" n;
+  Sdfg.add_scalar g "count" ~dtype:i64;
+  Sdfg.add_stream g "matches" ~dtype:f64;
+  let main = Sdfg.add_state g ~label:"main" () in
+  ignore
+    (Build.mapped_tasklet g main ~name:"filter" ~params:[ "i" ]
+       ~schedule:Defs.Cpu_multicore ~ranges:[ r0 n ]
+       ~ins:[ Build.in_elem "v" "column" [ s "i" ] ]
+       ~outs:
+         [ Build.out_ ~dynamic:true "o" "matches" [ S.index E.zero ];
+           Build.out_elem ~wcr:Wcr.sum ~dynamic:true "c" "count" [ E.zero ] ]
+       ~code:(`Src "if v > 0.5 { o = v\nc = 1 }")
+       ());
+  (* drain the stream into the compacted output *)
+  let drain = Sdfg.add_state g ~label:"drain" () in
+  chain g main drain;
+  let s_acc = Build.access drain "matches" in
+  let o_acc = Build.access drain "output" in
+  Build.edge drain
+    ~memlet:(Memlet.dyn "matches" [ S.index E.zero ])
+    ~src:s_acc ~dst:o_acc ();
+  Build.finalize g
+
+(* SpMV: CSR with data-dependent row extents (Fig. 4 / Appendix F). *)
+let spmv () =
+  let g = Sdfg.create ~symbols:[ "H"; "W"; "nnz" ] "spmv" in
+  let h = s "H" and w = s "W" and nnz = s "nnz" in
+  Sdfg.add_array g "A_row" ~shape:[ E.add h E.one ] ~dtype:i64;
+  Sdfg.add_array g "A_col" ~shape:[ nnz ] ~dtype:i64;
+  vec g "A_val" nnz;
+  vec g "x" w;
+  vec g "b" h;
+  let main = Sdfg.add_state g ~label:"main" () in
+  pmap g main ~name:"row_dot" ~params:[ "i" ] ~ranges:[ r0 h ]
+    ~ins:
+      [ Build.in_ "rows" "A_row" [ rng (s "i") (E.add (s "i") E.one) ];
+        Build.in_ ~dynamic:true "vals" "A_val" [ S.full nnz ];
+        Build.in_ ~dynamic:true "cols" "A_col" [ S.full nnz ];
+        Build.in_ ~dynamic:true "xin" "x" [ S.full w ] ]
+    ~outs:[ Build.out_elem "o" "b" [ s "i" ] ]
+    ~code:
+      (`Src
+        "acc = 0.0\nfor j in rows[0]:rows[1] { acc = acc + vals[j] * xin[cols[j]] }\no = acc");
+  Build.finalize g
+
+(* CSR generator: [rows] x [cols] with ~nnz_per_row nonzeros per row. *)
+let csr_matrix ~rows ~cols ~nnz_per_row ~seed =
+  let st = Random.State.make [| seed |] in
+  let row_ptr = Array.make (rows + 1) 0 in
+  let entries = ref [] in
+  let count = ref 0 in
+  for r = 0 to rows - 1 do
+    row_ptr.(r) <- !count;
+    let k = max 1 (nnz_per_row + Random.State.int st 3 - 1) in
+    let k = min k cols in
+    let used = Hashtbl.create k in
+    for _ = 1 to k do
+      let c = Random.State.int st cols in
+      if not (Hashtbl.mem used c) then begin
+        Hashtbl.add used c ();
+        entries := (r, c, Random.State.float st 1.0) :: !entries;
+        incr count
+      end
+    done
+  done;
+  row_ptr.(rows) <- !count;
+  let ents =
+    List.sort
+      (fun (r1, c1, _) (r2, c2, _) ->
+        if r1 <> r2 then compare r1 r2 else compare c1 c2)
+      !entries
+  in
+  let nnz = List.length ents in
+  let col_idx = Array.make nnz 0 and values = Array.make nnz 0. in
+  List.iteri
+    (fun i (_, c, v) ->
+      col_idx.(i) <- c;
+      values.(i) <- v)
+    ents;
+  (* recompute row_ptr from sorted entries *)
+  let rp = Array.make (rows + 1) 0 in
+  List.iter (fun (r, _, _) -> rp.(r + 1) <- rp.(r + 1) + 1) ents;
+  for r = 1 to rows do
+    rp.(r) <- rp.(r) + rp.(r - 1)
+  done;
+  (rp, col_idx, values)
+
+(* Paper §6.1 sizes. *)
+let paper_sizes =
+  [ ("mm", [ ("M", 2048); ("N", 2048); ("K", 2048) ]);
+    ("jacobi", [ ("N", 2048); ("T", 1024) ]);
+    ("histogram", [ ("H", 8192); ("W", 8192) ]);
+    ("query", [ ("N", 67108864) ]);
+    ("spmv", [ ("H", 8192); ("W", 8192); ("nnz", 33554432) ]) ]

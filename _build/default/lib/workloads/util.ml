@@ -1,0 +1,77 @@
+(* Shared helpers for workload construction. *)
+
+module E = Symbolic.Expr
+module S = Symbolic.Subset
+module T = Tasklang.Types
+open Sdfg_ir
+open Builder
+
+let f64 = T.F64
+let i64 = T.I64
+
+let r0 n = S.range E.zero (E.sub n E.one)       (* [0 : n-1] *)
+let r1 n = S.range E.one (E.sub n E.one)        (* [1 : n-1] *)
+let rng a b = S.range a b                        (* inclusive *)
+
+let s = E.sym
+let i = E.int
+
+(* A state executing [body] inside a symbol-driven loop
+   [for sym = lo .. hi-1] in the state machine (the canonical
+   MapToForLoop'd structure used for loop-carried dependencies). *)
+let loop_state g ~sym ~lo ~hi ?(label = sym ^ "_loop") build_body =
+  (* [pre] is created first so it becomes the start state when the loop
+     opens the SDFG *)
+  let pre = Sdfg.add_state g ~label:(label ^ "_init") () in
+  let body = Sdfg.add_state g ~label () in
+  build_body body;
+  ignore
+    (Sdfg.add_transition g ~src:(State.id pre) ~dst:(State.id body)
+       ~assign:[ (sym, lo) ] ());
+  ignore
+    (Sdfg.add_transition g ~src:(State.id body) ~dst:(State.id body)
+       ~cond:(Bexp.lt (E.add (s sym) E.one) hi)
+       ~assign:[ (sym, E.add (s sym) E.one) ]
+       ());
+  (pre, body)
+
+(* Chain two states with an unconditional transition. *)
+let chain g a b =
+  ignore (Sdfg.add_transition g ~src:(State.id a) ~dst:(State.id b) ())
+
+(* Chain from a loop (its body state's natural exit) to the next state:
+   transition taken when the loop condition fails. *)
+let chain_after_loop g ~body ~sym ~hi next =
+  ignore
+    (Sdfg.add_transition g ~src:(State.id body) ~dst:(State.id next)
+       ~cond:(Bexp.ge (E.add (s sym) E.one) hi)
+       ())
+
+(* Mapped tasklet with the CPU-parallel schedule — the default produced by
+   the Python frontend for `dace.map` (§3.3). *)
+let pmap g st ~name ~params ~ranges ~ins ~outs ~code =
+  ignore
+    (Build.mapped_tasklet g st ~name ~params ~ranges
+       ~schedule:Defs.Cpu_multicore ~ins ~outs ~code ())
+
+(* Sequential mapped tasklet (loop-carried or small trip counts). *)
+let smap g st ~name ~params ~ranges ~ins ~outs ~code =
+  ignore
+    (Build.mapped_tasklet g st ~name ~params ~ranges
+       ~schedule:Defs.Sequential ~ins ~outs ~code ())
+
+(* Declarations *)
+let mat g name a b = Sdfg.add_array g name ~shape:[ a; b ] ~dtype:f64
+let vec g name a = Sdfg.add_array g name ~shape:[ a ] ~dtype:f64
+let cube g name a b c = Sdfg.add_array g name ~shape:[ a; b; c ] ~dtype:f64
+let tmat g name a b =
+  Sdfg.add_array g name ~transient:true ~shape:[ a; b ] ~dtype:f64
+let tvec g name a =
+  Sdfg.add_array g name ~transient:true ~shape:[ a ] ~dtype:f64
+
+(* Random tensors for interpreter runs. *)
+let rand_f shape seed =
+  let st = Random.State.make [| seed |] in
+  Interp.Tensor.init f64 shape (fun _ -> T.F (Random.State.float st 2.0 -. 1.0))
+
+let zeros shape = Interp.Tensor.create f64 shape

@@ -1,0 +1,1 @@
+test/fixtures.ml: Bexp Build Builder Defs List Memlet Option Propagate Sdfg Sdfg_ir State Symbolic Tasklang Wcr

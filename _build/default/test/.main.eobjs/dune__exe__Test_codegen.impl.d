@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Codegen Fixtures List String Symbolic Transform Workloads

@@ -1,0 +1,1 @@
+test/test_crossval.ml: Alcotest Exec Float Fmt Interp List Machine Sdfg Sdfg_ir State String Symbolic Tasklang Tensor Transform Workloads

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Builder Exec Fixtures Float Fmt Interp List QCheck2 QCheck_alcotest Sdfg_ir Symbolic Tasklang Tensor

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Build Builder Defs Dot Fixtures Hashtbl List Memlet Option QCheck2 QCheck_alcotest Sdfg Sdfg_ir State String Symbolic Tasklang Validate Wcr

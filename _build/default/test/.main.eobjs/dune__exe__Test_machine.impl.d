@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Baselines Fixtures Float Fmt List Machine Sdfg_ir Symbolic Transform Workloads

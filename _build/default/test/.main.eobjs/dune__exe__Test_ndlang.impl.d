@@ -1,0 +1,1 @@
+test/test_ndlang.ml: Alcotest Builder Exec Fmt Interp List Symbolic Tasklang Tensor Transform

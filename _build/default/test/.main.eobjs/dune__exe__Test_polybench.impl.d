@@ -1,0 +1,1 @@
+test/test_polybench.ml: Alcotest Array Defs Exec Float Fmt Hashtbl Interp List Sdfg Sdfg_ir String Symbolic Tasklang Tensor Transform Validate Workloads

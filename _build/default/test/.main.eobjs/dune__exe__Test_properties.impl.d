@@ -1,0 +1,1 @@
+test/test_properties.ml: Defs Exec Fixtures Float Interp List QCheck2 QCheck_alcotest Sdfg Sdfg_ir Serialize Symbolic Tasklang Tensor Transform Validate

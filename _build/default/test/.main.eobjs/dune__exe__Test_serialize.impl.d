@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Exec Fixtures Interp List Sdfg Sdfg_ir Serialize State Tasklang Tensor Transform Validate Workloads

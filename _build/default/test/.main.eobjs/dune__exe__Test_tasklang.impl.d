@@ -1,0 +1,1 @@
+test/test_tasklang.ml: Alcotest Array Ast Emit Eval List Parse String Tasklang Typecheck Types

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Exec Float Fmt Interp List Symbolic Tasklang Tensor Workloads

@@ -1,0 +1,1 @@
+test/test_xform.ml: Alcotest Builder Defs Exec Fixtures Fmt Interp List Machine Memlet Sdfg Sdfg_ir State String Symbolic Tasklang Tensor Transform Workloads

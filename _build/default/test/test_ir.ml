@@ -1,0 +1,212 @@
+(* IR-level tests: state graph operations, scope computation, memlet
+   paths, validation errors, propagation, and Graphviz export. *)
+
+module E = Symbolic.Expr
+module S = Symbolic.Subset
+module T = Tasklang.Types
+open Sdfg_ir
+open Builder
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+let test_graph_ops () =
+  let st = State.create 0 in
+  let a = State.add_node st (Defs.Access "A") in
+  let b = State.add_node st (Defs.Access "B") in
+  let c = State.add_node st (Defs.Access "C") in
+  let e1 = State.add_edge st ~src:a ~dst:b () in
+  ignore (State.add_edge st ~src:b ~dst:c ());
+  Alcotest.(check int) "nodes" 3 (State.num_nodes st);
+  Alcotest.(check int) "edges" 2 (State.num_edges st);
+  Alcotest.(check (list int)) "topo" [ a; b; c ] (State.topological_order st);
+  Alcotest.(check (list int)) "succ of a" [ b ] (State.successors st a);
+  Alcotest.(check (list int)) "pred of c" [ b ] (State.predecessors st c);
+  State.remove_edge st e1.Defs.e_id;
+  Alcotest.(check int) "edge removed" 1 (State.num_edges st);
+  State.remove_node st b;
+  Alcotest.(check int) "node removal drops incident edges" 0
+    (State.num_edges st);
+  (* cycles are rejected *)
+  let st2 = State.create 1 in
+  let x = State.add_node st2 (Defs.Access "X") in
+  let y = State.add_node st2 (Defs.Access "Y") in
+  ignore (State.add_edge st2 ~src:x ~dst:y ());
+  ignore (State.add_edge st2 ~src:y ~dst:x ());
+  Alcotest.check_raises "cycle detected"
+    (Defs.Invalid_sdfg "state \"state\": dataflow graph has a cycle")
+    (fun () -> ignore (State.topological_order st2))
+
+let test_scopes () =
+  let g = Fixtures.vector_add () in
+  let st = Sdfg.start_state g in
+  let entry, _ = List.hd (State.map_entries st) in
+  let parents = State.scope_parents st in
+  let body = State.scope_nodes st entry in
+  Alcotest.(check int) "one node inside the map scope" 1 (List.length body);
+  List.iter
+    (fun nid ->
+      Alcotest.(check (option int)) "body parent is the entry" (Some entry)
+        (Hashtbl.find parents nid))
+    body;
+  (* connected components: one component *)
+  Alcotest.(check int) "one component" 1
+    (List.length (State.connected_components st))
+
+let test_memlet_path () =
+  let g = Fixtures.vector_add () in
+  let st = Sdfg.start_state g in
+  (* the edge A-access -> map entry continues to the tasklet *)
+  let edge =
+    State.edges st
+    |> List.find (fun (e : Defs.edge) ->
+           match State.node st e.Defs.e_src with
+           | Defs.Access "A" -> true
+           | _ -> false)
+  in
+  let path = State.memlet_path st edge in
+  Alcotest.(check int) "path spans entry" 2 (List.length path);
+  (match State.node st (List.nth path 1).Defs.e_dst with
+  | Defs.Tasklet t -> Alcotest.(check string) "ends at tasklet" "add" t.t_name
+  | _ -> Alcotest.fail "path should end at the tasklet")
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_sdfg" name
+  | exception Defs.Invalid_sdfg _ -> ()
+
+let test_validation_errors () =
+  (* memlet referencing an unknown container *)
+  expect_invalid "unknown container" (fun () ->
+      let g, st = Build.single_state "bad" in
+      Sdfg.add_array g "A" ~shape:[ E.int 4 ] ~dtype:T.F64;
+      let a = Build.access st "A" in
+      let b = State.add_node st (Defs.Access "GHOST") in
+      Build.edge st ~memlet:(Memlet.element "GHOST" [ E.zero ]) ~src:a ~dst:b
+        ();
+      Validate.check g);
+  (* dimensionality mismatch *)
+  expect_invalid "rank mismatch" (fun () ->
+      let g, st = Build.single_state "bad2" in
+      Sdfg.add_array g "A" ~shape:[ E.int 4; E.int 4 ] ~dtype:T.F64;
+      ignore
+        (Build.simple_tasklet g st ~name:"t"
+           ~ins:[ Build.in_elem "a" "A" [ E.zero ] ]
+           ~outs:[] ~code:(`Src "x = a") ());
+      Validate.check g);
+  (* tasklet reading a name that is neither connector nor local *)
+  expect_invalid "tasklet external access" (fun () ->
+      let g, st = Build.single_state "bad3" in
+      Sdfg.add_array g "A" ~shape:[ E.int 4 ] ~dtype:T.F64;
+      ignore
+        (Build.simple_tasklet g st ~name:"t" ~ins:[]
+           ~outs:[ Build.out_elem "o" "A" [ E.zero ] ]
+           ~code:(`Src "o = hidden_global") ());
+      Validate.check g);
+  (* duplicate map parameters *)
+  expect_invalid "duplicate params" (fun () ->
+      let g, st = Build.single_state ~symbols:[ "N" ] "bad4" in
+      Sdfg.add_array g "A" ~shape:[ E.sym "N" ] ~dtype:T.F64;
+      ignore
+        (Build.mapped_tasklet g st ~name:"t" ~params:[ "i"; "i" ]
+           ~ranges:[ S.full (E.sym "N"); S.full (E.sym "N") ]
+           ~ins:[]
+           ~outs:[ Build.out_elem "o" "A" [ E.sym "i" ] ]
+           ~code:(`Src "o = 1.0") ());
+      Validate.check g);
+  (* GPU thread-block schedule outside a GPU device map *)
+  expect_invalid "schedule nesting" (fun () ->
+      let g, st = Build.single_state ~symbols:[ "N" ] "bad5" in
+      Sdfg.add_array g "A" ~shape:[ E.sym "N" ] ~dtype:T.F64;
+      ignore
+        (Build.mapped_tasklet g st ~name:"t" ~params:[ "i" ]
+           ~schedule:Defs.Gpu_threadblock
+           ~ranges:[ S.full (E.sym "N") ]
+           ~ins:[]
+           ~outs:[ Build.out_elem "o" "A" [ E.sym "i" ] ]
+           ~code:(`Src "o = 1.0") ());
+      Validate.check g)
+
+let test_propagation () =
+  let g = Fixtures.vector_add () in
+  let st = Sdfg.start_state g in
+  (* the outer edge into the map entry must carry the propagated subset *)
+  let entry, _ = List.hd (State.map_entries st) in
+  let outer = List.hd (State.in_edges st entry) in
+  let m = Option.get outer.Defs.e_memlet in
+  Alcotest.(check string) "propagated image" "[0:N]"
+    (S.to_string m.Defs.m_subset);
+  (* access count = one per iteration *)
+  Alcotest.(check string) "access count" "N"
+    (E.to_string m.Defs.m_accesses)
+
+let test_free_symbols () =
+  let g = Fixtures.vector_add () in
+  Alcotest.(check (list string)) "free symbols" [ "N" ] (Sdfg.free_symbols g);
+  let g2 = Fixtures.laplace () in
+  Alcotest.(check (list string)) "laplace symbols" [ "N"; "T" ]
+    (Sdfg.free_symbols g2)
+
+let test_dot_export () =
+  let g = Fixtures.matmul_mapreduce () in
+  let dot = Dot.of_sdfg g in
+  Alcotest.(check bool) "has digraph" true (contains dot "digraph");
+  Alcotest.(check bool) "access ellipse" true (contains dot "shape=ellipse");
+  Alcotest.(check bool) "map trapezium" true (contains dot "shape=trapezium");
+  Alcotest.(check bool) "reduce triangle" true
+    (contains dot "shape=invtriangle");
+  (* WCR memlets render dashed, as in the paper's figures *)
+  let g3 = Fixtures.matmul_wcr () in
+  Alcotest.(check bool) "WCR dashed" true
+    (contains (Dot.of_sdfg g3) "style=dashed")
+
+let test_clone_independence () =
+  let g = Fixtures.vector_add () in
+  let g' = Sdfg.clone g in
+  let st' = Sdfg.start_state g' in
+  (* mutate the clone; the original must be unaffected *)
+  let n = State.num_nodes (Sdfg.start_state g) in
+  State.remove_node st' (fst (List.hd (State.map_entries st')));
+  Alcotest.(check int) "original intact" n
+    (State.num_nodes (Sdfg.start_state g))
+
+let test_wcr_semantics () =
+  let check_id wcr dt expect =
+    match Wcr.identity wcr dt with
+    | Some v -> Alcotest.(check (float 0.)) "identity" expect (T.to_float v)
+    | None -> Alcotest.fail "expected identity"
+  in
+  check_id Wcr.sum T.F64 0.;
+  check_id Wcr.prod T.F64 1.;
+  let v =
+    Wcr.apply (Wcr.of_code "old + 2 * new") ~old_v:(T.F 1.) ~new_v:(T.F 3.)
+  in
+  Alcotest.(check (float 1e-12)) "custom combiner" 7. (T.to_float v)
+
+(* property: WCR sum application is order-insensitive over a batch *)
+let prop_wcr_commutes =
+  QCheck2.Test.make ~count:200 ~name:"WCR sum is order-insensitive"
+    QCheck2.Gen.(list_size (int_range 1 12) (int_range (-50) 50))
+    (fun xs ->
+      let fold order =
+        List.fold_left
+          (fun acc v -> Wcr.apply Wcr.sum ~old_v:acc ~new_v:(T.I v))
+          (T.I 0) order
+      in
+      T.to_int (fold xs) = T.to_int (fold (List.rev xs)))
+
+let suite =
+  [ ("state graph operations", `Quick, test_graph_ops);
+    ("scope computation", `Quick, test_scopes);
+    ("memlet paths", `Quick, test_memlet_path);
+    ("validation rejects malformed SDFGs", `Quick, test_validation_errors);
+    ("memlet propagation on the IR", `Quick, test_propagation);
+    ("free symbol inference", `Quick, test_free_symbols);
+    ("Graphviz export", `Quick, test_dot_export);
+    ("clone independence", `Quick, test_clone_independence);
+    ("WCR semantics", `Quick, test_wcr_semantics) ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_wcr_commutes ]

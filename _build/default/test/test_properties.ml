@@ -1,0 +1,206 @@
+(* Cross-cutting property-based tests (qcheck): invariants of the subset
+   algebra, serialization, the tasklet language, and end-to-end
+   transformation pipelines on randomly generated programs. *)
+
+module E = Symbolic.Expr
+module S = Symbolic.Subset
+module T = Tasklang.Types
+open Sdfg_ir
+open Interp
+
+(* --- subset algebra ----------------------------------------------------- *)
+
+let gen_crange =
+  QCheck2.Gen.(
+    map2
+      (fun a len -> S.range (E.int a) (E.int (a + len)))
+      (int_range 0 20) (int_range 0 10))
+
+let prop_union_covers_both =
+  QCheck2.Test.make ~count:300 ~name:"subset union covers both operands"
+    QCheck2.Gen.(pair gen_crange gen_crange)
+    (fun (a, b) ->
+      let u = S.union [ a ] [ b ] in
+      S.covers u [ a ] && S.covers u [ b ])
+
+let prop_compose_offset_inverse =
+  QCheck2.Test.make ~count:300
+    ~name:"offset_by inverts compose for stride-1 ranges"
+    QCheck2.Gen.(pair gen_crange gen_crange)
+    (fun (outer, inner) ->
+      let composed = S.compose [ outer ] [ inner ] in
+      let back = S.offset_by composed ~origin:[ outer ] in
+      S.equal back [ inner ])
+
+let prop_volume_counts_points =
+  QCheck2.Test.make ~count:300
+    ~name:"symbolic volume equals enumerated point count"
+    QCheck2.Gen.(
+      pair gen_crange
+        (map2
+           (fun a s -> S.range ~stride:(E.int s) (E.int a) (E.int (a + 7)))
+           (int_range 0 5) (int_range 1 3)))
+    (fun (r1, r2) ->
+      let s = [ r1; r2 ] in
+      let vol = E.as_int_exn (S.volume s) in
+      let pts = S.concrete_points (S.eval_list [] s) in
+      vol = List.length pts)
+
+let prop_propagation_sound =
+  (* every concrete point of the per-iteration subset lies inside the
+     propagated image, for all parameter values *)
+  QCheck2.Test.make ~count:200 ~name:"memlet propagation is sound"
+    QCheck2.Gen.(
+      triple (int_range 0 5) (int_range 1 8) (int_range (-3) 3))
+    (fun (lo, extent, shift) ->
+      let prange = S.range (E.int lo) (E.int (lo + extent)) in
+      let subset =
+        [ S.range
+            (E.add (E.sym "p") (E.int shift))
+            (E.add (E.sym "p") (E.int (shift + 2))) ]
+      in
+      let image = S.propagate_param ~param:"p" ~prange subset in
+      let ok = ref true in
+      for p = lo to lo + extent do
+        let inst = S.subst_list [ ("p", E.int p) ] subset in
+        if not (S.covers image inst) then ok := false
+      done;
+      !ok)
+
+(* --- serialization ------------------------------------------------------- *)
+
+let gen_expr =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [ map E.int (int_range (-9) 9); map E.sym (oneofl [ "N"; "i" ]) ]
+  in
+  let rec go n =
+    if n = 0 then leaf
+    else
+      oneof
+        [ leaf;
+          map2 E.add (go (n - 1)) (go (n - 1));
+          map2 E.mul (go (n - 1)) (go (n - 1));
+          map2 E.min_ (go (n - 1)) (go (n - 1)) ]
+  in
+  go 3
+
+let prop_expr_sexp_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"expression serialization roundtrips"
+    gen_expr
+    (fun e ->
+      let s = Serialize.sexp_to_string (Serialize.expr_to_sexp e) in
+      E.equal (E.simplify (Serialize.expr_of_sexp (Serialize.parse_sexp s)))
+        (E.simplify e))
+
+(* --- tasklang: evaluation is deterministic and total on generated code --- *)
+
+let gen_tasklet_expr =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [ map (fun x -> Tasklang.Ast.Float_lit x) (float_range (-10.) 10.);
+        return (Tasklang.Ast.Var "a");
+        return (Tasklang.Ast.Var "b") ]
+  in
+  let rec go n =
+    if n = 0 then leaf
+    else
+      oneof
+        [ leaf;
+          map2
+            (fun x y -> Tasklang.Ast.Binop (Tasklang.Ast.Add, x, y))
+            (go (n - 1)) (go (n - 1));
+          map2
+            (fun x y -> Tasklang.Ast.Binop (Tasklang.Ast.Mul, x, y))
+            (go (n - 1)) (go (n - 1));
+          map2
+            (fun x y -> Tasklang.Ast.Binop (Tasklang.Ast.Min, x, y))
+            (go (n - 1)) (go (n - 1)) ]
+  in
+  go 4
+
+let prop_tasklet_print_parse_eval =
+  QCheck2.Test.make ~count:300
+    ~name:"tasklet print/parse preserves evaluation"
+    QCheck2.Gen.(triple gen_tasklet_expr (float_range (-5.) 5.) (float_range (-5.) 5.))
+    (fun (e, av, bv) ->
+      let eval e =
+        T.to_float
+          (Tasklang.Eval.eval_expression
+             ~scalars:[ ("a", T.F av); ("b", T.F bv) ]
+             e)
+      in
+      let printed = Tasklang.Ast.to_string [ Tasklang.Ast.Assign (Tasklang.Ast.Lvar "o", e) ] in
+      match Tasklang.Parse.program printed with
+      | [ Tasklang.Ast.Assign (_, e') ] ->
+        let v = eval e and v' = eval e' in
+        Float.equal v v' || Float.abs (v -. v') < 1e-9 *. Float.abs v
+      | _ -> false)
+
+(* --- end-to-end: random transformation pipelines preserve semantics ------- *)
+
+let run_mm g =
+  let m, n, k = (6, 5, 4) in
+  let a =
+    Tensor.init T.F64 [| m; k |] (fun idx ->
+        T.F (sin (float_of_int (List.fold_left ( + ) 3 idx))))
+  in
+  let b =
+    Tensor.init T.F64 [| k; n |] (fun idx ->
+        T.F (cos (float_of_int (List.fold_left ( + ) 5 idx))))
+  in
+  let c = Tensor.create T.F64 [| m; n |] in
+  ignore
+    (Exec.run g
+       ~symbols:[ ("M", m); ("N", n); ("K", k) ]
+       ~args:[ ("A", a); ("B", b); ("C", c) ]);
+  Tensor.to_float_list c
+
+let pipeline_pool : (string * (Sdfg.t -> unit)) list =
+  [ ("expand", fun g -> Transform.Xform.apply_first g Transform.Map_xforms.map_expansion);
+    ("tile2", fun g ->
+      Transform.Xform.apply_first g
+        (Transform.Map_xforms.map_tiling_sized ~tile_sizes:[ 2 ]));
+    ("tile3", fun g ->
+      Transform.Xform.apply_first g
+        (Transform.Map_xforms.map_tiling_sized ~tile_sizes:[ 3 ]));
+    ("acc", fun g ->
+      Transform.Xform.apply_first g Transform.Data_xforms.accumulate_transient);
+    ("peel", fun g ->
+      Transform.Xform.apply_first g Transform.Control_xforms.reduce_peeling);
+    ("fuse_states", fun g ->
+      Transform.Xform.apply_first g Transform.Fusion_xforms.state_fusion);
+    ("gpu", fun g ->
+      Transform.Xform.apply_first g Transform.Device_xforms.gpu_transform) ]
+
+let prop_random_pipelines =
+  QCheck2.Test.make ~count:40
+    ~name:"random transformation pipelines preserve GEMM results"
+    QCheck2.Gen.(list_size (int_range 1 4) (int_range 0 (List.length pipeline_pool - 1)))
+    (fun choices ->
+      let reference = run_mm (Fixtures.matmul_wcr ()) in
+      let g = Fixtures.matmul_wcr () in
+      List.iter
+        (fun i ->
+          let _, f = List.nth pipeline_pool i in
+          try f g with
+          | Transform.Xform.Not_applicable _ -> ()
+          | Defs.Invalid_sdfg _ -> ())
+        choices;
+      Validate.check g;
+      let got = run_mm g in
+      List.for_all2
+        (fun a b -> Float.abs (a -. b) < 1e-9 *. (1. +. Float.abs a))
+        reference got)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_union_covers_both;
+      prop_compose_offset_inverse;
+      prop_volume_counts_points;
+      prop_propagation_sound;
+      prop_expr_sexp_roundtrip;
+      prop_tasklet_print_parse_eval;
+      prop_random_pipelines ]

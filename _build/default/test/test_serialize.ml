@@ -1,0 +1,105 @@
+(* Serialization round-trip tests: save/load must preserve structure AND
+   behaviour (interpreter results identical). *)
+
+module T = Tasklang.Types
+open Sdfg_ir
+open Interp
+
+let roundtrip g = Serialize.of_string (Serialize.to_string g)
+
+let test_structural_roundtrip () =
+  List.iter
+    (fun (name, build) ->
+      let g = build () in
+      let g' = roundtrip g in
+      Validate.check g';
+      Alcotest.(check int) (name ^ ": states") (Sdfg.num_states g)
+        (Sdfg.num_states g');
+      Alcotest.(check int)
+        (name ^ ": containers")
+        (List.length (Sdfg.descs g))
+        (List.length (Sdfg.descs g'));
+      Alcotest.(check int)
+        (name ^ ": transitions")
+        (List.length (Sdfg.transitions g))
+        (List.length (Sdfg.transitions g'));
+      List.iter2
+        (fun st st' ->
+          Alcotest.(check int)
+            (name ^ ": nodes of " ^ State.label st)
+            (State.num_nodes st) (State.num_nodes st');
+          Alcotest.(check int)
+            (name ^ ": edges of " ^ State.label st)
+            (State.num_edges st) (State.num_edges st'))
+        (Sdfg.states g) (Sdfg.states g');
+      (* second roundtrip is a fixpoint *)
+      Alcotest.(check string)
+        (name ^ ": serialization fixpoint")
+        (Serialize.to_string g')
+        (Serialize.to_string (roundtrip g')))
+    [ ("vadd", Fixtures.vector_add);
+      ("mapreduce mm", Fixtures.matmul_mapreduce);
+      ("laplace", Fixtures.laplace);
+      ("fibonacci (streams+consume)", Fixtures.fibonacci);
+      ("nested sdfg", Fixtures.nested_loop);
+      ("spmv", Fixtures.spmv);
+      ("bfs", Workloads.Graphs.bfs) ]
+
+let test_behavioural_roundtrip () =
+  let run g =
+    let a =
+      Tensor.init T.F64 [| 7 |] (fun i -> T.F (cos (float_of_int (List.hd i))))
+    in
+    let b =
+      Tensor.init T.F64 [| 7 |] (fun i -> T.F (float_of_int (List.hd i * 2)))
+    in
+    let c = Tensor.create T.F64 [| 7 |] in
+    ignore
+      (Exec.run g ~symbols:[ ("N", 7) ]
+         ~args:[ ("A", a); ("B", b); ("C", c) ]);
+    Tensor.to_float_list c
+  in
+  Alcotest.(check (list (float 1e-12)))
+    "loaded SDFG computes identically"
+    (run (Fixtures.vector_add ()))
+    (run (roundtrip (Fixtures.vector_add ())))
+
+let test_transformed_roundtrip () =
+  (* transformations survive a save/load cycle (optimization version
+     control, §4.2) *)
+  let g = Fixtures.matmul_wcr () in
+  Transform.Xform.apply_first g
+    (Transform.Map_xforms.map_tiling_sized ~tile_sizes:[ 3 ]);
+  Transform.Xform.apply_first g Transform.Device_xforms.gpu_transform;
+  let g' = roundtrip g in
+  Validate.check g';
+  let run g =
+    let m, n, k = (5, 4, 6) in
+    let a = Tensor.init T.F64 [| m; k |] (fun idx -> T.F (float_of_int (List.fold_left ( + ) 1 idx))) in
+    let b = Tensor.init T.F64 [| k; n |] (fun idx -> T.F (float_of_int (List.fold_left ( + ) 2 idx))) in
+    let c = Tensor.create T.F64 [| m; n |] in
+    ignore
+      (Exec.run g
+         ~symbols:[ ("M", m); ("N", n); ("K", k) ]
+         ~args:[ ("A", a); ("B", b); ("C", c) ]);
+    Tensor.to_float_list c
+  in
+  Alcotest.(check (list (float 1e-9))) "transformed+loaded identical" (run g)
+    (run g')
+
+let test_parse_errors () =
+  let fails s =
+    match Serialize.of_string s with
+    | exception Serialize.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected Parse_error for %S" s
+  in
+  fails "";
+  fails "(sdfg)";
+  fails "(sdfg \"x\" (symbols) (containers) (states) (transitions";
+  fails "(not-an-sdfg)"
+
+let suite =
+  [ ("structural roundtrip", `Quick, test_structural_roundtrip);
+    ("behavioural roundtrip", `Quick, test_behavioural_roundtrip);
+    ("transformed SDFGs roundtrip", `Quick, test_transformed_roundtrip);
+    ("parse errors", `Quick, test_parse_errors) ]

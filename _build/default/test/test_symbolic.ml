@@ -1,0 +1,222 @@
+(* Tests for the symbolic expression and subset engine. *)
+
+module E = Symbolic.Expr
+module S = Symbolic.Subset
+
+let check_expr msg expected e =
+  Alcotest.(check string) msg expected (E.to_string (E.simplify e))
+
+let test_constant_folding () =
+  check_expr "2+3" "5" (E.add (E.int 2) (E.int 3));
+  check_expr "2*3+1" "7" (E.add (E.mul (E.int 2) (E.int 3)) E.one);
+  check_expr "x-x" "0" (E.sub (E.sym "x") (E.sym "x"));
+  check_expr "x+x" "2*x" (E.add (E.sym "x") (E.sym "x"));
+  check_expr "0*x" "0" (E.mul E.zero (E.sym "x"));
+  check_expr "1*x" "x" (E.mul E.one (E.sym "x"))
+
+let test_like_terms () =
+  let x = E.sym "x" and y = E.sym "y" in
+  check_expr "2x+3x" "5*x" (E.add (E.mul (E.int 2) x) (E.mul (E.int 3) x));
+  check_expr "x*y - y*x" "0" (E.sub (E.mul x y) (E.mul y x));
+  check_expr "2(x+1)-2x" "2"
+    (E.sub (E.mul (E.int 2) (E.add x E.one)) (E.mul (E.int 2) x))
+
+let test_div_mod () =
+  Alcotest.(check int) "7/2" 3 (E.as_int_exn (E.div (E.int 7) (E.int 2)));
+  Alcotest.(check int) "-7/2 floor" (-4)
+    (E.as_int_exn (E.div (E.int (-7)) (E.int 2)));
+  Alcotest.(check int) "-7 mod 2" 1
+    (E.as_int_exn (E.modulo (E.int (-7)) (E.int 2)));
+  check_expr "x/x" "1" (E.div (E.sym "x") (E.sym "x"));
+  check_expr "(4x)/2" "2*x" (E.div (E.mul (E.int 4) (E.sym "x")) (E.int 2));
+  check_expr "x mod x" "0" (E.modulo (E.sym "x") (E.sym "x"))
+
+let test_min_max () =
+  Alcotest.(check int) "min" 2 (E.as_int_exn (E.min_ (E.int 5) (E.int 2)));
+  Alcotest.(check int) "max" 5 (E.as_int_exn (E.max_ (E.int 5) (E.int 2)));
+  check_expr "min(x,x)" "x" (E.min_ (E.sym "x") (E.sym "x"))
+
+let test_eval () =
+  let e = E.add (E.mul (E.sym "N") (E.sym "i")) (E.sym "j") in
+  Alcotest.(check int) "N*i+j" 42
+    (E.eval_list [ ("N", 10); ("i", 4); ("j", 2) ] e);
+  Alcotest.check_raises "unbound raises" (E.Unbound_symbol "z") (fun () ->
+      ignore (E.eval_list [] (E.sym "z")))
+
+let test_subst () =
+  let e = E.add (E.sym "i") (E.sym "j") in
+  check_expr "subst i->5" "5 + j" (E.subst1 "i" (E.int 5) e);
+  let e2 = E.subst1 "i" (E.add (E.sym "k") E.one) e in
+  Alcotest.(check int) "nested subst" 7
+    (E.eval_list [ ("k", 3); ("j", 3) ] e2)
+
+let test_free_syms () =
+  let e = E.add (E.mul (E.sym "a") (E.sym "b")) (E.div (E.sym "a") (E.int 2)) in
+  Alcotest.(check (list string)) "free syms" [ "a"; "b" ] (E.free_syms e)
+
+let test_ceil_div () =
+  Alcotest.(check int) "ceil 7/2" 4
+    (E.as_int_exn (E.ceil_div (E.int 7) (E.int 2)));
+  Alcotest.(check int) "ceil 8/2" 4
+    (E.as_int_exn (E.ceil_div (E.int 8) (E.int 2)))
+
+let test_bounds () =
+  (* image of 2*i + 1 for i in [0, 9] is [1, 19] *)
+  let env name =
+    if name = "i" then Some { E.lo = E.zero; hi = E.int 9 } else None
+  in
+  let iv = E.bounds env (E.add (E.mul (E.int 2) (E.sym "i")) E.one) in
+  Alcotest.(check int) "lo" 1 (E.as_int_exn iv.E.lo);
+  Alcotest.(check int) "hi" 19 (E.as_int_exn iv.E.hi);
+  (* negative coefficient flips the endpoints *)
+  let iv2 = E.bounds env (E.mul (E.int (-1)) (E.sym "i")) in
+  Alcotest.(check int) "neg lo" (-9) (E.as_int_exn iv2.E.lo);
+  Alcotest.(check int) "neg hi" 0 (E.as_int_exn iv2.E.hi)
+
+(* --- subsets -------------------------------------------------------------- *)
+
+let test_subset_volume () =
+  let s = [ S.range E.zero (E.int 9); S.range E.zero (E.int 4) ] in
+  Alcotest.(check int) "10x5" 50 (E.as_int_exn (S.volume s));
+  let strided = [ S.range ~stride:(E.int 2) E.zero (E.int 9) ] in
+  Alcotest.(check int) "strided" 5 (E.as_int_exn (S.volume strided))
+
+let test_subset_union () =
+  let a = [ S.range (E.int 2) (E.int 5) ] in
+  let b = [ S.range (E.int 4) (E.int 9) ] in
+  let u = S.union a b in
+  Alcotest.(check int) "union start" 2
+    (E.as_int_exn (List.hd u).S.start);
+  Alcotest.(check int) "union stop" 9 (E.as_int_exn (List.hd u).S.stop)
+
+let test_subset_covers () =
+  let big = [ S.range E.zero (E.int 9) ] in
+  let small = [ S.range (E.int 2) (E.int 5) ] in
+  Alcotest.(check bool) "covers" true (S.covers big small);
+  Alcotest.(check bool) "not covers" false (S.covers small big);
+  (* symbolic: identical endpoints prove coverage *)
+  let n = E.sym "N" in
+  let sym = [ S.range E.zero n ] in
+  Alcotest.(check bool) "sym covers itself" true (S.covers sym sym)
+
+let test_subset_compose () =
+  (* outer = [10:20], inner = [2:4] relative -> [12:14] *)
+  let outer = [ S.range (E.int 10) (E.int 20) ] in
+  let inner = [ S.range (E.int 2) (E.int 4) ] in
+  let c = S.compose outer inner in
+  Alcotest.(check int) "start" 12 (E.as_int_exn (List.hd c).S.start);
+  Alcotest.(check int) "stop" 14 (E.as_int_exn (List.hd c).S.stop)
+
+let test_subset_offset () =
+  let s = [ S.range (E.int 12) (E.int 14) ] in
+  let origin = [ S.range (E.int 10) (E.int 20) ] in
+  let o = S.offset_by s ~origin in
+  Alcotest.(check int) "start" 2 (E.as_int_exn (List.hd o).S.start);
+  Alcotest.(check int) "stop" 4 (E.as_int_exn (List.hd o).S.stop)
+
+let test_propagate () =
+  (* A[i, 0:K] over i in [0, N-1] -> A[0:N-1, 0:K] *)
+  let n = E.sym "N" and k = E.sym "K" in
+  let s = [ S.index (E.sym "i"); S.range E.zero (E.sub k E.one) ] in
+  let prange = S.range E.zero (E.sub n E.one) in
+  let p = S.propagate_param ~param:"i" ~prange s in
+  Alcotest.(check string) "propagated" "[0:N, 0:K]" (S.to_string p);
+  (* stencil: A[i-1:i+1] over i in [1, N-2] -> A[0:N-1] *)
+  let sten =
+    [ S.range (E.sub (E.sym "i") E.one) (E.add (E.sym "i") E.one) ]
+  in
+  let pr = S.range E.one (E.sub n (E.int 2)) in
+  let p2 = S.propagate_param ~param:"i" ~prange:pr sten in
+  Alcotest.(check string) "stencil" "[0:N]" (S.to_string p2)
+
+let test_concrete () =
+  let s = [ S.range (E.sym "a") (E.sym "b") ] in
+  let c = S.eval_list [ ("a", 3); ("b", 7) ] s in
+  Alcotest.(check int) "size" 5 (S.concrete_size c);
+  Alcotest.(check (list (list int)))
+    "points"
+    [ [ 3 ]; [ 4 ]; [ 5 ]; [ 6 ]; [ 7 ] ]
+    (S.concrete_points c)
+
+(* --- property-based tests -------------------------------------------------- *)
+
+let arb_expr =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [ map E.int (int_range (-20) 20);
+        map E.sym (oneofl [ "x"; "y"; "z" ]) ]
+  in
+  let rec go n =
+    if n = 0 then leaf
+    else
+      frequency
+        [ (2, leaf);
+          (2, map2 E.add (go (n - 1)) (go (n - 1)));
+          (2, map2 E.mul (go (n - 1)) (go (n - 1)));
+          (1, map2 E.min_ (go (n - 1)) (go (n - 1)));
+          (1, map2 E.max_ (go (n - 1)) (go (n - 1)));
+          (1, map2 E.sub (go (n - 1)) (go (n - 1))) ]
+  in
+  go 4
+
+let env_gen =
+  QCheck2.Gen.(
+    map3
+      (fun x y z -> [ ("x", x); ("y", y); ("z", z) ])
+      (int_range (-10) 10) (int_range (-10) 10) (int_range (-10) 10))
+
+let prop_simplify_preserves_value =
+  QCheck2.Test.make ~count:500 ~name:"simplify preserves evaluation"
+    QCheck2.Gen.(pair arb_expr env_gen)
+    (fun (e, env) ->
+      E.eval_list env e = E.eval_list env (E.simplify e))
+
+let prop_subst_then_eval =
+  QCheck2.Test.make ~count:500 ~name:"substitution commutes with evaluation"
+    QCheck2.Gen.(pair arb_expr env_gen)
+    (fun (e, env) ->
+      let x_val = List.assoc "x" env in
+      let e' = E.subst1 "x" (E.int x_val) e in
+      E.eval_list env e = E.eval_list env e')
+
+let prop_bounds_sound =
+  QCheck2.Test.make ~count:500 ~name:"interval bounds contain all values"
+    QCheck2.Gen.(triple arb_expr (int_range (-5) 5) (int_range 0 5))
+    (fun (e, lo, extent) ->
+      let hi = lo + extent in
+      let benv name =
+        if name = "x" then Some { E.lo = E.int lo; hi = E.int hi } else None
+      in
+      let iv = E.bounds benv e in
+      (* check at 3 sample points, with other symbols fixed *)
+      List.for_all
+        (fun x ->
+          let env = [ ("x", x); ("y", 2); ("z", -1) ] in
+          let v = E.eval_list env e in
+          let blo = E.eval_list env iv.E.lo and bhi = E.eval_list env iv.E.hi in
+          blo <= v && v <= bhi)
+        [ lo; hi; (lo + hi) / 2 ])
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_simplify_preserves_value; prop_subst_then_eval; prop_bounds_sound ]
+
+let suite =
+  [ ("constant folding", `Quick, test_constant_folding);
+    ("like terms", `Quick, test_like_terms);
+    ("div/mod", `Quick, test_div_mod);
+    ("min/max", `Quick, test_min_max);
+    ("eval", `Quick, test_eval);
+    ("subst", `Quick, test_subst);
+    ("free symbols", `Quick, test_free_syms);
+    ("ceil_div", `Quick, test_ceil_div);
+    ("interval bounds", `Quick, test_bounds);
+    ("subset volume", `Quick, test_subset_volume);
+    ("subset union", `Quick, test_subset_union);
+    ("subset covers", `Quick, test_subset_covers);
+    ("subset compose", `Quick, test_subset_compose);
+    ("subset offset", `Quick, test_subset_offset);
+    ("memlet propagation math", `Quick, test_propagate);
+    ("concretization", `Quick, test_concrete) ]
+  @ List.map (fun (n, s, f) -> (n, s, f)) qcheck_tests

@@ -1,0 +1,166 @@
+(* Workload tests: fundamental kernels against reference implementations,
+   graph generators against Table 5's statistics, BFS conformance, SSE
+   variants agreeing with each other. *)
+
+module E = Symbolic.Expr
+module T = Tasklang.Types
+open Interp
+
+let test_query_correctness () =
+  let g = Workloads.Kernels.query () in
+  let n = 64 in
+  let data = Array.init n (fun i -> Float.rem (float_of_int (i * 37) /. 41.) 1.0) in
+  let col = Tensor.of_float_array T.F64 [| n |] data in
+  let out = Tensor.create T.F64 [| n |] in
+  let count = Tensor.create T.I64 [||] in
+  ignore
+    (Exec.run g ~symbols:[ ("N", n) ]
+       ~args:[ ("column", col); ("output", out); ("count", count) ]);
+  let expected = Array.to_list data |> List.filter (fun v -> v > 0.5) in
+  Alcotest.(check int) "count" (List.length expected)
+    (T.to_int (Tensor.get_scalar count));
+  (* compacted prefix of the output matches the filtered values in order *)
+  let got = Tensor.to_float_list out in
+  List.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-12)) (Fmt.str "output[%d]" i) v
+        (List.nth got i))
+    expected
+
+let test_histogram_correctness () =
+  let g = Workloads.Kernels.histogram () in
+  let h, w = (16, 16) in
+  let img =
+    Tensor.init T.F64 [| h; w |] (fun idx ->
+        match idx with
+        | [ y; x ] -> T.F (Float.rem (float_of_int ((y * 31) + x) /. 77.) 1.0)
+        | _ -> T.F 0.)
+  in
+  let hist = Tensor.create T.I64 [| 256 |] in
+  ignore
+    (Exec.run g ~symbols:[ ("H", h); ("W", w) ]
+       ~args:[ ("image", img); ("hist", hist) ]);
+  let reference = Array.make 256 0 in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let v = T.to_float (Tensor.get img [ y; x ]) in
+      let b = min 255 (max 0 (int_of_float (floor (v *. 256.)))) in
+      reference.(b) <- reference.(b) + 1
+    done
+  done;
+  List.iteri
+    (fun i v ->
+      Alcotest.(check int) (Fmt.str "bin %d" i) reference.(i)
+        (int_of_float v))
+    (Tensor.to_float_list hist)
+
+let test_mm_variants_agree () =
+  (* the WCR form and the map-reduce form compute the same product *)
+  let m, n, k = (5, 6, 7) in
+  let run g =
+    let a =
+      Tensor.init T.F64 [| m; k |] (fun idx ->
+          match idx with [ i; j ] -> T.F (float_of_int ((i * 2) - j)) | _ -> T.F 0.)
+    in
+    let b =
+      Tensor.init T.F64 [| k; n |] (fun idx ->
+          match idx with [ i; j ] -> T.F (float_of_int (i + (3 * j))) | _ -> T.F 0.)
+    in
+    let c = Tensor.create T.F64 [| m; n |] in
+    ignore
+      (Exec.run g
+         ~symbols:[ ("M", m); ("N", n); ("K", k) ]
+         ~args:[ ("A", a); ("B", b); ("C", c) ]);
+    Tensor.to_float_list c
+  in
+  Alcotest.(check (list (float 1e-9)))
+    "wcr = mapreduce"
+    (run (Workloads.Kernels.matmul ()))
+    (run (Workloads.Kernels.matmul_mapreduce ()))
+
+let test_csr_generator () =
+  let rows = 100 and cols = 80 in
+  let rp, ci, v = Workloads.Kernels.csr_matrix ~rows ~cols ~nnz_per_row:5 ~seed:3 in
+  Alcotest.(check int) "row_ptr length" (rows + 1) (Array.length rp);
+  Alcotest.(check int) "nnz consistent" rp.(rows) (Array.length v);
+  Alcotest.(check int) "cols consistent" (Array.length ci) (Array.length v);
+  Array.iter
+    (fun c -> Alcotest.(check bool) "col in range" true (c >= 0 && c < cols))
+    ci;
+  (* row_ptr monotone *)
+  for r = 0 to rows - 1 do
+    Alcotest.(check bool) "monotone" true (rp.(r) <= rp.(r + 1))
+  done
+
+let test_graph_generators () =
+  let road = Workloads.Graphs.road_grid ~width:32 ~height:32 ~seed:1 in
+  Alcotest.(check bool)
+    (Fmt.str "road avg degree %.2f ~ 2.4 (Table 5)" road.gr_avg_degree)
+    true
+    (road.gr_avg_degree > 1.5 && road.gr_avg_degree < 3.2);
+  Alcotest.(check bool) "road max degree <= 4" true (road.gr_max_degree <= 4);
+  let social = Workloads.Graphs.rmat ~scale:10 ~edge_factor:16 ~seed:1 in
+  Alcotest.(check bool)
+    (Fmt.str "rmat is skewed: max %d >> avg %.1f" social.gr_max_degree
+       social.gr_avg_degree)
+    true
+    (float_of_int social.gr_max_degree > 10. *. social.gr_avg_degree);
+  (* road networks have much higher diameter than social networks *)
+  let road_levels = Workloads.Graphs.bfs_levels road ~source:0 in
+  let social_levels = Workloads.Graphs.bfs_levels social ~source:0 in
+  Alcotest.(check bool)
+    (Fmt.str "diameter: road %d >> social %d" road_levels social_levels)
+    true
+    (road_levels > 3 * social_levels)
+
+let test_bfs_conformance () =
+  List.iter
+    (fun gr ->
+      let depth_sdfg = Workloads.Graphs.run_bfs gr ~source:0 in
+      let depth_ref = Workloads.Graphs.reference_bfs gr ~source:0 in
+      Array.iteri
+        (fun v d ->
+          Alcotest.(check int)
+            (Fmt.str "%s depth[%d]" gr.Workloads.Graphs.gr_name v)
+            d
+            (T.to_int (Tensor.get depth_sdfg [ v ])))
+        depth_ref)
+    [ Workloads.Graphs.road_grid ~width:8 ~height:8 ~seed:5;
+      Workloads.Graphs.rmat ~scale:7 ~edge_factor:8 ~seed:5 ]
+
+let test_sse_variants_agree () =
+  let sizes = Workloads.Sse.mini in
+  let shape_of names =
+    names |> List.map (fun n -> List.assoc n sizes) |> Array.of_list
+  in
+  let run g =
+    let hg =
+      Tensor.init T.F64
+        (shape_of [ "NI"; "NKZ"; "NE"; "NB"; "NB" ])
+        (fun idx -> T.F (sin (float_of_int (List.fold_left ( + ) 0 idx))))
+    in
+    let hd =
+      Tensor.init T.F64
+        (shape_of [ "NI"; "NQZ"; "NW"; "NB"; "NB" ])
+        (fun idx -> T.F (cos (float_of_int (List.fold_left ( + ) 1 idx))))
+    in
+    let sigma = Tensor.create T.F64 (shape_of [ "NKZ"; "NE"; "NB" ]) in
+    ignore
+      (Exec.run g ~symbols:sizes
+         ~args:[ ("HG", hg); ("HD", hd); ("Sigma", sigma) ]);
+    Tensor.to_float_list sigma
+  in
+  Alcotest.(check (list (float 1e-9)))
+    "batched = naive (Fig. 18 steps preserve the contraction)"
+    (run (Workloads.Sse.naive ()))
+    (run (Workloads.Sse.batched ()))
+
+let suite =
+  [ ("query filters and counts", `Quick, test_query_correctness);
+    ("histogram bins correctly", `Quick, test_histogram_correctness);
+    ("MM variants agree", `Quick, test_mm_variants_agree);
+    ("CSR generator invariants", `Quick, test_csr_generator);
+    ("graph generators match Table 5 statistics", `Quick,
+      test_graph_generators);
+    ("BFS conforms to reference", `Quick, test_bfs_conformance);
+    ("SSE naive = batched", `Quick, test_sse_variants_agree) ]
