@@ -660,6 +660,81 @@ let ablations () =
       row "P = %2d workers: %.4f s@." p t)
     [ 1; 2; 4; 8; 12 ]
 
+(* --- interpreter engines: reference vs compiled ----------------------------------- *)
+
+(* Wall-clock timing with adaptive repetition.  The reference engine takes
+   seconds per invocation on the larger inputs, which bechamel's
+   quota-driven sampler handles poorly, so these are measured directly:
+   one run if it is long enough, otherwise enough repetitions to
+   accumulate ~0.5 s, averaged. *)
+let time_run f =
+  let once () =
+    let t0 = Sys.time () in
+    f ();
+    Sys.time () -. t0
+  in
+  let first = once () in
+  if first >= 0.5 then first
+  else begin
+    let reps = min 20 (1 + int_of_float (0.5 /. Float.max first 1e-6)) in
+    let total = ref first in
+    for _ = 1 to reps do
+      total := !total +. once ()
+    done;
+    !total /. float_of_int (reps + 1)
+  end
+
+let engine_cases =
+  [ ("matmul 64x64x64", Workloads.Kernels.matmul,
+     [ ("M", 64); ("N", 64); ("K", 64) ]);
+    ("matmul 256x256x256", Workloads.Kernels.matmul,
+     [ ("M", 256); ("N", 256); ("K", 256) ]);
+    ("histogram 512x512", Workloads.Kernels.histogram,
+     [ ("H", 512); ("W", 512) ]);
+    ("jacobi-2d N=64 T=20", Workloads.Kernels.jacobi,
+     [ ("N", 64); ("T", 20) ]) ]
+
+let engines () =
+  header "Interpreter engines: reference vs compiled (plan-once/run-many)";
+  row "%-22s%15s%14s%10s@." "workload" "reference [s]" "compiled [s]"
+    "speedup";
+  let results =
+    List.map
+      (fun (name, build, symbols) ->
+        let measure engine =
+          time_run (fun () ->
+              ignore (Interp.Exec.run ~engine ~symbols (build ())))
+        in
+        let ref_t = measure Interp.Plan.reference in
+        let comp_t = measure Interp.Plan.compiled in
+        let speedup = ref_t /. comp_t in
+        row "%-22s%15.4f%14.4f%9.2fx@." name ref_t comp_t speedup;
+        (name, ref_t, comp_t, speedup))
+      engine_cases
+  in
+  let gm = geomean (List.map (fun (_, _, _, s) -> s) results) in
+  row "geomean compiled-engine speedup: %.2fx@." gm;
+  let oc = open_out "BENCH_interp.json" in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n";
+  pf "  \"generated_by\": \"dune exec bench/main.exe micro\",\n";
+  pf "  \"engines\": [ \"reference\", \"compiled\" ],\n";
+  pf "  \"results\": [\n";
+  let last = List.length results - 1 in
+  List.iteri
+    (fun i (name, ref_t, comp_t, speedup) ->
+      pf
+        "    { \"workload\": %S, \"reference_s\": %.6f, \"compiled_s\": \
+         %.6f, \"speedup\": %.2f }%s\n"
+        name ref_t comp_t speedup
+        (if i = last then "" else ","))
+    results;
+  pf "  ],\n";
+  pf "  \"geomean_speedup\": %.2f\n" gm;
+  pf "}\n";
+  close_out oc;
+  row "wrote BENCH_interp.json@."
+
 (* --- microbenchmarks of the infrastructure itself --------------------------------- *)
 
 let micro () =
@@ -724,7 +799,8 @@ let micro () =
           | Some (est :: _) -> row "%-44s %14.1f ns/run@." name est
           | _ -> row "%-44s (no estimate)@." name)
         results)
-    tests
+    tests;
+  engines ()
 
 (* --- driver --------------------------------------------------------------------- *)
 

@@ -187,8 +187,19 @@ let estimate_cmd =
     (Cmd.info "estimate" ~doc:"Modeled runtime on the paper's testbed")
     Term.(const run $ prog_arg $ target_arg)
 
+let engine_arg =
+  let engine_conv =
+    Arg.enum
+      [ ("reference", Interp.Plan.reference);
+        ("compiled", Interp.Plan.compiled) ]
+  in
+  Arg.(value & opt engine_conv Interp.Plan.reference
+       & info [ "e"; "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: 'reference' (the semantic oracle) or \
+                 'compiled' (plan-once/run-many).")
+
 let run_cmd =
-  let run name =
+  let run name engine =
     match
       List.find_opt
         (fun (k : Workloads.Polybench.kernel) -> String.equal k.k_name name)
@@ -221,12 +232,12 @@ let run_cmd =
                                   (List.fold_left ( + ) (Hashtbl.hash dname mod 7) idx)
                                 /. 13.))) ))
       in
-      let stats = Interp.Exec.run g ~symbols:k.k_mini ~args in
+      let stats = Interp.Exec.run g ~engine ~symbols:k.k_mini ~args in
       Fmt.pr "ran %s at mini size: %a@." name Interp.Exec.pp_stats stats
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Interpret a Polybench program at mini size")
-    Term.(const run $ prog_arg)
+    Term.(const run $ prog_arg $ engine_arg)
 
 let () =
   let doc = "the SDFG data-centric toolchain" in

@@ -1,0 +1,218 @@
+(* Graph-construction DSL (DESIGN.md): thin helpers over the raw
+   Sdfg/State mutators that emit the IN_<data>/OUT_<data> scope-connector
+   convention expected by memlet propagation and validation. *)
+
+module Expr = Symbolic.Expr
+module Subset = Symbolic.Subset
+open Sdfg_ir
+open Defs
+
+type code_spec =
+  [ `Src of string
+  | `Ast of Tasklang.Ast.t
+  | `External of string * string ]
+
+(* An input/output specification of a tasklet: connector name, container,
+   subset accessed per execution, and write semantics. *)
+type io = {
+  io_conn : string;
+  io_data : string;
+  io_subset : Subset.t;
+  io_wcr : wcr option;
+  io_dynamic : bool;
+}
+
+let in_ ?(dynamic = false) conn data subset =
+  { io_conn = conn; io_data = data; io_subset = subset; io_wcr = None;
+    io_dynamic = dynamic }
+
+let out_ ?wcr ?(dynamic = false) conn data subset =
+  { io_conn = conn; io_data = data; io_subset = subset; io_wcr = wcr;
+    io_dynamic = dynamic }
+
+let in_elem conn data idxs = in_ conn data (Subset.of_indices idxs)
+
+let out_elem ?wcr ?dynamic conn data idxs =
+  out_ ?wcr ?dynamic conn data (Subset.of_indices idxs)
+
+let single_state ?symbols name =
+  let g = Sdfg.create ?symbols name in
+  let st = Sdfg.add_state g ~label:"main" () in
+  (g, st)
+
+let access st data = State.add_node st (Access data)
+
+let edge st ?src_conn ?dst_conn ?memlet ~src ~dst () =
+  ignore (State.add_edge st ?src_conn ?dst_conn ?memlet ~src ~dst ())
+
+let code_of : code_spec -> tasklet_code = function
+  | `Src s -> Code (Tasklang.Parse.program s)
+  | `Ast a -> Code a
+  | `External (language, code) -> External { language; code }
+
+let tasklet st ~name ~inputs ~outputs ~code =
+  State.add_node st
+    (Tasklet
+       { t_name = name; t_inputs = inputs; t_outputs = outputs;
+         t_code = code_of code })
+
+(* Connector rank: dimensions of the subset that are not collapsed to a
+   single index — a rank-0 connector binds a scalar, rank-k an
+   array view over the k non-unit dimensions. *)
+let conn_rank subset =
+  List.length (List.filter (fun r -> not (Subset.is_unit_range r)) subset)
+
+let conn_of g (io : io) =
+  { k_name = io.io_conn;
+    k_dtype = ddesc_dtype (Sdfg.desc g io.io_data);
+    k_rank = conn_rank io.io_subset }
+
+let io_memlet (io : io) =
+  Memlet.simple ?wcr:io.io_wcr ~dynamic:io.io_dynamic io.io_data io.io_subset
+
+(* Deduplicated container names, first-occurrence order. *)
+let distinct_datas ios =
+  List.fold_left
+    (fun acc io -> if List.mem io.io_data acc then acc else acc @ [ io.io_data ])
+    [] ios
+
+(* Union memlet over all specs of one container (the initial outer memlet
+   of a scope edge; finalize's propagation pass recomputes it as the image
+   over the scope parameters). *)
+let group_memlet ios data =
+  let group = List.filter (fun io -> io.io_data = data) ios in
+  let subset = Subset.union_all (List.map (fun io -> io.io_subset) group) in
+  let dynamic = List.exists (fun io -> io.io_dynamic) group in
+  let wcr = List.find_map (fun io -> io.io_wcr) group in
+  Memlet.simple ?wcr ~dynamic data subset
+
+let map_scope st ?(schedule = Sequential) ?(unroll = false) ~params ~ranges () =
+  let entry =
+    State.add_node st
+      (Map_entry
+         { mp_params = params; mp_ranges = ranges; mp_schedule = schedule;
+           mp_unroll = unroll })
+  in
+  let exit_ = State.add_node st Map_exit in
+  State.set_scope st ~entry ~exit_;
+  (entry, exit_)
+
+let consume_scope st ?(schedule = Sequential) ~pe ~num_pes ~stream () =
+  let entry =
+    State.add_node st
+      (Consume_entry
+         { cs_pe_param = pe; cs_num_pes = num_pes; cs_stream = stream;
+           cs_schedule = schedule })
+  in
+  let exit_ = State.add_node st Consume_exit in
+  State.set_scope st ~entry ~exit_;
+  (entry, exit_)
+
+let nested st ~sdfg ~inputs ~outputs ?(symbol_map = []) () =
+  State.add_node st
+    (Nested_sdfg
+       { n_sdfg = sdfg; n_inputs = inputs; n_outputs = outputs;
+         n_symbol_map = symbol_map })
+
+(* A lone tasklet outside any scope, with one access node per distinct
+   container on each side. *)
+let simple_tasklet g st ~name ~ins ~outs ~code () =
+  let tk =
+    tasklet st ~name ~inputs:(List.map (conn_of g) ins)
+      ~outputs:(List.map (conn_of g) outs) ~code
+  in
+  let in_accs = List.map (fun d -> (d, access st d)) (distinct_datas ins) in
+  List.iter
+    (fun io ->
+      edge st ~dst_conn:io.io_conn ~memlet:(io_memlet io)
+        ~src:(List.assoc io.io_data in_accs) ~dst:tk ())
+    ins;
+  let out_accs = List.map (fun d -> (d, access st d)) (distinct_datas outs) in
+  List.iter
+    (fun io ->
+      edge st ~src_conn:io.io_conn ~memlet:(io_memlet io) ~src:tk
+        ~dst:(List.assoc io.io_data out_accs) ())
+    outs;
+  tk
+
+(* The workhorse: a map scope enclosing a single tasklet, with access
+   nodes and scope edges generated from the io specs. *)
+let mapped_tasklet g st ~name ~params ?schedule ?unroll ~ranges ~ins ~outs
+    ~code () =
+  let entry, exit_ = map_scope st ?schedule ?unroll ~params ~ranges () in
+  let tk =
+    tasklet st ~name ~inputs:(List.map (conn_of g) ins)
+      ~outputs:(List.map (conn_of g) outs) ~code
+  in
+  List.iter
+    (fun data ->
+      let acc = access st data in
+      edge st ~dst_conn:("IN_" ^ data) ~memlet:(group_memlet ins data)
+        ~src:acc ~dst:entry ())
+    (distinct_datas ins);
+  List.iter
+    (fun io ->
+      edge st ~src_conn:("OUT_" ^ io.io_data) ~dst_conn:io.io_conn
+        ~memlet:(io_memlet io) ~src:entry ~dst:tk ())
+    ins;
+  (* keep the tasklet inside the scope even without data inputs *)
+  if ins = [] then edge st ~src:entry ~dst:tk ();
+  List.iter
+    (fun io ->
+      edge st ~src_conn:io.io_conn ~dst_conn:("IN_" ^ io.io_data)
+        ~memlet:(io_memlet io) ~src:tk ~dst:exit_ ())
+    outs;
+  List.iter
+    (fun data ->
+      let acc = access st data in
+      edge st ~src_conn:("OUT_" ^ data) ~memlet:(group_memlet outs data)
+        ~src:exit_ ~dst:acc ())
+    (distinct_datas outs);
+  if outs = [] then edge st ~src:tk ~dst:exit_ ();
+  (entry, tk, exit_)
+
+(* Map writing a transient, reduced into the output through a Reduce node
+   (paper Fig. 9b).  Reduces the trailing axes of [tmp_data] beyond the
+   output's rank; callers needing other axes replace the node. *)
+let map_reduce g st ~name ~params ?schedule ~ranges ~ins ~out_conn ~tmp_data
+    ~tmp_subset ~out_data ~out_subset ~wcr ~code () =
+  let entry, tk, exit_ =
+    mapped_tasklet g st ~name ~params ?schedule ~ranges ~ins
+      ~outs:[ out_ out_conn tmp_data tmp_subset ] ~code ()
+  in
+  let tmp_acc =
+    State.out_edges st exit_
+    |> List.find_map (fun (e : edge) ->
+           match e.e_memlet with
+           | Some m when m.m_data = tmp_data -> Some e.e_dst
+           | _ -> None)
+    |> Option.get
+  in
+  let tmp_desc = Sdfg.desc g tmp_data in
+  let out_desc = Sdfg.desc g out_data in
+  let tmp_rank = List.length (ddesc_shape tmp_desc) in
+  let out_rank = List.length (ddesc_shape out_desc) in
+  let axes =
+    if tmp_rank > out_rank then
+      Some (List.init (tmp_rank - out_rank) (fun i -> out_rank + i))
+    else None
+  in
+  let rnode =
+    State.add_node st
+      (Reduce
+         { r_wcr = wcr; r_axes = axes;
+           r_identity = Wcr.identity wcr (ddesc_dtype out_desc) })
+  in
+  let out_acc = access st out_data in
+  edge st ~memlet:(Memlet.full tmp_data (ddesc_shape tmp_desc)) ~src:tmp_acc
+    ~dst:rnode ();
+  edge st ~memlet:(Memlet.simple out_data out_subset) ~src:rnode ~dst:out_acc
+    ();
+  (entry, tk, exit_)
+
+(* Propagate memlets outward and validate; returns the graph for
+   pipelining. *)
+let finalize g =
+  Propagate.propagate g;
+  Validate.check g;
+  g

@@ -1,0 +1,306 @@
+(* Numpy-like frontend (paper §2.1: "the code A @ B generates the dataflow
+   of a matrix multiplication").  Expressions build a shape-checked tree
+   eagerly; [assign] lowers the tree to SDFG states — elementwise subtrees
+   fuse into one mapped tasklet, matmul/reduction nodes materialize
+   transients, states chain sequentially. *)
+
+module Expr = Symbolic.Expr
+module Subset = Symbolic.Subset
+module Ast = Tasklang.Ast
+module T = Tasklang.Types
+open Sdfg_ir
+
+exception Frontend_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Frontend_error s)) fmt
+
+type shape = Expr.t list
+
+let pp_shape sh =
+  "[" ^ String.concat ", " (List.map Expr.to_string sh) ^ "]"
+
+type expr =
+  | Const of float
+  | Leaf of string * shape
+  | Bin of Ast.binop * string * expr * expr * shape
+  | Matmul of expr * expr * shape
+  | Transpose of expr * shape
+  | Sum of int * expr * shape
+  | Sqrt of expr * shape
+
+let shape_of = function
+  | Const _ -> []
+  | Leaf (_, s)
+  | Bin (_, _, _, _, s)
+  | Matmul (_, _, s)
+  | Transpose (_, s)
+  | Sum (_, _, s)
+  | Sqrt (_, s) -> s
+
+type t = {
+  nd_sdfg : Sdfg.t;
+  mutable nd_last : Defs.state option;
+}
+
+let program name = { nd_sdfg = Sdfg.create name; nd_last = None }
+
+let add_container g name ~shape =
+  if shape = [] then Sdfg.add_scalar g name ~dtype:T.F64
+  else Sdfg.add_array g name ~shape ~dtype:T.F64
+
+let input p name ~shape =
+  add_container p.nd_sdfg name ~shape;
+  Leaf (name, shape)
+
+let output p name ~shape = add_container p.nd_sdfg name ~shape
+
+let const f = Const f
+
+let shapes_equal a b =
+  List.length a = List.length b && List.for_all2 Expr.equal a b
+
+(* Elementwise result shape: scalars broadcast, otherwise shapes must
+   match structurally.  Raised eagerly at operator application. *)
+let ew_shape opname a b =
+  match (shape_of a, shape_of b) with
+  | [], s | s, [] -> s
+  | sa, sb ->
+    if shapes_equal sa sb then sa
+    else
+      err "shape mismatch in %s: %s vs %s" opname (pp_shape sa) (pp_shape sb)
+
+let binop op opname a b = Bin (op, opname, a, b, ew_shape opname a b)
+
+(* --- lowering --------------------------------------------------------- *)
+
+(* A reference to a container element: the permutation maps output indices
+   to subscripts (transpose = reversed permutation). *)
+type ref_ = { r_data : string; r_perm : int list; r_shape : shape }
+
+type ee =
+  | EConst of float
+  | ERef of ref_
+  | EBin of Ast.binop * ee * ee
+  | ESqrt of ee
+
+let new_state p label =
+  let st = Sdfg.add_state p.nd_sdfg ~label () in
+  (match p.nd_last with
+  | Some prev ->
+    ignore
+      (Sdfg.add_transition p.nd_sdfg ~src:(State.id prev) ~dst:(State.id st)
+         ())
+  | None -> ());
+  p.nd_last <- Some st;
+  st
+
+let transient p shape =
+  let name = Sdfg.fresh_name p.nd_sdfg "nd_tmp" in
+  if shape = [] then Sdfg.add_scalar p.nd_sdfg name ~transient:true ~dtype:T.F64
+  else Sdfg.add_array p.nd_sdfg name ~transient:true ~shape ~dtype:T.F64;
+  name
+
+let identity_perm sh = List.init (List.length sh) Fun.id
+
+(* Collect distinct (data, perm) refs of an elementwise tree, in order. *)
+let collect_refs ee =
+  let refs = ref [] in
+  let rec go = function
+    | EConst _ -> ()
+    | ERef r ->
+      if
+        not
+          (List.exists
+             (fun r' -> r'.r_data = r.r_data && r'.r_perm = r.r_perm)
+             !refs)
+      then refs := !refs @ [ r ]
+    | EBin (_, a, b) ->
+      go a;
+      go b
+    | ESqrt a -> go a
+  in
+  go ee;
+  !refs
+
+let ref_key r = (r.r_data, r.r_perm)
+
+(* Emit one state computing the elementwise tree [ee] into [dst]. *)
+let emit_elementwise p dst shape ee =
+  let g = p.nd_sdfg in
+  let st = new_state p (dst ^ "_compute") in
+  let refs = collect_refs ee in
+  let conns = List.mapi (fun i r -> (ref_key r, Fmt.str "v%d" i)) refs in
+  let params = List.mapi (fun i _ -> Fmt.str "_n%d" i) shape in
+  let pexprs = List.map Expr.sym params in
+  let idxs_of r =
+    if r.r_shape = [] then [ Expr.zero ]
+    else List.map (fun k -> List.nth pexprs k) r.r_perm
+  in
+  let ins =
+    List.map2
+      (fun r (_, conn) -> Build.in_elem conn r.r_data (idxs_of r))
+      refs conns
+  in
+  let rec ast = function
+    | EConst f -> Ast.Float_lit f
+    | ERef r -> Ast.Var (List.assoc (ref_key r) conns)
+    | EBin (op, a, b) -> Ast.Binop (op, ast a, ast b)
+    | ESqrt a -> Ast.Unop (Ast.Sqrt, ast a)
+  in
+  let code = `Ast [ Ast.Assign (Ast.Lvar "o", ast ee) ] in
+  if shape = [] then
+    ignore
+      (Build.simple_tasklet g st ~name:(dst ^ "_ew") ~ins
+         ~outs:[ Build.out_elem "o" dst [ Expr.zero ] ]
+         ~code ())
+  else
+    ignore
+      (Build.mapped_tasklet g st ~name:(dst ^ "_ew") ~params
+         ~ranges:(List.map Subset.full shape)
+         ~ins
+         ~outs:[ Build.out_elem "o" dst pexprs ]
+         ~code ())
+
+(* Matmul as in the paper's Fig. 9 after MapReduceFusion: zero-init state
+   followed by a WCR-sum map over (i, j, k). *)
+let emit_matmul p dst da sa db _sb =
+  let g = p.nd_sdfg in
+  let m, k =
+    match sa with [ m; k ] -> (m, k) | _ -> err "matmul operand rank"
+  in
+  let n =
+    match Sdfg.desc g db |> Defs.ddesc_shape with
+    | [ _; n ] -> n
+    | _ -> err "matmul operand rank"
+  in
+  let st0 = new_state p (dst ^ "_init") in
+  let i = Expr.sym "_mi" and j = Expr.sym "_mj" and kk = Expr.sym "_mk" in
+  ignore
+    (Build.mapped_tasklet g st0 ~name:(dst ^ "_zero")
+       ~params:[ "_mi"; "_mj" ]
+       ~ranges:[ Subset.full m; Subset.full n ]
+       ~ins:[]
+       ~outs:[ Build.out_elem "c" dst [ i; j ] ]
+       ~code:(`Ast [ Ast.Assign (Ast.Lvar "c", Ast.Float_lit 0.) ])
+       ());
+  let st1 = new_state p (dst ^ "_mm") in
+  ignore
+    (Build.mapped_tasklet g st1 ~name:(dst ^ "_mult")
+       ~params:[ "_mi"; "_mj"; "_mk" ]
+       ~ranges:[ Subset.full m; Subset.full n; Subset.full k ]
+       ~ins:[ Build.in_elem "a" da [ i; kk ]; Build.in_elem "b" db [ kk; j ] ]
+       ~outs:[ Build.out_elem ~wcr:Wcr.sum "c" dst [ i; j ] ]
+       ~code:
+         (`Ast
+           [ Ast.Assign
+               (Ast.Lvar "c", Ast.Binop (Ast.Mul, Ast.Var "a", Ast.Var "b"))
+           ])
+       ())
+
+(* Axis reduction through a Reduce node. *)
+let emit_sum p dst axis da sa =
+  let g = p.nd_sdfg in
+  let st = new_state p (dst ^ "_reduce") in
+  let out_shape = Sdfg.desc g dst |> Defs.ddesc_shape in
+  let acc_in = Build.access st da in
+  let acc_out = Build.access st dst in
+  let rnode =
+    State.add_node st
+      (Defs.Reduce
+         { r_wcr = Defs.Wcr_sum; r_axes = Some [ axis ];
+           r_identity = Some (T.F 0.) })
+  in
+  Build.edge st
+    ~memlet:(Memlet.simple da (Subset.of_shape sa))
+    ~src:acc_in ~dst:rnode ();
+  Build.edge st
+    ~memlet:(Memlet.simple dst (Subset.of_shape out_shape))
+    ~src:rnode ~dst:acc_out ()
+
+(* Flatten to an elementwise tree, materializing matmul/reductions (and
+   transposes of non-leaf subtrees) into transients. *)
+let rec flatten p e : ee =
+  match e with
+  | Const f -> EConst f
+  | Leaf (d, s) -> ERef { r_data = d; r_perm = identity_perm s; r_shape = s }
+  | Bin (op, _, a, b, _) -> EBin (op, flatten p a, flatten p b)
+  | Sqrt (a, _) -> ESqrt (flatten p a)
+  | Transpose (a, _) -> (
+    match flatten p a with
+    | EConst f -> EConst f
+    | ERef r ->
+      ERef
+        { r with r_perm = List.rev r.r_perm; r_shape = List.rev r.r_shape }
+    | ee ->
+      let sa = shape_of a in
+      let d = transient p sa in
+      emit_elementwise p d sa ee;
+      ERef
+        { r_data = d; r_perm = List.rev (identity_perm sa);
+          r_shape = List.rev sa })
+  | Matmul (_, _, s) | Sum (_, _, s) ->
+    let d = transient p s in
+    emit_into p d e;
+    ERef { r_data = d; r_perm = identity_perm s; r_shape = s }
+
+(* A container (identity layout) holding the value of [e]. *)
+and materialize p e : string * shape =
+  match e with
+  | Leaf (d, s) -> (d, s)
+  | Matmul (_, _, s) | Sum (_, _, s) ->
+    let d = transient p s in
+    emit_into p d e;
+    (d, s)
+  | _ ->
+    let s = shape_of e in
+    let d = transient p s in
+    emit_elementwise p d s (flatten p e);
+    (d, s)
+
+and emit_into p dst e =
+  match e with
+  | Matmul (a, b, _) ->
+    let da, sa = materialize p a in
+    let db, sb = materialize p b in
+    emit_matmul p dst da sa db sb
+  | Sum (axis, a, _) ->
+    let da, sa = materialize p a in
+    emit_sum p dst axis da sa
+  | _ -> emit_elementwise p dst (shape_of e) (flatten p e)
+
+let assign p name e =
+  let declared = Sdfg.desc p.nd_sdfg name |> Defs.ddesc_shape in
+  let s = shape_of e in
+  if s <> [] && not (shapes_equal s declared) then
+    err "assign %s: shape %s does not match declared %s" name (pp_shape s)
+      (pp_shape declared);
+  emit_into p name e
+
+let finalize p = Build.finalize p.nd_sdfg
+
+(* --- operators (defined last: they shadow integer arithmetic) --------- *)
+
+let ( + ) a b = binop Ast.Add "+" a b
+let ( - ) a b = binop Ast.Sub "-" a b
+let ( * ) a b = binop Ast.Mul "*" a b
+
+let sqrt_ a = Sqrt (a, shape_of a)
+
+let transpose a = Transpose (a, List.rev (shape_of a))
+
+let ( @@@ ) a b =
+  match (shape_of a, shape_of b) with
+  | [ m; k ], [ k'; n ] ->
+    if Expr.equal k k' then Matmul (a, b, [ m; n ])
+    else
+      err "matmul inner dimensions disagree: %s vs %s" (Expr.to_string k)
+        (Expr.to_string k')
+  | sa, sb ->
+    err "matmul requires rank-2 operands, got %s and %s" (pp_shape sa)
+      (pp_shape sb)
+
+let sum ~axis a =
+  let s = shape_of a in
+  if axis < 0 || axis >= List.length s then
+    err "sum: axis %d out of range for shape %s" axis (pp_shape s);
+  Sum (axis, a, List.filteri (fun i _ -> i <> axis) s)

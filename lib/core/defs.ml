@@ -147,6 +147,18 @@ and state = {
   mutable st_next_edge : int;
   (* exit-node id for each entry-node id (Map/Consume scope pairing) *)
   st_scope_exit : (int, int) Hashtbl.t;
+  (* structural version, bumped on every node/edge/scope mutation;
+     derived-structure caches (topological order, scope tables) are tagged
+     with the version they were computed at *)
+  mutable st_version : int;
+  mutable st_cache : state_cache option;
+}
+
+and state_cache = {
+  c_version : int;
+  c_topo : int list;
+  c_parents : (int, int option) Hashtbl.t;
+  c_scope_nodes : (int, int list) Hashtbl.t;  (* entry -> strict members *)
 }
 
 (* --- inter-state edges (state machine, §3.4) -------------------------- *)

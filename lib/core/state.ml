@@ -18,7 +18,14 @@ let create ?(label = "state") id : t =
     st_edges = Hashtbl.create 16;
     st_next_node = 0;
     st_next_edge = 0;
-    st_scope_exit = Hashtbl.create 4 }
+    st_scope_exit = Hashtbl.create 4;
+    st_version = 0;
+    st_cache = None }
+
+(* Any structural mutation invalidates the derived-structure cache. *)
+let touch (s : t) =
+  s.st_version <- s.st_version + 1;
+  s.st_cache <- None
 
 let id (s : t) = s.st_id
 let label (s : t) = s.st_label
@@ -30,6 +37,7 @@ let add_node (s : t) (n : node) : int =
   let nid = s.st_next_node in
   s.st_next_node <- nid + 1;
   Hashtbl.replace s.st_nodes nid n;
+  touch s;
   nid
 
 let node (s : t) nid =
@@ -42,7 +50,9 @@ let has_node (s : t) nid = Hashtbl.mem s.st_nodes nid
 let replace_node (s : t) nid n =
   if not (Hashtbl.mem s.st_nodes nid) then
     invalid "state %S: replacing missing node %d" s.st_label nid;
-  Hashtbl.replace s.st_nodes nid n
+  Hashtbl.replace s.st_nodes nid n;
+  (* node kind participates in scope derivation (entry/exit tests) *)
+  touch s
 
 let add_edge (s : t) ?src_conn ?dst_conn ?memlet ~src ~dst () : edge =
   if not (Hashtbl.mem s.st_nodes src) then
@@ -56,6 +66,7 @@ let add_edge (s : t) ?src_conn ?dst_conn ?memlet ~src ~dst () : edge =
       e_dst_conn = dst_conn; e_memlet = memlet }
   in
   Hashtbl.replace s.st_edges eid e;
+  touch s;
   e
 
 let edge (s : t) eid =
@@ -63,11 +74,14 @@ let edge (s : t) eid =
   | Some e -> e
   | None -> invalid "state %S: no edge %d" s.st_label eid
 
-let remove_edge (s : t) eid = Hashtbl.remove s.st_edges eid
+let remove_edge (s : t) eid =
+  Hashtbl.remove s.st_edges eid;
+  touch s
 
 let remove_node (s : t) nid =
   Hashtbl.remove s.st_nodes nid;
   Hashtbl.remove s.st_scope_exit nid;
+  touch s;
   let stale =
     Hashtbl.fold
       (fun eid e acc -> if e.e_src = nid || e.e_dst = nid then eid :: acc else acc)
@@ -106,7 +120,8 @@ let successors s nid =
 (* --- scopes (Map/Consume pairing, §3.3) -------------------------------- *)
 
 let set_scope (s : t) ~entry ~exit_ =
-  Hashtbl.replace s.st_scope_exit entry exit_
+  Hashtbl.replace s.st_scope_exit entry exit_;
+  touch s
 
 let exit_of (s : t) entry =
   match Hashtbl.find_opt s.st_scope_exit entry with
@@ -135,31 +150,36 @@ let is_scope_exit (s : t) nid =
   | Access _ | Tasklet _ | Map_entry _ | Consume_entry _ | Reduce _
   | Nested_sdfg _ -> false
 
-(* The scope-parent table: for every node, the innermost enclosing scope
-   entry (None at state top level).  Well-formed SDFGs have every scope
-   subgraph dominated by its entry and post-dominated by its exit
-   (paper §3.3), so a forward pass in topological order suffices. *)
-let scope_parents (s : t) : (int, int option) Hashtbl.t =
-  let parents = Hashtbl.create 16 in
-  let order = ref [] in
-  (* Kahn topological order. *)
+(* Deterministic topological order: prefer lower node ids. *)
+let compute_topo (s : t) : int list =
   let indeg = Hashtbl.create 16 in
   List.iter (fun (nid, _) -> Hashtbl.replace indeg nid (in_degree s nid)) (nodes s);
-  let queue = Queue.create () in
-  Hashtbl.iter (fun nid d -> if d = 0 then Queue.add nid queue) indeg;
-  while not (Queue.is_empty queue) do
-    let nid = Queue.pop queue in
-    order := nid :: !order;
+  let module IS = Set.Make (Int) in
+  let ready = ref IS.empty in
+  Hashtbl.iter (fun nid d -> if d = 0 then ready := IS.add nid !ready) indeg;
+  let out = ref [] in
+  while not (IS.is_empty !ready) do
+    let nid = IS.min_elt !ready in
+    ready := IS.remove nid !ready;
+    out := nid :: !out;
     List.iter
       (fun e ->
         let d = Hashtbl.find indeg e.e_dst - 1 in
         Hashtbl.replace indeg e.e_dst d;
-        if d = 0 then Queue.add e.e_dst queue)
+        if d = 0 then ready := IS.add e.e_dst !ready)
       (out_edges s nid)
   done;
-  let order = List.rev !order in
+  let order = List.rev !out in
   if List.length order <> num_nodes s then
     invalid "state %S: dataflow graph has a cycle" s.st_label;
+  order
+
+(* The scope-parent table: for every node, the innermost enclosing scope
+   entry (None at state top level).  Well-formed SDFGs have every scope
+   subgraph dominated by its entry and post-dominated by its exit
+   (paper §3.3), so a forward pass in topological order suffices. *)
+let compute_parents (s : t) order : (int, int option) Hashtbl.t =
+  let parents = Hashtbl.create 16 in
   List.iter
     (fun nid ->
       let parent =
@@ -185,43 +205,48 @@ let scope_parents (s : t) : (int, int option) Hashtbl.t =
     order;
   parents
 
-let topological_order (s : t) : int list =
-  let indeg = Hashtbl.create 16 in
-  List.iter (fun (nid, _) -> Hashtbl.replace indeg nid (in_degree s nid)) (nodes s);
-  (* Stable: prefer lower node ids for determinism. *)
-  let module IS = Set.Make (Int) in
-  let ready = ref IS.empty in
-  Hashtbl.iter (fun nid d -> if d = 0 then ready := IS.add nid !ready) indeg;
-  let out = ref [] in
-  while not (IS.is_empty !ready) do
-    let nid = IS.min_elt !ready in
-    ready := IS.remove nid !ready;
-    out := nid :: !out;
-    List.iter
-      (fun e ->
-        let d = Hashtbl.find indeg e.e_dst - 1 in
-        Hashtbl.replace indeg e.e_dst d;
-        if d = 0 then ready := IS.add e.e_dst !ready)
-      (out_edges s nid)
-  done;
-  let order = List.rev !out in
-  if List.length order <> num_nodes s then
-    invalid "state %S: dataflow graph has a cycle" s.st_label;
-  order
+let build_cache (s : t) : state_cache =
+  let topo = compute_topo s in
+  let parents = compute_parents s topo in
+  let scope_tbl = Hashtbl.create (max 4 (Hashtbl.length s.st_scope_exit)) in
+  Hashtbl.iter
+    (fun entry exit_ ->
+      let rec inside nid =
+        match Hashtbl.find_opt parents nid with
+        | Some (Some p) -> p = entry || inside p
+        | _ -> false
+      in
+      let members =
+        nodes s
+        |> List.filter_map (fun (nid, _) ->
+               if nid <> entry && nid <> exit_ && inside nid then Some nid
+               else None)
+      in
+      Hashtbl.replace scope_tbl entry members)
+    s.st_scope_exit;
+  { c_version = s.st_version; c_topo = topo; c_parents = parents;
+    c_scope_nodes = scope_tbl }
+
+(* Derived structure, recomputed lazily after mutations.  The returned
+   tables are shared — callers must treat them as read-only. *)
+let cache (s : t) : state_cache =
+  match s.st_cache with
+  | Some c when c.c_version = s.st_version -> c
+  | _ ->
+    let c = build_cache s in
+    s.st_cache <- Some c;
+    c
+
+let scope_parents (s : t) : (int, int option) Hashtbl.t = (cache s).c_parents
+
+let topological_order (s : t) : int list = (cache s).c_topo
 
 (* All nodes strictly inside the scope of [entry] (excluding the entry and
    exit themselves), i.e. the expanded subgraph of Fig. 6. *)
 let scope_nodes (s : t) entry : int list =
-  let exit_ = exit_of s entry in
-  let parents = scope_parents s in
-  let rec inside nid =
-    match Hashtbl.find_opt parents nid with
-    | Some (Some p) -> p = entry || inside p
-    | _ -> false
-  in
-  nodes s
-  |> List.filter_map (fun (nid, _) ->
-         if nid <> entry && nid <> exit_ && inside nid then Some nid else None)
+  match Hashtbl.find_opt (cache s).c_scope_nodes entry with
+  | Some members -> members
+  | None -> invalid "state %S: node %d has no scope exit" s.st_label entry
 
 (* --- memlet paths ------------------------------------------------------ *)
 

@@ -63,13 +63,36 @@ let externals : (string, (string * Tasklang.Eval.binding) list -> unit)
 
 let register_external name impl = Hashtbl.replace externals name impl
 
+(* Which execution engine drives each state's dataflow.  [`Reference]
+   interprets the graph directly (the semantic oracle); [`Compiled] runs
+   plans lowered once per state by {!Plan} (closure-compiled tasklets,
+   slot-indexed symbol frames). *)
+type engine = [ `Reference | `Compiled ]
+
+(* A state lowered by the compiled engine, tagged with the structural
+   version it was compiled at so mutations invalidate it. *)
+type cached_plan = { pl_version : int; pl_run : unit -> unit }
+
 type env = {
   g : sdfg;
   containers : (string, container) Hashtbl.t;
   symbols : (string, int) Hashtbl.t;
   stats : stats;
   max_states : int;
+  engine : engine;
+  plans : (int, cached_plan) Hashtbl.t;  (* state id -> plan *)
 }
+
+(* The compiled engine lives in {!Plan}, which depends on this module;
+   it registers its state executor here at load time. *)
+let compiled_state_exec : (env -> state -> unit) ref =
+  ref (fun _ _ ->
+      raise
+        (Runtime_error
+           "compiled engine requested but no engine registered (Plan \
+            module not linked)"))
+
+let set_compiled_state_exec f = compiled_state_exec := f
 
 (* Symbol environment for symbolic evaluation: interstate symbols first,
    then rank-0 containers read as integers (data-dependent control flow,
@@ -596,13 +619,17 @@ and exec_map env st ~params ~popped entry (info : map_info) =
     List.filter (fun nid -> List.mem nid direct) order
   in
   let ranges =
-    List.map
-      (fun (r : Subset.range) ->
+    List.map2
+      (fun p (r : Subset.range) ->
         let lo = eval_expr env params r.start in
         let hi = eval_expr env params r.stop in
-        let step = max 1 (eval_expr env params r.stride) in
+        let step = eval_expr env params r.stride in
+        if step <= 0 then
+          runtime_error
+            "map over parameter %S in state %S: non-positive stride %d"
+            p st.st_label step;
         (lo, hi, step))
-      info.mp_ranges
+      info.mp_params info.mp_ranges
   in
   let rec iterate bound = function
     | [] ->
@@ -700,7 +727,7 @@ and exec_nested env params st nid (nest : nested) =
   in
   run_in ~containers:inner_containers
     ~symbols:(inner_symbols @ inherited)
-    ~stats:env.stats ~max_states:env.max_states inner
+    ~stats:env.stats ~max_states:env.max_states ~engine:env.engine inner
 
 (* --- top-level execution ---------------------------------------------------- *)
 
@@ -720,7 +747,9 @@ and run_state_machine env =
     if !steps > env.max_states then
       runtime_error "SDFG %S exceeded max state executions (%d)"
         env.g.g_name env.max_states;
-    exec_state env !current;
+    (match env.engine with
+    | `Reference -> exec_state env !current
+    | `Compiled -> !compiled_state_exec env !current);
     let outgoing = Sdfg.out_transitions env.g (State.id !current) in
     match
       List.find_opt
@@ -740,9 +769,10 @@ and run_state_machine env =
 
 (* Run an SDFG whose containers are already bound (used for nested
    invocations); allocates any transients not provided. *)
-and run_in ~containers ~symbols ~stats ~max_states (g : sdfg) =
+and run_in ~containers ~symbols ~stats ~max_states ~engine (g : sdfg) =
   let env =
-    { g; containers; symbols = Hashtbl.create 8; stats; max_states }
+    { g; containers; symbols = Hashtbl.create 8; stats; max_states;
+      engine; plans = Hashtbl.create 4 }
   in
   List.iter (fun (s, v) -> Hashtbl.replace env.symbols s v) symbols;
   (* Allocate missing containers (transients; also non-transients when the
@@ -770,10 +800,10 @@ and run_in ~containers ~symbols ~stats ~max_states (g : sdfg) =
 (* Main entry point: run [g] on the given tensors and symbol values.
    Non-transient containers not supplied in [args] are allocated
    zero-initialized and discarded. *)
-let run ?(max_states = 1_000_000) ?(symbols = []) ?(args = []) (g : sdfg) :
-    stats =
+let run ?(engine = `Reference) ?(max_states = 1_000_000) ?(symbols = [])
+    ?(args = []) (g : sdfg) : stats =
   let stats = fresh_stats () in
   let containers = Hashtbl.create 16 in
   List.iter (fun (name, t) -> Hashtbl.replace containers name (Tens t)) args;
-  run_in ~containers ~symbols ~stats ~max_states g;
+  run_in ~containers ~symbols ~stats ~max_states ~engine g;
   stats

@@ -43,7 +43,16 @@ val register_external :
     Fig. 5), keyed by tasklet name.  The bindings give the connector
     accessors; the implementation must not touch anything else. *)
 
+type engine = [ `Reference | `Compiled ]
+(** Which execution engine drives each state's dataflow.  [`Reference]
+    interprets the graph directly and is the semantic oracle;
+    [`Compiled] runs plans lowered once per state by {!Plan}
+    (closure-compiled tasklets, slot-indexed symbol frames, compiled
+    memlet offset arithmetic).  Both produce bit-identical results and
+    instrumentation counters. *)
+
 val run :
+  ?engine:engine ->
   ?max_states:int ->
   ?symbols:(string * int) list ->
   ?args:(string * Tensor.t) list ->
@@ -54,4 +63,51 @@ val run :
     which are mutated in place (the array-based interface of §2.1).
     Containers not supplied are allocated zero-initialized.
     [max_states] bounds state-machine steps (default 1,000,000).
+    [engine] selects the execution engine (default [`Reference]).
     @raise Runtime_error on stuck or ill-formed programs. *)
+
+(** {1 Engine internals}
+
+    The pieces below are the shared substrate of both engines: the
+    compiled engine ({!Plan}) builds its plans over the same runtime
+    environment and falls back to the reference executors for constructs
+    it does not compile (consume scopes, streams, nested SDFGs, external
+    tasklets, data-dependent symbols), so instrumentation counters stay
+    identical.  Not intended for general use. *)
+
+type cached_plan = { pl_version : int; pl_run : unit -> unit }
+(** A state lowered by the compiled engine, tagged with the structural
+    version ([st_version]) it was compiled at. *)
+
+type env = {
+  g : Sdfg_ir.Defs.sdfg;
+  containers : (string, container) Hashtbl.t;
+  symbols : (string, int) Hashtbl.t;
+  stats : stats;
+  max_states : int;
+  engine : engine;
+  plans : (int, cached_plan) Hashtbl.t;  (** state id -> cached plan *)
+}
+
+val runtime_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** @raise Runtime_error always. *)
+
+val sym_lookup : env -> (string * int) list -> string -> int option
+(** Symbol environment: scope parameters, then interstate symbols, then
+    rank-0 containers / stream lengths (data-dependent control flow). *)
+
+val eval_expr : env -> (string * int) list -> Symbolic.Expr.t -> int
+
+val exec_nodes :
+  env ->
+  Sdfg_ir.Defs.state ->
+  params:(string * int) list ->
+  popped:(string * Tasklang.Types.value) list ->
+  int list ->
+  unit
+(** Execute the given nodes of one scope level in the supplied order with
+    the reference engine — the fallback path of compiled plans. *)
+
+val set_compiled_state_exec : (env -> Sdfg_ir.Defs.state -> unit) -> unit
+(** Register the compiled engine's state executor; called by {!Plan} at
+    load time. *)

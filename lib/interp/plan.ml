@@ -1,0 +1,474 @@
+(* Compiled execution engine: plan once, run many.
+
+   The reference interpreter ({!Exec}) re-derives everything on every map
+   iteration: scope bodies are recomputed per invocation, symbol frames
+   are assoc lists rebuilt per iteration, memlet subsets are concretized
+   through the symbolic evaluator per tasklet execution, and tasklet
+   bodies are re-walked ASTs.  This module lowers each state once into a
+   plan of OCaml closures:
+
+   - map scopes become native loop nests over a flat [int array] symbol
+     frame, with range endpoints compiled by {!Symbolic.Expr.compile} to
+     slot-indexed closures;
+   - tasklet bodies are closure-compiled by {!Tasklang.Compile}, with
+     connectors resolved at plan time to strided offset arithmetic over
+     the underlying buffers (mirroring [Tensor.view_subset]/[squeeze]);
+   - everything the plan does not compile — consume scopes, streams,
+     nested SDFGs, external tasklets, reductions, access-node copies and
+     any expression over data-dependent symbols (rank-0 containers,
+     stream lengths) — falls back to the reference executors node by
+     node, so semantics and instrumentation counters stay identical.
+
+   Plans are cached per state in the run's environment, keyed by the
+   state's structural version, so repeated state executions (time loops)
+   and repeated map iterations pay the lowering cost once.  The
+   reference interpreter remains the semantic oracle: the cross-
+   validation suite checks both engines produce bit-identical tensors
+   and equal stats. *)
+
+module Expr = Symbolic.Expr
+module Subset = Symbolic.Subset
+open Sdfg_ir
+open Defs
+open Tasklang.Types
+
+(* Raised during plan construction when a construct cannot be compiled;
+   the construct is then executed through the reference engine. *)
+exception Fallback
+
+type ctx = {
+  env : Exec.env;
+  st : state;
+  mutable frame : int array;   (* allocated once slot count is known *)
+  mutable n_slots : int;
+  sym_slots : (string, int) Hashtbl.t;  (* interstate symbol -> slot *)
+}
+
+let alloc_slot ctx =
+  let i = ctx.n_slots in
+  ctx.n_slots <- i + 1;
+  i
+
+let sym_slot ctx name =
+  match Hashtbl.find_opt ctx.sym_slots name with
+  | Some i -> i
+  | None ->
+    let i = alloc_slot ctx in
+    Hashtbl.add ctx.sym_slots name i;
+    i
+
+(* Resolve a free symbol of an expression to a frame slot.  Scope
+   parameters shadow interstate symbols, outer scopes first — the assoc
+   order of the reference interpreter.  Names backed by runtime
+   containers (rank-0 arrays, stream lengths) are data-dependent and
+   names with no value yet may become either: both reject compilation so
+   the reference path re-evaluates them dynamically. *)
+let slot_fn ctx scope_env name =
+  match List.assoc_opt name scope_env with
+  | Some i -> i
+  | None ->
+    if Hashtbl.mem ctx.env.Exec.containers name then raise Fallback
+    else if Hashtbl.mem ctx.env.Exec.symbols name then sym_slot ctx name
+    else raise Fallback
+
+let comp_expr ctx scope_env e : int array -> int =
+  Expr.compile ~slot:(slot_fn ctx scope_env) e
+
+(* --- compiled memlet subsets ------------------------------------------- *)
+
+(* One dimension of a compiled subset; mirrors [Subset.eval_range]
+   (tile expansion, stride clamped to >= 1). *)
+type crange_c = {
+  cr_start : int array -> int;
+  cr_stop : int array -> int;
+  cr_stride : int array -> int;
+}
+
+let comp_range ctx scope_env (r : Subset.range) : crange_c =
+  if Expr.as_int r.tile <> Some 1 then
+    { cr_start = comp_expr ctx scope_env r.start;
+      cr_stop =
+        comp_expr ctx scope_env (Expr.add r.stop (Expr.sub r.tile Expr.one));
+      cr_stride = (fun _ -> 1) }
+  else
+    let stride_f = comp_expr ctx scope_env r.stride in
+    { cr_start = comp_expr ctx scope_env r.start;
+      cr_stop = comp_expr ctx scope_env r.stop;
+      cr_stride =
+        (fun fr ->
+          let s = stride_f fr in
+          if s < 1 then 1 else s) }
+
+let bounds_err fmt = Fmt.kstr (fun s -> raise (Tensor.Bounds s)) fmt
+
+(* A concrete view of a tensor through a compiled memlet subset,
+   refreshed per tasklet execution.  Mirrors [Tensor.view_subset]
+   followed by [Tensor.squeeze] when the connector rank is below the
+   subset rank, including the bounds checks and their messages. *)
+type cview = {
+  v_tens : Tensor.t;           (* the full container; records immutable *)
+  v_dims : crange_c array;
+  v_squeeze : bool;
+  mutable v_base : int;        (* linear offset of the view origin *)
+  mutable v_rank : int;        (* post-squeeze rank *)
+  v_ext : int array;           (* post-squeeze extents *)
+  v_str : int array;           (* post-squeeze element strides *)
+  mutable v_vol : int;         (* pre-squeeze element count *)
+}
+
+let make_cview ctx scope_env tens k_rank subset =
+  let r = Tensor.rank tens in
+  { v_tens = tens;
+    v_dims = Array.of_list (List.map (comp_range ctx scope_env) subset);
+    v_squeeze = k_rank < r;
+    v_base = 0; v_rank = 0; v_vol = 0;
+    v_ext = Array.make (max 1 r) 0;
+    v_str = Array.make (max 1 r) 0 }
+
+let refresh_view v fr =
+  let t = v.v_tens in
+  let n = Array.length v.v_dims in
+  let tr = Tensor.rank t in
+  if tr = 0 then begin
+    (* [view_subset] on a rank-0 tensor ignores the subset *)
+    v.v_base <- t.Tensor.offset;
+    v.v_rank <- 0;
+    v.v_vol <- 1
+  end
+  else begin
+    if n <> tr then
+      bounds_err "view_subset: subset rank %d vs tensor rank %d" n tr;
+    let base = ref t.Tensor.offset and vol = ref 1 and k = ref 0 in
+    for d = 0 to n - 1 do
+      let cr = Array.unsafe_get v.v_dims d in
+      let s = cr.cr_start fr in
+      let e = cr.cr_stop fr in
+      let st = cr.cr_stride fr in
+      let cnt = ((e - s) / st) + 1 in
+      if s < 0 || (cnt > 0 && s + ((cnt - 1) * st) >= t.Tensor.shape.(d))
+      then
+        bounds_err "view: dimension %d out of range (start %d count %d)" d s
+          cnt;
+      base := !base + (s * t.Tensor.strides.(d));
+      vol := !vol * cnt;
+      if not (v.v_squeeze && cnt = 1) then begin
+        v.v_ext.(!k) <- cnt;
+        v.v_str.(!k) <- t.Tensor.strides.(d) * st;
+        incr k
+      end
+    done;
+    v.v_base <- !base;
+    v.v_rank <- !k;
+    v.v_vol <- !vol
+  end
+
+(* Typed element accessors over the raw buffer (bounds are enforced by
+   the view computation plus the index checks below, as in {!Tensor}). *)
+let lin_get (t : Tensor.t) : int -> value =
+  match t.Tensor.buf with
+  | Tensor.Fbuf a -> fun i -> F a.(i)
+  | Tensor.Ibuf a -> fun i -> I a.(i)
+
+let lin_set (t : Tensor.t) : int -> value -> unit =
+  match t.Tensor.buf with
+  | Tensor.Fbuf a -> fun i v -> a.(i) <- to_float v
+  | Tensor.Ibuf a -> fun i v -> a.(i) <- to_int v
+
+(* Offset of an element access through the refreshed view; mirrors
+   [Tensor.get]'s rank and bounds checks. *)
+let view_offset v (idx : int array) =
+  let n = Array.length idx in
+  if n <> v.v_rank then
+    bounds_err "tensor of rank %d indexed with %d indices" v.v_rank n;
+  let off = ref v.v_base in
+  for d = 0 to n - 1 do
+    let i = Array.unsafe_get idx d in
+    if i < 0 || i >= v.v_ext.(d) then
+      bounds_err "index %d out of bounds for dimension %d (size %d)" i d
+        v.v_ext.(d);
+    off := !off + (i * v.v_str.(d))
+  done;
+  !off
+
+let view_get v =
+  let get = lin_get v.v_tens in
+  fun (idx : int array) ->
+    (* an empty index reads the view origin, as [get_scalar] does *)
+    if Array.length idx = 0 then get v.v_base else get (view_offset v idx)
+
+let view_set env v wcr =
+  let get = lin_get v.v_tens and set = lin_set v.v_tens in
+  let stats = env.Exec.stats in
+  let write off value =
+    match wcr with
+    | None -> set off value
+    | Some w ->
+      stats.Exec.wcr_writes <- stats.Exec.wcr_writes + 1;
+      set off (Wcr.apply w ~old_v:(get off) ~new_v:value)
+  in
+  fun (idx : int array) value ->
+    stats.Exec.elements_moved <- stats.Exec.elements_moved + 1;
+    if Array.length idx = 0 then begin
+      (* the reference writes index [0,...,0] of the view: check the
+         extents so empty views fail identically *)
+      for d = 0 to v.v_rank - 1 do
+        if v.v_ext.(d) < 1 then
+          bounds_err "index 0 out of bounds for dimension %d (size %d)" d
+            v.v_ext.(d)
+      done;
+      write v.v_base value
+    end
+    else write (view_offset v idx) value
+
+(* --- node compilation --------------------------------------------------- *)
+
+let rec comp_node ctx scope_env nid : unit -> unit =
+  let fallback () =
+    let env = ctx.env and st = ctx.st in
+    match scope_env with
+    | [] -> fun () -> Exec.exec_nodes env st ~params:[] ~popped:[] [ nid ]
+    | _ ->
+      let se = Array.of_list scope_env in
+      fun () ->
+        let fr = ctx.frame in
+        let params =
+          Array.to_list (Array.map (fun (p, slot) -> (p, fr.(slot))) se)
+        in
+        Exec.exec_nodes env st ~params ~popped:[] [ nid ]
+  in
+  match State.node ctx.st nid with
+  | Map_entry info -> (
+    try comp_map ctx scope_env nid info with Fallback -> fallback ())
+  | Tasklet t -> (
+    try comp_tasklet ctx scope_env nid t with Fallback -> fallback ())
+  | Map_exit | Consume_exit -> fun () -> ()
+  | Access _ | Consume_entry _ | Reduce _ | Nested_sdfg _ -> fallback ()
+
+(* A map scope compiles to a loop nest: ranges are evaluated once per
+   invocation into a bounds scratch (as the reference does), each level
+   writes its parameter's frame slot, and the innermost level counts one
+   map iteration before running the body steps. *)
+and comp_map ctx scope_env entry (info : map_info) : unit -> unit =
+  let dims =
+    List.map2
+      (fun p (r : Subset.range) ->
+        (* ranges may not use this map's own parameters: compiled against
+           the enclosing scope only, exactly like the reference *)
+        ( p,
+          comp_expr ctx scope_env r.start,
+          comp_expr ctx scope_env r.stop,
+          comp_expr ctx scope_env r.stride ))
+      info.mp_params info.mp_ranges
+  in
+  let dims = Array.of_list dims in
+  let pslots = Array.map (fun (p, _, _, _) -> (p, alloc_slot ctx)) dims in
+  let scope_env' = scope_env @ Array.to_list pslots in
+  let body_ids =
+    let members = State.scope_nodes ctx.st entry in
+    let parents = State.scope_parents ctx.st in
+    let direct =
+      List.filter (fun nid -> Hashtbl.find parents nid = Some entry) members
+    in
+    List.filter
+      (fun nid -> List.mem nid direct)
+      (State.topological_order ctx.st)
+  in
+  let steps =
+    Array.of_list (List.map (comp_node ctx scope_env') body_ids)
+  in
+  let nd = Array.length dims in
+  let bounds = Array.make (max 1 (nd * 3)) 0 in
+  let stats = ctx.env.Exec.stats in
+  let run_body () =
+    stats.Exec.map_iterations <- stats.Exec.map_iterations + 1;
+    for i = 0 to Array.length steps - 1 do
+      (Array.unsafe_get steps i) ()
+    done
+  in
+  let rec build k =
+    if k = nd then run_body
+    else
+      let inner = build (k + 1) in
+      let _, slot = pslots.(k) in
+      fun () ->
+        let fr = ctx.frame in
+        let hi = bounds.((3 * k) + 1) and step = bounds.((3 * k) + 2) in
+        let i = ref bounds.(3 * k) in
+        while !i <= hi do
+          fr.(slot) <- !i;
+          inner ();
+          i := !i + step
+        done
+  in
+  let nest = build 0 in
+  let label = ctx.st.st_label in
+  fun () ->
+    let fr = ctx.frame in
+    Array.iteri
+      (fun k (p, lo_f, hi_f, step_f) ->
+        bounds.(3 * k) <- lo_f fr;
+        bounds.((3 * k) + 1) <- hi_f fr;
+        let s = step_f fr in
+        if s <= 0 then
+          Exec.runtime_error
+            "map over parameter %S in state %S: non-positive stride %d" p
+            label s;
+        bounds.((3 * k) + 2) <- s)
+      dims;
+    nest ()
+
+(* A tasklet compiles when its code is Tasklang, every connected memlet
+   targets an array container, and all subset expressions compile.
+   Binding order, counter updates and error behavior mirror
+   [Exec.exec_tasklet] / [bind_input] / [bind_output]. *)
+and comp_tasklet ctx scope_env nid (t : tasklet) : unit -> unit =
+  let env = ctx.env and st = ctx.st in
+  let code = match t.t_code with Code c -> c | External _ -> raise Fallback in
+  let tens_of name =
+    match Hashtbl.find_opt env.Exec.containers name with
+    | Some (Exec.Tens tt) -> tt
+    | _ -> raise Fallback  (* streams keep reference pop/push semantics *)
+  in
+  let stats = env.Exec.stats in
+  let prologues = ref [] and resolutions = ref [] in
+  let add_in (e : edge) =
+    match e.e_dst_conn, e.e_memlet with
+    | Some conn, Some m ->
+      let kconn =
+        match List.find_opt (fun c -> c.k_name = conn) t.t_inputs with
+        | Some c -> c
+        | None -> raise Fallback  (* the reference reports this at exec *)
+      in
+      let tens = tens_of m.m_data in
+      let v = make_cview ctx scope_env tens kconn.k_rank m.m_subset in
+      let dyn = m.m_dynamic in
+      if kconn.k_rank = 0 then begin
+        (* scalar inputs snapshot their value before the body runs *)
+        let snap = ref (I 0) in
+        let get = lin_get tens in
+        prologues :=
+          (fun fr ->
+            refresh_view v fr;
+            stats.Exec.elements_moved <-
+              stats.Exec.elements_moved + (if dyn then 1 else v.v_vol);
+            snap := get v.v_base)
+          :: !prologues;
+        resolutions :=
+          (conn, Tasklang.Compile.Scalar_src (fun () -> !snap))
+          :: !resolutions
+      end
+      else begin
+        prologues :=
+          (fun fr ->
+            refresh_view v fr;
+            stats.Exec.elements_moved <-
+              stats.Exec.elements_moved + (if dyn then 1 else v.v_vol))
+          :: !prologues;
+        let set _ _ =
+          Exec.runtime_error "tasklet %S: writing input connector %S"
+            t.t_name conn
+        in
+        resolutions :=
+          (conn, Tasklang.Compile.Buffer_src (view_get v, set))
+          :: !resolutions
+      end
+    | _ -> ()
+  in
+  let add_out (e : edge) =
+    match e.e_src_conn, e.e_memlet with
+    | Some conn, Some m ->
+      let kconn =
+        match List.find_opt (fun c -> c.k_name = conn) t.t_outputs with
+        | Some c -> c
+        | None -> raise Fallback
+      in
+      let tens = tens_of m.m_data in
+      let v = make_cview ctx scope_env tens kconn.k_rank m.m_subset in
+      prologues := (fun fr -> refresh_view v fr) :: !prologues;
+      resolutions :=
+        (conn, Tasklang.Compile.Buffer_src (view_get v, view_set env v m.m_wcr))
+        :: !resolutions
+    | _ -> ()
+  in
+  List.iter add_in (State.in_edges st nid);
+  List.iter add_out (State.out_edges st nid);
+  let resolutions = List.rev !resolutions in
+  let prologues = Array.of_list (List.rev !prologues) in
+  (* name resolution order: input connectors, output connectors, scope
+     parameters (outer first), interstate symbols — as in exec_tasklet *)
+  let resolve name =
+    match List.assoc_opt name resolutions with
+    | Some r -> Some r
+    | None -> (
+      match List.assoc_opt name scope_env with
+      | Some slot ->
+        Some (Tasklang.Compile.Scalar_src (fun () -> I ctx.frame.(slot)))
+      | None ->
+        if Hashtbl.mem env.Exec.symbols name then
+          Some
+            (Tasklang.Compile.Scalar_src
+               (fun () -> I (Hashtbl.find env.Exec.symbols name)))
+        else None)
+  in
+  let body = Tasklang.Compile.compile ~resolve code in
+  fun () ->
+    stats.Exec.tasklet_execs <- stats.Exec.tasklet_execs + 1;
+    let fr = ctx.frame in
+    for i = 0 to Array.length prologues - 1 do
+      (Array.unsafe_get prologues i) fr
+    done;
+    body ()
+
+(* --- per-state plans ----------------------------------------------------- *)
+
+let prepare (env : Exec.env) (st : state) : Exec.cached_plan =
+  let ctx =
+    { env; st; frame = [||]; n_slots = 0; sym_slots = Hashtbl.create 8 }
+  in
+  let top =
+    let parents = State.scope_parents st in
+    List.filter
+      (fun nid -> Hashtbl.find parents nid = None)
+      (State.topological_order st)
+  in
+  let steps = Array.of_list (List.map (comp_node ctx []) top) in
+  ctx.frame <- Array.make (max 1 ctx.n_slots) 0;
+  (* symbol slots refresh from the interstate table at every execution;
+     membership was checked at plan time and symbols are never removed *)
+  let sym_refresh =
+    Array.of_list
+      (Hashtbl.fold (fun name slot acc -> (name, slot) :: acc) ctx.sym_slots
+         [])
+  in
+  let run () =
+    let fr = ctx.frame in
+    Array.iter
+      (fun (name, slot) -> fr.(slot) <- Hashtbl.find env.Exec.symbols name)
+      sym_refresh;
+    for i = 0 to Array.length steps - 1 do
+      (Array.unsafe_get steps i) ()
+    done
+  in
+  { Exec.pl_version = st.st_version; pl_run = run }
+
+let exec_state (env : Exec.env) (st : state) =
+  env.Exec.stats.Exec.states_executed <-
+    env.Exec.stats.Exec.states_executed + 1;
+  let plan =
+    match Hashtbl.find_opt env.Exec.plans st.st_id with
+    | Some p when p.Exec.pl_version = st.st_version -> p
+    | _ ->
+      let p = prepare env st in
+      Hashtbl.replace env.Exec.plans st.st_id p;
+      p
+  in
+  plan.Exec.pl_run ()
+
+let () = Exec.set_compiled_state_exec exec_state
+
+(* Referencing these values from a program forces this module to be
+   linked (and thus the engine to be registered); plain
+   [Exec.run ~engine:`Compiled] in a program that never mentions [Plan]
+   could otherwise drop this compilation unit at link time. *)
+let compiled : Exec.engine = `Compiled
+let reference : Exec.engine = `Reference

@@ -61,6 +61,12 @@ let is_contiguous t =
   | Fbuf a -> Array.length a = num_elements t
   | Ibuf a -> Array.length a = num_elements t
 
+(* Whether the view's memory order equals its logical row-major order, so
+   its elements occupy the single run [offset, offset + num_elements).
+   Weaker than {!is_contiguous}: a dense window of a larger buffer
+   qualifies. *)
+let is_dense t = t.strides = row_major_strides t.shape
+
 let linear_index t idx =
   let n = Array.length t.shape in
   if List.length idx <> n then
@@ -167,6 +173,14 @@ let copy_into ~src ~dst =
   let n = num_elements src in
   if num_elements dst <> n then
     bounds_error "copy: %d elements into %d" n (num_elements dst);
+  match src.buf, dst.buf with
+  (* Same representation and both sides dense: one bulk move.  Reshape is
+     fine because dense memory order is the logical order on both sides. *)
+  | Fbuf sb, Fbuf db when is_dense src && is_dense dst ->
+    Array.blit sb src.offset db dst.offset n
+  | Ibuf sb, Ibuf db when is_dense src && is_dense dst ->
+    Array.blit sb src.offset db dst.offset n
+  | _ ->
   let sidx = Array.make (rank src) 0 in
   let didx = Array.make (rank dst) 0 in
   let advance t idx =

@@ -30,6 +30,12 @@ val num_elements : t -> int
 val size_bytes : t -> int
 val is_contiguous : t -> bool
 
+val is_dense : t -> bool
+(** Memory order equals logical row-major order: the elements occupy the
+    single run [offset, offset + num_elements).  Weaker than
+    {!is_contiguous} — a dense window of a larger buffer qualifies — and
+    the predicate behind the [Array.blit] fast path of {!copy_into}. *)
+
 val get : t -> int list -> Tasklang.Types.value
 (** @raise Bounds on rank mismatch or out-of-range indices. *)
 

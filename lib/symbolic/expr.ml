@@ -111,7 +111,29 @@ let floormod a b =
     let r = a mod b in
     if r <> 0 && (r < 0) <> (b < 0) then r + b else r
 
+(* Simplification is called on every memlet/range manipulation and is
+   pure, so results are memoized.  Keys are whole expression trees;
+   structural equality backs up the (depth-limited) generic hash.  The
+   table is reset when it grows past a bound so pathological workloads
+   cannot leak memory. *)
+let simplify_tbl : (t, t) Hashtbl.t = Hashtbl.create 4096
+
+let simplify_tbl_max = 1 lsl 16
+
 let rec simplify e =
+  match e with
+  | Int _ | Sym _ -> e
+  | _ -> (
+    match Hashtbl.find_opt simplify_tbl e with
+    | Some r -> r
+    | None ->
+      let r = simplify_step e in
+      if Hashtbl.length simplify_tbl >= simplify_tbl_max then
+        Hashtbl.reset simplify_tbl;
+      Hashtbl.add simplify_tbl e r;
+      r)
+
+and simplify_step e =
   match e with
   | Int _ | Sym _ -> e
   | Add ts ->
@@ -218,6 +240,46 @@ let rec eval env e =
 
 let eval_list bindings e =
   eval (fun s -> List.assoc_opt s bindings) e
+
+(* Compile to a closure over a flat symbol frame: [slot] resolves each
+   free symbol to a frame index at compile time (raising there reports
+   unbound symbols before any iteration runs), so repeated evaluation
+   does no name lookups and allocates nothing. *)
+let compile ~slot e =
+  let rec go e =
+    match e with
+    | Int n -> fun _ -> n
+    | Sym s ->
+      let i = slot s in
+      fun frame -> Array.unsafe_get frame i
+    | Add ts -> (
+      match List.map go ts with
+      | [] -> fun _ -> 0
+      | [ f ] -> f
+      | [ f; g ] -> fun fr -> f fr + g fr
+      | [ f; g; h ] -> fun fr -> f fr + g fr + h fr
+      | fs -> fun fr -> List.fold_left (fun acc f -> acc + f fr) 0 fs)
+    | Mul fs -> (
+      match List.map go fs with
+      | [] -> fun _ -> 1
+      | [ f ] -> f
+      | [ f; g ] -> fun fr -> f fr * g fr
+      | [ f; g; h ] -> fun fr -> f fr * g fr * h fr
+      | fs -> fun fr -> List.fold_left (fun acc f -> acc * f fr) 1 fs)
+    | Div (a, b) ->
+      let fa = go a and fb = go b in
+      fun fr -> floordiv (fa fr) (fb fr)
+    | Mod (a, b) ->
+      let fa = go a and fb = go b in
+      fun fr -> floormod (fa fr) (fb fr)
+    | Min (a, b) ->
+      let fa = go a and fb = go b in
+      fun fr -> min (fa fr) (fb fr)
+    | Max (a, b) ->
+      let fa = go a and fb = go b in
+      fun fr -> max (fa fr) (fb fr)
+  in
+  go (simplify e)
 
 let rec subst_raw f e =
   match e with

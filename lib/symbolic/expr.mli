@@ -70,6 +70,13 @@ val eval : (string -> int option) -> t -> int
 
 val eval_list : (string * int) list -> t -> int
 
+val compile : slot:(string -> int) -> t -> int array -> int
+(** [compile ~slot e] lowers [e] to a closure over a flat symbol frame:
+    each free symbol is resolved to a frame index by [slot] once, at
+    compile time, so repeated evaluations perform no name lookups and no
+    allocation.  [slot] may raise (e.g. {!Unbound_symbol}) to reject free
+    symbols eagerly. *)
+
 val subst : (string -> t option) -> t -> t
 (** Capture-avoiding substitution followed by simplification. *)
 

@@ -1,0 +1,184 @@
+(* Closure compiler for tasklet code.
+
+   The reference evaluator ({!Eval}) re-walks the AST on every execution,
+   resolving names through an assoc list and allocating an [int list] per
+   element access.  Here the AST is lowered once to nested OCaml closures:
+   every name is resolved to its source at compile time, locals live in a
+   slot-indexed array, and index vectors are written into preallocated
+   [int array] scratch per access site.  Semantics (coercions, operator
+   behavior, evaluation order, error cases) exactly match {!Eval} — both
+   engines share {!Eval.apply_binop}/{!Eval.apply_unop}. *)
+
+open Types
+
+(* Where a name used by the tasklet comes from.  [Scalar_src] reads a
+   per-execution scalar (input connector, map parameter, symbol);
+   [Buffer_src] is a (get, set) pair over memlet-relative indices.  Names
+   the resolver does not know become tasklet-local variables. *)
+type resolution =
+  | Scalar_src of (unit -> value)
+  | Buffer_src of (int array -> value) * (int array -> value -> unit)
+
+type compiled = unit -> unit
+
+let eval_error = Eval.eval_error
+
+let compile ~(resolve : string -> resolution option) (code : Ast.t) : compiled
+    =
+  (* slot allocation for locals *)
+  let local_slots : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let local_slot x =
+    match Hashtbl.find_opt local_slots x with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length local_slots in
+      Hashtbl.add local_slots x i;
+      i
+  in
+  let locals = ref [||] in
+  (* [locals] is sized after compilation; closures dereference lazily. *)
+  (* Names bound by [for] loops become locals even when a connector,
+     parameter or symbol of the same name is in scope, and reads must
+     prefer the local once it has been set — {!Eval} consults its
+     [locals] table before the bindings.  Collect them up front so [Var]
+     reads of such names check the local slot first. *)
+  let rec for_vars_stmt acc (s : Ast.stmt) =
+    match s with
+    | Ast.For (v, _, _, body) -> List.fold_left for_vars_stmt (v :: acc) body
+    | Ast.If (_, t, f) ->
+      List.fold_left for_vars_stmt (List.fold_left for_vars_stmt acc t) f
+    | Ast.Assign _ -> acc
+  in
+  let for_vars = List.fold_left for_vars_stmt [] code in
+  let rec comp_expr (e : Ast.expr) : unit -> value =
+    match e with
+    | Ast.Float_lit x ->
+      let v = F x in
+      fun () -> v
+    | Ast.Int_lit n ->
+      let v = I n in
+      fun () -> v
+    | Ast.Bool_lit b ->
+      let v = B b in
+      fun () -> v
+    | Ast.Var x when List.mem x for_vars -> (
+      let i = local_slot x in
+      let fallback =
+        match resolve x with
+        | Some (Scalar_src get) -> get
+        | Some (Buffer_src (get, _)) -> fun () -> get [||]
+        | None -> fun () -> eval_error "unbound name %S" x
+      in
+      fun () ->
+        match Array.unsafe_get !locals i with
+        | Some v -> v
+        | None -> fallback ())
+    | Ast.Var x -> (
+      match resolve x with
+      | Some (Scalar_src get) -> get
+      | Some (Buffer_src (get, _)) -> fun () -> get [||]
+      | None ->
+        let i = local_slot x in
+        fun () ->
+          (match Array.unsafe_get !locals i with
+          | Some v -> v
+          | None -> eval_error "unbound name %S" x))
+    | Ast.Index (x, idxs) -> (
+      let fs = Array.of_list (List.map comp_index idxs) in
+      let scratch = Array.make (Array.length fs) 0 in
+      let fill () =
+        for k = 0 to Array.length fs - 1 do
+          Array.unsafe_set scratch k ((Array.unsafe_get fs k) ())
+        done
+      in
+      match resolve x with
+      | Some (Buffer_src (get, _)) ->
+        fun () ->
+          fill ();
+          get scratch
+      | Some (Scalar_src get) ->
+        fun () ->
+          fill ();
+          if Array.for_all (fun i -> i = 0) scratch then get ()
+          else eval_error "indexing scalar connector %S at nonzero index" x
+      | None -> fun () -> eval_error "indexing unbound connector %S" x)
+    | Ast.Unop (op, a) ->
+      let fa = comp_expr a in
+      fun () -> Eval.apply_unop op (fa ())
+    | Ast.Binop (op, a, b) ->
+      let fa = comp_expr a and fb = comp_expr b in
+      fun () -> Eval.apply_binop op (fa ()) (fb ())
+    | Ast.Cond (c, t, f) ->
+      let fc = comp_expr c and ft = comp_expr t and ff = comp_expr f in
+      fun () -> if to_bool (fc ()) then ft () else ff ()
+  and comp_index e =
+    let f = comp_expr e in
+    fun () -> to_int (f ())
+  in
+  let rec comp_stmt (s : Ast.stmt) : unit -> unit =
+    match s with
+    | Ast.Assign (Ast.Lvar x, e) -> (
+      let fe = comp_expr e in
+      match resolve x with
+      | Some (Buffer_src (_, set)) -> fun () -> set [||] (fe ())
+      | Some (Scalar_src _) ->
+        fun () ->
+          ignore (fe ());
+          eval_error "writing to input-only connector %S" x
+      | None ->
+        let i = local_slot x in
+        fun () -> Array.unsafe_set !locals i (Some (fe ())))
+    | Ast.Assign (Ast.Lindex (x, idxs), e) -> (
+      let fe = comp_expr e in
+      let fs = Array.of_list (List.map comp_index idxs) in
+      let scratch = Array.make (Array.length fs) 0 in
+      match resolve x with
+      | Some (Buffer_src (_, set)) ->
+        fun () ->
+          let v = fe () in
+          for k = 0 to Array.length fs - 1 do
+            Array.unsafe_set scratch k ((Array.unsafe_get fs k) ())
+          done;
+          set scratch v
+      | Some (Scalar_src _) | None ->
+        fun () ->
+          ignore (fe ());
+          eval_error "writing to unbound or scalar connector %S" x)
+    | Ast.If (c, t, f) ->
+      let fc = comp_expr c in
+      let ft = comp_block t and ff = comp_block f in
+      fun () -> if to_bool (fc ()) then ft () else ff ()
+    | Ast.For (v, lo, hi, body) ->
+      let flo = comp_expr lo and fhi = comp_expr hi in
+      let i = local_slot v in
+      let fbody = comp_block body in
+      fun () ->
+        let lo = to_int (flo ()) and hi = to_int (fhi ()) in
+        for k = lo to hi - 1 do
+          Array.unsafe_set !locals i (Some (I k));
+          fbody ()
+        done
+  and comp_block stmts =
+    match List.map comp_stmt stmts with
+    | [] -> fun () -> ()
+    | [ f ] -> f
+    | [ f; g ] ->
+      fun () ->
+        f ();
+        g ()
+    | fs ->
+      let fs = Array.of_list fs in
+      fun () ->
+        for k = 0 to Array.length fs - 1 do
+          (Array.unsafe_get fs k) ()
+        done
+  in
+  let body = comp_block code in
+  let n_locals = Hashtbl.length local_slots in
+  locals := Array.make (max 1 n_locals) None;
+  if n_locals = 0 then body
+  else
+    let arr = !locals in
+    fun () ->
+      Array.fill arr 0 n_locals None;
+      body ()

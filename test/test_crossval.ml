@@ -111,9 +111,170 @@ let test_transform_reduces_modeled_and_real_movement () =
   Alcotest.(check bool) "modeled traffic not increased" true
     (traffic g <= traffic (build ()) +. 1.)
 
+(* --- compiled engine vs reference engine --------------------------------
+
+   The compiled engine (Plan) must be observationally identical to the
+   reference interpreter: bit-identical tensors AND identical
+   instrumentation counters, across every Polybench kernel and every
+   fixture graph.  Counter equality is the strong check — it proves the
+   plans execute the same tasklets, move the same elements and resolve
+   the same write conflicts, not merely that they converge to the same
+   numbers. *)
+
+let tensor_bits (t : Tensor.t) =
+  match t.Tensor.buf with
+  | Tensor.Fbuf a -> Array.to_list (Array.map Int64.bits_of_float a)
+  | Tensor.Ibuf a -> List.map Int64.of_int (Array.to_list a)
+
+let check_stats_equal name (r : Exec.stats) (c : Exec.stats) =
+  Alcotest.(check (list int))
+    (name ^ ": stats identical across engines")
+    [ r.Exec.elements_moved; r.Exec.tasklet_execs; r.Exec.map_iterations;
+      r.Exec.stream_pushes; r.Exec.stream_pops; r.Exec.states_executed;
+      r.Exec.wcr_writes ]
+    [ c.Exec.elements_moved; c.Exec.tasklet_execs; c.Exec.map_iterations;
+      c.Exec.stream_pushes; c.Exec.stream_pops; c.Exec.states_executed;
+      c.Exec.wcr_writes ]
+
+(* Run [build ()] under both engines on identically-initialized fresh
+   args and compare every output tensor bit for bit, plus all stats. *)
+let compare_engines ~name ~build ~args ~symbols () =
+  let run engine =
+    let g = build () in
+    let a = args () in
+    let stats = Exec.run g ~engine ~symbols ~args:a in
+    (a, stats)
+  in
+  let ra, rs = run Plan.reference in
+  let ca, cs = run Plan.compiled in
+  List.iter2
+    (fun (n1, t1) (n2, t2) ->
+      Alcotest.(check string) (name ^ ": argument order") n1 n2;
+      Alcotest.(check (list int64))
+        (Fmt.str "%s: %S bit-identical across engines" name n1)
+        (tensor_bits t1) (tensor_bits t2))
+    ra ca;
+  check_stats_equal name rs cs
+
+let test_engines_polybench name () =
+  let k = Workloads.Polybench.find name in
+  compare_engines ~name
+    ~build:(fun () ->
+      let g = k.Workloads.Polybench.k_build () in
+      Validate.check g;
+      g)
+    ~args:(fun () -> Test_polybench.alloc_args (k.k_build ()) k.k_mini)
+    ~symbols:k.k_mini ()
+
+let farr shape f = Tensor.init T.F64 shape (fun idx -> T.F (f idx))
+let iarr shape f = Tensor.init T.I64 shape (fun idx -> T.I (f idx))
+
+(* The fixture graphs with the setups of the interpreter conformance
+   suite: maps, WCR, reductions, time loops, streams and consume scopes,
+   data-dependent branching, indirection and nested SDFGs. *)
+let fixture_cases =
+  [ ( "vector_add", Fixtures.vector_add, [ ("N", 5) ],
+      fun () ->
+        [ ("A", farr [| 5 |] (fun i -> float_of_int (List.hd i)));
+          ("B", farr [| 5 |] (fun _ -> 100.));
+          ("C", Tensor.create T.F64 [| 5 |]) ] );
+    ( "matmul_mapreduce", Fixtures.matmul_mapreduce,
+      [ ("M", 3); ("N", 4); ("K", 5) ],
+      fun () ->
+        [ ("A",
+           farr [| 3; 5 |] (function [ i; j ] -> float_of_int ((i * 5) + j) | _ -> 0.));
+          ("B", farr [| 5; 4 |] (function [ i; j ] -> float_of_int (i - j) | _ -> 0.));
+          ("C", Tensor.create T.F64 [| 3; 4 |]) ] );
+    ( "matmul_wcr", Fixtures.matmul_wcr, [ ("M", 4); ("N", 3); ("K", 6) ],
+      fun () ->
+        [ ("A",
+           farr [| 4; 6 |] (function [ i; j ] -> sin (float_of_int ((i * 7) + j)) | _ -> 0.));
+          ("B",
+           farr [| 6; 3 |] (function [ i; j ] -> cos (float_of_int (i + (3 * j))) | _ -> 0.));
+          ("C", Tensor.create T.F64 [| 4; 3 |]) ] );
+    ( "laplace", Fixtures.laplace, [ ("N", 16); ("T", 10) ],
+      fun () ->
+        [ ("A",
+           farr [| 2; 16 |] (function [ 0; i ] -> float_of_int (i * i) | _ -> 0.)) ] );
+    ( "spmv", Fixtures.spmv, [ ("H", 3); ("W", 4); ("nnz", 5) ],
+      fun () ->
+        [ ("A_row", iarr [| 4 |] (fun i -> [| 0; 2; 3; 5 |].(List.hd i)));
+          ("A_col", iarr [| 5 |] (fun i -> [| 0; 2; 1; 0; 3 |].(List.hd i)));
+          ("A_val", farr [| 5 |] (fun i -> [| 1.; 2.; 3.; 4.; 5. |].(List.hd i)));
+          ("x", farr [| 4 |] (fun i -> float_of_int (1 + List.hd i)));
+          ("b", Tensor.create T.F64 [| 3 |]) ] );
+    ( "fibonacci", Fixtures.fibonacci, [ ("P", 4) ],
+      fun () ->
+        [ ("N", iarr [||] (fun _ -> 10)); ("out", Tensor.create T.I64 [||]) ] );
+    ( "branching", Fixtures.branching, [],
+      fun () ->
+        [ ("A", farr [||] (fun _ -> 2.)); ("B", farr [||] (fun _ -> 1.));
+          ("C", Tensor.create T.F64 [||]); ("Ci", Tensor.create T.I64 [||]) ] );
+    ( "histogram", Fixtures.histogram, [ ("H", 8); ("W", 8); ("B", 8) ],
+      fun () ->
+        [ ("image",
+           farr [| 8; 8 |]
+             (function [ i; j ] -> float_of_int (((i * 8) + j) mod 8) /. 8. | _ -> 0.));
+          ("hist", Tensor.create T.I64 [| 8 |]) ] );
+    ( "nested_loop", Fixtures.nested_loop, [ ("N", 4) ],
+      fun () ->
+        [ ("data", farr [| 4 |] (fun i -> [| 0.5; 1.0; 7.9; 16.0 |].(List.hd i)));
+          ("counts", Tensor.create T.I64 [| 4 |]) ] ) ]
+
+let test_engines_fixture (name, build, symbols, args) () =
+  compare_engines ~name ~build ~args ~symbols ()
+
+let test_nonpositive_stride_raises () =
+  (* a map whose stride evaluates to zero or below must raise a
+     Runtime_error naming the parameter — in both engines — instead of
+     silently looping with a clamped step *)
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun s ->
+          let g, st = Builder.Build.single_state ~symbols:[ "N"; "S" ] "m" in
+          Sdfg.add_array g "X" ~shape:[ E.sym "N" ] ~dtype:T.F64;
+          ignore
+            (Builder.Build.mapped_tasklet g st ~name:"t" ~params:[ "i" ]
+               ~ranges:
+                 [ Symbolic.Subset.range ~stride:(E.sym "S") E.zero
+                     (E.sub (E.sym "N") E.one) ]
+               ~ins:[]
+               ~outs:
+                 [ Builder.Build.out_elem "x" "X" [ E.sym "i" ] ]
+               ~code:(`Src "x = 1.0") ());
+          ignore (Builder.Build.finalize g);
+          let contains msg sub =
+            let n = String.length msg and m = String.length sub in
+            let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+            go 0
+          in
+          match Exec.run g ~engine ~symbols:[ ("N", 4); ("S", s) ] with
+          | exception Exec.Runtime_error msg ->
+            Alcotest.(check bool)
+              (Fmt.str "error names the parameter (stride %d): %s" s msg)
+              true
+              (contains msg "non-positive stride" && contains msg "\"i\"")
+          | _ -> Alcotest.failf "stride %d: expected Runtime_error" s)
+        [ 0; -2 ])
+    [ Plan.reference; Plan.compiled ]
+
 let suite =
   [ ("model vs interpreter: GEMM counts", `Quick, test_matmul_counts);
     ("model vs interpreter: stencil counts", `Quick, test_stencil_counts);
     ("model vs interpreter: BFS levels", `Quick, test_bfs_counts);
     ("LocalStorage effect, modeled and measured", `Quick,
-      test_transform_reduces_modeled_and_real_movement) ]
+      test_transform_reduces_modeled_and_real_movement);
+    ("non-positive map stride raises (both engines)", `Quick,
+      test_nonpositive_stride_raises) ]
+  @ List.map
+      (fun c ->
+        let name, _, _, _ = c in
+        ( Fmt.str "engines agree: fixture %s" name, `Quick,
+          test_engines_fixture c ))
+      fixture_cases
+  @ List.map
+      (fun name ->
+        ( Fmt.str "engines agree: polybench %s" name, `Quick,
+          test_engines_polybench name ))
+      Workloads.Polybench.names
