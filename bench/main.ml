@@ -714,25 +714,23 @@ let engines () =
   in
   let gm = geomean (List.map (fun (_, _, _, s) -> s) results) in
   row "geomean compiled-engine speedup: %.2fx@." gm;
-  let oc = open_out "BENCH_interp.json" in
-  let pf fmt = Printf.fprintf oc fmt in
-  pf "{\n";
-  pf "  \"generated_by\": \"dune exec bench/main.exe micro\",\n";
-  pf "  \"engines\": [ \"reference\", \"compiled\" ],\n";
-  pf "  \"results\": [\n";
-  let last = List.length results - 1 in
-  List.iteri
-    (fun i (name, ref_t, comp_t, speedup) ->
-      pf
-        "    { \"workload\": %S, \"reference_s\": %.6f, \"compiled_s\": \
-         %.6f, \"speedup\": %.2f }%s\n"
-        name ref_t comp_t speedup
-        (if i = last then "" else ","))
-    results;
-  pf "  ],\n";
-  pf "  \"geomean_speedup\": %.2f\n" gm;
-  pf "}\n";
-  close_out oc;
+  let open Obs.Json in
+  save
+    (Obj
+       [ ("generated_by", Str "dune exec bench/main.exe micro");
+         ("engines", Arr [ Str "reference"; Str "compiled" ]);
+         ( "results",
+           Arr
+             (List.map
+                (fun (name, ref_t, comp_t, speedup) ->
+                  Obj
+                    [ ("workload", Str name);
+                      ("reference_s", Float ref_t);
+                      ("compiled_s", Float comp_t);
+                      ("speedup", Float speedup) ])
+                results) );
+         ("geomean_speedup", Float gm) ])
+    "BENCH_interp.json";
   row "wrote BENCH_interp.json@."
 
 (* --- microbenchmarks of the infrastructure itself --------------------------------- *)
@@ -808,14 +806,16 @@ let experiments =
   [ ("fig13a", fig13a); ("fig13b", fig13b); ("fig13c", fig13c);
     ("fig14a", fig14a); ("fig14b", fig14b); ("fig14c", fig14c);
     ("fig15", fig15); ("fig17", fig17); ("table2", table2);
-    ("table3", table3); ("ablations", ablations); ("micro", micro) ]
+    ("table3", table3); ("ablations", ablations); ("micro", micro);
+    ("engines", engines) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [] ->
     List.iter
-      (fun (name, f) -> if not (String.equal name "micro") then f ())
+      (fun (name, f) ->
+        if not (List.mem name [ "micro"; "engines" ]) then f ())
       experiments;
     Fmt.pr "@.(run with argument 'micro' for bechamel microbenchmarks)@."
   | names ->

@@ -232,17 +232,88 @@ let run_cmd =
                                   (List.fold_left ( + ) (Hashtbl.hash dname mod 7) idx)
                                 /. 13.))) ))
       in
-      let stats = Interp.Exec.run g ~engine ~symbols:k.k_mini ~args in
-      Fmt.pr "ran %s at mini size: %a@." name Interp.Exec.pp_stats stats
+      let report = Interp.Exec.run g ~engine ~symbols:k.k_mini ~args in
+      Fmt.pr "ran %s at mini size: %a@." name Obs.Report.pp_counters
+        report.Obs.Report.r_counters
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Interpret a Polybench program at mini size")
     Term.(const run $ prog_arg $ engine_arg)
 
+let profile_cmd =
+  let repeat_arg =
+    Arg.(value & opt int 5
+         & info [ "r"; "repeat" ] ~docv:"N" ~doc:"Measured repetitions.")
+  in
+  let warmup_arg =
+    Arg.(value & opt int 1
+         & info [ "w"; "warmup" ] ~docv:"N" ~doc:"Unmeasured warmup runs.")
+  in
+  let instrument_arg =
+    let level_conv =
+      Arg.enum
+        [ ("off", Obs.Collect.Off);
+          ("marked", Obs.Collect.Marked);
+          ("all", Obs.Collect.All) ]
+    in
+    Arg.(value & opt level_conv Obs.Collect.All
+         & info [ "i"; "instrument" ] ~docv:"LEVEL"
+             ~doc:"Instrumentation level for the measured runs: 'off' \
+                   (wall-clock only), 'marked' (only IR nodes flagged \
+                   with instrument) or 'all'.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the full profile (walls, counters, timer tree, \
+                   plan coverage) as JSON to $(docv).")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write the median run as a Chrome trace-event file to \
+                   $(docv) (open in about://tracing or Perfetto).")
+  in
+  let run name engine repeat warmup instrument json trace =
+    match
+      List.find_opt
+        (fun (k : Workloads.Polybench.kernel) -> String.equal k.k_name name)
+        Workloads.Polybench.all
+    with
+    | None ->
+      Fmt.epr "'profile' supports the Polybench programs (mini sizes)@.";
+      exit 1
+    | Some k ->
+      let g = k.k_build () in
+      let res =
+        Interp.Profile.run ~engine ~instrument ~warmup ~repeat
+          ~symbols:k.k_mini g
+      in
+      Fmt.pr "%a" Interp.Profile.pp res;
+      Option.iter
+        (fun path ->
+          Obs.Json.save (Interp.Profile.to_json res) path;
+          Fmt.pr "wrote profile JSON to %s@." path)
+        json;
+      Option.iter
+        (fun path ->
+          Obs.Report.save_trace res.Interp.Profile.p_report path;
+          Fmt.pr "wrote Chrome trace to %s@." path)
+        trace
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile a Polybench program at mini size: warmup + repeated \
+             measured runs, median report, optional JSON / Chrome-trace \
+             output")
+    Term.(const run $ prog_arg $ engine_arg $ repeat_arg $ warmup_arg
+          $ instrument_arg $ json_arg $ trace_arg)
+
 let () =
+  Sdfg_ir.Errors.register ();
   let doc = "the SDFG data-centric toolchain" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "sdfg" ~doc)
           [ list_cmd; show_cmd; dot_cmd; codegen_cmd; transform_cmd;
-            estimate_cmd; run_cmd; save_cmd; load_cmd ]))
+            estimate_cmd; run_cmd; profile_cmd; save_cmd; load_cmd ]))

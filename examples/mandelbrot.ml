@@ -128,4 +128,4 @@ let () =
   done;
   Fmt.pr "@.(each pixel ran its own nested state machine: %d states \
           executed in total)@."
-    stats.Interp.Exec.states_executed
+    stats.Obs.Report.r_counters.Obs.Report.states_executed

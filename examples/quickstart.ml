@@ -44,7 +44,8 @@ let () =
       ~args:[ ("A", a); ("B", b); ("C", c); ("alpha", alpha) ]
   in
   Fmt.pr "C = %a@." Fmt.(list ~sep:sp float) (Interp.Tensor.to_float_list c);
-  Fmt.pr "interpreter stats: %a@.@." Interp.Exec.pp_stats stats;
+  Fmt.pr "interpreter stats: %a@.@." Obs.Report.pp_counters
+    stats.Obs.Report.r_counters;
 
   (* 3. inspect the IR: memlet-propagated graph as Graphviz *)
   Fmt.pr "--- Graphviz (render with: dot -Tpdf) ---@.%s@."

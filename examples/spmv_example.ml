@@ -42,7 +42,8 @@ let () =
   in
   Fmt.pr "max |SDFG - reference| = %g  (%s)@." max_err
     (if max_err < 1e-9 then "OK" else "MISMATCH");
-  Fmt.pr "interpreter stats: %a@.@." Interp.Exec.pp_stats stats;
+  Fmt.pr "interpreter stats: %a@.@." Obs.Report.pp_counters
+    stats.Obs.Report.r_counters;
 
   (* the cost model classifies the x[A_col[j]] gather as an indirect
      (random-bandwidth) access automatically, via taint analysis of the

@@ -50,11 +50,11 @@ let code_of : code_spec -> tasklet_code = function
   | `Ast a -> Code a
   | `External (language, code) -> External { language; code }
 
-let tasklet st ~name ~inputs ~outputs ~code =
+let tasklet st ?(instrument = false) ~name ~inputs ~outputs ~code () =
   State.add_node st
     (Tasklet
        { t_name = name; t_inputs = inputs; t_outputs = outputs;
-         t_code = code_of code })
+         t_code = code_of code; t_instrument = instrument })
 
 (* Connector rank: dimensions of the subset that are not collapsed to a
    single index — a rank-0 connector binds a scalar, rank-k an
@@ -86,23 +86,25 @@ let group_memlet ios data =
   let wcr = List.find_map (fun io -> io.io_wcr) group in
   Memlet.simple ?wcr ~dynamic data subset
 
-let map_scope st ?(schedule = Sequential) ?(unroll = false) ~params ~ranges () =
+let map_scope st ?(schedule = Sequential) ?(unroll = false)
+    ?(instrument = false) ~params ~ranges () =
   let entry =
     State.add_node st
       (Map_entry
          { mp_params = params; mp_ranges = ranges; mp_schedule = schedule;
-           mp_unroll = unroll })
+           mp_unroll = unroll; mp_instrument = instrument })
   in
   let exit_ = State.add_node st Map_exit in
   State.set_scope st ~entry ~exit_;
   (entry, exit_)
 
-let consume_scope st ?(schedule = Sequential) ~pe ~num_pes ~stream () =
+let consume_scope st ?(schedule = Sequential) ?(instrument = false) ~pe
+    ~num_pes ~stream () =
   let entry =
     State.add_node st
       (Consume_entry
          { cs_pe_param = pe; cs_num_pes = num_pes; cs_stream = stream;
-           cs_schedule = schedule })
+           cs_schedule = schedule; cs_instrument = instrument })
   in
   let exit_ = State.add_node st Consume_exit in
   State.set_scope st ~entry ~exit_;
@@ -116,10 +118,10 @@ let nested st ~sdfg ~inputs ~outputs ?(symbol_map = []) () =
 
 (* A lone tasklet outside any scope, with one access node per distinct
    container on each side. *)
-let simple_tasklet g st ~name ~ins ~outs ~code () =
+let simple_tasklet g st ?instrument ~name ~ins ~outs ~code () =
   let tk =
-    tasklet st ~name ~inputs:(List.map (conn_of g) ins)
-      ~outputs:(List.map (conn_of g) outs) ~code
+    tasklet st ?instrument ~name ~inputs:(List.map (conn_of g) ins)
+      ~outputs:(List.map (conn_of g) outs) ~code ()
   in
   let in_accs = List.map (fun d -> (d, access st d)) (distinct_datas ins) in
   List.iter
@@ -137,12 +139,14 @@ let simple_tasklet g st ~name ~ins ~outs ~code () =
 
 (* The workhorse: a map scope enclosing a single tasklet, with access
    nodes and scope edges generated from the io specs. *)
-let mapped_tasklet g st ~name ~params ?schedule ?unroll ~ranges ~ins ~outs
-    ~code () =
-  let entry, exit_ = map_scope st ?schedule ?unroll ~params ~ranges () in
+let mapped_tasklet g st ~name ~params ?schedule ?unroll ?instrument ~ranges
+    ~ins ~outs ~code () =
+  let entry, exit_ =
+    map_scope st ?schedule ?unroll ?instrument ~params ~ranges ()
+  in
   let tk =
     tasklet st ~name ~inputs:(List.map (conn_of g) ins)
-      ~outputs:(List.map (conn_of g) outs) ~code
+      ~outputs:(List.map (conn_of g) outs) ~code ()
   in
   List.iter
     (fun data ->

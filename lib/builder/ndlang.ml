@@ -10,7 +10,7 @@ module Ast = Tasklang.Ast
 module T = Tasklang.Types
 open Sdfg_ir
 
-exception Frontend_error of string
+exception Frontend_error = Errors.Frontend_error
 
 let err fmt = Fmt.kstr (fun s -> raise (Frontend_error s)) fmt
 

@@ -1,0 +1,10 @@
+(** CPU dispatcher: generates C++/OpenMP source from an SDFG.
+
+    Maps with the CPU_Multicore schedule become "#pragma omp parallel
+    for" loop nests (§3.3); sequential maps become plain loops; consume
+    scopes become a work loop over the stream; connected components of a
+    state are emitted under "#pragma omp parallel sections" when there
+    are several. *)
+
+val generate : Sdfg_ir.Sdfg.t -> string
+(** Full translation unit (expects [sdfg_runtime.h] alongside). *)

@@ -1,0 +1,15 @@
+(** FPGA dispatcher: generates HLS C++ from an SDFG.
+
+    Maps with the FPGA_Device schedule synthesize hardware modules
+    (processing elements, §3.3); FPGA_Unrolled maps replicate processing
+    elements (the systolic-array pattern of Fig. 7); Stream containers
+    instantiate FIFO interfaces that connect modules; concurrent
+    connected components become a DATAFLOW region. *)
+
+val generate : Sdfg_ir.Sdfg.t -> string
+(** Full HLS translation unit (expects [sdfg_runtime.h] alongside). *)
+
+val resource_report : Sdfg_ir.Sdfg.t -> string
+(** One-line summary of synthesized resources (processing-element
+    modules, FIFO interfaces, local buffers) — the place-and-route
+    figures a performance engineer would inspect. *)

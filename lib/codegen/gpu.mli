@@ -1,0 +1,9 @@
+(** GPU dispatcher: generates CUDA source from an SDFG.
+
+    Maps with the GPU_Device schedule become __global__ kernels with the
+    map range as grid/thread-block indices (§3.3); copies between host
+    and GPU_Global containers become cudaMemcpy calls; different
+    connected components are assigned to different CUDA streams. *)
+
+val generate : Sdfg_ir.Sdfg.t -> string
+(** Full [.cu] translation unit (expects [sdfg_runtime.h] alongside). *)

@@ -93,6 +93,7 @@ type tasklet = {
   t_inputs : conn list;
   t_outputs : conn list;
   t_code : tasklet_code;
+  t_instrument : bool;               (* time this tasklet at level Marked *)
 }
 
 type map_info = {
@@ -100,6 +101,7 @@ type map_info = {
   mp_ranges : Subset.range list;     (* same length as mp_params *)
   mp_schedule : schedule;
   mp_unroll : bool;
+  mp_instrument : bool;              (* time this scope at level Marked *)
 }
 
 type consume_info = {
@@ -107,6 +109,7 @@ type consume_info = {
   cs_num_pes : Expr.t;
   cs_stream : string;                (* input stream container name *)
   cs_schedule : schedule;
+  cs_instrument : bool;              (* time this scope at level Marked *)
 }
 
 type node =
@@ -152,6 +155,8 @@ and state = {
      with the version they were computed at *)
   mutable st_version : int;
   mutable st_cache : state_cache option;
+  (* time this state at instrumentation level Marked *)
+  mutable st_instrument : bool;
 }
 
 and state_cache = {

@@ -1,0 +1,60 @@
+(* One home for the library's user-facing exceptions and their
+   [Printexc] printers.
+
+   The toolchain raises from many layers — parsing, type checking,
+   symbolic evaluation, validation, interpretation, transformation,
+   cost modeling — and an uncaught exception should always render as a
+   labelled message, not [Fatal error: exception Lib__Mod.E("...")].
+
+   Exceptions from layers *above* sdfg_ir (interpreter, transformations,
+   frontend, cost model) are defined here and rebound at their
+   historical homes ([exception Runtime_error = Sdfg_ir.Errors.
+   Runtime_error] in [Interp.Exec], and so on), which keeps existing
+   [try ... with Interp.Exec.Runtime_error _] code working while letting
+   this bottom-layer module print every one of them.  Exceptions from
+   layers *below* (tasklang, symbolic) and from sdfg_ir itself are
+   matched directly. *)
+
+(* Raised by the interpreter ([Interp.Exec]) on invalid runs: missing
+   arguments, out-of-range memlets, failed stream operations. *)
+exception Runtime_error of string
+
+(* Raised by transformations ([Transform.Xform]) whose precondition does
+   not hold on the given graph/candidate. *)
+exception Not_applicable of string
+
+(* Raised by the numpy-like frontend ([Builder.Ndlang]) on programs it
+   cannot lower. *)
+exception Frontend_error of string
+
+(* Raised by the machine model ([Machine.Cost]) on graphs it cannot
+   price. *)
+exception Cost_error of string
+
+let printer = function
+  | Runtime_error m -> Some ("SDFG runtime error: " ^ m)
+  | Not_applicable m -> Some ("transformation not applicable: " ^ m)
+  | Frontend_error m -> Some ("frontend error: " ^ m)
+  | Cost_error m -> Some ("cost model error: " ^ m)
+  | Defs.Invalid_sdfg m -> Some ("invalid SDFG: " ^ m)
+  | Serialize.Parse_error m -> Some ("SDFG parse error: " ^ m)
+  | Tasklang.Parse.Parse_error m -> Some ("tasklet parse error: " ^ m)
+  | Tasklang.Types.Type_error m -> Some ("tasklet type error: " ^ m)
+  | Tasklang.Eval.Eval_error m -> Some ("tasklet evaluation error: " ^ m)
+  | Symbolic.Expr.Non_constant e ->
+    Some
+      (Fmt.str "symbolic expression is not constant: %a" Symbolic.Expr.pp e)
+  | Symbolic.Expr.Unbound_symbol s -> Some ("unbound symbol: " ^ s)
+  | _ -> None
+
+let registered = ref false
+
+let register () =
+  if not !registered then begin
+    registered := true;
+    Printexc.register_printer printer
+  end
+
+(* Linking the library installs the printers; [register] stays available
+   (and idempotent) for callers that want to be explicit. *)
+let () = register ()

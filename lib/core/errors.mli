@@ -1,0 +1,37 @@
+(** One home for the library's user-facing exceptions and their
+    [Printexc] printers.
+
+    Exceptions raised by layers above [sdfg_ir] are {e defined} here and
+    rebound at their historical homes — [Interp.Exec.Runtime_error],
+    [Transform.Xform.Not_applicable], [Builder.Ndlang.Frontend_error]
+    and [Machine.Cost.Cost_error] are physically equal to the
+    constructors below, so matching either name catches the same
+    exception.  Exceptions of the layers below (tasklang, symbolic) and
+    of [sdfg_ir] itself keep their definitions and are covered by the
+    installed printer. *)
+
+exception Runtime_error of string
+(** Invalid interpreter runs: missing arguments, out-of-range memlets,
+    failed stream operations ([Interp.Exec]). *)
+
+exception Not_applicable of string
+(** A transformation whose precondition does not hold
+    ([Transform.Xform]). *)
+
+exception Frontend_error of string
+(** A program the numpy-like frontend cannot lower
+    ([Builder.Ndlang]). *)
+
+exception Cost_error of string
+(** A graph the machine model cannot price ([Machine.Cost]). *)
+
+val printer : exn -> string option
+(** Labelled one-line rendering of every library exception — the four
+    above plus [Defs.Invalid_sdfg], [Serialize.Parse_error],
+    [Tasklang.Parse.Parse_error], [Tasklang.Types.Type_error],
+    [Tasklang.Eval.Eval_error], [Symbolic.Expr.Non_constant] and
+    [Symbolic.Expr.Unbound_symbol]; [None] on foreign exceptions. *)
+
+val register : unit -> unit
+(** Install {!printer} via [Printexc.register_printer].  Idempotent;
+    also runs automatically when the library is linked. *)

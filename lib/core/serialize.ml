@@ -281,30 +281,41 @@ let rec bexp_of_sexp = function
 
 (* --- nodes ------------------------------------------------------------------------ *)
 
+(* optional trailing [instrument] marker on tasklet / map_entry / state
+   forms; absent in files written before the instrumentation layer *)
+let instrument_of_tail = function
+  | [] -> false
+  | [ Atom "instrument" ] -> true
+  | s :: _ -> parse_error "bad trailing field %s" (sexp_to_string s)
+
 let rec node_to_sexp (n : node) : sexp =
   match n with
   | Access d -> List [ Atom "access"; Atom d ]
   | Tasklet t ->
     List
-      [ Atom "tasklet"; Str t.t_name;
-        List (List.map conn_to_sexp t.t_inputs);
-        List (List.map conn_to_sexp t.t_outputs);
-        (match t.t_code with
-        | Code code -> List [ Atom "code"; Str (Tasklang.Ast.to_string code) ]
-        | External { language; code } ->
-          List [ Atom "external"; Str language; Str code ]) ]
+      ([ Atom "tasklet"; Str t.t_name;
+         List (List.map conn_to_sexp t.t_inputs);
+         List (List.map conn_to_sexp t.t_outputs);
+         (match t.t_code with
+         | Code code -> List [ Atom "code"; Str (Tasklang.Ast.to_string code) ]
+         | External { language; code } ->
+           List [ Atom "external"; Str language; Str code ]) ]
+      (* trailing marker keeps pre-instrumentation files parseable *)
+      @ if t.t_instrument then [ Atom "instrument" ] else [])
   | Map_entry m ->
     List
-      [ Atom "map_entry";
-        List (List.map (fun p -> Atom p) m.mp_params);
-        List (List.map range_to_sexp m.mp_ranges);
-        schedule_to_atom m.mp_schedule;
-        Atom (string_of_bool m.mp_unroll) ]
+      ([ Atom "map_entry";
+         List (List.map (fun p -> Atom p) m.mp_params);
+         List (List.map range_to_sexp m.mp_ranges);
+         schedule_to_atom m.mp_schedule;
+         Atom (string_of_bool m.mp_unroll) ]
+      @ if m.mp_instrument then [ Atom "instrument" ] else [])
   | Map_exit -> Atom "map_exit"
   | Consume_entry c ->
     List
-      [ Atom "consume_entry"; Atom c.cs_pe_param; expr_to_sexp c.cs_num_pes;
-        Atom c.cs_stream; schedule_to_atom c.cs_schedule ]
+      ([ Atom "consume_entry"; Atom c.cs_pe_param; expr_to_sexp c.cs_num_pes;
+         Atom c.cs_stream; schedule_to_atom c.cs_schedule ]
+      @ if c.cs_instrument then [ Atom "instrument" ] else [])
   | Consume_exit -> Atom "consume_exit"
   | Reduce r ->
     List
@@ -330,7 +341,8 @@ let rec node_to_sexp (n : node) : sexp =
 and node_of_sexp (s : sexp) : node =
   match s with
   | List [ Atom "access"; Atom d ] -> Access d
-  | List [ Atom "tasklet"; Str name; List ins; List outs; code ] ->
+  | List (Atom "tasklet" :: Str name :: List ins :: List outs :: code :: rest)
+    ->
     let t_code =
       match code with
       | List [ Atom "code"; Str src ] -> Code (Tasklang.Parse.program src)
@@ -342,8 +354,11 @@ and node_of_sexp (s : sexp) : node =
       { t_name = name;
         t_inputs = List.map conn_of_sexp ins;
         t_outputs = List.map conn_of_sexp outs;
-        t_code }
-  | List [ Atom "map_entry"; List params; List ranges; sched; Atom unroll ] ->
+        t_code;
+        t_instrument = instrument_of_tail rest }
+  | List
+      (Atom "map_entry" :: List params :: List ranges :: sched :: Atom unroll
+      :: rest) ->
     Map_entry
       { mp_params =
           List.map
@@ -351,12 +366,15 @@ and node_of_sexp (s : sexp) : node =
             params;
         mp_ranges = List.map range_of_sexp ranges;
         mp_schedule = schedule_of_sexp sched;
-        mp_unroll = bool_of_string unroll }
+        mp_unroll = bool_of_string unroll;
+        mp_instrument = instrument_of_tail rest }
   | Atom "map_exit" -> Map_exit
-  | List [ Atom "consume_entry"; Atom pe; num; Atom stream; sched ] ->
+  | List (Atom "consume_entry" :: Atom pe :: num :: Atom stream :: sched :: rest)
+    ->
     Consume_entry
       { cs_pe_param = pe; cs_num_pes = expr_of_sexp num; cs_stream = stream;
-        cs_schedule = schedule_of_sexp sched }
+        cs_schedule = schedule_of_sexp sched;
+        cs_instrument = instrument_of_tail rest }
   | Atom "consume_exit" -> Consume_exit
   | List (Atom "reduce" :: wcr :: rest) ->
     let axes, identity =
@@ -427,17 +445,20 @@ and state_to_sexp (st : state) : sexp =
       st.st_scope_exit []
   in
   List
-    [ Atom "state"; Atom (string_of_int st.st_id); Str st.st_label;
-      List (Atom "nodes" :: nodes);
-      List (Atom "edges" :: edges);
-      List (Atom "scopes" :: scopes) ]
+    ([ Atom "state"; Atom (string_of_int st.st_id); Str st.st_label;
+       List (Atom "nodes" :: nodes);
+       List (Atom "edges" :: edges);
+       List (Atom "scopes" :: scopes) ]
+    @ if st.st_instrument then [ Atom "instrument" ] else [])
 
 and state_of_sexp g (s : sexp) : int * int =
   match s with
   | List
-      [ Atom "state"; Atom sid; Str label; List (Atom "nodes" :: nodes);
-        List (Atom "edges" :: edges); List (Atom "scopes" :: scopes) ] ->
+      (Atom "state" :: Atom sid :: Str label :: List (Atom "nodes" :: nodes)
+      :: List (Atom "edges" :: edges) :: List (Atom "scopes" :: scopes)
+      :: rest) ->
     let st = Sdfg.add_state g ~label () in
+    st.st_instrument <- instrument_of_tail rest;
     let remap = Hashtbl.create 16 in
     List.iter
       (fun ns ->

@@ -20,7 +20,8 @@ let create ?(label = "state") id : t =
     st_next_edge = 0;
     st_scope_exit = Hashtbl.create 4;
     st_version = 0;
-    st_cache = None }
+    st_cache = None;
+    st_instrument = false }
 
 (* Any structural mutation invalidates the derived-structure cache. *)
 let touch (s : t) =
@@ -373,6 +374,7 @@ and clone (s : t) ?(id = s.st_id) () : t =
     s.st_scope_exit;
   s'.st_next_node <- s.st_next_node;
   s'.st_next_edge <- s.st_next_edge;
+  s'.st_instrument <- s.st_instrument;
   s'
 
 and clone_sdfg (g : sdfg) : sdfg =

@@ -19,7 +19,7 @@ open Sdfg_ir
 open Defs
 open Tasklang.Types
 
-exception Runtime_error of string
+exception Runtime_error = Errors.Runtime_error
 
 let runtime_error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
 
@@ -78,10 +78,29 @@ type env = {
   containers : (string, container) Hashtbl.t;
   symbols : (string, int) Hashtbl.t;
   stats : stats;
+  collector : Obs.Collect.t;  (* wall-clock spans + plan coverage *)
   max_states : int;
   engine : engine;
   plans : (int, cached_plan) Hashtbl.t;  (* state id -> plan *)
 }
+
+(* Span names are shared between engines so the timing trees match
+   shape-for-shape: states use their label, maps their parameter list,
+   consumes their stream, tasklets their name. *)
+let map_span_name (m : map_info) =
+  "[" ^ String.concat "," m.mp_params ^ "]"
+
+(* Time [f] as a (kind, name) span when the collector's level and the
+   construct's [flag] ask for it; otherwise run it untouched. *)
+let timed env kind name ~flag f =
+  let c = env.collector in
+  if Obs.Collect.should_time c ~flag then begin
+    let sp = Obs.Collect.enter c kind name in
+    match f () with
+    | r -> Obs.Collect.exit c sp; r
+    | exception e -> Obs.Collect.exit c sp; raise e
+  end
+  else f ()
 
 (* The compiled engine lives in {!Plan}, which depends on this module;
    it registers its state executor here at load time. *)
@@ -600,9 +619,17 @@ let rec exec_nodes env st ~params ~popped nids =
             | Map_exit | Consume_exit -> exec_scope_copy_out env params e d
             | _ -> ())
           (State.out_edges st nid)
-      | Tasklet t -> exec_tasklet env params ~popped st nid t
-      | Map_entry info -> exec_map env st ~params ~popped nid info
-      | Consume_entry info -> exec_consume env st ~params ~popped nid info
+      | Tasklet t ->
+        timed env Obs.Collect.Tasklet t.t_name ~flag:t.t_instrument (fun () ->
+            exec_tasklet env params ~popped st nid t)
+      | Map_entry info ->
+        timed env Obs.Collect.Map (map_span_name info)
+          ~flag:info.mp_instrument (fun () ->
+            exec_map env st ~params ~popped nid info)
+      | Consume_entry info ->
+        timed env Obs.Collect.Consume info.cs_stream
+          ~flag:info.cs_instrument (fun () ->
+            exec_consume env st ~params ~popped nid info)
       | Map_exit | Consume_exit -> ()
       | Reduce r -> exec_reduce env params st nid r.r_wcr r.r_axes r.r_identity
       | Nested_sdfg nest -> exec_nested env params st nid nest)
@@ -727,7 +754,8 @@ and exec_nested env params st nid (nest : nested) =
   in
   run_in ~containers:inner_containers
     ~symbols:(inner_symbols @ inherited)
-    ~stats:env.stats ~max_states:env.max_states ~engine:env.engine inner
+    ~stats:env.stats ~collector:env.collector ~max_states:env.max_states
+    ~engine:env.engine inner
 
 (* --- top-level execution ---------------------------------------------------- *)
 
@@ -747,9 +775,12 @@ and run_state_machine env =
     if !steps > env.max_states then
       runtime_error "SDFG %S exceeded max state executions (%d)"
         env.g.g_name env.max_states;
-    (match env.engine with
-    | `Reference -> exec_state env !current
-    | `Compiled -> !compiled_state_exec env !current);
+    (let st = !current in
+     timed env Obs.Collect.State st.st_label ~flag:st.st_instrument
+       (fun () ->
+         match env.engine with
+         | `Reference -> exec_state env st
+         | `Compiled -> !compiled_state_exec env st));
     let outgoing = Sdfg.out_transitions env.g (State.id !current) in
     match
       List.find_opt
@@ -769,10 +800,11 @@ and run_state_machine env =
 
 (* Run an SDFG whose containers are already bound (used for nested
    invocations); allocates any transients not provided. *)
-and run_in ~containers ~symbols ~stats ~max_states ~engine (g : sdfg) =
+and run_in ~containers ~symbols ~stats ~collector ~max_states ~engine
+    (g : sdfg) =
   let env =
-    { g; containers; symbols = Hashtbl.create 8; stats; max_states;
-      engine; plans = Hashtbl.create 4 }
+    { g; containers; symbols = Hashtbl.create 8; stats; collector;
+      max_states; engine; plans = Hashtbl.create 4 }
   in
   List.iter (fun (s, v) -> Hashtbl.replace env.symbols s v) symbols;
   (* Allocate missing containers (transients; also non-transients when the
@@ -797,13 +829,35 @@ and run_in ~containers ~symbols ~stats ~max_states ~engine (g : sdfg) =
     (Sdfg.descs g);
   run_state_machine env
 
+let engine_name : engine -> string = function
+  | `Reference -> "reference"
+  | `Compiled -> "compiled"
+
+let counters_of_stats (s : stats) : Obs.Report.counters =
+  { Obs.Report.elements_moved = s.elements_moved;
+    tasklet_execs = s.tasklet_execs;
+    map_iterations = s.map_iterations;
+    stream_pushes = s.stream_pushes;
+    stream_pops = s.stream_pops;
+    states_executed = s.states_executed;
+    wcr_writes = s.wcr_writes }
+
 (* Main entry point: run [g] on the given tensors and symbol values.
    Non-transient containers not supplied in [args] are allocated
-   zero-initialized and discarded. *)
-let run ?(engine = `Reference) ?(max_states = 1_000_000) ?(symbols = [])
-    ?(args = []) (g : sdfg) : stats =
+   zero-initialized and discarded.  The returned report freezes the
+   counters, the instrumentation timing tree (per [instrument] level) and
+   the compiled engine's plan coverage. *)
+let run ?(engine = `Reference) ?(instrument = Obs.Collect.Off)
+    ?(max_states = 1_000_000) ?(symbols = []) ?(args = []) (g : sdfg) :
+    Obs.Report.t =
   let stats = fresh_stats () in
+  let collector = Obs.Collect.create instrument in
   let containers = Hashtbl.create 16 in
   List.iter (fun (name, t) -> Hashtbl.replace containers name (Tens t)) args;
-  run_in ~containers ~symbols ~stats ~max_states ~engine g;
-  stats
+  let t0 = Obs.Collect.now () in
+  run_in ~containers ~symbols ~stats ~collector ~max_states ~engine g;
+  let wall_s = Obs.Collect.now () -. t0 in
+  Obs.Report.of_collector ~program:g.g_name ~engine:(engine_name engine)
+    ~wall_s
+    ~counters:(counters_of_stats stats)
+    collector

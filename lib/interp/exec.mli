@@ -51,19 +51,31 @@ type engine = [ `Reference | `Compiled ]
     memlet offset arithmetic).  Both produce bit-identical results and
     instrumentation counters. *)
 
+val engine_name : engine -> string
+(** ["reference"] / ["compiled"] — the [r_engine] field of reports. *)
+
+val counters_of_stats : stats -> Obs.Report.counters
+(** Freeze the mutable counters into a report's immutable record. *)
+
 val run :
   ?engine:engine ->
+  ?instrument:Obs.Collect.level ->
   ?max_states:int ->
   ?symbols:(string * int) list ->
   ?args:(string * Tensor.t) list ->
   Sdfg_ir.Sdfg.t ->
-  stats
+  Obs.Report.t
 (** Execute an SDFG.  [symbols] binds the free symbols (sizes);
     [args] binds non-transient containers to caller-owned tensors,
     which are mutated in place (the array-based interface of §2.1).
     Containers not supplied are allocated zero-initialized.
     [max_states] bounds state-machine steps (default 1,000,000).
     [engine] selects the execution engine (default [`Reference]).
+    [instrument] sets the timing level (default [Off]: counters only, no
+    timers; the compiled engine plans uninstrumented closures so the
+    timing machinery costs nothing).  The returned {!Obs.Report.t}
+    carries the counters, the per-construct timing tree and — for the
+    compiled engine — plan coverage.
     @raise Runtime_error on stuck or ill-formed programs. *)
 
 (** {1 Engine internals}
@@ -84,10 +96,20 @@ type env = {
   containers : (string, container) Hashtbl.t;
   symbols : (string, int) Hashtbl.t;
   stats : stats;
+  collector : Obs.Collect.t;  (** wall-clock spans + plan coverage *)
   max_states : int;
   engine : engine;
   plans : (int, cached_plan) Hashtbl.t;  (** state id -> cached plan *)
 }
+
+val map_span_name : Sdfg_ir.Defs.map_info -> string
+(** Span name of a map scope — shared by both engines so timing trees
+    match shape-for-shape. *)
+
+val timed :
+  env -> Obs.Collect.kind -> string -> flag:bool -> (unit -> 'a) -> 'a
+(** Run a thunk under a span when the collector's level and the
+    construct's [instrument] flag ask for it; otherwise run it untouched. *)
 
 val runtime_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** @raise Runtime_error always. *)

@@ -222,8 +222,39 @@ let view_set env v wcr =
 
 (* --- node compilation --------------------------------------------------- *)
 
+(* Plan-time instrumentation specialization: with timing off the compiled
+   closure is returned untouched — the instrumented engine and the plain
+   engine run byte-for-byte the same code, there is no per-iteration
+   branch.  With timing on, the span is resolved once on first execution
+   and re-entered thereafter (a plan closure always runs under the same
+   static scope chain, so its span's parent is stable). *)
+let spanned ctx kind name ~flag (f : unit -> unit) : unit -> unit =
+  let c = ctx.env.Exec.collector in
+  if not (Obs.Collect.should_time c ~flag) then f
+  else
+    let memo = ref None in
+    fun () ->
+      let sp =
+        match !memo with
+        | Some sp ->
+          Obs.Collect.reenter c sp;
+          sp
+        | None ->
+          let sp = Obs.Collect.enter c kind name in
+          memo := Some sp;
+          sp
+      in
+      (match f () with
+      | () -> ()
+      | exception e ->
+        Obs.Collect.exit c sp;
+        raise e);
+      Obs.Collect.exit c sp
+
 let rec comp_node ctx scope_env nid : unit -> unit =
+  let collector = ctx.env.Exec.collector in
   let fallback () =
+    Obs.Collect.note_fallback_node collector;
     let env = ctx.env and st = ctx.st in
     match scope_env with
     | [] -> fun () -> Exec.exec_nodes env st ~params:[] ~popped:[] [ nid ]
@@ -238,9 +269,18 @@ let rec comp_node ctx scope_env nid : unit -> unit =
   in
   match State.node ctx.st nid with
   | Map_entry info -> (
-    try comp_map ctx scope_env nid info with Fallback -> fallback ())
+    try
+      let f = comp_map ctx scope_env nid info in
+      Obs.Collect.note_compiled_node collector;
+      spanned ctx Obs.Collect.Map (Exec.map_span_name info)
+        ~flag:info.mp_instrument f
+    with Fallback -> fallback ())
   | Tasklet t -> (
-    try comp_tasklet ctx scope_env nid t with Fallback -> fallback ())
+    try
+      let f = comp_tasklet ctx scope_env nid t in
+      Obs.Collect.note_compiled_node collector;
+      spanned ctx Obs.Collect.Tasklet t.t_name ~flag:t.t_instrument f
+    with Fallback -> fallback ())
   | Map_exit | Consume_exit -> fun () -> ()
   | Access _ | Consume_entry _ | Reduce _ | Nested_sdfg _ -> fallback ()
 
@@ -422,6 +462,7 @@ and comp_tasklet ctx scope_env nid (t : tasklet) : unit -> unit =
 (* --- per-state plans ----------------------------------------------------- *)
 
 let prepare (env : Exec.env) (st : state) : Exec.cached_plan =
+  Obs.Collect.note_planned_state env.Exec.collector;
   let ctx =
     { env; st; frame = [||]; n_slots = 0; sym_slots = Hashtbl.create 8 }
   in

@@ -1,0 +1,101 @@
+(* Profiler: repeated measured runs of an SDFG through either engine.
+
+   The raw material comes from {!Exec.run}'s reports; this module adds
+   the measurement protocol — deterministic input synthesis, warmup runs,
+   repetitions, median selection — and renders the aggregate through the
+   same {!Obs} machinery the rest of the toolchain uses.  It backs the
+   [sdfg profile] CLI subcommand and the optimization session's default
+   measure function. *)
+
+module Expr = Symbolic.Expr
+open Sdfg_ir
+open Tasklang.Types
+
+(* Deterministic inputs for every non-transient array container:
+   hash-seeded per container name, varying per element, dtype-aware.
+   Identical across calls, so repetitions measure the same computation
+   and engines can be compared on equal inputs. *)
+let make_args ?(symbols = []) (g : Sdfg.t) : (string * Tensor.t) list =
+  let lookup name = List.assoc_opt name symbols in
+  Sdfg.descs g
+  |> List.filter_map (fun (dname, d) ->
+         match d with
+         | Defs.Stream _ -> None
+         | Defs.Array a when a.Defs.a_transient -> None
+         | Defs.Array a ->
+           let shape =
+             List.map (fun e -> Expr.eval lookup e) a.Defs.a_shape
+             |> Array.of_list
+           in
+           let seed = Hashtbl.hash dname mod 7 in
+           let value idx =
+             1.0
+             +. (float_of_int (List.fold_left ( + ) seed idx) /. 13.)
+           in
+           let t =
+             Tensor.init a.Defs.a_dtype shape (fun idx ->
+                 match a.Defs.a_dtype with
+                 | F64 | F32 -> F (value idx)
+                 | I64 | I32 -> I (List.fold_left ( + ) seed idx mod 11)
+                 | Bool -> B (List.fold_left ( + ) seed idx mod 2 = 0))
+           in
+           Some (dname, t))
+
+type result = {
+  p_report : Obs.Report.t;  (* the median-wall measured repetition *)
+  p_walls : float list;     (* wall seconds of every repetition, in order *)
+  p_warmup : int;
+  p_repeat : int;
+}
+
+let wall_median res =
+  match List.sort Float.compare res.p_walls with
+  | [] -> 0.
+  | ws -> List.nth ws (List.length ws / 2)
+
+let wall_min res =
+  List.fold_left Float.min Float.infinity res.p_walls
+
+(* Profile [g]: [warmup] unmeasured runs (instrumentation off), then
+   [repeat] measured runs at [instrument], each on freshly synthesized
+   arguments so in-place mutation cannot feed one repetition's output
+   into the next.  The reported run is the median by wall-clock. *)
+let run ?(engine = `Reference) ?(instrument = Obs.Collect.Off) ?(warmup = 1)
+    ?(repeat = 5) ?max_states ?(symbols = []) ?args_for (g : Sdfg.t) : result
+    =
+  if repeat < 1 then invalid_arg "Profile.run: repeat must be >= 1";
+  if warmup < 0 then invalid_arg "Profile.run: warmup must be >= 0";
+  let fresh () =
+    match args_for with Some f -> f () | None -> make_args ~symbols g
+  in
+  for _ = 1 to warmup do
+    ignore (Exec.run ?max_states ~engine ~symbols ~args:(fresh ()) g)
+  done;
+  let reports =
+    List.init repeat (fun _ ->
+        Exec.run ?max_states ~engine ~instrument ~symbols ~args:(fresh ()) g)
+  in
+  let walls = List.map (fun r -> r.Obs.Report.r_wall_s) reports in
+  let sorted =
+    List.sort
+      (fun a b ->
+        Float.compare a.Obs.Report.r_wall_s b.Obs.Report.r_wall_s)
+      reports
+  in
+  let median = List.nth sorted (List.length sorted / 2) in
+  { p_report = median; p_walls = walls; p_warmup = warmup; p_repeat = repeat }
+
+let to_json (res : result) : Obs.Json.t =
+  Obs.Json.Obj
+    [ ("warmup", Obs.Json.Int res.p_warmup);
+      ("repeat", Obs.Json.Int res.p_repeat);
+      ("wall_median_s", Obs.Json.Float (wall_median res));
+      ("wall_min_s", Obs.Json.Float (wall_min res));
+      ( "walls_s",
+        Obs.Json.Arr (List.map (fun w -> Obs.Json.Float w) res.p_walls) );
+      ("report", Obs.Report.to_json res.p_report) ]
+
+let pp ppf (res : result) =
+  Fmt.pf ppf "%d warmup + %d measured runs: median %.6f s, min %.6f s@."
+    res.p_warmup res.p_repeat (wall_median res) (wall_min res);
+  Obs.Report.pp ppf res.p_report

@@ -1,0 +1,42 @@
+(** Profiler: repeated measured runs of an SDFG through either engine.
+
+    Adds the measurement protocol on top of {!Exec.run} — deterministic
+    input synthesis, warmup, repetitions, median selection — and renders
+    results through {!Obs}.  Backs the [sdfg profile] CLI subcommand and
+    {!Transform.Session}'s default measure function. *)
+
+val make_args :
+  ?symbols:(string * int) list -> Sdfg_ir.Sdfg.t -> (string * Tensor.t) list
+(** Deterministic dtype-aware inputs for every non-transient array
+    container, with shapes evaluated under [symbols].  Identical across
+    calls, so repetitions and engines see the same computation. *)
+
+type result = {
+  p_report : Obs.Report.t;  (** the median-wall measured repetition *)
+  p_walls : float list;  (** wall seconds of every repetition, in order *)
+  p_warmup : int;
+  p_repeat : int;
+}
+
+val wall_median : result -> float
+val wall_min : result -> float
+
+val run :
+  ?engine:Exec.engine ->
+  ?instrument:Obs.Collect.level ->
+  ?warmup:int ->
+  ?repeat:int ->
+  ?max_states:int ->
+  ?symbols:(string * int) list ->
+  ?args_for:(unit -> (string * Tensor.t) list) ->
+  Sdfg_ir.Sdfg.t ->
+  result
+(** Profile an SDFG: [warmup] unmeasured runs (default 1, instrumentation
+    off), then [repeat] measured runs (default 5) at [instrument]
+    (default [Off]).  Each run gets fresh arguments — from [args_for]
+    when given, else {!make_args} — so in-place mutation cannot leak
+    between repetitions.  @raise Invalid_argument when [repeat < 1] or
+    [warmup < 0]. *)
+
+val to_json : result -> Obs.Json.t
+val pp : Format.formatter -> result -> unit

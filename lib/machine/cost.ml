@@ -17,7 +17,7 @@ open Defs
 
 type target = Tcpu | Tgpu | Tfpga
 
-exception Cost_error of string
+exception Cost_error = Sdfg_ir.Errors.Cost_error
 
 let cost_error fmt = Fmt.kstr (fun s -> raise (Cost_error s)) fmt
 

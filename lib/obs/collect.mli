@@ -1,0 +1,74 @@
+(** Instrumentation collector — the mutable timing tree both execution
+    engines report into during a run.
+
+    Spans aggregate by (kind, name) under their dynamically enclosing
+    span: a scope executed many times is a single tree node carrying an
+    invocation count and total wall-clock seconds.  The tree's shape is
+    determined by the program structure alone, so the reference and
+    compiled engines produce identically-shaped trees (asserted by the
+    cross-validation suite). *)
+
+(** Global instrumentation level of a run.  [Off]: collect nothing —
+    the compiled engine's planner emits the exact uninstrumented
+    closures (zero overhead, no per-iteration branch).  [Marked]: time
+    only constructs whose IR [instrument] flag is set.  [All]: time
+    every state, scope and tasklet. *)
+type level = Off | Marked | All
+
+val level_name : level -> string
+val level_of_string : string -> level option
+
+type kind = Sdfg | State | Map | Consume | Tasklet
+
+val kind_name : kind -> string
+
+type span = {
+  sp_kind : kind;
+  sp_name : string;
+  mutable sp_count : int;      (** invocations *)
+  mutable sp_total_s : float;  (** accumulated wall-clock seconds *)
+  mutable sp_children : span list;  (** newest first; use {!children} *)
+}
+
+type t
+
+val create : level -> t
+val level : t -> level
+
+val timing_on : t -> bool
+(** [level <> Off]. *)
+
+val should_time : t -> flag:bool -> bool
+(** Whether a construct carrying IR flag [flag] is timed at this level. *)
+
+val now : unit -> float
+(** Wall-clock seconds (gettimeofday). *)
+
+val enter : t -> kind -> string -> span
+(** Find-or-create the (kind, name) child of the innermost open span and
+    open it, returning it for {!exit} and for memoized {!reenter}. *)
+
+val reenter : t -> span -> unit
+(** Re-open an already-resolved span — the compiled engine's fast path:
+    the child lookup happened once at plan time. *)
+
+val exit : t -> span -> unit
+(** Close the span: accumulate elapsed time, bump the count.  If inner
+    spans are still open (an exception propagated through them), they are
+    closed too. *)
+
+val roots : t -> span list
+(** Top-level spans in first-opened order. *)
+
+val children : span -> span list
+(** Child spans in first-opened order. *)
+
+(** {1 Compiled-engine plan coverage} *)
+
+val note_planned_state : t -> unit
+val note_compiled_node : t -> unit
+val note_fallback_node : t -> unit
+
+val coverage : t -> int * int * int
+(** (states planned, nodes compiled natively, nodes on the reference
+    fallback path) accumulated by the compiled engine's planner. *)

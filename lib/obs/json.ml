@@ -1,0 +1,250 @@
+(* Minimal JSON — the single emitter behind every machine-readable
+   artifact of the toolchain (profiling reports, Chrome traces, the
+   benchmark harness's BENCH_*.json files), plus a parser so tests can
+   load the artifacts back without external dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let parse_error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* --- emission ------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Floats must stay valid JSON: no nan/inf, always a decimal point or
+   exponent so parsers do not reinterpret them as integers. *)
+let float_repr x =
+  if Float.is_nan x then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else if Float.abs x = Float.infinity then
+    if x > 0. then "1e999" else "-1e999"
+  else
+    let s = Printf.sprintf "%.17g" x in
+    if float_of_string (Printf.sprintf "%.12g" x) = x then
+      Printf.sprintf "%.12g" x
+    else s
+
+let rec emit buf indent (j : t) =
+  let pad n = String.make (2 * n) ' ' in
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float x -> Buffer.add_string buf (float_repr x)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | Arr [] -> Buffer.add_string buf "[]"
+  | Arr xs ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 1));
+        emit buf (indent + 1) x)
+      xs;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 1));
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\": ";
+        emit buf (indent + 1) v)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf '}'
+
+let to_string (j : t) =
+  let buf = Buffer.create 256 in
+  emit buf 0 j;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let save (j : t) path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string j))
+
+(* --- parsing ------------------------------------------------------------- *)
+
+let parse (src : string) : t =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (src.[!pos] = ' ' || src.[!pos] = '\n' || src.[!pos] = '\t'
+         || src.[!pos] = '\r')
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && src.[!pos] = c then incr pos
+    else parse_error "expected %C at offset %d" c !pos
+  in
+  let literal word value =
+    let m = String.length word in
+    if !pos + m <= n && String.sub src !pos m = word then begin
+      pos := !pos + m;
+      value
+    end
+    else parse_error "bad literal at offset %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec scan () =
+      if !pos >= n then parse_error "unterminated string"
+      else
+        match src.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          if !pos + 1 >= n then parse_error "bad escape";
+          (match src.[!pos + 1] with
+          | 'n' -> Buffer.add_char buf '\n'; pos := !pos + 2
+          | 't' -> Buffer.add_char buf '\t'; pos := !pos + 2
+          | 'r' -> Buffer.add_char buf '\r'; pos := !pos + 2
+          | 'b' -> Buffer.add_char buf '\b'; pos := !pos + 2
+          | 'f' -> Buffer.add_char buf '\012'; pos := !pos + 2
+          | '/' -> Buffer.add_char buf '/'; pos := !pos + 2
+          | '\\' -> Buffer.add_char buf '\\'; pos := !pos + 2
+          | '"' -> Buffer.add_char buf '"'; pos := !pos + 2
+          | 'u' ->
+            if !pos + 6 > n then parse_error "bad unicode escape";
+            let code = int_of_string ("0x" ^ String.sub src (!pos + 2) 4) in
+            (* enough for the control characters we emit *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+            pos := !pos + 6
+          | c -> parse_error "bad escape '\\%c'" c);
+          scan ()
+        | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          scan ()
+    in
+    scan ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> parse_error "unexpected end of input"
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin incr pos; Obj [] end
+      else begin
+        let fields = ref [] in
+        let rec loop () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos; loop ()
+          | Some '}' -> incr pos
+          | _ -> parse_error "expected ',' or '}' at offset %d" !pos
+        in
+        loop ();
+        Obj (List.rev !fields)
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin incr pos; Arr [] end
+      else begin
+        let items = ref [] in
+        let rec loop () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos; loop ()
+          | Some ']' -> incr pos
+          | _ -> parse_error "expected ',' or ']' at offset %d" !pos
+        in
+        loop ();
+        Arr (List.rev !items)
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ ->
+      let start = !pos in
+      while
+        !pos < n
+        && (match src.[!pos] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr pos
+      done;
+      let tok = String.sub src start (!pos - start) in
+      (match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> parse_error "bad number %S at offset %d" tok start))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then parse_error "trailing input at offset %d" !pos;
+  v
+
+(* --- accessors (for tests and tooling) ------------------------------------ *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function Arr xs -> xs | _ -> []
+
+let to_float_opt = function
+  | Float x -> Some x
+  | Int n -> Some (float_of_int n)
+  | _ -> None
+
+let to_int_opt = function Int n -> Some n | _ -> None
+let to_string_opt = function Str s -> Some s | _ -> None

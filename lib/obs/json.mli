@@ -1,0 +1,41 @@
+(** Minimal JSON values — emitter and parser.
+
+    This is the single JSON surface of the toolchain: profiling reports,
+    Chrome trace files and the benchmark harness all emit through it, and
+    tests parse the artifacts back with {!parse}.  Not a general-purpose
+    JSON library: the parser covers exactly what the emitter produces
+    (plus standard escapes), which keeps the repository dependency-free. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Pretty-printed, 2-space indented, newline-terminated. *)
+
+val save : t -> string -> unit
+(** [save j path] writes [to_string j] to [path]. *)
+
+val parse : string -> t
+(** @raise Parse_error on malformed input. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on other constructors or missing keys. *)
+
+val to_list : t -> t list
+(** Elements of an [Arr]; [[]] on other constructors. *)
+
+val to_float_opt : t -> float option
+(** [Float] or [Int] as a float. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option

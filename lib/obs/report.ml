@@ -1,0 +1,216 @@
+(* Structured execution reports — the result surface of [Exec.run].
+
+   A report freezes everything a run observed: the instrumentation
+   counters (the data-movement / execution counts the machine model
+   cross-validates against), the per-construct wall-clock timing tree
+   gathered by {!Collect}, and — for the compiled engine — how much of
+   the program its planner compiled natively versus routed through the
+   reference fallback.  Renderers cover the DIODE-style workflows: a
+   human-readable table, JSON for tooling, and Chrome trace-event files
+   for chrome://tracing / Perfetto. *)
+
+type counters = {
+  elements_moved : int;
+  tasklet_execs : int;
+  map_iterations : int;
+  stream_pushes : int;
+  stream_pops : int;
+  states_executed : int;
+  wcr_writes : int;
+}
+
+type timer = {
+  t_kind : Collect.kind;
+  t_name : string;
+  t_count : int;       (* invocations *)
+  t_total_s : float;   (* accumulated wall-clock seconds *)
+  t_children : timer list;
+}
+
+type coverage = {
+  cov_states : int;    (* states planned by the compiled engine *)
+  cov_compiled : int;  (* nodes lowered to native closures *)
+  cov_fallback : int;  (* nodes executed through the reference path *)
+}
+
+type t = {
+  r_program : string;
+  r_engine : string;
+  r_level : Collect.level;
+  r_wall_s : float;         (* end-to-end wall-clock of the run *)
+  r_counters : counters;
+  r_timers : timer list;    (* roots; empty when timing was off *)
+  r_coverage : coverage option;  (* compiled engine only *)
+}
+
+(* --- construction ---------------------------------------------------------- *)
+
+let rec freeze_span (s : Collect.span) : timer =
+  { t_kind = s.Collect.sp_kind;
+    t_name = s.Collect.sp_name;
+    t_count = s.Collect.sp_count;
+    t_total_s = s.Collect.sp_total_s;
+    t_children = List.map freeze_span (Collect.children s) }
+
+let of_collector ~program ~engine ~wall_s ~counters (c : Collect.t) : t =
+  let coverage =
+    match Collect.coverage c with
+    | 0, 0, 0 -> None
+    | states, compiled, fallback ->
+      Some
+        { cov_states = states; cov_compiled = compiled;
+          cov_fallback = fallback }
+  in
+  { r_program = program;
+    r_engine = engine;
+    r_level = Collect.level c;
+    r_wall_s = wall_s;
+    r_counters = counters;
+    r_timers = List.map freeze_span (Collect.roots c);
+    r_coverage = coverage }
+
+(* --- shape ------------------------------------------------------------------ *)
+
+(* Deterministic structural signature of a timing tree: kinds, names,
+   invocation counts and nesting — everything except the times.  The
+   cross-validation suite compares these across engines; the golden-file
+   tests compare them against expected strings. *)
+let rec shape_of (t : timer) =
+  Fmt.str "%s:%s#%d%s"
+    (Collect.kind_name t.t_kind)
+    t.t_name t.t_count
+    (match t.t_children with
+    | [] -> ""
+    | cs -> Fmt.str "(%s)" (String.concat " " (List.map shape_of cs)))
+
+let shape (r : t) = String.concat " " (List.map shape_of r.r_timers)
+
+(* --- human-readable rendering ------------------------------------------------ *)
+
+let pp_counters ppf c =
+  Fmt.pf ppf
+    "moved=%d tasklets=%d map_iters=%d pushes=%d pops=%d states=%d wcr=%d"
+    c.elements_moved c.tasklet_execs c.map_iterations c.stream_pushes
+    c.stream_pops c.states_executed c.wcr_writes
+
+let pp_time ppf s =
+  if s >= 1.0 then Fmt.pf ppf "%8.3f s " s
+  else if s >= 1e-3 then Fmt.pf ppf "%8.3f ms" (s *. 1e3)
+  else Fmt.pf ppf "%8.1f us" (s *. 1e6)
+
+let pp ppf (r : t) =
+  Fmt.pf ppf "program %s (engine %s)@." r.r_program r.r_engine;
+  Fmt.pf ppf "wall %a   counters: %a@." pp_time r.r_wall_s pp_counters
+    r.r_counters;
+  (match r.r_coverage with
+  | Some cov ->
+    Fmt.pf ppf
+      "plan coverage: %d state(s) planned, %d node(s) compiled, %d on the \
+       reference fallback@."
+      cov.cov_states cov.cov_compiled cov.cov_fallback
+  | None -> ());
+  if r.r_timers <> [] then begin
+    Fmt.pf ppf "%-48s%10s %s@." "construct" "count" "     total";
+    let rec walk depth t =
+      let label =
+        Fmt.str "%s%s %s"
+          (String.make (2 * depth) ' ')
+          (Collect.kind_name t.t_kind) t.t_name
+      in
+      let pct =
+        if r.r_wall_s > 0. then 100. *. t.t_total_s /. r.r_wall_s else 0.
+      in
+      Fmt.pf ppf "%-48s%10d %a %5.1f%%@." label t.t_count pp_time t.t_total_s
+        pct;
+      List.iter (walk (depth + 1)) t.t_children
+    in
+    List.iter (walk 0) r.r_timers
+  end
+
+(* --- JSON -------------------------------------------------------------------- *)
+
+let counters_to_json c =
+  Json.Obj
+    [ ("elements_moved", Json.Int c.elements_moved);
+      ("tasklet_execs", Json.Int c.tasklet_execs);
+      ("map_iterations", Json.Int c.map_iterations);
+      ("stream_pushes", Json.Int c.stream_pushes);
+      ("stream_pops", Json.Int c.stream_pops);
+      ("states_executed", Json.Int c.states_executed);
+      ("wcr_writes", Json.Int c.wcr_writes) ]
+
+let rec timer_to_json t =
+  Json.Obj
+    ([ ("kind", Json.Str (Collect.kind_name t.t_kind));
+       ("name", Json.Str t.t_name);
+       ("count", Json.Int t.t_count);
+       ("total_s", Json.Float t.t_total_s) ]
+    @
+    match t.t_children with
+    | [] -> []
+    | cs -> [ ("children", Json.Arr (List.map timer_to_json cs)) ])
+
+let to_json (r : t) : Json.t =
+  Json.Obj
+    ([ ("program", Json.Str r.r_program);
+       ("engine", Json.Str r.r_engine);
+       ("instrument", Json.Str (Collect.level_name r.r_level));
+       ("wall_s", Json.Float r.r_wall_s);
+       ("counters", counters_to_json r.r_counters) ]
+    @ (match r.r_coverage with
+      | None -> []
+      | Some cov ->
+        [ ( "plan_coverage",
+            Json.Obj
+              [ ("states", Json.Int cov.cov_states);
+                ("compiled_nodes", Json.Int cov.cov_compiled);
+                ("fallback_nodes", Json.Int cov.cov_fallback) ] ) ])
+    @
+    match r.r_timers with
+    | [] -> []
+    | ts -> [ ("timers", Json.Arr (List.map timer_to_json ts)) ])
+
+(* --- Chrome trace-event format ------------------------------------------------ *)
+
+(* chrome://tracing "complete" events ("ph": "X") with microsecond
+   timestamps.  The timing tree holds aggregates, not raw events, so the
+   trace lays the tree out proportionally: each span starts where its
+   preceding sibling ended and spans its accumulated total — the
+   rendering shows where the time went, not the raw interleaving. *)
+let to_trace (r : t) : Json.t =
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let rec layout ts (t : timer) =
+    let dur_us = t.t_total_s *. 1e6 in
+    push
+      (Json.Obj
+         [ ("name", Json.Str t.t_name);
+           ("cat", Json.Str (Collect.kind_name t.t_kind));
+           ("ph", Json.Str "X");
+           ("ts", Json.Float ts);
+           ("dur", Json.Float dur_us);
+           ("pid", Json.Int 1);
+           ("tid", Json.Int 1);
+           ("args", Json.Obj [ ("count", Json.Int t.t_count) ]) ]);
+    ignore
+      (List.fold_left
+         (fun cursor child -> cursor +. layout cursor child)
+         ts t.t_children);
+    dur_us
+  in
+  ignore
+    (List.fold_left
+       (fun cursor t ->
+         let d = layout cursor t in
+         cursor +. d)
+       0. r.r_timers);
+  Json.Obj
+    [ ("traceEvents", Json.Arr (List.rev !events));
+      ("displayTimeUnit", Json.Str "ms");
+      ( "otherData",
+        Json.Obj
+          [ ("program", Json.Str r.r_program);
+            ("engine", Json.Str r.r_engine) ] ) ]
+
+let save_json r path = Json.save (to_json r) path
+let save_trace r path = Json.save (to_trace r) path

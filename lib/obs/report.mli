@@ -1,0 +1,71 @@
+(** Structured execution reports — the result surface of [Exec.run].
+
+    Immutable snapshot of one run: instrumentation counters, the
+    per-construct wall-clock timing tree, and (compiled engine) plan
+    coverage.  Renders as a human-readable table, JSON, or a Chrome
+    trace-event file for chrome://tracing / Perfetto. *)
+
+type counters = {
+  elements_moved : int;
+  tasklet_execs : int;
+  map_iterations : int;
+  stream_pushes : int;
+  stream_pops : int;
+  states_executed : int;
+  wcr_writes : int;
+}
+
+type timer = {
+  t_kind : Collect.kind;
+  t_name : string;
+  t_count : int;       (** invocations *)
+  t_total_s : float;   (** accumulated wall-clock seconds *)
+  t_children : timer list;
+}
+
+type coverage = {
+  cov_states : int;    (** states planned by the compiled engine *)
+  cov_compiled : int;  (** nodes lowered to native closures *)
+  cov_fallback : int;  (** nodes executed through the reference path *)
+}
+
+type t = {
+  r_program : string;
+  r_engine : string;
+  r_level : Collect.level;
+  r_wall_s : float;              (** end-to-end wall-clock of the run *)
+  r_counters : counters;
+  r_timers : timer list;         (** roots; empty when timing was off *)
+  r_coverage : coverage option;  (** compiled engine only *)
+}
+
+val of_collector :
+  program:string ->
+  engine:string ->
+  wall_s:float ->
+  counters:counters ->
+  Collect.t ->
+  t
+(** Freeze a collector into a report.  Coverage is included when the
+    collector recorded any planner activity. *)
+
+val shape : t -> string
+(** Deterministic structural signature of the timing tree — kinds, names,
+    invocation counts and nesting, but no times.  Equal across engines for
+    the same program and inputs; the cross-validation suite asserts it. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable table: counters, coverage, and the timing tree with
+    per-construct counts, totals and percentages. *)
+
+val pp_counters : Format.formatter -> counters -> unit
+
+val to_json : t -> Json.t
+val to_trace : t -> Json.t
+(** Chrome trace-event format ("traceEvents" with "ph": "X" complete
+    events, microsecond timestamps).  Timestamps are synthetic — the tree
+    stores aggregates, so spans are laid out proportionally under their
+    parents rather than replaying the raw interleaving. *)
+
+val save_json : t -> string -> unit
+val save_trace : t -> string -> unit

@@ -28,13 +28,24 @@ let create ?measure build =
     s_history = [];
     s_measure = measure }
 
+(* The default measure for sessions that tune against real executions:
+   the profiler's median wall-clock over [repeat] runs (DIODE's "run and
+   compare historical performance" loop, §4.2). *)
+let create_profiled ?(engine = `Reference) ?(warmup = 1) ?(repeat = 3)
+    ?(symbols = []) build =
+  let measure g =
+    Interp.Profile.wall_median
+      (Interp.Profile.run ~engine ~warmup ~repeat ~symbols g)
+  in
+  create ~measure build
+
 let current s = s.s_current
 
 let history s = List.rev s.s_history
 
 (* Apply transformation [name] to candidate [index], recording the step
    and (if a measure was supplied) the post-step figure of merit. *)
-let apply ?(index = 0) s name =
+let apply_exn ?(index = 0) s name =
   let x = Xform.lookup name in
   let cands = x.Xform.x_find s.s_current in
   match List.nth_opt cands index with
@@ -49,6 +60,11 @@ let apply ?(index = 0) s name =
         e_note = c.Xform.c_note;
         e_metric = metric }
       :: s.s_history
+
+let apply ?index s name =
+  match apply_exn ?index s name with
+  | () -> Ok ()
+  | exception Xform.Not_applicable msg -> Error msg
 
 (* Candidates currently available, for interactive exploration. *)
 let candidates s name =
@@ -67,7 +83,7 @@ let undo ?(n = 1) s =
   s.s_current <- s.s_build ();
   s.s_history <- [];
   List.iter
-    (fun (st : Xform.chain_step) -> apply ~index:st.cs_index s st.cs_xform)
+    (fun (st : Xform.chain_step) -> apply_exn ~index:st.cs_index s st.cs_xform)
     prefix
 
 (* Diverge from a mid-point: a new session replaying only the first
@@ -80,7 +96,7 @@ let branch_at s ~steps =
   in
   let s' = create ?measure:s.s_measure s.s_build in
   List.iter
-    (fun (st : Xform.chain_step) -> apply ~index:st.cs_index s' st.cs_xform)
+    (fun (st : Xform.chain_step) -> apply_exn ~index:st.cs_index s' st.cs_xform)
     prefix;
   s'
 
@@ -96,7 +112,7 @@ let save_chain s path =
 let replay_chain ?measure build steps =
   let s = create ?measure build in
   List.iter
-    (fun (st : Xform.chain_step) -> apply ~index:st.cs_index s st.cs_xform)
+    (fun (st : Xform.chain_step) -> apply_exn ~index:st.cs_index s st.cs_xform)
     steps;
   s
 

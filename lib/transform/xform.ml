@@ -25,7 +25,7 @@ type t = {
   x_apply : Sdfg.t -> candidate -> unit;
 }
 
-exception Not_applicable of string
+exception Not_applicable = Sdfg_ir.Errors.Not_applicable
 
 let not_applicable fmt = Fmt.kstr (fun s -> raise (Not_applicable s)) fmt
 

@@ -164,7 +164,7 @@ let fibonacci () =
     Build.tasklet st ~name:"feed"
       ~inputs:[ { Defs.k_name = "n"; k_dtype = i64; k_rank = 0 } ]
       ~outputs:[ { Defs.k_name = "s"; k_dtype = i64; k_rank = 0 } ]
-      ~code:(`Src "s = n")
+      ~code:(`Src "s = n") ()
   in
   let n_acc = Build.access st "N" in
   let s_acc = Build.access st "S" in
@@ -187,6 +187,7 @@ let fibonacci () =
       ~code:
         (`Src
           "if v <= 2 { o = 1 } else { sout = v - 1\nsout = v - 2 }")
+      ()
   in
   Build.edge st ~memlet:(Memlet.dyn "S" [ S.index E.zero ]) ~src:s_acc
     ~dst:entry ~dst_conn:"IN_S" ();

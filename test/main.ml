@@ -12,4 +12,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("polybench", Test_polybench.suite);
       ("properties", Test_properties.suite);
-      ("crossval", Test_crossval.suite) ]
+      ("crossval", Test_crossval.suite);
+      ("session", Test_session.suite);
+      ("report", Test_report.suite) ]

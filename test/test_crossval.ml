@@ -6,6 +6,7 @@
 module E = Symbolic.Expr
 module T = Tasklang.Types
 module Cost = Machine.Cost
+module R = Obs.Report
 open Sdfg_ir
 open Interp
 
@@ -26,9 +27,10 @@ let test_matmul_counts () =
   (* tasklet executions: model iterations = interpreter tasklet count *)
   Alcotest.(check bool)
     (Fmt.str "iterations %.0f ~ tasklets %d" r.Cost.r_acct.Cost.iterations
-       stats.Exec.tasklet_execs)
+       stats.R.r_counters.R.tasklet_execs)
     true
-    (close r.Cost.r_acct.Cost.iterations (float_of_int stats.Exec.tasklet_execs));
+    (close r.Cost.r_acct.Cost.iterations
+       (float_of_int stats.R.r_counters.R.tasklet_execs));
   (* flops: 2 per multiply-accumulate = 2*M*N*K *)
   Alcotest.(check bool)
     (Fmt.str "flops %.0f ~ 2MNK %d" r.Cost.r_flops (2 * m * n * k))
@@ -36,7 +38,7 @@ let test_matmul_counts () =
     (close r.Cost.r_flops (float_of_int (2 * m * n * k)));
   (* WCR commits observed by the interpreter equal M*N*K *)
   Alcotest.(check int) "interpreter WCR count" (m * n * k)
-    stats.Exec.wcr_writes
+    stats.R.r_counters.R.wcr_writes
 
 let test_stencil_counts () =
   let nsize = 16 and t = 3 in
@@ -49,7 +51,7 @@ let test_stencil_counts () =
   (* 2 sweeps per step over the (N-2)^2 interior *)
   let expected = 2 * t * (nsize - 2) * (nsize - 2) in
   Alcotest.(check int) "interpreter iterations" expected
-    stats.Exec.tasklet_execs;
+    stats.R.r_counters.R.tasklet_execs;
   Alcotest.(check bool)
     (Fmt.str "model iterations %.0f ~ %d" r.Cost.r_acct.Cost.iterations
        expected)
@@ -104,8 +106,8 @@ let test_transform_reduces_modeled_and_real_movement () =
   | None -> Alcotest.fail "no B candidate");
   let packed = run g in
   (* the interpreter still runs the same number of tasklets *)
-  Alcotest.(check int) "same tasklet count" base.Exec.tasklet_execs
-    packed.Exec.tasklet_execs;
+  Alcotest.(check int) "same tasklet count"
+    base.R.r_counters.R.tasklet_execs packed.R.r_counters.R.tasklet_execs;
   (* and the model sees less DRAM traffic *)
   let traffic g = (Cost.estimate ~spec ~target:Cost.Tcpu ~symbols g).Cost.r_bytes in
   Alcotest.(check bool) "modeled traffic not increased" true
@@ -126,35 +128,51 @@ let tensor_bits (t : Tensor.t) =
   | Tensor.Fbuf a -> Array.to_list (Array.map Int64.bits_of_float a)
   | Tensor.Ibuf a -> List.map Int64.of_int (Array.to_list a)
 
-let check_stats_equal name (r : Exec.stats) (c : Exec.stats) =
+let counter_list (x : R.counters) =
+  [ x.R.elements_moved; x.R.tasklet_execs; x.R.map_iterations;
+    x.R.stream_pushes; x.R.stream_pops; x.R.states_executed; x.R.wcr_writes ]
+
+let check_stats_equal name (r : R.t) (c : R.t) =
   Alcotest.(check (list int))
-    (name ^ ": stats identical across engines")
-    [ r.Exec.elements_moved; r.Exec.tasklet_execs; r.Exec.map_iterations;
-      r.Exec.stream_pushes; r.Exec.stream_pops; r.Exec.states_executed;
-      r.Exec.wcr_writes ]
-    [ c.Exec.elements_moved; c.Exec.tasklet_execs; c.Exec.map_iterations;
-      c.Exec.stream_pushes; c.Exec.stream_pops; c.Exec.states_executed;
-      c.Exec.wcr_writes ]
+    (name ^ ": counters identical across engines")
+    (counter_list r.R.r_counters)
+    (counter_list c.R.r_counters)
 
 (* Run [build ()] under both engines on identically-initialized fresh
-   args and compare every output tensor bit for bit, plus all stats. *)
+   args and compare every output tensor bit for bit, plus all counters —
+   first with instrumentation off, then again at level [All], where the
+   timing trees must also have identical shapes (same constructs, same
+   nesting, same invocation counts) and the counters must not drift from
+   the uninstrumented runs. *)
 let compare_engines ~name ~build ~args ~symbols () =
-  let run engine =
+  let run ?(instrument = Obs.Collect.Off) engine =
     let g = build () in
     let a = args () in
-    let stats = Exec.run g ~engine ~symbols ~args:a in
-    (a, stats)
+    let report = Exec.run g ~engine ~instrument ~symbols ~args:a in
+    (a, report)
+  in
+  let check_tensors tag ra ca =
+    List.iter2
+      (fun (n1, t1) (n2, t2) ->
+        Alcotest.(check string) (tag ^ ": argument order") n1 n2;
+        Alcotest.(check (list int64))
+          (Fmt.str "%s: %S bit-identical across engines" tag n1)
+          (tensor_bits t1) (tensor_bits t2))
+      ra ca
   in
   let ra, rs = run Plan.reference in
   let ca, cs = run Plan.compiled in
-  List.iter2
-    (fun (n1, t1) (n2, t2) ->
-      Alcotest.(check string) (name ^ ": argument order") n1 n2;
-      Alcotest.(check (list int64))
-        (Fmt.str "%s: %S bit-identical across engines" name n1)
-        (tensor_bits t1) (tensor_bits t2))
-    ra ca;
-  check_stats_equal name rs cs
+  check_tensors name ra ca;
+  check_stats_equal name rs cs;
+  let ia, ir = run ~instrument:Obs.Collect.All Plan.reference in
+  let ja, jr = run ~instrument:Obs.Collect.All Plan.compiled in
+  check_tensors (name ^ " [instrumented]") ia ja;
+  check_stats_equal (name ^ " [instrumented]") ir jr;
+  Alcotest.(check string)
+    (name ^ ": timer tree shapes identical across engines")
+    (R.shape ir) (R.shape jr);
+  (* instrumentation must observe, not perturb *)
+  check_stats_equal (name ^ " [instrumented vs plain]") rs ir
 
 let test_engines_polybench name () =
   let k = Workloads.Polybench.find name in

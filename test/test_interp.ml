@@ -4,6 +4,7 @@
 
 module E = Symbolic.Expr
 module T = Tasklang.Types
+module R = Obs.Report
 open Interp
 
 let f64 = T.F64
@@ -24,8 +25,9 @@ let test_vector_add () =
     Exec.run g ~symbols:[ ("N", 5) ] ~args:[ ("A", a); ("B", b); ("C", c) ]
   in
   check_floats "C" [ 100.; 101.; 102.; 103.; 104. ] c;
-  Alcotest.(check int) "tasklet executions" 5 stats.Exec.tasklet_execs;
-  Alcotest.(check int) "map iterations" 5 stats.Exec.map_iterations
+  Alcotest.(check int) "tasklet executions" 5
+    stats.R.r_counters.R.tasklet_execs;
+  Alcotest.(check int) "map iterations" 5 stats.R.r_counters.R.map_iterations
 
 let test_matmul_mapreduce () =
   let g = Fixtures.matmul_mapreduce () in
@@ -139,7 +141,8 @@ let test_fibonacci () =
         (Fmt.str "fib(%d)" n)
         (fib n)
         (T.to_int (Tensor.get_scalar out));
-      Alcotest.(check bool) "streams drained" true (stats.Exec.stream_pops > 0))
+      Alcotest.(check bool) "streams drained" true
+        (stats.R.r_counters.R.stream_pops > 0))
     [ 1; 2; 5; 10 ]
 
 let test_branching () =

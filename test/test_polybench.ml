@@ -51,7 +51,7 @@ let test_kernel_runs name () =
   Alcotest.(check bool)
     (name ^ " executed tasklets")
     true
-    (stats.Exec.tasklet_execs > 0)
+    (stats.Obs.Report.r_counters.Obs.Report.tasklet_execs > 0)
 
 let test_gpu_offload name () =
   let k = Workloads.Polybench.find name in

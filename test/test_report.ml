@@ -1,0 +1,185 @@
+(* Report serialization tests: golden-file rendering of a fixed report
+   (JSON and Chrome trace), parse-back through Obs.Json, and a file
+   round-trip of a real instrumented run.
+
+   Regenerate the golden files after an intentional format change with
+     SDFG_GOLDEN_UPDATE=test/golden dune test   (from the repo root) *)
+
+module R = Obs.Report
+module J = Obs.Json
+
+(* A fully fixed report: every float is chosen to have a stable decimal
+   rendering, so the golden files are byte-deterministic. *)
+let fixed_report : R.t =
+  { R.r_program = "golden";
+    r_engine = "compiled";
+    r_level = Obs.Collect.All;
+    r_wall_s = 0.002;
+    r_counters =
+      { R.elements_moved = 12;
+        tasklet_execs = 4;
+        map_iterations = 4;
+        stream_pushes = 1;
+        stream_pops = 1;
+        states_executed = 1;
+        wcr_writes = 2 };
+    r_timers =
+      [ { R.t_kind = Obs.Collect.State;
+          t_name = "main";
+          t_count = 1;
+          t_total_s = 0.0015;
+          t_children =
+            [ { R.t_kind = Obs.Collect.Map;
+                t_name = "[i,j]";
+                t_count = 1;
+                t_total_s = 0.001;
+                t_children =
+                  [ { R.t_kind = Obs.Collect.Tasklet;
+                      t_name = "mm";
+                      t_count = 4;
+                      t_total_s = 0.0005;
+                      t_children = [] } ] } ] } ];
+    r_coverage =
+      Some { R.cov_states = 1; cov_compiled = 2; cov_fallback = 1 } }
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_golden name actual =
+  match Sys.getenv_opt "SDFG_GOLDEN_UPDATE" with
+  | Some dir ->
+    let oc = open_out (Filename.concat dir name) in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc actual)
+  | None ->
+    Alcotest.(check string)
+      (name ^ " matches golden")
+      (read_file (Filename.concat "golden" name))
+      actual
+
+let t_json_golden () =
+  check_golden "report.json.golden" (J.to_string (R.to_json fixed_report))
+
+let t_trace_golden () =
+  check_golden "report.trace.golden" (J.to_string (R.to_trace fixed_report))
+
+(* Accessor helpers over parsed JSON, failing loudly on shape breaks. *)
+let get path j =
+  List.fold_left
+    (fun j key ->
+      match J.member key j with
+      | Some v -> v
+      | None -> Alcotest.failf "missing JSON field %S" key)
+    j path
+
+let get_int path j =
+  match J.to_int_opt (get path j) with
+  | Some n -> n
+  | None -> Alcotest.failf "field %s is not an int" (String.concat "." path)
+
+let get_str path j =
+  match J.to_string_opt (get path j) with
+  | Some s -> s
+  | None -> Alcotest.failf "field %s is not a string" (String.concat "." path)
+
+let t_json_parseback () =
+  let j = J.parse (J.to_string (R.to_json fixed_report)) in
+  Alcotest.(check string) "program" "golden" (get_str [ "program" ] j);
+  Alcotest.(check string) "engine" "compiled" (get_str [ "engine" ] j);
+  Alcotest.(check string) "instrument" "all" (get_str [ "instrument" ] j);
+  Alcotest.(check int) "tasklet_execs" 4
+    (get_int [ "counters"; "tasklet_execs" ] j);
+  Alcotest.(check int) "wcr_writes" 2 (get_int [ "counters"; "wcr_writes" ] j);
+  Alcotest.(check int) "coverage compiled" 2
+    (get_int [ "plan_coverage"; "compiled_nodes" ] j);
+  match J.to_list (get [ "timers" ] j) with
+  | [ state ] ->
+    Alcotest.(check string) "root timer" "main" (get_str [ "name" ] state);
+    (match J.to_list (get [ "children" ] state) with
+    | [ map ] ->
+      Alcotest.(check string) "map timer" "[i,j]" (get_str [ "name" ] map);
+      (match J.to_list (get [ "children" ] map) with
+      | [ tk ] ->
+        Alcotest.(check string) "tasklet timer" "mm" (get_str [ "name" ] tk);
+        Alcotest.(check int) "tasklet count" 4 (get_int [ "count" ] tk)
+      | l -> Alcotest.failf "expected 1 tasklet timer, got %d" (List.length l))
+    | l -> Alcotest.failf "expected 1 map timer, got %d" (List.length l))
+  | l -> Alcotest.failf "expected 1 root timer, got %d" (List.length l)
+
+let t_trace_parseback () =
+  let j = J.parse (J.to_string (R.to_trace fixed_report)) in
+  Alcotest.(check string) "displayTimeUnit" "ms"
+    (get_str [ "displayTimeUnit" ] j);
+  Alcotest.(check string) "otherData.program" "golden"
+    (get_str [ "otherData"; "program" ] j);
+  let events = J.to_list (get [ "traceEvents" ] j) in
+  Alcotest.(check int) "three events" 3 (List.length events);
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "complete event" "X" (get_str [ "ph" ] e);
+      let dur =
+        match J.to_float_opt (get [ "dur" ] e) with
+        | Some d -> d
+        | None -> Alcotest.fail "dur is not a number"
+      in
+      Alcotest.(check bool) "non-negative duration" true (dur >= 0.))
+    events;
+  Alcotest.(check (list string)) "event names (pre-order)"
+    [ "main"; "[i,j]"; "mm" ]
+    (List.map (fun e -> get_str [ "name" ] e) events)
+
+(* A real instrumented run survives the save → parse round-trip and the
+   parsed JSON agrees with the in-memory report. *)
+let t_real_run_roundtrip () =
+  let k = Workloads.Polybench.find "gemm" in
+  let g = k.Workloads.Polybench.k_build () in
+  let symbols = k.Workloads.Polybench.k_mini in
+  let args = Interp.Profile.make_args ~symbols g in
+  let r =
+    Interp.Exec.run ~engine:Interp.Plan.compiled ~instrument:Obs.Collect.All
+      ~symbols ~args g
+  in
+  let jpath = Filename.temp_file "report" ".json" in
+  let tpath = Filename.temp_file "report" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove jpath; Sys.remove tpath)
+    (fun () ->
+      R.save_json r jpath;
+      R.save_trace r tpath;
+      let j = J.parse (read_file jpath) in
+      Alcotest.(check string) "program" "gemm" (get_str [ "program" ] j);
+      Alcotest.(check string) "engine" "compiled" (get_str [ "engine" ] j);
+      Alcotest.(check int) "tasklet_execs round-trips"
+        r.R.r_counters.R.tasklet_execs
+        (get_int [ "counters"; "tasklet_execs" ] j);
+      Alcotest.(check int) "elements_moved round-trips"
+        r.R.r_counters.R.elements_moved
+        (get_int [ "counters"; "elements_moved" ] j);
+      let t = J.parse (read_file tpath) in
+      let events = J.to_list (get [ "traceEvents" ] t) in
+      Alcotest.(check bool) "trace has events" true (events <> []);
+      List.iter
+        (fun e ->
+          Alcotest.(check string) "complete event" "X" (get_str [ "ph" ] e))
+        events;
+      (* the trace's root events are the report's root timers, in order *)
+      let root_names =
+        List.map (fun (tm : R.timer) -> tm.R.t_name) r.R.r_timers
+      in
+      let state_events =
+        List.filter (fun e -> get_str [ "cat" ] e = "state") events
+      in
+      Alcotest.(check (list string)) "state events match root timers"
+        root_names
+        (List.map (fun e -> get_str [ "name" ] e) state_events))
+
+let suite =
+  [ ("report JSON golden", `Quick, t_json_golden);
+    ("report trace golden", `Quick, t_trace_golden);
+    ("report JSON parse-back", `Quick, t_json_parseback);
+    ("report trace parse-back", `Quick, t_trace_parseback);
+    ("instrumented run file round-trip", `Quick, t_real_run_roundtrip) ]

@@ -176,7 +176,7 @@ let t_map_fusion () =
           [ { Defs.k_name = "t"; k_dtype = f64; k_rank = 0 };
             { Defs.k_name = "b"; k_dtype = f64; k_rank = 0 } ]
         ~outputs:[ { Defs.k_name = "c"; k_dtype = f64; k_rank = 0 } ]
-        ~code:(`Src "c = t + b")
+        ~code:(`Src "c = t + b") ()
     in
     let b_acc = Builder.Build.access st "B" in
     let c_acc = Builder.Build.access st "C" in
@@ -451,9 +451,14 @@ let t_session () =
     in
     r.Machine.Cost.r_time_s
   in
+  let apply_ok s name =
+    match Transform.Session.apply s name with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "apply %s unexpectedly failed: %s" name msg
+  in
   let s = Transform.Session.create ~measure Workloads.Kernels.matmul_mapreduce in
-  Transform.Session.apply s "MapReduceFusion";
-  Transform.Session.apply s "MapTiling";
+  apply_ok s "MapReduceFusion";
+  apply_ok s "MapTiling";
   Alcotest.(check int) "two steps recorded" 2
     (List.length (Transform.Session.history s));
   (* every step carries a measured figure of merit *)
@@ -474,9 +479,9 @@ let t_session () =
     (run_matmul (Fixtures.matmul_mapreduce ()))
     (run_matmul (Transform.Session.current s));
   (* branch from the mid-point and diverge (§4.2) *)
-  Transform.Session.apply s "MapTiling";
+  apply_ok s "MapTiling";
   let branch = Transform.Session.branch_at s ~steps:1 in
-  Transform.Session.apply branch "GPUTransform";
+  apply_ok branch "GPUTransform";
   Alcotest.(check int) "branch has its own history" 2
     (List.length (Transform.Session.history branch));
   check_same "branch preserves semantics"
