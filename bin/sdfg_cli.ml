@@ -51,6 +51,12 @@ let build name =
     Fmt.epr "unknown program %S; try 'sdfg list'@." name;
     exit 1
 
+let or_die = function
+  | Ok () -> ()
+  | Error msg ->
+    Fmt.epr "error: %s@." msg;
+    exit 1
+
 let prog_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM")
 
@@ -128,9 +134,11 @@ let codegen_cmd =
     in
     (match target with
     | `Gpu ->
-      Transform.Xform.apply_first g Transform.Device_xforms.gpu_transform
+      or_die
+        (Transform.Xform.apply_first g Transform.Device_xforms.gpu_transform)
     | `Fpga ->
-      Transform.Xform.apply_first g Transform.Device_xforms.fpga_transform
+      or_die
+        (Transform.Xform.apply_first g Transform.Device_xforms.fpga_transform)
     | `Cpu -> ());
     print_string (Codegen.generate_string t g)
   in
@@ -150,9 +158,8 @@ let transform_cmd =
     List.iter
       (fun xn ->
         match Transform.Xform.apply_by_name g xn with
-        | () -> Fmt.pr "applied %s@." xn
-        | exception Transform.Xform.Not_applicable msg ->
-          Fmt.pr "not applicable: %s@." msg)
+        | Ok () -> Fmt.pr "applied %s@." xn
+        | Error msg -> Fmt.pr "not applicable: %s@." msg)
       xforms;
     Fmt.pr "@.%a@." Sdfg_ir.Sdfg.pp g
   in
@@ -168,10 +175,13 @@ let estimate_cmd =
       match target with
       | `Cpu -> (Cost.Tcpu, "CPU (Xeon E5-2650 v4)")
       | `Gpu ->
-        Transform.Xform.apply_first g Transform.Device_xforms.gpu_transform;
+        or_die
+          (Transform.Xform.apply_first g Transform.Device_xforms.gpu_transform);
         (Cost.Tgpu, "GPU (Tesla P100)")
       | `Fpga ->
-        Transform.Xform.apply_first g Transform.Device_xforms.fpga_transform;
+        or_die
+          (Transform.Xform.apply_first g
+             Transform.Device_xforms.fpga_transform);
         (Cost.Tfpga, "FPGA (XCVU9P)")
     in
     let symbols = sizes_for name in
@@ -309,6 +319,110 @@ let profile_cmd =
     Term.(const run $ prog_arg $ engine_arg $ repeat_arg $ warmup_arg
           $ instrument_arg $ json_arg $ trace_arg)
 
+let optimize_cmd =
+  let beam_arg =
+    Arg.(value & opt int 4
+         & info [ "beam" ] ~docv:"N" ~doc:"Beam width of the search.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 8
+         & info [ "steps" ] ~docv:"N" ~doc:"Maximum committed steps.")
+  in
+  let budget_arg =
+    Arg.(value & opt (some float) None
+         & info [ "budget" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock budget for the whole search.")
+  in
+  let measure_arg =
+    Arg.(value
+         & vflag Opt.Search.Model_only
+             [ ( Opt.Search.Model_only,
+                 info [ "model-only" ]
+                   ~doc:"Score successors with the performance model only \
+                         (default; never runs the profiler, fully \
+                         deterministic)." );
+               ( Opt.Search.Measured,
+                 info [ "measure" ]
+                   ~doc:"Confirm the beam with profiled interpreter medians \
+                         at mini size before committing each step." ) ])
+  in
+  let repeat_arg =
+    Arg.(value & opt int 5
+         & info [ "r"; "repeat" ] ~docv:"N"
+             ~doc:"Measured repetitions per beam confirmation.")
+  in
+  let warmup_arg =
+    Arg.(value & opt int 1
+         & info [ "w"; "warmup" ] ~docv:"N"
+             ~doc:"Unmeasured warmup runs per beam confirmation.")
+  in
+  let chain_arg =
+    Arg.(value & opt (some string) None
+         & info [ "emit-chain" ] ~docv:"FILE"
+             ~doc:"Write the resulting transformation chain to $(docv) \
+                   (replayable with 'sdfg transform' / Session.load).")
+  in
+  let log_arg =
+    Arg.(value & opt (some string) None
+         & info [ "log" ] ~docv:"FILE"
+             ~doc:"Write the full search log (steps tried, pruned, \
+                   measured, modeled-vs-measured error, timing tree) as \
+                   JSON to $(docv).")
+  in
+  let run name target beam steps budget objective repeat warmup chain_out
+      log_out =
+    match
+      List.find_opt
+        (fun (k : Workloads.Polybench.kernel) -> String.equal k.k_name name)
+        Workloads.Polybench.all
+    with
+    | None ->
+      Fmt.epr "'optimize' supports the Polybench programs; try 'sdfg list'@.";
+      exit 1
+    | Some k ->
+      Transform.Std.register_all ();
+      let t =
+        match target with
+        | `Cpu -> Cost.Tcpu
+        | `Gpu -> Cost.Tgpu
+        | `Fpga -> Cost.Tfpga
+      in
+      let opts = { Cost.default_options with hints = k.k_hints k.k_large } in
+      let cfg =
+        Opt.Search.config ~target:t ~symbols:k.k_large
+          ~measure_symbols:k.k_mini ~objective ~opts ~beam ~max_steps:steps
+          ?budget_s:budget ~repeat ~warmup ()
+      in
+      let res = Opt.Search.optimize ~name cfg k.k_build in
+      Fmt.pr "%a" Opt.Search.pp res;
+      (match Opt.Search.crossval ~symbols:k.k_mini k.k_build res.r_chain with
+      | Ok () -> Fmt.pr "crossval: OK (bit-identical to reference engine)@."
+      | Error msg ->
+        Fmt.epr "crossval FAILED: %s@." msg;
+        exit 1);
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Transform.Xform.chain_to_string res.r_chain);
+          output_char oc '\n';
+          close_out oc;
+          Fmt.pr "wrote chain to %s@." path)
+        chain_out;
+      Option.iter
+        (fun path ->
+          Obs.Json.save (Opt.Search.to_json res) path;
+          Fmt.pr "wrote search log to %s@." path)
+        log_out
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Automatically optimize a Polybench program: cost-guided beam \
+             search over the transformation registry, optionally \
+             confirming each step with measured interpreter medians")
+    Term.(const run $ prog_arg $ target_arg $ beam_arg $ steps_arg
+          $ budget_arg $ measure_arg $ repeat_arg $ warmup_arg $ chain_arg
+          $ log_arg)
+
 let () =
   Sdfg_ir.Errors.register ();
   let doc = "the SDFG data-centric toolchain" in
@@ -316,4 +430,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "sdfg" ~doc)
           [ list_cmd; show_cmd; dot_cmd; codegen_cmd; transform_cmd;
-            estimate_cmd; run_cmd; profile_cmd; save_cmd; load_cmd ]))
+            estimate_cmd; run_cmd; profile_cmd; optimize_cmd; save_cmd;
+            load_cmd ]))

@@ -65,7 +65,7 @@ let () =
   (* the domain scientist's view never changes; the performance engineer
      offloads the whole program to the GPU with one transformation *)
   let gpu = laplace () in
-  Transform.Xform.apply_first gpu Transform.Device_xforms.gpu_transform;
+  Transform.Xform.apply_first_exn gpu Transform.Device_xforms.gpu_transform;
   let a_gpu = run gpu ~n ~t in
   Fmt.pr "GPU-offloaded SDFG produces identical results: %b@.@."
     (Interp.Tensor.equal a a_gpu);

@@ -42,5 +42,10 @@ let strict : Xform.t list =
     Cleanup_xforms.trivial_map_elimination;
     Cleanup_xforms.state_elimination ]
 
+(* Best-effort: a strict transformation whose application fails midway is
+   skipped (the graph is left as the last successful application left it)
+   rather than aborting the whole cleanup pass. *)
 let apply_strict (g : Sdfg_ir.Sdfg.t) =
-  List.iter (fun x -> Xform.apply_until_fixpoint g x) strict
+  List.iter
+    (fun x -> ignore (Xform.apply_until_fixpoint g x : (unit, string) result))
+    strict

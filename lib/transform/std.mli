@@ -1,0 +1,24 @@
+(** The standard transformation library (paper §4.1: "we provide a
+    standard library of such transformations, which is meant to be used
+    as a baseline for performance engineers"; Appendix B, Table 4).
+
+    Individual transformations live in the [*_xforms] modules; this
+    module aggregates them, registers them with the {!Xform} registry,
+    and provides the strict-transformation cleanup pass of Appendix D. *)
+
+val all : Xform.t list
+(** The full standard library, in Table-4 order. *)
+
+val register_all : unit -> unit
+(** Register every standard transformation with the global {!Xform}
+    registry.  Idempotent; also runs once at module load. *)
+
+val strict : Xform.t list
+(** Strict transformations can only improve the program and are applied
+    automatically after frontend processing (Appendix D: "strict
+    transformations ... include StateFusion and InlineSDFG"). *)
+
+val apply_strict : Sdfg_ir.Sdfg.t -> unit
+(** Apply every strict transformation to its fixpoint, in order.  A
+    transformation whose application fails midway is skipped rather than
+    aborting the pass. *)

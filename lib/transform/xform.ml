@@ -43,9 +43,15 @@ let lookup name =
   | Some x -> x
   | None -> not_applicable "unknown transformation %S" name
 
+(* Enumeration is sorted by name: the registry is a hash table, whose
+   fold order is arbitrary, and any consumer that searches or tie-breaks
+   over "all transformations" (the optimizer in particular) must see a
+   deterministic order. *)
 let all () =
   Hashtbl.fold (fun _ x acc -> x :: acc) registry []
   |> List.sort (fun a b -> String.compare a.x_name b.x_name)
+
+let names () = List.map (fun x -> x.x_name) (all ())
 
 (* --- application ------------------------------------------------------------- *)
 
@@ -58,17 +64,17 @@ let apply ?(validate = true) (g : Sdfg.t) (x : t) (c : candidate) =
 
 (* Apply to the first candidate found.  Raises {!Not_applicable} if the
    pattern does not occur. *)
-let apply_first ?(validate = true) (g : Sdfg.t) (x : t) =
+let apply_first_exn ?(validate = true) (g : Sdfg.t) (x : t) =
   match x.x_find g with
   | [] -> not_applicable "%s: no matching subgraph" x.x_name
   | c :: _ -> apply ~validate g x c
 
-let apply_by_name ?(validate = true) g name =
-  apply_first ~validate g (lookup name)
+let apply_by_name_exn ?(validate = true) g name =
+  apply_first_exn ~validate g (lookup name)
 
 (* Apply a transformation repeatedly until it no longer matches (bounded,
    to guard against non-terminating rewrite loops). *)
-let apply_until_fixpoint ?(validate = true) ?(max_iter = 128) g (x : t) =
+let apply_until_fixpoint_exn ?(validate = true) ?(max_iter = 128) g (x : t) =
   let rec go i =
     if i >= max_iter then ()
     else
@@ -84,7 +90,7 @@ let apply_until_fixpoint ?(validate = true) ?(max_iter = 128) g (x : t) =
    the file format behind "save transformation chains to files" (§4.2). *)
 type chain_step = { cs_xform : string; cs_index : int }
 
-let apply_chain ?(validate = true) g (steps : chain_step list) =
+let apply_chain_exn ?(validate = true) g (steps : chain_step list) =
   List.iter
     (fun s ->
       let x = lookup s.cs_xform in
@@ -95,6 +101,24 @@ let apply_chain ?(validate = true) g (steps : chain_step list) =
         not_applicable "%s: candidate %d of %d does not exist" s.cs_xform
           s.cs_index (List.length cands))
     steps
+
+(* The result-returning surface: callers (the optimizer, the CLI, the
+   session) drive control flow on values rather than by catching
+   {!Not_applicable}. *)
+let as_result f =
+  match f () with () -> Ok () | exception Not_applicable msg -> Error msg
+
+let apply_first ?validate g x =
+  as_result (fun () -> apply_first_exn ?validate g x)
+
+let apply_by_name ?validate g name =
+  as_result (fun () -> apply_by_name_exn ?validate g name)
+
+let apply_until_fixpoint ?validate ?max_iter g x =
+  as_result (fun () -> apply_until_fixpoint_exn ?validate ?max_iter g x)
+
+let apply_chain ?validate g steps =
+  as_result (fun () -> apply_chain_exn ?validate g steps)
 
 let chain_to_string steps =
   String.concat "\n"
@@ -108,6 +132,8 @@ let chain_of_string text =
          else
            match String.split_on_char ' ' line with
            | [ name ] -> Some { cs_xform = name; cs_index = 0 }
-           | [ name; idx ] ->
-             Some { cs_xform = name; cs_index = int_of_string idx }
+           | [ name; idx ] -> (
+             match int_of_string_opt idx with
+             | Some i -> Some { cs_xform = name; cs_index = i }
+             | None -> not_applicable "malformed chain line %S" line)
            | _ -> not_applicable "malformed chain line %S" line)

@@ -41,24 +41,47 @@ val make :
     control", §4.2). *)
 
 val register : t -> unit
-val lookup : string -> t
-val all : unit -> t list
 
-(** {1 Application} *)
+val lookup : string -> t
+(** @raise Not_applicable on unknown names. *)
+
+val all : unit -> t list
+(** Every registered transformation, sorted by name.  The registry is a
+    hash table; sorting makes enumeration — and therefore every search or
+    tie-break built on it — deterministic. *)
+
+val names : unit -> string list
+(** [List.map (fun x -> x.x_name) (all ())]: the sorted name list. *)
+
+(** {1 Application}
+
+    The primary application surface returns [(unit, string) result]:
+    [Error msg] when the transformation does not apply (no match, failed
+    precondition, unknown name or candidate index), so callers — the
+    optimizer, the CLI, sessions — drive control flow on values.  The
+    [*_exn] variants raise {!Not_applicable} instead. *)
 
 val apply : ?validate:bool -> Sdfg_ir.Sdfg.t -> t -> candidate -> unit
 (** Apply to one candidate, then re-run memlet propagation and (unless
     [validate:false]) the validation pass. *)
 
-val apply_first : ?validate:bool -> Sdfg_ir.Sdfg.t -> t -> unit
-(** Apply to the first candidate.
-    @raise Not_applicable if no subgraph matches. *)
+val apply_first : ?validate:bool -> Sdfg_ir.Sdfg.t -> t -> (unit, string) result
+(** Apply to the first candidate; [Error] if no subgraph matches. *)
 
-val apply_by_name : ?validate:bool -> Sdfg_ir.Sdfg.t -> string -> unit
+val apply_by_name :
+  ?validate:bool -> Sdfg_ir.Sdfg.t -> string -> (unit, string) result
 
 val apply_until_fixpoint :
+  ?validate:bool -> ?max_iter:int -> Sdfg_ir.Sdfg.t -> t -> (unit, string) result
+(** Re-find and apply until the pattern no longer occurs (bounded).
+    Reaching the fixpoint without a single application is [Ok ()]; [Error]
+    only when an application itself fails midway. *)
+
+val apply_first_exn : ?validate:bool -> Sdfg_ir.Sdfg.t -> t -> unit
+val apply_by_name_exn : ?validate:bool -> Sdfg_ir.Sdfg.t -> string -> unit
+
+val apply_until_fixpoint_exn :
   ?validate:bool -> ?max_iter:int -> Sdfg_ir.Sdfg.t -> t -> unit
-(** Re-find and apply until the pattern no longer occurs (bounded). *)
 
 (** {1 Optimization chains (§4.2)}
 
@@ -68,6 +91,14 @@ val apply_until_fixpoint :
 
 type chain_step = { cs_xform : string; cs_index : int }
 
-val apply_chain : ?validate:bool -> Sdfg_ir.Sdfg.t -> chain_step list -> unit
+val apply_chain :
+  ?validate:bool -> Sdfg_ir.Sdfg.t -> chain_step list -> (unit, string) result
+
+val apply_chain_exn : ?validate:bool -> Sdfg_ir.Sdfg.t -> chain_step list -> unit
+
 val chain_to_string : chain_step list -> string
+
 val chain_of_string : string -> chain_step list
+(** @raise Not_applicable on malformed lines (anything but
+    ["<name>"] or ["<name> <index>"]; blank lines and [#] comments are
+    skipped). *)

@@ -14,4 +14,5 @@ let () =
       ("properties", Test_properties.suite);
       ("crossval", Test_crossval.suite);
       ("session", Test_session.suite);
-      ("report", Test_report.suite) ]
+      ("report", Test_report.suite);
+      ("opt", Test_opt.suite) ]

@@ -159,21 +159,21 @@ let run_mm g =
   Tensor.to_float_list c
 
 let pipeline_pool : (string * (Sdfg.t -> unit)) list =
-  [ ("expand", fun g -> Transform.Xform.apply_first g Transform.Map_xforms.map_expansion);
+  [ ("expand", fun g -> Transform.Xform.apply_first_exn g Transform.Map_xforms.map_expansion);
     ("tile2", fun g ->
-      Transform.Xform.apply_first g
+      Transform.Xform.apply_first_exn g
         (Transform.Map_xforms.map_tiling_sized ~tile_sizes:[ 2 ]));
     ("tile3", fun g ->
-      Transform.Xform.apply_first g
+      Transform.Xform.apply_first_exn g
         (Transform.Map_xforms.map_tiling_sized ~tile_sizes:[ 3 ]));
     ("acc", fun g ->
-      Transform.Xform.apply_first g Transform.Data_xforms.accumulate_transient);
+      Transform.Xform.apply_first_exn g Transform.Data_xforms.accumulate_transient);
     ("peel", fun g ->
-      Transform.Xform.apply_first g Transform.Control_xforms.reduce_peeling);
+      Transform.Xform.apply_first_exn g Transform.Control_xforms.reduce_peeling);
     ("fuse_states", fun g ->
-      Transform.Xform.apply_first g Transform.Fusion_xforms.state_fusion);
+      Transform.Xform.apply_first_exn g Transform.Fusion_xforms.state_fusion);
     ("gpu", fun g ->
-      Transform.Xform.apply_first g Transform.Device_xforms.gpu_transform) ]
+      Transform.Xform.apply_first_exn g Transform.Device_xforms.gpu_transform) ]
 
 let prop_random_pipelines =
   QCheck2.Test.make ~count:40

@@ -75,15 +75,15 @@ let t_map_collapse () =
   (* expand then collapse round-trips *)
   let reference = run_matmul (Fixtures.matmul_wcr ()) in
   let g = Fixtures.matmul_wcr () in
-  Transform.Xform.apply_first g Transform.Map_xforms.map_expansion;
-  Transform.Xform.apply_first g Transform.Map_xforms.map_collapse;
+  Transform.Xform.apply_first_exn g Transform.Map_xforms.map_expansion;
+  Transform.Xform.apply_first_exn g Transform.Map_xforms.map_collapse;
   check_same "expand/collapse roundtrip" reference (run_matmul g)
 
 let t_map_interchange () =
   let reference = run_matmul (Fixtures.matmul_wcr ()) in
   let g = Fixtures.matmul_wcr () in
-  Transform.Xform.apply_first g Transform.Map_xforms.map_expansion;
-  Transform.Xform.apply_first g Transform.Map_xforms.map_interchange;
+  Transform.Xform.apply_first_exn g Transform.Map_xforms.map_expansion;
+  Transform.Xform.apply_first_exn g Transform.Map_xforms.map_interchange;
   check_same "interchange" reference (run_matmul g);
   (* the maps actually swapped: outer now iterates j,k *)
   ()
@@ -129,7 +129,7 @@ let t_local_storage () =
 let t_accumulate_transient () =
   let reference = run_matmul (Fixtures.matmul_wcr ()) in
   let g = Fixtures.matmul_wcr () in
-  Transform.Xform.apply_first g Transform.Data_xforms.accumulate_transient;
+  Transform.Xform.apply_first_exn g Transform.Data_xforms.accumulate_transient;
   check_same "AccumulateTransient" reference (run_matmul g)
 
 let t_map_to_for_loop =
@@ -140,7 +140,7 @@ let t_state_fusion () =
   let reference = run_matmul (Fixtures.matmul_wcr ()) in
   let g = Fixtures.matmul_wcr () in
   Alcotest.(check int) "two states" 2 (Sdfg.num_states g);
-  Transform.Xform.apply_first g Transform.Fusion_xforms.state_fusion;
+  Transform.Xform.apply_first_exn g Transform.Fusion_xforms.state_fusion;
   Alcotest.(check int) "one state" 1 (Sdfg.num_states g);
   check_same "StateFusion" reference (run_matmul g)
 
@@ -196,7 +196,7 @@ let t_map_fusion () =
   in
   let reference = run_vadd (build ()) in
   let g = build () in
-  Transform.Xform.apply_first g Transform.Fusion_xforms.map_fusion;
+  Transform.Xform.apply_first_exn g Transform.Fusion_xforms.map_fusion;
   Alcotest.(check bool) "tmp eliminated" false (Sdfg.has_desc g "tmp");
   check_same "MapFusion" reference (run_vadd g)
 
@@ -237,14 +237,14 @@ let t_redundant_array () =
   in
   let reference = runner (build ()) in
   let g = build () in
-  Transform.Xform.apply_first g Transform.Data_xforms.redundant_array;
+  Transform.Xform.apply_first_exn g Transform.Data_xforms.redundant_array;
   Alcotest.(check bool) "middle removed" false (Sdfg.has_desc g "middle");
   check_same "RedundantArray" reference (runner g)
 
 let t_gpu_transform () =
   let reference = run_matmul (Fixtures.matmul_wcr ()) in
   let g = Fixtures.matmul_wcr () in
-  Transform.Xform.apply_first g Transform.Device_xforms.gpu_transform;
+  Transform.Xform.apply_first_exn g Transform.Device_xforms.gpu_transform;
   Alcotest.(check bool) "device twin exists" true (Sdfg.has_desc g "gpu_A");
   check_same "GPUTransform" reference (run_matmul g);
   (* top-level maps now carry the GPU schedule *)
@@ -259,7 +259,7 @@ let t_gpu_transform () =
 let t_fpga_transform () =
   let reference = run_matmul (Fixtures.matmul_wcr ()) in
   let g = Fixtures.matmul_wcr () in
-  Transform.Xform.apply_first g Transform.Device_xforms.fpga_transform;
+  Transform.Xform.apply_first_exn g Transform.Device_xforms.fpga_transform;
   Alcotest.(check bool) "device twin exists" true (Sdfg.has_desc g "fpga_A");
   check_same "FPGATransform" reference (run_matmul g)
 
@@ -277,13 +277,13 @@ let t_gpu_transform_with_loop () =
   in
   let reference = run g0 in
   let g = Fixtures.laplace () in
-  Transform.Xform.apply_first g Transform.Device_xforms.gpu_transform;
+  Transform.Xform.apply_first_exn g Transform.Device_xforms.gpu_transform;
   check_same "GPUTransform on loop" reference (run g)
 
 let t_mpi_transform () =
   let reference = run_vadd (Fixtures.vector_add ()) in
   let g = Fixtures.vector_add () in
-  Transform.Xform.apply_first g Transform.Device_xforms.mpi_transform;
+  Transform.Xform.apply_first_exn g Transform.Device_xforms.mpi_transform;
   check_same "MPITransform" reference (run_vadd g)
 
 let t_double_buffering () =
@@ -291,7 +291,7 @@ let t_double_buffering () =
      pattern: here we only check semantics preservation on a simple case *)
   let build () =
     let g = Fixtures.laplace () in
-    Transform.Xform.apply_first g Transform.Device_xforms.gpu_transform;
+    Transform.Xform.apply_first_exn g Transform.Device_xforms.gpu_transform;
     g
   in
   let n = 10 and t = 4 in
@@ -325,7 +325,7 @@ let t_chain_format () =
   Alcotest.(check int) "two steps" 2 (List.length steps);
   let reference = run_matmul (Fixtures.matmul_wcr ()) in
   let g = Fixtures.matmul_wcr () in
-  Transform.Xform.apply_chain g steps;
+  Transform.Xform.apply_chain_exn g steps;
   check_same "chain application" reference (run_matmul g)
 
 let t_registry () =
@@ -388,7 +388,7 @@ let t_trivial_map_elimination () =
   in
   let reference = runner (build ()) in
   let g = build () in
-  Transform.Xform.apply_first g Transform.Cleanup_xforms.trivial_map_elimination;
+  Transform.Xform.apply_first_exn g Transform.Cleanup_xforms.trivial_map_elimination;
   Alcotest.(check int) "map removed" 0
     (List.length (State.map_entries (Sdfg.start_state g)));
   check_same "TrivialMapElimination" reference (runner g)
@@ -408,7 +408,7 @@ let t_state_elimination () =
   ignore (Sdfg.add_transition g ~src:(State.id empty) ~dst:main_id ());
   let reference = run_matmul (Fixtures.matmul_wcr ()) in
   Alcotest.(check int) "three states" 3 (Sdfg.num_states g);
-  Transform.Xform.apply_first g Transform.Cleanup_xforms.state_elimination;
+  Transform.Xform.apply_first_exn g Transform.Cleanup_xforms.state_elimination;
   Alcotest.(check int) "back to two states" 2 (Sdfg.num_states g);
   check_same "StateElimination" reference (run_matmul g)
 
@@ -426,7 +426,7 @@ let t_map_unroll () =
        ~outs:[ Builder.Build.out_elem "o" "A" [ E.sym "i" ] ]
        ~code:(`Src "o = 1.0") ());
   ignore (Builder.Build.finalize g2);
-  Transform.Xform.apply_first g2 Transform.Cleanup_xforms.map_unroll;
+  Transform.Xform.apply_first_exn g2 Transform.Cleanup_xforms.map_unroll;
   let _, m = List.hd (State.map_entries (Sdfg.start_state g2)) in
   Alcotest.(check bool) "marked unrolled" true m.Defs.mp_unroll
 
