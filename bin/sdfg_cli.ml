@@ -423,6 +423,76 @@ let optimize_cmd =
           $ budget_arg $ measure_arg $ repeat_arg $ warmup_arg $ chain_arg
           $ log_arg)
 
+let fuzz_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 50
+         & info [ "seeds" ] ~docv:"N"
+             ~doc:"Number of consecutive seeds to fuzz.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"K"
+             ~doc:"Base seed; seed k of the campaign is $(docv)+k.")
+  in
+  let oracle_arg =
+    Arg.(value & opt string "all"
+         & info [ "oracle" ] ~docv:"ORACLE"
+             ~doc:"Oracle to check: $(b,engine), $(b,roundtrip), \
+                   $(b,xform), $(b,opt) or $(b,all).")
+  in
+  let shrink_arg =
+    Arg.(value & flag
+         & info [ "shrink" ]
+             ~doc:"Greedily minimize failing graphs before writing repros.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Write failing graphs as standalone .sdfg repros (plus \
+                   replay notes) into $(docv).")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Instead of generating graphs, load a .sdfg repro and \
+                   check it against the selected oracles.")
+  in
+  let run seeds seed oracle shrink out replay =
+    Transform.Std.register_all ();
+    let oracles =
+      match oracle with
+      | "all" -> Fuzz.Oracle.kinds
+      | s -> (
+        match Fuzz.Oracle.kind_of_string s with
+        | Some k -> [ k ]
+        | None ->
+          Fmt.epr "unknown oracle '%s' (engine|roundtrip|xform|opt|all)@." s;
+          exit 2)
+    in
+    let log = print_endline in
+    match replay with
+    | Some path -> (
+      match Fuzz.Driver.replay ~oracles ~log path with
+      | Error m ->
+        Fmt.epr "%s@." m;
+        exit 1
+      | Ok s -> if s.s_failures <> [] then exit 1)
+    | None ->
+      let s =
+        Fuzz.Driver.run ~oracles ~shrink ?out_dir:out ~log ~base_seed:seed
+          ~seeds ()
+      in
+      if s.s_failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: generate random well-formed SDFGs and \
+             check engine equivalence, serialization round-trips and \
+             transformation soundness; failing graphs are shrunk to \
+             standalone .sdfg repros")
+    Term.(const run $ seeds_arg $ seed_arg $ oracle_arg $ shrink_arg
+          $ out_arg $ replay_arg)
+
 let () =
   Sdfg_ir.Errors.register ();
   let doc = "the SDFG data-centric toolchain" in
@@ -431,4 +501,4 @@ let () =
        (Cmd.group (Cmd.info "sdfg" ~doc)
           [ list_cmd; show_cmd; dot_cmd; codegen_cmd; transform_cmd;
             estimate_cmd; run_cmd; profile_cmd; optimize_cmd; save_cmd;
-            load_cmd ]))
+            load_cmd; fuzz_cmd ]))

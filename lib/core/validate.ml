@@ -291,3 +291,126 @@ and check (g : sdfg) =
 (* Boolean convenience wrapper. *)
 let is_valid g =
   match check g with () -> true | exception Invalid_sdfg _ -> false
+
+(* --- accumulating validation ------------------------------------------ *)
+
+(* [validate] reports *every* violation it can reach instead of stopping at
+   the first: each independent sub-check runs under a guard that records
+   the raised message and carries on.  Checks that gate later ones (a
+   cyclic dataflow graph makes scope analysis meaningless) skip only their
+   dependents.  Fuzzer repros and user graphs thus get the complete
+   diagnosis in one pass. *)
+
+type error = {
+  e_sdfg : string;        (* name of the (possibly nested) SDFG *)
+  e_state : string option; (* label of the state, when state-local *)
+  e_msg : string;
+}
+
+let error_to_string e =
+  match e.e_state with
+  | Some st -> Printf.sprintf "[%s/%s] %s" e.e_sdfg st e.e_msg
+  | None -> Printf.sprintf "[%s] %s" e.e_sdfg e.e_msg
+
+let pp_error ppf e = Fmt.string ppf (error_to_string e)
+
+let state_errors g st : string list =
+  let errs = ref [] in
+  let guard f = try f () with Invalid_sdfg m -> errs := m :: !errs in
+  (match State.topological_order st with
+  | exception Invalid_sdfg m -> errs := m :: !errs
+  | _ ->
+    guard (fun () -> check_scopes st);
+    guard (fun () -> check_map_ranges st);
+    guard (fun () -> check_schedules st);
+    List.iter
+      (fun (e : edge) ->
+        match e.e_memlet with
+        | Some m -> guard (fun () -> check_memlet g st e m)
+        | None -> ())
+      (State.edges st);
+    let symbol_names =
+      g.g_symbols
+      @ List.concat_map (fun (t : istate_edge) -> List.map fst t.is_assign)
+          g.g_istate_edges
+    in
+    List.iter
+      (fun (nid, n) ->
+        match n with
+        | Tasklet t ->
+          guard (fun () ->
+              let parents = State.scope_parents st in
+              let rec enclosing_params nid =
+                match Hashtbl.find_opt parents nid with
+                | Some (Some p) -> (
+                  let rest = enclosing_params p in
+                  match State.node st p with
+                  | Map_entry m -> m.mp_params @ rest
+                  | Consume_entry cinfo -> cinfo.cs_pe_param :: rest
+                  | _ -> rest)
+                | _ -> []
+              in
+              check_tasklet_connectors
+                ~extra_names:(enclosing_params nid @ symbol_names)
+                st nid t)
+        | Access d -> guard (fun () -> check_access g st nid d)
+        | Nested_sdfg nest ->
+          List.iter
+            (fun cname ->
+              guard (fun () ->
+                  if not (Sdfg.has_desc nest.n_sdfg cname) then
+                    invalid
+                      "state %S: nested SDFG %S connector %S is not a \
+                       container of the inner SDFG"
+                      st.st_label nest.n_sdfg.g_name cname))
+            (nest.n_inputs @ nest.n_outputs)
+        | Map_entry _ | Map_exit | Consume_entry _ | Consume_exit | Reduce _
+          -> ())
+      (State.nodes st));
+  List.rev !errs
+
+let rec errors (g : sdfg) : error list =
+  let top = ref [] in
+  let guard f = try f () with Invalid_sdfg m -> top := m :: !top in
+  guard (fun () ->
+      if Sdfg.num_states g = 0 then invalid "SDFG %S has no states" g.g_name);
+  guard (fun () -> ignore (Sdfg.start_state g));
+  List.iter
+    (fun (e : istate_edge) ->
+      guard (fun () -> ignore (Sdfg.state g e.is_src));
+      guard (fun () -> ignore (Sdfg.state g e.is_dst)))
+    (Sdfg.transitions g);
+  List.iter
+    (fun (n, _) ->
+      guard (fun () ->
+          if List.mem n g.g_symbols then
+            invalid "SDFG %S: container %S shadows a symbol" g.g_name n))
+    (Sdfg.descs g);
+  let top_errors =
+    List.rev_map (fun m -> { e_sdfg = g.g_name; e_state = None; e_msg = m })
+      !top
+  in
+  let state_level =
+    List.concat_map
+      (fun st ->
+        List.map
+          (fun m ->
+            { e_sdfg = g.g_name; e_state = Some st.st_label; e_msg = m })
+          (state_errors g st))
+      (Sdfg.states g)
+  in
+  (* nested SDFGs recurse with their own graph context *)
+  let nested_level =
+    List.concat_map
+      (fun st ->
+        List.concat_map
+          (fun (_, n) ->
+            match n with Nested_sdfg nest -> errors nest.n_sdfg | _ -> [])
+          (State.nodes st))
+      (Sdfg.states g)
+  in
+  top_errors @ state_level @ nested_level
+
+let validate g = match errors g with [] -> Ok () | errs -> Error errs
+
+let validate_exn = check

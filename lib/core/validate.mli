@@ -13,3 +13,30 @@ val check_state : Defs.sdfg -> Defs.state -> unit
 
 val is_valid : Defs.sdfg -> bool
 (** Boolean convenience wrapper around {!check}. *)
+
+(** {1 Accumulating validation}
+
+    [validate] reports {e every} violation it can reach — one located
+    error per offending node/edge/state — instead of stopping at the
+    first, so fuzzer repros and user graphs get complete diagnostics.
+    Checks gated by structural prerequisites (scope analysis on a cyclic
+    state) are skipped once the prerequisite fails. *)
+
+type error = {
+  e_sdfg : string;          (** name of the (possibly nested) SDFG *)
+  e_state : string option;  (** label of the state, when state-local *)
+  e_msg : string;
+}
+
+val errors : Defs.sdfg -> error list
+(** All violations found, outer graph first, then per state in id order,
+    then nested SDFGs.  [[]] iff the graph is valid. *)
+
+val validate : Defs.sdfg -> (unit, error list) result
+
+val validate_exn : Defs.sdfg -> unit
+(** Alias of {!check}: raises {!Defs.Invalid_sdfg} on the first
+    violation. *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,134 @@
+open Sdfg_ir
+
+type failure = {
+  f_seed : int;
+  f_phase : string;
+  f_detail : string;
+  f_repro : string option;
+}
+
+type summary = {
+  s_seeds : int;
+  s_checks : int;
+  s_pass : int;
+  s_skip : int;
+  s_failures : failure list;
+}
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let write_repro ~out_dir ~seed ~oracle g =
+  mkdirs out_dir;
+  let stem = Fmt.str "seed%d_%s" seed (Oracle.kind_name oracle) in
+  let path = Filename.concat out_dir (stem ^ ".sdfg") in
+  Serialize.save g path;
+  let note = Filename.concat out_dir (stem ^ ".repro.txt") in
+  let oc = open_out note in
+  output_string oc
+    (Fmt.str
+       "Shrunk fuzz repro: seed %d, oracle %s.@.Replay with:@.  sdfg fuzz \
+        --replay %s --oracle %s@."
+       seed (Oracle.kind_name oracle) path (Oracle.kind_name oracle));
+  close_out oc;
+  path
+
+let check_graph ~oracles ~shrink ~out_dir ~log ~seed g acc =
+  List.fold_left
+    (fun (checks, pass, skip, fails) oracle ->
+      let status = Oracle.check oracle g in
+      let name = Oracle.kind_name oracle in
+      (match status with
+      | Oracle.Pass d -> log (Fmt.str "seed %d %s: pass (%s)" seed name d)
+      | Oracle.Skip d -> log (Fmt.str "seed %d %s: skip (%s)" seed name d)
+      | Oracle.Fail d -> log (Fmt.str "seed %d %s: FAIL %s" seed name d));
+      match status with
+      | Oracle.Pass _ -> (checks + 1, pass + 1, skip, fails)
+      | Oracle.Skip _ -> (checks + 1, pass, skip + 1, fails)
+      | Oracle.Fail detail ->
+        let g_min, detail =
+          if not shrink then (g, detail)
+          else begin
+            let g', evals = Shrink.shrink ~oracle g in
+            log
+              (Fmt.str "seed %d %s: shrunk size %d -> %d (%d oracle evals)"
+                 seed name (Shrink.size g) (Shrink.size g') evals);
+            let detail' =
+              match Oracle.check oracle g' with
+              | Oracle.Fail d -> d
+              | _ -> detail
+            in
+            (g', detail')
+          end
+        in
+        let repro =
+          match out_dir with
+          | None -> None
+          | Some dir ->
+            let path = write_repro ~out_dir:dir ~seed ~oracle g_min in
+            log (Fmt.str "seed %d %s: repro written to %s" seed name path);
+            Some path
+        in
+        ( checks + 1,
+          pass,
+          skip,
+          { f_seed = seed; f_phase = name; f_detail = detail; f_repro = repro }
+          :: fails ))
+    acc oracles
+
+let run ?(config = Gen.default) ?(oracles = Oracle.kinds) ?(shrink = true)
+    ?out_dir ?(log = fun _ -> ()) ~base_seed ~seeds () =
+  let acc = ref (0, 0, 0, []) in
+  for k = 0 to seeds - 1 do
+    let seed = base_seed + k in
+    match Gen.generate ~config seed with
+    | exception e ->
+      let detail = Printexc.to_string e in
+      log (Fmt.str "seed %d generate: FAIL %s" seed detail);
+      let checks, pass, skip, fails = !acc in
+      acc :=
+        ( checks + 1,
+          pass,
+          skip,
+          { f_seed = seed; f_phase = "generate"; f_detail = detail;
+            f_repro = None }
+          :: fails )
+    | g ->
+      acc := check_graph ~oracles ~shrink ~out_dir ~log ~seed g !acc
+  done;
+  let checks, pass, skip, fails = !acc in
+  log
+    (Fmt.str "fuzz: %d seed(s), %d check(s): %d pass, %d skip, %d fail" seeds
+       checks pass skip (List.length fails));
+  {
+    s_seeds = seeds;
+    s_checks = checks;
+    s_pass = pass;
+    s_skip = skip;
+    s_failures = List.rev fails;
+  }
+
+let replay ?(oracles = Oracle.kinds) ?(log = fun _ -> ()) path =
+  match Serialize.load path with
+  | exception Serialize.Parse_error m ->
+    Error (Fmt.str "%s: parse error: %s" path m)
+  | exception Sys_error m -> Error m
+  | g ->
+    let checks, pass, skip, fails =
+      check_graph ~oracles ~shrink:false ~out_dir:None ~log ~seed:0 g
+        (0, 0, 0, [])
+    in
+    log
+      (Fmt.str "replay %s: %d check(s): %d pass, %d skip, %d fail" path checks
+         pass skip (List.length fails));
+    Ok
+      {
+        s_seeds = 1;
+        s_checks = checks;
+        s_pass = pass;
+        s_skip = skip;
+        s_failures = List.rev fails;
+      }

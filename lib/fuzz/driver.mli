@@ -1,0 +1,52 @@
+(** Fuzzing campaign driver: seeds → graphs → oracles → (shrunk) repros.
+
+    A campaign runs [seeds] consecutive seeds starting at [base_seed];
+    each seed generates one graph via {!Gen.generate} and checks it
+    against the selected {!Oracle.kind}s.  The emitted log is fully
+    deterministic — same seeds, same binary ⇒ byte-identical text — so a
+    campaign can serve as a golden regression artifact.
+
+    On a failure, the offending graph is (optionally) minimized with
+    {!Shrink.shrink} and written to [out_dir] as a standalone [.sdfg]
+    repro next to a [.repro.txt] note carrying the replay command
+    ([sdfg fuzz --replay FILE --oracle KIND]).  The repro is standalone
+    because the symbol valuation is a fixed function of symbol names
+    ({!Gen.symbol_pool}), never of the seed. *)
+
+type failure = {
+  f_seed : int;
+  f_phase : string;  (** ["generate"] or an oracle name *)
+  f_detail : string;
+  f_repro : string option;  (** path of the written [.sdfg], if any *)
+}
+
+type summary = {
+  s_seeds : int;   (** seeds exercised *)
+  s_checks : int;  (** individual oracle checks run *)
+  s_pass : int;
+  s_skip : int;
+  s_failures : failure list;  (** in seed order *)
+}
+
+val run :
+  ?config:Gen.config ->
+  ?oracles:Oracle.kind list ->
+  ?shrink:bool ->
+  ?out_dir:string ->
+  ?log:(string -> unit) ->
+  base_seed:int ->
+  seeds:int ->
+  unit ->
+  summary
+(** Run a campaign.  [oracles] defaults to {!Oracle.kinds} (all);
+    [shrink] (default true) minimizes failing graphs before writing
+    repros; repros are only written when [out_dir] is given (created if
+    missing).  [log] receives one line per event (default: drop). *)
+
+val replay :
+  ?oracles:Oracle.kind list ->
+  ?log:(string -> unit) ->
+  string ->
+  (summary, string) result
+(** [replay path] loads a [.sdfg] repro and checks it against the
+    oracles; [Error] when the file does not load. *)

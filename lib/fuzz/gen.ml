@@ -1,0 +1,502 @@
+(* Random well-formed SDFG generation.
+
+   Layered construction over a typed environment:
+
+     1. symbols and containers (arrays with symbolic or constant extents);
+     2. per-state dataflow ops, each built through the {!Builder} helpers
+        so scope-connector conventions hold by construction;
+     3. the inter-state machine (forward chains, branches, assignments).
+
+   Within one state the generator enforces the data-race discipline that
+   makes differential testing meaningful: a container is written by at
+   most one op per state, and never both read and written by different
+   ops of the same state (cross-state reuse is unrestricted — that is
+   what the state barrier is for).  Everything else — WCR accumulation,
+   overlapping reads, in-place elementwise updates across states — is
+   fair game. *)
+
+module E = Symbolic.Expr
+module S = Symbolic.Subset
+module T = Tasklang.Types
+module A = Tasklang.Ast
+open Sdfg_ir
+open Defs
+
+type config = {
+  c_max_states : int;
+  c_max_ops : int;
+  c_max_rank : int;
+  c_wcr : bool;
+  c_reduce : bool;
+  c_nested : bool;
+  c_branch : bool;
+  c_copy : bool;
+}
+
+let default =
+  { c_max_states = 3; c_max_ops = 3; c_max_rank = 3; c_wcr = true;
+    c_reduce = true; c_nested = true; c_branch = true; c_copy = true }
+
+let symbol_pool = [ ("N", 5); ("M", 4); ("K", 3) ]
+
+let symbols_for g =
+  List.map
+    (fun s ->
+      (s, match List.assoc_opt s symbol_pool with Some v -> v | None -> 4))
+    (Sdfg.free_symbols g)
+
+(* Concrete value of a shape extent under the pool valuation. *)
+let concrete e = E.eval_list symbol_pool e
+
+(* A container as the generator sees it. *)
+type ctr = {
+  cn : string;
+  cdt : T.dtype;
+  cshape : E.t list;
+  ctrans : bool;
+}
+
+let rank c = List.length c.cshape
+
+(* --- environment layer -------------------------------------------------- *)
+
+let pick_extent rng syms =
+  if syms <> [] && Rand.chance rng 0.55 then E.sym (Rand.choose rng syms)
+  else E.int (Rand.range rng 2 6)
+
+let pick_dtype rng = Rand.weighted rng [ (6, T.F64); (2, T.I64) ]
+
+let gen_containers rng cfg g syms =
+  let n_data = Rand.range rng 2 4 in
+  let n_tmp = Rand.int rng 3 in
+  let mk i transient =
+    let name = if transient then Printf.sprintf "tm%d" i
+      else Printf.sprintf "d%d" i in
+    let r = min cfg.c_max_rank (Rand.weighted rng [ (4, 1); (4, 2); (1, 3) ]) in
+    let shape = List.init r (fun _ -> pick_extent rng syms) in
+    let dt = pick_dtype rng in
+    Sdfg.add_array g name ~transient ~shape ~dtype:dt;
+    { cn = name; cdt = dt; cshape = shape; ctrans = transient }
+  in
+  List.init n_data (fun i -> mk i false)
+  @ List.init n_tmp (fun i -> mk i true)
+
+(* --- tasklet code ------------------------------------------------------- *)
+
+(* Expression grammar over input connectors, scope parameters, interstate
+   symbols and literals.  Division and modulo are deliberately absent
+   (division by zero), and float literals are multiples of 0.5 so the
+   print/parse round-trip is bit-exact. *)
+let gen_code rng odt ~in_conns ~params ~isyms out_conn =
+  let atoms =
+    List.map (fun c -> A.Var c) in_conns
+    @ (if params <> [] && Rand.chance rng 0.35 then
+         [ A.Var (Rand.choose rng params) ]
+       else [])
+    @ (if isyms <> [] && Rand.chance rng 0.25 then
+         [ A.Var (Rand.choose rng isyms) ]
+       else [])
+  in
+  let lit () =
+    if T.is_float odt then
+      A.Float_lit (float_of_int (Rand.range rng (-6) 6) /. 2.)
+    else A.Int_lit (Rand.range rng (-3) 3)
+  in
+  let atom () =
+    if atoms = [] || Rand.chance rng 0.25 then lit ()
+    else Rand.choose rng atoms
+  in
+  let rec go d =
+    if d = 0 then atom ()
+    else
+      match Rand.int rng 8 with
+      | 0 | 1 | 2 | 3 ->
+        let op = Rand.choose rng [ A.Add; A.Sub; A.Mul; A.Min; A.Max ] in
+        A.Binop (op, go (d - 1), go (d - 1))
+      | 4 -> A.Unop (Rand.choose rng [ A.Neg; A.Abs ], go (d - 1))
+      | _ -> atom ()
+  in
+  [ A.Assign (A.Lvar out_conn, go 2) ]
+
+(* --- per-state op emission ---------------------------------------------- *)
+
+(* Affine index into dimension [e] of an input, given in-scope parameters
+   with their extents.  Valid under the pool valuation: a parameter
+   sweeping [0, v1) may index a dimension of extent v2 whenever
+   v1 <= v2; the reversed form [e - 1 - p] lands in [v2 - v1, v2). *)
+let gen_index rng penv e =
+  let v = concrete e in
+  let fitting = List.filter (fun (_, pe) -> concrete pe <= v) penv in
+  let cands =
+    List.concat_map
+      (fun (p, _) ->
+        [ (5, E.sym p); (1, E.sub (E.sub e E.one) (E.sym p)) ])
+      fitting
+    @ (match E.as_int e with
+      | Some c -> [ (2, E.int (Rand.int rng c)) ]
+      | None -> [])
+    @ [ (1, E.zero) ]
+  in
+  Rand.weighted rng cands
+
+let pick_schedule rng = Rand.weighted rng [ (3, Sequential); (2, Cpu_multicore) ]
+
+(* State-local bookkeeping: which containers ops of this state wrote/read. *)
+type slots = { mutable written : string list; mutable read : string list }
+
+let writable ctrs slots =
+  List.filter
+    (fun c ->
+      rank c >= 1
+      && (not (List.mem c.cn slots.written))
+      && not (List.mem c.cn slots.read))
+    ctrs
+
+let readable ctrs slots =
+  List.filter (fun c -> not (List.mem c.cn slots.written)) ctrs
+
+(* Prefer observable (non-transient) outputs 3:1. *)
+let pick_output rng cands =
+  let data = List.filter (fun c -> not c.ctrans) cands in
+  if data <> [] && Rand.chance rng 0.75 then Rand.choose rng data
+  else Rand.choose rng cands
+
+let gen_inputs rng ctrs slots penv o =
+  let cands =
+    List.filter (fun c -> c.cdt = o.cdt && c.cn <> o.cn)
+      (readable ctrs slots)
+  in
+  let n = min (Rand.int rng 3) (List.length cands) in
+  Rand.sample rng n cands
+  |> List.mapi (fun i c ->
+         let conn = if i = 0 then "a" else "b" in
+         let idxs = List.map (gen_index rng penv) c.cshape in
+         (conn, c, Builder.Build.in_elem conn c.cn idxs))
+
+let emit_map rng cfg g st ctrs slots isyms opid =
+  match writable ctrs slots with
+  | [] -> false
+  | cands ->
+    let o = pick_output rng cands in
+    let r = rank o in
+    let use_wcr = cfg.c_wcr && Rand.chance rng 0.3 in
+    let params = List.init r (fun d -> Printf.sprintf "i%d_%d" opid d) in
+    let red =
+      if use_wcr then
+        [ (Printf.sprintf "k%d" opid,
+           pick_extent rng (List.map fst symbol_pool)) ]
+      else []
+    in
+    (* reduction extents may introduce symbols the graph hasn't declared *)
+    List.iter
+      (fun (_, e) ->
+        List.iter
+          (fun s ->
+            if not (List.mem s (Sdfg.symbols g)) then Sdfg.declare_symbol g s)
+          (E.free_syms e))
+      red;
+    let params_all = params @ List.map fst red in
+    let extents_all = o.cshape @ List.map snd red in
+    let ranges_all =
+      List.map (fun e -> S.range E.zero (E.sub e E.one)) extents_all
+    in
+    let penv = List.combine params_all extents_all in
+    let out_idx =
+      List.map2
+        (fun p e ->
+          if (not use_wcr) && Rand.chance rng 0.15 then
+            E.sub (E.sub e E.one) (E.sym p)
+          else E.sym p)
+        params o.cshape
+    in
+    let wcr =
+      if use_wcr then
+        Some
+          (if T.is_float o.cdt then
+             Rand.choose rng [ Wcr.sum; Wcr.min_; Wcr.max_ ]
+           else Rand.choose rng [ Wcr.sum; Wcr.min_; Wcr.max_ ])
+      else None
+    in
+    let ins = gen_inputs rng ctrs slots penv o in
+    let code =
+      gen_code rng o.cdt
+        ~in_conns:(List.map (fun (c, _, _) -> c) ins)
+        ~params:params_all ~isyms "o"
+    in
+    ignore
+      (Builder.Build.mapped_tasklet g st
+         ~name:(Printf.sprintf "t%d" opid)
+         ~params:params_all ~schedule:(pick_schedule rng) ~ranges:ranges_all
+         ~ins:(List.map (fun (_, _, io) -> io) ins)
+         ~outs:[ Builder.Build.out_elem ?wcr "o" o.cn out_idx ]
+         ~code:(`Ast code) ());
+    slots.written <- o.cn :: slots.written;
+    List.iter (fun (_, c, _) -> slots.read <- c.cn :: slots.read) ins;
+    true
+
+let emit_copy rng _g st ctrs slots =
+  let dsts = writable ctrs slots in
+  let pairs =
+    List.concat_map
+      (fun dst ->
+        List.filter_map
+          (fun src ->
+            if src.cn <> dst.cn && src.cdt = dst.cdt
+               && (not (List.mem src.cn slots.written))
+               && List.map concrete src.cshape = List.map concrete dst.cshape
+            then Some (src, dst)
+            else None)
+          ctrs)
+      dsts
+  in
+  match pairs with
+  | [] -> false
+  | _ ->
+    let src, dst = Rand.choose rng pairs in
+    let a = Builder.Build.access st src.cn in
+    let b = Builder.Build.access st dst.cn in
+    let memlet =
+      let symmetric =
+        List.for_all2 E.equal src.cshape dst.cshape
+      in
+      if symmetric && Rand.chance rng 0.4 then begin
+        (* same sub-box on both sides; constant dims get a proper window *)
+        let box =
+          List.map
+            (fun e ->
+              match E.as_int e with
+              | Some c when c >= 2 ->
+                let lo = Rand.int rng (c - 1) in
+                let hi = Rand.range rng lo (c - 1) in
+                S.range (E.int lo) (E.int hi)
+              | _ -> S.full e)
+            src.cshape
+        in
+        Memlet.simple ~other:box src.cn box
+      end
+      else Memlet.full src.cn src.cshape
+    in
+    Builder.Build.edge st ~memlet ~src:a ~dst:b ();
+    slots.written <- dst.cn :: slots.written;
+    slots.read <- src.cn :: slots.read;
+    true
+
+let emit_reduce rng g st ctrs slots isyms opid =
+  let cands =
+    List.filter (fun c -> T.is_float c.cdt && rank c <= 2)
+      (writable ctrs slots)
+  in
+  match cands with
+  | [] -> false
+  | cands ->
+    let o = pick_output rng cands in
+    let r = rank o in
+    let red_extent = pick_extent rng (List.map fst symbol_pool) in
+    List.iter
+      (fun s ->
+        if not (List.mem s (Sdfg.symbols g)) then Sdfg.declare_symbol g s)
+      (E.free_syms red_extent);
+    let tmp = Sdfg.fresh_name g (Printf.sprintf "red%d" opid) in
+    Sdfg.add_array g tmp ~transient:true
+      ~shape:(o.cshape @ [ red_extent ])
+      ~dtype:o.cdt;
+    let params =
+      List.init (r + 1) (fun d -> Printf.sprintf "i%d_%d" opid d)
+    in
+    let extents = o.cshape @ [ red_extent ] in
+    let ranges = List.map (fun e -> S.range E.zero (E.sub e E.one)) extents in
+    let penv = List.combine params extents in
+    let ins = gen_inputs rng ctrs slots penv o in
+    let code =
+      gen_code rng o.cdt
+        ~in_conns:(List.map (fun (c, _, _) -> c) ins)
+        ~params ~isyms "t"
+    in
+    ignore
+      (Builder.Build.map_reduce g st
+         ~name:(Printf.sprintf "t%d" opid)
+         ~params ~schedule:(pick_schedule rng) ~ranges
+         ~ins:(List.map (fun (_, _, io) -> io) ins)
+         ~out_conn:"t" ~tmp_data:tmp
+         ~tmp_subset:(S.of_indices (List.map E.sym params))
+         ~out_data:o.cn ~out_subset:(S.of_shape o.cshape) ~wcr:Wcr.sum
+         ~code:(`Ast code) ());
+    slots.written <- o.cn :: slots.written;
+    List.iter (fun (_, c, _) -> slots.read <- c.cn :: slots.read) ins;
+    true
+
+let emit_nested rng _g st ctrs slots opid =
+  let dsts = writable ctrs slots in
+  let pairs =
+    List.concat_map
+      (fun dst ->
+        List.filter_map
+          (fun src ->
+            if src.cn <> dst.cn && src.cdt = dst.cdt
+               && (not (List.mem src.cn slots.written))
+               && List.length src.cshape = List.length dst.cshape
+               && List.for_all2 E.equal src.cshape dst.cshape
+            then Some (src, dst)
+            else None)
+          ctrs)
+      dsts
+  in
+  match pairs with
+  | [] -> false
+  | _ ->
+    let src, dst = Rand.choose rng pairs in
+    let shape_syms = List.concat_map E.free_syms src.cshape in
+    let shape_syms = List.sort_uniq String.compare shape_syms in
+    let inner =
+      Sdfg.create ~symbols:shape_syms (Printf.sprintf "nest%d" opid)
+    in
+    Sdfg.add_array inner "x" ~shape:src.cshape ~dtype:src.cdt;
+    Sdfg.add_array inner "y" ~shape:dst.cshape ~dtype:dst.cdt;
+    let ist = Sdfg.add_state inner ~label:"body" () in
+    let params =
+      List.mapi (fun d _ -> Printf.sprintf "n%d_%d" opid d) src.cshape
+    in
+    let idxs = List.map E.sym params in
+    let code = gen_code rng dst.cdt ~in_conns:[ "a" ] ~params ~isyms:[] "o" in
+    ignore
+      (Builder.Build.mapped_tasklet inner ist
+         ~name:(Printf.sprintf "nt%d" opid)
+         ~params
+         ~ranges:(List.map (fun e -> S.range E.zero (E.sub e E.one)) src.cshape)
+         ~ins:[ Builder.Build.in_elem "a" "x" idxs ]
+         ~outs:[ Builder.Build.out_elem "o" "y" idxs ]
+         ~code:(`Ast code) ());
+    ignore (Builder.Build.finalize inner);
+    let node =
+      Builder.Build.nested st ~sdfg:inner ~inputs:[ "x" ] ~outputs:[ "y" ]
+        ~symbol_map:(List.map (fun s -> (s, E.sym s)) shape_syms)
+        ()
+    in
+    let a = Builder.Build.access st src.cn in
+    let b = Builder.Build.access st dst.cn in
+    Builder.Build.edge st ~dst_conn:"x"
+      ~memlet:(Memlet.full src.cn src.cshape) ~src:a ~dst:node ();
+    Builder.Build.edge st ~src_conn:"y"
+      ~memlet:(Memlet.full dst.cn dst.cshape) ~src:node ~dst:b ();
+    slots.written <- dst.cn :: slots.written;
+    slots.read <- src.cn :: slots.read;
+    true
+
+let emit_state_ops rng cfg g st ctrs isyms state_idx =
+  let slots = { written = []; read = [] } in
+  let n_ops = Rand.range rng 1 cfg.c_max_ops in
+  for k = 0 to n_ops - 1 do
+    let opid = (state_idx * 10) + k in
+    let kind =
+      Rand.weighted rng
+        [ (6, `Map);
+          ((if cfg.c_copy then 2 else 0), `Copy);
+          ((if cfg.c_reduce then 2 else 0), `Reduce);
+          ((if cfg.c_nested then 1 else 0), `Nested) ]
+    in
+    let emitted =
+      match kind with
+      | `Map -> emit_map rng cfg g st ctrs slots isyms opid
+      | `Copy -> emit_copy rng g st ctrs slots
+      | `Reduce -> emit_reduce rng g st ctrs slots isyms opid
+      | `Nested -> emit_nested rng g st ctrs slots opid
+    in
+    (* fall back to a plain map so states rarely end up empty *)
+    if (not emitted) && kind <> `Map then
+      ignore (emit_map rng cfg g st ctrs slots isyms opid)
+  done
+
+(* --- inter-state machine ------------------------------------------------ *)
+
+let gen_cond rng syms =
+  let lhs =
+    match syms with
+    | [] -> E.int (Rand.range rng 0 5)
+    | _ ->
+      let s = E.sym (Rand.choose rng syms) in
+      if Rand.chance rng 0.3 then E.add s (E.int (Rand.range rng (-2) 2))
+      else s
+  in
+  let rhs = E.int (Rand.range rng 0 6) in
+  let op = Rand.choose rng [ Ceq; Cne; Clt; Cle; Cgt; Cge ] in
+  Bexp.cmp op lhs rhs
+
+let gen_assign rng syms idx =
+  let name = Printf.sprintf "as%d" idx in
+  let base =
+    match syms with
+    | [] -> E.int (Rand.range rng 0 4)
+    | _ -> E.sym (Rand.choose rng syms)
+  in
+  (name, E.add base (E.int (Rand.range rng (-1) 3)))
+
+(* Wire states [s0; s1; ...] with forward transitions only (termination by
+   construction): either a plain chain, or — with enough states — a
+   two-way branch out of s0 whose arms rejoin at the next state when one
+   exists.  Symbol assignments ride only on transitions leaving the start
+   state, so every state after the first may legally read them (the
+   visibility question "has this edge executed yet?" never arises). *)
+let wire_states rng cfg g states =
+  let ids = List.map State.id states in
+  let declared = Sdfg.symbols g in
+  let assigned = ref [] in
+  let mk_assign () =
+    if Rand.chance rng 0.4 then begin
+      let a = gen_assign rng declared (List.length !assigned) in
+      assigned := fst a :: !assigned;
+      [ a ]
+    end
+    else []
+  in
+  let rec chain = function
+    | a :: b :: rest ->
+      ignore (Sdfg.add_transition g ~src:a ~dst:b ());
+      chain (b :: rest)
+    | _ -> ()
+  in
+  (match ids with
+  | s0 :: s1 :: s2 :: rest when cfg.c_branch && Rand.chance rng 0.45 ->
+    let cond = gen_cond rng declared in
+    let assign = mk_assign () in
+    ignore (Sdfg.add_transition g ~cond ~assign ~src:s0 ~dst:s1 ());
+    ignore
+      (Sdfg.add_transition g ~cond:(Bexp.negate cond) ~assign ~src:s0 ~dst:s2
+         ());
+    (match rest with
+    | join :: tail ->
+      ignore (Sdfg.add_transition g ~src:s1 ~dst:join ());
+      ignore (Sdfg.add_transition g ~src:s2 ~dst:join ());
+      chain (join :: tail)
+    | [] -> ())
+  | s0 :: s1 :: rest ->
+    let assign = mk_assign () in
+    ignore (Sdfg.add_transition g ~assign ~src:s0 ~dst:s1 ());
+    chain (s1 :: rest)
+  | _ -> ());
+  List.rev !assigned
+
+(* --- entry point -------------------------------------------------------- *)
+
+let generate ?(config = default) seed =
+  let rng = Rand.create seed in
+  let pool_names = List.map fst symbol_pool in
+  let n_syms = Rand.range rng 1 (List.length pool_names) in
+  let syms = Rand.sample rng n_syms pool_names in
+  let g = Sdfg.create ~symbols:(List.sort String.compare syms)
+      (Printf.sprintf "fuzz%d" seed) in
+  let ctrs = gen_containers rng config g (Sdfg.symbols g) in
+  let n_states = Rand.range rng 1 config.c_max_states in
+  let states =
+    List.init n_states (fun i ->
+        Sdfg.add_state g ~label:(Printf.sprintf "s%d" i) ())
+  in
+  (* wire first so ops can reference interstate-assigned symbols; only
+     states after the first can observe an assignment made on an incoming
+     transition, so op emission passes the symbols assigned so far *)
+  let assigned = wire_states rng config g states in
+  List.iteri
+    (fun i st ->
+      let isyms = if i = 0 then [] else assigned in
+      emit_state_ops rng config g st ctrs isyms i)
+    states;
+  Builder.Build.finalize g

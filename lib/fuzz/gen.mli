@@ -1,0 +1,42 @@
+(** Seeded random generator of {e well-formed} SDFGs.
+
+    Graphs are built layered over a typed environment — containers with
+    symbolic shapes first, then per-state dataflow operations (map nests
+    with affine memlets, WCR accumulations, map-reduce chains, copies,
+    nested SDFGs), then the inter-state machine (chains, branches,
+    symbol assignments) — so that every emitted graph passes
+    {!Sdfg_ir.Validate.validate} by construction.  Generation is fully
+    deterministic: the same seed yields a byte-identical serialized
+    graph on every run and OCaml version (see {!Rand}).
+
+    Graphs always terminate: inter-state transitions only move forward
+    in state-id order, and map ranges are finite under
+    {!symbols_for}. *)
+
+type config = {
+  c_max_states : int;  (** states per graph (≥ 1) *)
+  c_max_ops : int;     (** dataflow operations per state (≥ 1) *)
+  c_max_rank : int;    (** container rank cap (1–3) *)
+  c_wcr : bool;        (** emit write-conflict-resolution memlets *)
+  c_reduce : bool;     (** emit map→transient→Reduce chains *)
+  c_nested : bool;     (** emit nested-SDFG nodes *)
+  c_branch : bool;     (** emit conditional inter-state branches *)
+  c_copy : bool;       (** emit access-to-access copy edges *)
+}
+
+val default : config
+
+val generate : ?config:config -> int -> Sdfg_ir.Sdfg.t
+(** [generate seed] builds a fresh well-formed SDFG.  The result is
+    validated before being returned; a validation failure here is a
+    generator bug and raises {!Sdfg_ir.Defs.Invalid_sdfg}. *)
+
+val symbol_pool : (string * int) list
+(** The fixed symbol valuation fuzz graphs are generated against and run
+    under.  Keeping it a deterministic function of the symbol {e name}
+    (rather than of the seed) is what makes a serialized [.sdfg] repro
+    standalone: replaying a repro file needs no side-channel sizes. *)
+
+val symbols_for : Sdfg_ir.Sdfg.t -> (string * int) list
+(** Valuation for a graph's free symbols: pool value when the name is in
+    {!symbol_pool}, a fixed default otherwise. *)

@@ -1,0 +1,219 @@
+open Sdfg_ir
+module Tensor = Interp.Tensor
+module Xform = Transform.Xform
+
+type kind = Engine | Roundtrip | Xform | Opt
+
+let kinds = [ Engine; Roundtrip; Xform; Opt ]
+
+let kind_name = function
+  | Engine -> "engine"
+  | Roundtrip -> "roundtrip"
+  | Xform -> "xform"
+  | Opt -> "opt"
+
+let kind_of_string = function
+  | "engine" -> Some Engine
+  | "roundtrip" -> Some Roundtrip
+  | "xform" -> Some Xform
+  | "opt" -> Some Opt
+  | _ -> None
+
+type status = Pass of string | Skip of string | Fail of string
+
+let status_name = function
+  | Pass _ -> "pass"
+  | Skip _ -> "skip"
+  | Fail _ -> "fail"
+
+(* --- float-accumulation detection ------------------------------------- *)
+
+let is_float_container g name =
+  Sdfg.has_desc g name
+  && Tasklang.Types.is_float (Defs.ddesc_dtype (Sdfg.desc g name))
+
+let rec float_accumulation g =
+  List.exists
+    (fun st ->
+      List.exists
+        (fun e ->
+          match e.Defs.e_memlet with
+          | Some m -> m.Defs.m_wcr <> None && is_float_container g m.m_data
+          | None -> false)
+        (State.edges st)
+      || List.exists
+           (fun (id, n) ->
+             match n with
+             | Defs.Reduce _ ->
+               List.exists
+                 (fun e ->
+                   match e.Defs.e_memlet with
+                   | Some m -> is_float_container g m.Defs.m_data
+                   | None -> false)
+                 (State.out_edges st id)
+             | Defs.Nested_sdfg nest -> float_accumulation nest.n_sdfg
+             | _ -> false)
+           (State.nodes st))
+    (Sdfg.states g)
+
+(* --- running and comparing -------------------------------------------- *)
+
+(* Run one engine over deterministic inputs; the returned bindings are the
+   caller tensors Exec.run mutated in place, i.e. the program outputs. *)
+let exec engine g =
+  let symbols = Gen.symbols_for g in
+  let args = Interp.Profile.make_args ~symbols g in
+  ignore (Interp.Exec.run ~engine ~symbols ~args g);
+  args
+
+let first_diff a b =
+  let fa = Tensor.to_float_list a and fb = Tensor.to_float_list b in
+  let rec go i = function
+    | x :: xs, y :: ys ->
+      if x = y || (Float.is_nan x && Float.is_nan y) then go (i + 1) (xs, ys)
+      else Fmt.str "index %d: %h vs %h" i x y
+    | _ -> "shapes differ"
+  in
+  go 0 (fa, fb)
+
+let diff ~approx base got =
+  let cmp a b =
+    if approx then Tensor.approx_equal a b else Tensor.equal a b
+  in
+  let rec go = function
+    | [] -> None
+    | (name, t) :: rest -> (
+      match List.assoc_opt name got with
+      | None -> Some (Fmt.str "container %s missing from outputs" name)
+      | Some t' ->
+        if cmp t t' then go rest
+        else Some (Fmt.str "container %s diverges (%s)" name (first_diff t t')))
+  in
+  go base
+
+(* --- the four oracles -------------------------------------------------- *)
+
+let engine_oracle g =
+  let base = exec `Reference g in
+  let got = exec `Compiled g in
+  match diff ~approx:false base got with
+  | None -> Pass "reference = compiled (bit-exact)"
+  | Some d -> Fail ("engine divergence: " ^ d)
+
+let roundtrip_oracle g =
+  let s1 = Serialize.to_string g in
+  match Serialize.of_string s1 with
+  | exception Serialize.Parse_error m ->
+    Fail ("serialized graph does not re-parse: " ^ m)
+  | g2 ->
+    let s2 = Serialize.to_string g2 in
+    if s1 <> s2 then Fail "serialization is not a fixpoint (print∘parse∘print)"
+    else begin
+      let base = exec `Reference g in
+      let got = exec `Reference g2 in
+      match diff ~approx:false base got with
+      | None -> Pass "round-trip preserves semantics and text"
+      | Some d -> Fail ("round-trip divergence: " ^ d)
+    end
+
+(* Cap candidate indices per transformation so pathological fan-out on one
+   graph cannot stall a whole fuzz run. *)
+let max_candidates = 4
+
+let xform_oracle g =
+  let approx = float_accumulation g in
+  let base = exec `Reference g in
+  let applied = ref 0 in
+  let failures = ref [] in
+  let record fmt = Fmt.kstr (fun m -> failures := m :: !failures) fmt in
+  List.iter
+    (fun (x : Xform.t) ->
+      let n = min max_candidates (List.length (x.x_find g)) in
+      for i = 0 to n - 1 do
+        let g' = Sdfg.clone g in
+        match
+          let cands = x.x_find g' in
+          if i >= List.length cands then
+            Xform.not_applicable "candidate %d vanished on clone" i
+          else Xform.apply g' x (List.nth cands i)
+        with
+        | exception Xform.Not_applicable _ -> ()
+        | exception Defs.Invalid_sdfg m ->
+          record "%s[%d] produced an invalid graph: %s" x.x_name i m
+        | () -> (
+          incr applied;
+          match exec `Reference g' with
+          | exception Interp.Exec.Runtime_error m ->
+            record "%s[%d] crashed the reference engine: %s" x.x_name i m
+          | got -> (
+            match diff ~approx base got with
+            | Some d -> record "%s[%d] changed the output: %s" x.x_name i d
+            | None -> (
+              (* same graph through both engines: bit equality, always *)
+              match exec `Compiled g' with
+              | exception Interp.Exec.Runtime_error m ->
+                record "%s[%d] crashed the compiled engine: %s" x.x_name i m
+              | got_c -> (
+                match diff ~approx:false got got_c with
+                | Some d ->
+                  record "%s[%d] engines diverge post-transform: %s" x.x_name
+                    i d
+                | None -> ()))))
+      done)
+    (Xform.all ());
+  match !failures with
+  | [] ->
+    if !applied = 0 then Skip "no transformation applies to this graph"
+    else Pass (Fmt.str "%d application(s) preserved the output" !applied)
+  | fs -> Fail (String.concat "; " (List.rev fs))
+
+let opt_oracle g =
+  let symbols = Gen.symbols_for g in
+  let approx = float_accumulation g in
+  let base = exec `Reference g in
+  match
+    let cfg =
+      Opt.Search.config ~target:Machine.Cost.Tcpu ~symbols
+        ~objective:Opt.Search.Model_only ~beam:2 ~max_steps:3
+        ~max_candidates:4 ()
+    in
+    Opt.Search.optimize ~name:(Sdfg.name g) cfg (fun () -> Sdfg.clone g)
+  with
+  | exception Machine.Cost.Cost_error m -> Skip ("cost model: " ^ m)
+  | r -> (
+    if r.Opt.Search.r_chain = [] then Pass "search committed no steps"
+    else
+      let g' = Sdfg.clone g in
+      match Xform.apply_chain g' r.r_chain with
+      | Error m ->
+        Fail
+          (Fmt.str "chain '%s' does not replay: %s"
+             (String.trim (Xform.chain_to_string r.r_chain))
+             m)
+      | Ok () -> (
+        match exec `Reference g' with
+        | exception Interp.Exec.Runtime_error m ->
+          Fail (Fmt.str "optimized graph crashed: %s" m)
+        | got -> (
+          match diff ~approx base got with
+          | Some d ->
+            Fail
+              (Fmt.str "chain '%s' changed the output: %s"
+                 (String.trim (Xform.chain_to_string r.r_chain))
+                 d)
+          | None ->
+            Pass
+              (Fmt.str "%d-step chain preserved the output"
+                 (List.length r.r_chain)))))
+
+let check kind g =
+  let f =
+    match kind with
+    | Engine -> engine_oracle
+    | Roundtrip -> roundtrip_oracle
+    | Xform -> xform_oracle
+    | Opt -> opt_oracle
+  in
+  try f g with
+  | Interp.Exec.Runtime_error m -> Fail ("runtime error: " ^ m)
+  | Defs.Invalid_sdfg m -> Fail ("validation error: " ^ m)

@@ -1,0 +1,60 @@
+(* SplitMix64 (Steele, Lea & Flood 2014): a tiny, fast, well-distributed
+   64-bit generator whose whole state is one counter — trivially
+   deterministic across OCaml versions and platforms. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.mul (Int64.of_int (seed + 1)) golden }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next t }
+
+(* 62 positive bits: OCaml's native int holds 63 on 64-bit platforms. *)
+let next_pos t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rand.int: bound must be positive";
+  next_pos t mod n
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rand.range: empty interval";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let chance t p = float_of_int (int t 1_000_000) < p *. 1_000_000.
+
+let choose t = function
+  | [] -> invalid_arg "Rand.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let weighted t pairs =
+  let total = List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 pairs in
+  if total <= 0 then invalid_arg "Rand.weighted: no positive weight";
+  let k = int t total in
+  let rec pick k = function
+    | [] -> invalid_arg "Rand.weighted: unreachable"
+    | (w, x) :: rest -> if k < max 0 w then x else pick (k - max 0 w) rest
+  in
+  pick k pairs
+
+let shuffle t xs =
+  let tagged = List.map (fun x -> (next_pos t, x)) xs in
+  List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) tagged)
+
+let sample t k xs =
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  take (max 0 k) (shuffle t xs)

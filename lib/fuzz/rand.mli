@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random stream for the fuzzer (SplitMix64).
+
+    The stdlib [Random] module changed algorithms between OCaml 4 and 5,
+    so seeded fuzzing through it would generate different graphs per
+    compiler version.  This self-contained generator makes
+    "same seed ⇒ same graphs ⇒ byte-identical run log" hold everywhere. *)
+
+type t
+
+val create : int -> t
+(** A fresh stream seeded with the given integer. *)
+
+val split : t -> t
+(** An independent stream derived from (and advancing) [t] — used to give
+    each fuzz seed its own substream so adding draws to one generation
+    phase never perturbs another. *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [\[0, n)]. [n] must be positive. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] draws from the inclusive interval [\[lo, hi\]]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability ~[p]. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform pick. @raise Invalid_argument on an empty list. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** Pick with integer weights. @raise Invalid_argument when all weights
+    are zero or the list is empty. *)
+
+val shuffle : t -> 'a list -> 'a list
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] draws [min k (length xs)] distinct elements. *)

@@ -1,0 +1,170 @@
+open Sdfg_ir
+
+let size g =
+  List.fold_left
+    (fun acc st -> acc + 1 + State.num_nodes st + State.num_edges st)
+    0 (Sdfg.states g)
+  + List.fold_left
+      (fun acc (e : Defs.istate_edge) -> acc + 1 + List.length e.is_assign)
+      0 (Sdfg.transitions g)
+  + List.length (Sdfg.descs g)
+
+(* Each candidate is a thunk returning a mutated clone (None when the
+   mutation turns out to be impossible on inspection).  Thunks are lazy so
+   an early acceptance skips the cloning cost of everything after it. *)
+
+let drop_state g =
+  if Sdfg.num_states g < 2 then []
+  else
+    List.map
+      (fun st ->
+        let sid = State.id st in
+        fun () ->
+          let g' = Sdfg.clone g in
+          let preds = Sdfg.in_transitions g' sid in
+          let succs = Sdfg.out_transitions g' sid in
+          (* Bypass: merge every pred/succ transition pair so conditions
+             and symbol assignments on the route survive the deletion. *)
+          List.iter
+            (fun (p : Defs.istate_edge) ->
+              List.iter
+                (fun (s : Defs.istate_edge) ->
+                  ignore
+                    (Sdfg.add_transition g'
+                       ~cond:(Bexp.and_ p.is_cond s.is_cond)
+                       ~assign:(p.is_assign @ s.is_assign)
+                       ~src:p.is_src ~dst:s.is_dst ()))
+                succs)
+            preds;
+          let was_start = State.id (Sdfg.start_state g') = sid in
+          Sdfg.remove_state g' sid;
+          (* re-anchor the start state when we just deleted it *)
+          if was_start then begin
+            let next =
+              match succs with
+              | s :: _ -> s.is_dst
+              | [] ->
+                List.fold_left
+                  (fun acc st -> min acc (State.id st))
+                  max_int (Sdfg.states g')
+            in
+            Sdfg.set_start g' next
+          end;
+          Some g')
+      (Sdfg.states g)
+
+let drop_component g =
+  List.concat_map
+    (fun st ->
+      let sid = State.id st in
+      List.map
+        (fun comp () ->
+          let g' = Sdfg.clone g in
+          let st' = Sdfg.state g' sid in
+          List.iter (fun nid -> State.remove_node st' nid) comp;
+          Some g')
+        (State.connected_components st))
+    (Sdfg.states g)
+
+let narrow_range g =
+  List.concat_map
+    (fun st ->
+      let sid = State.id st in
+      List.concat_map
+        (fun (nid, n) ->
+          match n with
+          | Defs.Map_entry mi ->
+            List.concat_map
+              (fun d ->
+                let r = List.nth mi.mp_ranges d in
+                if Symbolic.Expr.equal r.Symbolic.Subset.start r.Symbolic.Subset.stop then []
+                else
+                  [ (fun () ->
+                      let g' = Sdfg.clone g in
+                      let st' = Sdfg.state g' sid in
+                      let ranges =
+                        List.mapi
+                          (fun i r ->
+                            if i = d then
+                              { r with Symbolic.Subset.stop = r.Symbolic.Subset.start }
+                            else r)
+                          mi.mp_ranges
+                      in
+                      State.replace_node st' nid
+                        (Defs.Map_entry { mi with mp_ranges = ranges });
+                      Some g') ])
+              (List.init (List.length mi.mp_ranges) Fun.id)
+          | _ -> [])
+        (State.nodes st))
+    (Sdfg.states g)
+
+let simplify_transition g =
+  List.concat_map
+    (fun i ->
+      let e = List.nth (Sdfg.transitions g) i in
+      let with_replaced f () =
+        let g' = Sdfg.clone g in
+        let e' = List.nth (Sdfg.transitions g') i in
+        Sdfg.replace_transition g' e' (f e');
+        Some g'
+      in
+      (if e.Defs.is_cond <> Bexp.true_ then
+         [ with_replaced (fun e' -> { e' with Defs.is_cond = Bexp.true_ }) ]
+       else [])
+      @
+      if e.Defs.is_assign <> [] then
+        [ with_replaced (fun e' -> { e' with Defs.is_assign = [] }) ]
+      else [])
+    (List.init (List.length (Sdfg.transitions g)) Fun.id)
+
+let drop_unused_descs g =
+  let used = Sdfg.used_containers g in
+  let unused =
+    List.filter (fun (n, _) -> not (List.mem n used)) (Sdfg.descs g)
+  in
+  if unused = [] then []
+  else
+    [ (fun () ->
+        let g' = Sdfg.clone g in
+        List.iter (fun (n, _) -> Sdfg.remove_desc g' n) unused;
+        Some g') ]
+
+let candidates g =
+  drop_state g @ drop_component g @ narrow_range g @ simplify_transition g
+  @ drop_unused_descs g
+
+let shrink ?(max_evals = 200) ~oracle g =
+  let evals = ref 0 in
+  let still_fails g' =
+    !evals < max_evals
+    && begin
+         incr evals;
+         match Oracle.check oracle g' with
+         | Oracle.Fail _ -> true
+         | Oracle.Pass _ | Oracle.Skip _ -> false
+       end
+  in
+  let accept cur g' =
+    size g' < size cur
+    && (try
+          Propagate.propagate g';
+          Validate.is_valid g'
+        with _ -> false)
+    && still_fails g'
+  in
+  let cur = ref g in
+  let progress = ref true in
+  while !progress && !evals < max_evals do
+    progress := false;
+    let rec try_all = function
+      | [] -> ()
+      | c :: rest -> (
+        match (try c () with _ -> None) with
+        | Some g' when accept !cur g' ->
+          cur := g';
+          progress := true
+        | _ -> try_all rest)
+    in
+    try_all (candidates !cur)
+  done;
+  (!cur, !evals)

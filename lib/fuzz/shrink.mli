@@ -1,0 +1,23 @@
+(** Greedy minimizer for failing (graph, oracle) pairs.
+
+    Shrinking proposes structural reductions — delete a state, delete a
+    weakly-connected dataflow component, narrow a map range to its first
+    iteration, strip an inter-state condition or assignment, drop
+    now-unused containers — and accepts a proposal only when the reduced
+    graph (a) still validates and (b) still fails the {e same} oracle.
+    Each accepted step strictly reduces the graph, so the loop
+    terminates; a global oracle-evaluation budget bounds worst-case
+    cost.  The result is a minimal-ish standalone repro suitable for
+    checking into [test/corpus/]. *)
+
+val size : Sdfg_ir.Sdfg.t -> int
+(** Reduction metric: states + nodes + edges + transitions +
+    assignments.  Every accepted shrink step strictly decreases it. *)
+
+val shrink :
+  ?max_evals:int -> oracle:Oracle.kind -> Sdfg_ir.Sdfg.t -> Sdfg_ir.Sdfg.t * int
+(** [shrink ~oracle g] greedily minimizes a graph for which
+    [Oracle.check oracle g] is [Fail _].  Returns the reduced graph
+    (the input itself when nothing shrinks, e.g. if [g] does not
+    actually fail) and the number of oracle evaluations spent.
+    [max_evals] caps oracle evaluations (default 200). *)

@@ -540,14 +540,17 @@ let exec_scope_copy_out env params (e : edge) src_name =
 
 let exec_reduce env params st nid (r_wcr : wcr) (r_axes : int list option)
     (r_identity : value option) =
+  (* Memlet-less edges are pure ordering dependencies (state fusion adds
+     them to serialize across the seam) — only data edges count here. *)
+  let data_edges = List.filter (fun (e : edge) -> e.e_memlet <> None) in
   let in_e =
-    match State.in_edges st nid with
+    match data_edges (State.in_edges st nid) with
     | [ e ] -> e
     | es ->
       runtime_error "reduce node with %d input edges" (List.length es)
   in
   let out_e =
-    match State.out_edges st nid with
+    match data_edges (State.out_edges st nid) with
     | [ e ] -> e
     | es ->
       runtime_error "reduce node with %d output edges" (List.length es)

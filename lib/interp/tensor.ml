@@ -269,6 +269,16 @@ let equal ?(eps = 1e-9) a b =
   List.for_all2 (fun x y -> Float.abs (x -. y) <= eps *. (1. +. Float.abs y))
     fa fb
 
+let approx_equal ?(rtol = 1e-9) ?(atol = 1e-12) a b =
+  a.shape = b.shape && a.dtype = b.dtype
+  &&
+  let fa = to_float_list a and fb = to_float_list b in
+  List.for_all2
+    (fun x y ->
+      (Float.is_nan x && Float.is_nan y)
+      || Float.abs (x -. y) <= atol +. (rtol *. Float.abs y))
+    fa fb
+
 let pp ppf t =
   Fmt.pf ppf "tensor<%s>[%s]"
     (dtype_name t.dtype)

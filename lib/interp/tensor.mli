@@ -68,4 +68,13 @@ val to_float_list : t -> float list
 (** All elements in row-major logical order. *)
 
 val equal : ?eps:float -> t -> t -> bool
+
+val approx_equal : ?rtol:float -> ?atol:float -> t -> t -> bool
+(** [approx_equal a b] holds when shapes and dtypes match and every
+    element satisfies [|a - b| <= atol + rtol * |b|] (NaN equals NaN).
+    The tolerance for oracles over float WCR reductions, where combining
+    order may legally differ between graphs; exact {!equal} with
+    [eps = 0.0] stays the default everywhere else.  Defaults:
+    [rtol = 1e-9], [atol = 1e-12]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -98,6 +98,9 @@ let rec pp_expr ppf = function
   | Var x -> Fmt.string ppf x
   | Index (x, es) ->
     Fmt.pf ppf "%s[%a]" x Fmt.(list ~sep:(any ", ") pp_expr) es
+  | Unop (Neg, Float_lit x) -> pp_expr ppf (Float_lit (-.x))
+  | Unop (Neg, Int_lit n) -> pp_expr ppf (Int_lit (-n))
+  | Unop (Neg, Unop (Neg, e)) -> pp_expr ppf e
   | Unop (op, e) -> (
     match op with
     | Neg -> Fmt.pf ppf "(-%a)" pp_expr e

@@ -228,9 +228,15 @@ and parse_muldiv st =
 
 and parse_unary st =
   match peek st with
-  | TOp "-" ->
+  | TOp "-" -> (
     advance st;
-    Ast.Unop (Ast.Neg, parse_unary st)
+    (* Fold unary minus on a numeric literal into the literal itself, so
+       printed negative constants ("-2.0") re-parse to the same AST and
+       print∘parse is a fixpoint — serialized tasklets depend on it. *)
+    match parse_unary st with
+    | Ast.Float_lit x -> Ast.Float_lit (-.x)
+    | Ast.Int_lit n -> Ast.Int_lit (-n)
+    | e -> Ast.Unop (Ast.Neg, e))
   | TIdent "not" ->
     advance st;
     Ast.Unop (Ast.Not, parse_unary st)

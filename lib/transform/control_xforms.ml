@@ -14,6 +14,25 @@ open Helpers
    assignments, and the scope nodes connect directly to the access nodes.
    Applicable when the map is at the top level of its state. *)
 let map_to_for_loop =
+  (* The loop re-executes the whole state once per iteration, so the map
+     must be the state's only content: every node is the scope itself or
+     an access node directly feeding/fed by it.  Anything else — another
+     map, a WCR accumulation, a copy chain — would re-run per iteration
+     and, unless idempotent, change the result. *)
+  let map_covers_state st entry =
+    let members = entry :: State.exit_of st entry :: State.scope_nodes st entry in
+    List.for_all
+      (fun nid ->
+        List.mem nid members
+        ||
+        match State.node st nid with
+        | Access _ ->
+          List.for_all
+            (fun n -> List.mem n members)
+            (State.successors st nid @ State.predecessors st nid)
+        | _ -> false)
+      (State.node_ids st)
+  in
   Xform.make ~name:"MapToForLoop"
     ~description:"Converts a map to a for-loop."
     ~find:(fun g ->
@@ -25,7 +44,9 @@ let map_to_for_loop =
                     if
                       List.length m.mp_params = 1
                       && Hashtbl.find parents nid = None
-                      && not (List.mem (List.hd m.mp_params) (Sdfg.symbols g))
+                      && (not
+                            (List.mem (List.hd m.mp_params) (Sdfg.symbols g)))
+                      && map_covers_state st nid
                     then
                       Some
                         (Xform.candidate ~state:(State.id st)

@@ -104,7 +104,12 @@ let accumulate_transient =
                                 && String.sub c 0 3 = "IN_"
                               | None -> false)
                            && (not (ddesc_is_stream (Sdfg.desc g m.m_data)))
-                           && m.m_wcr <> None
+                           (* the local accumulator starts zero-allocated
+                              and is only drained to the WCR identity
+                              after each commit, so the first pass is
+                              only correct when the identity IS zero —
+                              i.e. for sum *)
+                           && m.m_wcr = Some Wcr.sum
                            (* commit edges from already-privatized access
                               nodes must not be re-accumulated *)
                            && not (State.is_scope_entry st e.e_src)
@@ -190,6 +195,25 @@ let local_stream =
    and overlaps the copy into buffer (i+1) mod 2 with compute on buffer
    i mod 2 (semantics under the sequential interpreter are unchanged). *)
 let double_buffering_on ~iter_symbol =
+  (* Reshaping the transient shifts every later axis by one, so it must
+     not feed axis-sensitive consumers (Reduce) or rank-checked nested
+     SDFG connectors — anywhere in the graph, since the rewrite below is
+     global. *)
+  let feeds_shape_sensitive g d =
+    List.exists
+      (fun st ->
+        List.exists
+          (fun (nid, d') ->
+            String.equal d' d
+            && List.exists
+                 (fun n ->
+                   match State.node st n with
+                   | Reduce _ | Nested_sdfg _ -> true
+                   | _ -> false)
+                 (State.predecessors st nid @ State.successors st nid))
+          (State.access_nodes st))
+      (Sdfg.states g)
+  in
   Xform.make ~name:"DoubleBuffering"
     ~description:
       "Pipelines writing to and processing from a transient using two \
@@ -206,6 +230,7 @@ let double_buffering_on ~iter_symbol =
                       && ddesc_rank desc > 0
                       && State.in_degree st nid > 0
                       && State.out_degree st nid > 0
+                      && not (feeds_shape_sensitive g d)
                     then
                       Some
                         (Xform.candidate ~state:(State.id st) ~note:d
@@ -218,24 +243,44 @@ let double_buffering_on ~iter_symbol =
         match State.node st nid with Access d -> d | _ -> assert false
       in
       let desc = Sdfg.desc g dname in
-      (match desc with
-      | Array a ->
-        Sdfg.replace_desc g dname
-          (Array { a with a_shape = Expr.int 2 :: a.a_shape })
-      | Stream _ -> Xform.not_applicable "DoubleBuffering: stream");
+      let old_shape =
+        match desc with
+        | Array a ->
+          Sdfg.replace_desc g dname
+            (Array { a with a_shape = Expr.int 2 :: a.a_shape });
+          a.a_shape
+        | Stream _ -> Xform.not_applicable "DoubleBuffering: stream"
+      in
       let parity =
         Subset.index (Expr.modulo (Expr.sym iter_symbol) (Expr.int 2))
       in
       (* Prefix every memlet on this container with the parity index.
          Conservatively rewrite across the whole SDFG (the transient has a
-         single logical use site by the match condition). *)
+         single logical use site by the match condition).  The container
+         can sit on either side of a memlet: as [m_data] its subset is
+         [m_subset], but on copy edges whose [m_data] is the opposite
+         container it is addressed by [m_other] — with [None] meaning
+         "the whole container", which must now be pinned to one buffer
+         explicitly. *)
       List.iter
         (fun stx ->
           List.iter
             (fun (e : edge) ->
+              let is_dname n =
+                match State.node stx n with
+                | Access d -> String.equal d dname
+                | _ -> false
+              in
               match e.e_memlet with
               | Some m when String.equal m.m_data dname ->
                 e.e_memlet <- Some { m with m_subset = parity :: m.m_subset }
+              | Some m when is_dname e.e_src || is_dname e.e_dst ->
+                let other =
+                  match m.m_other with
+                  | Some s -> s
+                  | None -> Subset.of_shape old_shape
+                in
+                e.e_memlet <- Some { m with m_other = Some (parity :: other) }
               | Some _ | None -> ())
             (State.edges stx))
         (Sdfg.states g);
@@ -271,14 +316,43 @@ let redundant_array =
              in
              let in_desc = Sdfg.desc g in_name in
              let out_desc = Sdfg.desc g out_name in
-             (* can_be_applied (Appendix D lines 16-58) *)
+             (* The copy must move the whole array onto the whole array:
+                a windowed copy (partial subset, or an m_other reindex)
+                is not redundant — dropping it would redirect writers
+                past the windowing. *)
+             let full_copy =
+               match State.out_edges st in_a with
+               | [ e ] -> (
+                 match e.e_memlet with
+                 | Some m ->
+                   let full d = Subset.of_shape (ddesc_shape d) in
+                   m.m_wcr = None
+                   && Subset.equal m.m_subset
+                        (full (if String.equal m.m_data in_name then in_desc
+                               else out_desc))
+                   && (match m.m_other with
+                      | None -> true
+                      | Some s ->
+                        Subset.equal s
+                          (full
+                             (if String.equal m.m_data in_name then out_desc
+                              else in_desc)))
+                 | None -> false)
+               | _ -> false
+             in
+             (* can_be_applied (Appendix D lines 16-58).  A writer must
+                exist: copying a never-written transient zero-fills the
+                destination (transients allocate zeroed), which the
+                rewrite would silently drop. *)
              if
                State.out_degree st in_a = 1
+               && State.in_degree st in_a > 0
                && ddesc_transient in_desc
                && ddesc_storage in_desc = ddesc_storage out_desc
                && occurrence_count g in_name = 1
                && ddesc_shape in_desc = ddesc_shape out_desc
-               && not (String.equal in_name out_name)
+               && (not (String.equal in_name out_name))
+               && full_copy
              then
                Some
                  (Xform.candidate ~state:sid

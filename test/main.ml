@@ -15,4 +15,5 @@ let () =
       ("crossval", Test_crossval.suite);
       ("session", Test_session.suite);
       ("report", Test_report.suite);
-      ("opt", Test_opt.suite) ]
+      ("opt", Test_opt.suite);
+      ("fuzz", Test_fuzz.suite) ]

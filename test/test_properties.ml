@@ -7,6 +7,7 @@ module S = Symbolic.Subset
 module T = Tasklang.Types
 open Sdfg_ir
 open Interp
+open Builder
 
 (* --- subset algebra ----------------------------------------------------- *)
 
@@ -195,6 +196,88 @@ let prop_random_pipelines =
         (fun a b -> Float.abs (a -. b) < 1e-9 *. (1. +. Float.abs a))
         reference got)
 
+(* --- error paths: malformed inputs give stable, descriptive messages ----- *)
+
+(* Same golden-file protocol as test_report.ml: compare against
+   golden/<name>.golden, regenerate with SDFG_GOLDEN_UPDATE=<dir>. *)
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_golden name actual =
+  match Sys.getenv_opt "SDFG_GOLDEN_UPDATE" with
+  | Some dir ->
+    let oc = open_out (Filename.concat dir name) in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc actual)
+  | None ->
+    Alcotest.(check string)
+      (name ^ " matches golden")
+      (read_file (Filename.concat "golden" name))
+      actual
+
+let message f =
+  match f () with
+  | _ -> Alcotest.fail "expected an exception, got a value"
+  | exception Transform.Xform.Not_applicable m -> "Not_applicable: " ^ m
+  | exception Defs.Invalid_sdfg m -> "Invalid_sdfg: " ^ m
+  | exception Tensor.Bounds m -> "Bounds: " ^ m
+  | exception Exec.Runtime_error m -> "Runtime_error: " ^ m
+
+let t_err_malformed_chain () =
+  (* comments and blanks are skipped; everything else must be
+     "<name>" or "<name> <index>" *)
+  Alcotest.(check int)
+    "comments and blanks skipped" 1
+    (List.length
+       (Transform.Xform.chain_of_string "# header\n\nMapTiling 0\n"));
+  check_golden "errors.chain.golden"
+    (String.concat "\n"
+       (List.map
+          (fun line ->
+            Fmt.str "%S -> %s" line
+              (message (fun () -> Transform.Xform.chain_of_string line)))
+          [ "MapTiling one two three"; "MapTiling notanint" ])
+    ^ "\n")
+
+let t_err_unknown_xform () =
+  check_golden "errors.unknown_xform.golden"
+    (message (fun () -> Transform.Xform.lookup "NoSuchTransformation") ^ "\n")
+
+let t_err_duplicate_container () =
+  check_golden "errors.duplicate_container.golden"
+    (message (fun () ->
+         let g = Sdfg.create "dup" in
+         Sdfg.add_array g "A" ~shape:[ E.int 4 ] ~dtype:T.F64;
+         Sdfg.add_array g "A" ~shape:[ E.int 8 ] ~dtype:T.F64)
+    ^ "\n")
+
+let t_err_oob_memlet () =
+  (* a copy that walks past the end of its source container must fail
+     with a located bounds message, not scribble or succeed *)
+  let run_oob () =
+    let g, st = Build.single_state "oob" in
+    Sdfg.add_array g "x" ~shape:[ E.int 4 ] ~dtype:T.F64;
+    Sdfg.add_array g "y" ~shape:[ E.int 8 ] ~dtype:T.F64;
+    let a = Build.access st "x" and b = Build.access st "y" in
+    Build.edge st
+      ~memlet:(Memlet.simple "x" [ S.range (E.int 2) (E.int 5) ])
+      ~src:a ~dst:b ();
+    Validate.check g;
+    let x = Tensor.create T.F64 [| 4 |] and y = Tensor.create T.F64 [| 8 |] in
+    ignore (Exec.run ~symbols:[] ~args:[ ("x", x); ("y", y) ] g)
+  in
+  check_golden "errors.oob_memlet.golden" (message run_oob ^ "\n")
+
+let error_path_tests =
+  [ ("malformed chain lines are rejected", `Quick, t_err_malformed_chain);
+    ("unknown transformation name is rejected", `Quick, t_err_unknown_xform);
+    ("duplicate container name is rejected", `Quick, t_err_duplicate_container);
+    ("out-of-bounds memlet fails loudly", `Quick, t_err_oob_memlet) ]
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_union_covers_both;
@@ -204,3 +287,4 @@ let suite =
       prop_expr_sexp_roundtrip;
       prop_tasklet_print_parse_eval;
       prop_random_pipelines ]
+  @ error_path_tests

@@ -202,6 +202,123 @@ let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_simplify_preserves_value; prop_subst_then_eval; prop_bounds_sound ]
 
+(* --- edge cases: degenerate ranges, floor div/mod, set images ---------- *)
+
+let test_zero_trip_ranges () =
+  (* start > stop with positive stride: an empty iteration space *)
+  let cases =
+    [ ("0:-1", S.range (E.int 0) (E.int (-1)));
+      ("5:4", S.range (E.int 5) (E.int 4));
+      ("3:0 stride 2", S.range ~stride:(E.int 2) (E.int 3) (E.int 0)) ]
+  in
+  List.iter
+    (fun (name, r) ->
+      Alcotest.(check int)
+        (name ^ " has no points")
+        0
+        (List.length (S.concrete_points (S.eval_list [] [ r ]))))
+    cases;
+  Alcotest.(check int)
+    "symbolic volume of 0:-1 is 0" 0
+    (E.as_int_exn (S.volume [ S.range (E.int 0) (E.int (-1)) ]))
+
+let test_negative_strides () =
+  (* reversed ranges concretize with the stride clamped to 1 and an
+     empty point set — they never alias forward iteration *)
+  let r = S.range ~stride:(E.int (-1)) (E.int 5) (E.int 0) in
+  let c = S.eval_list [] [ r ] in
+  (match c with
+  | [ cr ] ->
+    Alcotest.(check int) "stride clamped" 1 cr.S.c_stride;
+    Alcotest.(check int) "no points" 0 (List.length (S.concrete_points c))
+  | _ -> Alcotest.fail "rank-1 expected");
+  (* a negative-stride expression still evaluates with floor semantics *)
+  Alcotest.(check int)
+    "(0 - N) / 2 floors" (-3)
+    (E.eval_list [ ("N", 5) ] (E.div (E.sub E.zero (E.sym "N")) (E.int 2)))
+
+let test_floor_div_mod_table () =
+  (* Python floor semantics, table-driven over sign combinations; the
+     division identity b*(a/b) + a%b = a must hold everywhere *)
+  let table =
+    [ (7, 2, 3, 1); (-7, 2, -4, 1); (7, -2, -4, -1); (-7, -2, 3, -1);
+      (6, 3, 2, 0); (-6, 3, -2, 0); (0, 5, 0, 0); (4, 7, 0, 4);
+      (-4, 7, -1, 3) ]
+  in
+  List.iter
+    (fun (a, b, q, m) ->
+      Alcotest.(check int) (Fmt.str "%d / %d" a b) q (E.floordiv a b);
+      Alcotest.(check int) (Fmt.str "%d %% %d" a b) m (E.floormod a b);
+      Alcotest.(check int)
+        (Fmt.str "identity at (%d, %d)" a b)
+        a
+        ((b * E.floordiv a b) + E.floormod a b);
+      Alcotest.(check int)
+        (Fmt.str "Div node %d/%d" a b)
+        q
+        (E.eval_list [] (E.div (E.int a) (E.int b)));
+      Alcotest.(check int)
+        (Fmt.str "Mod node %d%%%d" a b)
+        m
+        (E.eval_list [] (E.modulo (E.int a) (E.int b))))
+    table
+
+let test_div_mod_simplify () =
+  check_expr "x/1" "x" (E.div (E.sym "x") E.one);
+  check_expr "x%1" "0" (E.modulo (E.sym "x") E.one);
+  check_expr "0/x is 0" "0" (E.div E.zero (E.sym "x"));
+  (* simplification must preserve floor semantics on constants *)
+  check_expr "-7/2 folds with floor" "-4" (E.div (E.int (-7)) (E.int 2));
+  check_expr "-7%2 folds with floor" "1" (E.modulo (E.int (-7)) (E.int 2))
+
+let test_set_image_corners () =
+  let n = E.sym "N" in
+  let prange = S.range E.zero (E.sub n E.one) in
+  (* param unused: the range is untouched *)
+  let fixed = S.range (E.int 2) (E.int 3) in
+  Alcotest.(check bool)
+    "unused param leaves range alone" true
+    (S.equal
+       (S.propagate_param ~param:"i" ~prange [ fixed ])
+       [ fixed ]);
+  (* identity image: i over [0, N-1] maps index i to 0:N-1 *)
+  let img = S.propagate_param ~param:"i" ~prange [ S.index (E.sym "i") ] in
+  Alcotest.(check bool)
+    "identity image is the whole axis" true
+    (S.equal img [ S.range E.zero (E.sub n E.one) ]);
+  (* reversed image: N-1-i keeps min/max guards (the sign of N is
+     unknown symbolically), but once N is fixed it must cover every
+     concrete instance of the sweep *)
+  let rev =
+    S.propagate_param ~param:"i" ~prange
+      [ S.index (E.sub (E.sub n E.one) (E.sym "i")) ]
+  in
+  let rev6 = S.subst_list [ ("N", E.int 6) ] rev in
+  Alcotest.(check bool)
+    "reversed image covers the axis at N=6" true
+    (S.covers rev6 [ S.range E.zero (E.int 5) ]);
+  (* strided image 2i over i in [0,3]: conservative overapproximation
+     must cover every concrete instance *)
+  let pr = S.range E.zero (E.int 3) in
+  let img2 =
+    S.propagate_param ~param:"i" ~prange:pr
+      [ S.index (E.mul (E.int 2) (E.sym "i")) ]
+  in
+  for i = 0 to 3 do
+    let inst = [ S.index (E.int (2 * i)) ] in
+    if not (S.covers img2 inst) then
+      Alcotest.failf "image misses instance i=%d" i
+  done;
+  (* zero-trip param range: image endpoints collapse to the bounds of an
+     empty interval and volume evaluates to 0 *)
+  let empty = S.range E.zero (E.int (-1)) in
+  let img0 =
+    S.propagate_param ~param:"i" ~prange:empty [ S.index (E.sym "i") ]
+  in
+  Alcotest.(check int)
+    "image of empty param range is empty" 0
+    (E.eval_list [] (S.volume img0))
+
 let suite =
   [ ("constant folding", `Quick, test_constant_folding);
     ("like terms", `Quick, test_like_terms);
@@ -218,5 +335,10 @@ let suite =
     ("subset compose", `Quick, test_subset_compose);
     ("subset offset", `Quick, test_subset_offset);
     ("memlet propagation math", `Quick, test_propagate);
-    ("concretization", `Quick, test_concrete) ]
+    ("concretization", `Quick, test_concrete);
+    ("zero-trip ranges are empty", `Quick, test_zero_trip_ranges);
+    ("negative strides clamp safely", `Quick, test_negative_strides);
+    ("floor div/mod sign table", `Quick, test_floor_div_mod_table);
+    ("div/mod simplification corners", `Quick, test_div_mod_simplify);
+    ("set-image corners", `Quick, test_set_image_corners) ]
   @ List.map (fun (n, s, f) -> (n, s, f)) qcheck_tests
