@@ -750,6 +750,92 @@ let engines () =
                 results) );
          ("geomean_speedup", Float gm) ])
 
+(* --- multicore map execution: domain-count scaling --------------------------------- *)
+
+(* Scaling curve of the compiled engine's domain pool on the 256^3 WCR
+   matmul (whose race verdict is Disjoint along the chunked i, so results
+   must stay bit-identical at every domain count).  The measured curve
+   feeds Cost.calibrate_parallel_efficiency, closing the loop between the
+   runtime and the machine model's parallel_efficiency knob. *)
+let parallel () =
+  header "Multicore map execution: domain-count scaling (compiled engine)";
+  let build = Workloads.Kernels.matmul in
+  let symbols = [ ("M", 256); ("N", 256); ("K", 256) ] in
+  let workload = "matmul 256x256x256" in
+  let domain_counts = [ 1; 2; 4 ] in
+  row "host has %d recommended domain(s)@." (Interp.Pool.available ());
+  row "%-10s%12s%10s%12s%10s@." "domains" "wall [s]" "speedup" "par maps"
+    "chunks";
+  (* outputs at each domain count, for the bit-identity check *)
+  let outputs d =
+    let g = build () in
+    let args = Interp.Profile.make_args ~symbols g in
+    ignore (Interp.Exec.run ~engine:Interp.Plan.compiled ~domains:d ~symbols
+              ~args g);
+    args
+  in
+  let tensor_bits (t : Interp.Tensor.t) =
+    match t.Interp.Tensor.buf with
+    | Interp.Tensor.Fbuf a -> Array.map Int64.bits_of_float a
+    | Interp.Tensor.Ibuf a -> Array.map Int64.of_int a
+  in
+  let base_out = outputs 1 in
+  let results =
+    List.map
+      (fun d ->
+        let res =
+          Interp.Profile.run ~engine:Interp.Plan.compiled ~domains:d
+            ~warmup:1 ~repeat:3 ~symbols (build ())
+        in
+        let wall = Interp.Profile.wall_min res in
+        let par_maps, chunks =
+          match res.Interp.Profile.p_report.Obs.Report.r_parallel with
+          | Some p -> (p.Obs.Report.par_maps, p.Obs.Report.par_chunks)
+          | None -> (0, 0)
+        in
+        let identical =
+          List.for_all2
+            (fun (n1, t1) (n2, t2) ->
+              String.equal n1 n2 && tensor_bits t1 = tensor_bits t2)
+            base_out (outputs d)
+        in
+        if not identical then
+          Fmt.failwith "parallel: outputs at %d domains differ from 1 domain"
+            d;
+        (d, wall, par_maps, chunks))
+      domain_counts
+  in
+  let t1 =
+    match results with (1, w, _, _) :: _ -> w | _ -> assert false
+  in
+  List.iter
+    (fun (d, w, par_maps, chunks) ->
+      row "%-10d%12.4f%9.2fx%12d%10d@." d w (t1 /. w) par_maps chunks)
+    results;
+  let curve = List.map (fun (d, w, _, _) -> (d, w)) results in
+  let efficiency = Cost.calibrate_parallel_efficiency curve in
+  row "calibrated parallel_efficiency: %.3f (model default %.2f)@."
+    efficiency Cost.default_options.Cost.parallel_efficiency;
+  let open Obs.Json in
+  update_bench_json "parallel"
+    (Obj
+       [ ("workload", Str workload);
+         ("engine", Str "compiled");
+         ("recommended_domains", Int (Interp.Pool.available ()));
+         ("bit_identical", Bool true);
+         ( "curve",
+           Arr
+             (List.map
+                (fun (d, w, par_maps, chunks) ->
+                  Obj
+                    [ ("domains", Int d);
+                      ("wall_s", Float w);
+                      ("speedup", Float (t1 /. w));
+                      ("parallel_maps", Int par_maps);
+                      ("chunks", Int chunks) ])
+                results) );
+         ("calibrated_parallel_efficiency", Float efficiency) ])
+
 (* --- auto-optimizer vs hand-written strict chain ---------------------------------- *)
 
 (* Compare, per Polybench kernel at mini size on the compiled engine:
@@ -922,7 +1008,7 @@ let experiments =
     ("fig14a", fig14a); ("fig14b", fig14b); ("fig14c", fig14c);
     ("fig15", fig15); ("fig17", fig17); ("table2", table2);
     ("table3", table3); ("ablations", ablations); ("micro", micro);
-    ("engines", engines); ("autoopt", autoopt) ]
+    ("engines", engines); ("autoopt", autoopt); ("parallel", parallel) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

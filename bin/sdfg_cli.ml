@@ -208,8 +208,29 @@ let engine_arg =
            ~doc:"Execution engine: 'reference' (the semantic oracle) or \
                  'compiled' (plan-once/run-many).")
 
+let domains_arg =
+  Arg.(value & opt (some int) None
+       & info [ "d"; "domains" ] ~docv:"N"
+           ~doc:"OCaml domains for the compiled engine's parallel maps \
+                 (default: the SDFG_DOMAINS environment variable, else 1). \
+                 Only Cpu_multicore maps the race analysis proves safe \
+                 are parallelized; see 'sdfg analyze-races'.")
+
+let analyze_races_cmd =
+  let run name =
+    let g = build name in
+    let reports = Analysis.Races.analyze g in
+    Fmt.pr "%a@." Analysis.Races.pp_table reports
+  in
+  Cmd.v
+    (Cmd.info "analyze-races"
+       ~doc:"Static race analysis of every map scope: per-container access \
+             classes and the parallelize/serialize verdict (with a \
+             machine-readable reason) that gates multicore execution")
+    Term.(const run $ prog_arg)
+
 let run_cmd =
-  let run name engine =
+  let run name engine domains =
     match
       List.find_opt
         (fun (k : Workloads.Polybench.kernel) -> String.equal k.k_name name)
@@ -242,13 +263,13 @@ let run_cmd =
                                   (List.fold_left ( + ) (Hashtbl.hash dname mod 7) idx)
                                 /. 13.))) ))
       in
-      let report = Interp.Exec.run g ~engine ~symbols:k.k_mini ~args in
+      let report = Interp.Exec.run g ~engine ?domains ~symbols:k.k_mini ~args in
       Fmt.pr "ran %s at mini size: %a@." name Obs.Report.pp_counters
         report.Obs.Report.r_counters
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Interpret a Polybench program at mini size")
-    Term.(const run $ prog_arg $ engine_arg)
+    Term.(const run $ prog_arg $ engine_arg $ domains_arg)
 
 let profile_cmd =
   let repeat_arg =
@@ -284,7 +305,7 @@ let profile_cmd =
              ~doc:"Write the median run as a Chrome trace-event file to \
                    $(docv) (open in about://tracing or Perfetto).")
   in
-  let run name engine repeat warmup instrument json trace =
+  let run name engine domains repeat warmup instrument json trace =
     match
       List.find_opt
         (fun (k : Workloads.Polybench.kernel) -> String.equal k.k_name name)
@@ -296,7 +317,7 @@ let profile_cmd =
     | Some k ->
       let g = k.k_build () in
       let res =
-        Interp.Profile.run ~engine ~instrument ~warmup ~repeat
+        Interp.Profile.run ~engine ?domains ~instrument ~warmup ~repeat
           ~symbols:k.k_mini g
       in
       Fmt.pr "%a" Interp.Profile.pp res;
@@ -316,8 +337,8 @@ let profile_cmd =
        ~doc:"Profile a Polybench program at mini size: warmup + repeated \
              measured runs, median report, optional JSON / Chrome-trace \
              output")
-    Term.(const run $ prog_arg $ engine_arg $ repeat_arg $ warmup_arg
-          $ instrument_arg $ json_arg $ trace_arg)
+    Term.(const run $ prog_arg $ engine_arg $ domains_arg $ repeat_arg
+          $ warmup_arg $ instrument_arg $ json_arg $ trace_arg)
 
 let optimize_cmd =
   let beam_arg =
@@ -438,7 +459,8 @@ let fuzz_cmd =
     Arg.(value & opt string "all"
          & info [ "oracle" ] ~docv:"ORACLE"
              ~doc:"Oracle to check: $(b,engine), $(b,roundtrip), \
-                   $(b,xform), $(b,opt) or $(b,all).")
+                   $(b,xform), $(b,opt), $(b,parallel_crossval) or \
+                   $(b,all).")
   in
   let shrink_arg =
     Arg.(value & flag
@@ -466,7 +488,10 @@ let fuzz_cmd =
         match Fuzz.Oracle.kind_of_string s with
         | Some k -> [ k ]
         | None ->
-          Fmt.epr "unknown oracle '%s' (engine|roundtrip|xform|opt|all)@." s;
+          Fmt.epr
+            "unknown oracle '%s' \
+             (engine|roundtrip|xform|opt|parallel_crossval|all)@."
+            s;
           exit 2)
     in
     let log = print_endline in
@@ -501,4 +526,4 @@ let () =
        (Cmd.group (Cmd.info "sdfg" ~doc)
           [ list_cmd; show_cmd; dot_cmd; codegen_cmd; transform_cmd;
             estimate_cmd; run_cmd; profile_cmd; optimize_cmd; save_cmd;
-            load_cmd; fuzz_cmd ]))
+            load_cmd; fuzz_cmd; analyze_races_cmd ]))

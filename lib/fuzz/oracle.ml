@@ -2,21 +2,23 @@ open Sdfg_ir
 module Tensor = Interp.Tensor
 module Xform = Transform.Xform
 
-type kind = Engine | Roundtrip | Xform | Opt
+type kind = Engine | Roundtrip | Xform | Opt | Parallel_crossval
 
-let kinds = [ Engine; Roundtrip; Xform; Opt ]
+let kinds = [ Engine; Roundtrip; Xform; Opt; Parallel_crossval ]
 
 let kind_name = function
   | Engine -> "engine"
   | Roundtrip -> "roundtrip"
   | Xform -> "xform"
   | Opt -> "opt"
+  | Parallel_crossval -> "parallel_crossval"
 
 let kind_of_string = function
   | "engine" -> Some Engine
   | "roundtrip" -> Some Roundtrip
   | "xform" -> Some Xform
   | "opt" -> Some Opt
+  | "parallel_crossval" | "parallel" -> Some Parallel_crossval
   | _ -> None
 
 type status = Pass of string | Skip of string | Fail of string
@@ -59,11 +61,14 @@ let rec float_accumulation g =
 (* --- running and comparing -------------------------------------------- *)
 
 (* Run one engine over deterministic inputs; the returned bindings are the
-   caller tensors Exec.run mutated in place, i.e. the program outputs. *)
+   caller tensors Exec.run mutated in place, i.e. the program outputs.
+   Domains are pinned to 1: these oracles state sequential contracts and
+   must not wobble under an ambient SDFG_DOMAINS; the parallel oracle
+   below pins its own domain counts. *)
 let exec engine g =
   let symbols = Gen.symbols_for g in
   let args = Interp.Profile.make_args ~symbols g in
-  ignore (Interp.Exec.run ~engine ~symbols ~args g);
+  ignore (Interp.Exec.run ~engine ~domains:1 ~symbols ~args g);
   args
 
 let first_diff a b =
@@ -91,7 +96,15 @@ let diff ~approx base got =
   in
   go base
 
-(* --- the four oracles -------------------------------------------------- *)
+(* Run the compiled engine at a given domain count, returning both the
+   output tensors and the run's instrumentation counters. *)
+let exec_compiled ~domains g =
+  let symbols = Gen.symbols_for g in
+  let args = Interp.Profile.make_args ~symbols g in
+  let r = Interp.Exec.run ~engine:`Compiled ~domains ~symbols ~args g in
+  (args, r.Obs.Report.r_counters)
+
+(* --- the oracles -------------------------------------------------------- *)
 
 let engine_oracle g =
   let base = exec `Reference g in
@@ -206,6 +219,46 @@ let opt_oracle g =
               (Fmt.str "%d-step chain preserved the output"
                  (List.length r.r_chain)))))
 
+(* Reference vs compiled-sequential vs compiled-parallel at 2 and 4
+   domains.  The race analysis only parallelizes maps whose chunked
+   writes are disjoint or routed through private WCR accumulators, so
+   parallel output must equal sequential output bit-for-bit — except
+   under float WCR/Reduce, where the accumulate path legally reorders
+   the combination and {!Tensor.approx_equal} applies.  Instrumentation
+   counter totals must be identical at every domain count. *)
+let parallel_crossval_oracle g =
+  let approx = float_accumulation g in
+  let base = exec `Reference g in
+  let seq, seq_counters = exec_compiled ~domains:1 g in
+  match diff ~approx:false base seq with
+  | Some d -> Fail ("engine divergence (sequential): " ^ d)
+  | None ->
+    let rec at = function
+      | [] ->
+        Pass
+          (if approx then
+             "parallel ~= sequential (float accumulation) at 2 and 4 domains"
+           else "parallel = sequential (bit-exact) at 2 and 4 domains")
+      | d :: rest -> (
+        match exec_compiled ~domains:d g with
+        | exception Interp.Exec.Runtime_error m ->
+          Fail (Fmt.str "parallel run crashed at %d domains: %s" d m)
+        | got, counters -> (
+          if counters <> seq_counters then
+            Fail
+              (Fmt.str
+                 "counters diverge at %d domains: %a (parallel) vs %a \
+                  (sequential)"
+                 d Obs.Report.pp_counters counters Obs.Report.pp_counters
+                 seq_counters)
+          else
+            match diff ~approx seq got with
+            | Some m ->
+              Fail (Fmt.str "parallel divergence at %d domains: %s" d m)
+            | None -> at rest))
+    in
+    at [ 2; 4 ]
+
 let check kind g =
   let f =
     match kind with
@@ -213,6 +266,7 @@ let check kind g =
     | Roundtrip -> roundtrip_oracle
     | Xform -> xform_oracle
     | Opt -> opt_oracle
+    | Parallel_crossval -> parallel_crossval_oracle
   in
   try f g with
   | Interp.Exec.Runtime_error m -> Fail ("runtime error: " ^ m)

@@ -14,14 +14,18 @@
       soundness), and both engines still agree on the transformed graph.
     - [Opt] — the chain found by a short model-only {!Opt.Search} beam
       search replays cleanly and preserves program output.
+    - [Parallel_crossval] — the compiled engine at 2 and 4 domains
+      produces the same output tensors and instrumentation counters as
+      compiled-sequential (which must itself be bit-equal to reference).
 
     Comparison policy: bit equality by default; when the graph contains
-    a floating-point WCR memlet or Reduce node, transformation oracles
-    fall back to {!Interp.Tensor.approx_equal}, since reordering a float
-    reduction is legal but not bit-stable.  Engine and roundtrip oracles
-    always require bit equality — they never reorder anything. *)
+    a floating-point WCR memlet or Reduce node, transformation and
+    parallel oracles fall back to {!Interp.Tensor.approx_equal}, since
+    reordering a float reduction is legal but not bit-stable.  Engine and
+    roundtrip oracles always require bit equality — they never reorder
+    anything. *)
 
-type kind = Engine | Roundtrip | Xform | Opt
+type kind = Engine | Roundtrip | Xform | Opt | Parallel_crossval
 
 val kinds : kind list
 (** All oracles, in the order the driver runs them. *)

@@ -55,6 +55,17 @@ let pp_stats ppf s =
     s.elements_moved s.tasklet_execs s.map_iterations s.stream_pushes
     s.stream_pops s.states_executed s.wcr_writes
 
+(* Multicore bookkeeping, shared down through nested SDFGs like [stats].
+   [par_chunks] depends on the domain count; the determinism tests compare
+   [stats], not these. *)
+type par_stats = {
+  mutable par_maps : int;        (* parallel map-scope invocations *)
+  mutable par_chunks : int;      (* chunks dispatched to the pool *)
+  mutable par_forced_seq : int;  (* Cpu_multicore maps forced sequential *)
+}
+
+let fresh_par () = { par_maps = 0; par_chunks = 0; par_forced_seq = 0 }
+
 (* External tasklet implementations (paper Fig. 5: tasklets written in the
    target language directly).  Keyed by tasklet name. *)
 let externals : (string, (string * Tasklang.Eval.binding) list -> unit)
@@ -82,6 +93,8 @@ type env = {
   max_states : int;
   engine : engine;
   plans : (int, cached_plan) Hashtbl.t;  (* state id -> plan *)
+  domains : int;  (* domains the compiled engine may use (>= 1) *)
+  par : par_stats;
 }
 
 (* Span names are shared between engines so the timing trees match
@@ -758,7 +771,7 @@ and exec_nested env params st nid (nest : nested) =
   run_in ~containers:inner_containers
     ~symbols:(inner_symbols @ inherited)
     ~stats:env.stats ~collector:env.collector ~max_states:env.max_states
-    ~engine:env.engine inner
+    ~engine:env.engine ~domains:env.domains ~par:env.par inner
 
 (* --- top-level execution ---------------------------------------------------- *)
 
@@ -804,10 +817,10 @@ and run_state_machine env =
 (* Run an SDFG whose containers are already bound (used for nested
    invocations); allocates any transients not provided. *)
 and run_in ~containers ~symbols ~stats ~collector ~max_states ~engine
-    (g : sdfg) =
+    ~domains ~par (g : sdfg) =
   let env =
     { g; containers; symbols = Hashtbl.create 8; stats; collector;
-      max_states; engine; plans = Hashtbl.create 4 }
+      max_states; engine; plans = Hashtbl.create 4; domains; par }
   in
   List.iter (fun (s, v) -> Hashtbl.replace env.symbols s v) symbols;
   (* Allocate missing containers (transients; also non-transients when the
@@ -845,22 +858,49 @@ let counters_of_stats (s : stats) : Obs.Report.counters =
     states_executed = s.states_executed;
     wcr_writes = s.wcr_writes }
 
+(* Default domain count: the SDFG_DOMAINS environment variable, clamped
+   to [1, Pool.max_domains].  Unset, unparsable or < 1 means sequential. *)
+let default_domains () =
+  match Sys.getenv_opt "SDFG_DOMAINS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> min n 64
+    | _ -> 1)
+
 (* Main entry point: run [g] on the given tensors and symbol values.
    Non-transient containers not supplied in [args] are allocated
    zero-initialized and discarded.  The returned report freezes the
-   counters, the instrumentation timing tree (per [instrument] level) and
-   the compiled engine's plan coverage. *)
+   counters, the instrumentation timing tree (per [instrument] level), the
+   compiled engine's plan coverage and — when [domains > 1] — the
+   multicore summary. *)
 let run ?(engine = `Reference) ?(instrument = Obs.Collect.Off)
-    ?(max_states = 1_000_000) ?(symbols = []) ?(args = []) (g : sdfg) :
-    Obs.Report.t =
+    ?(max_states = 1_000_000) ?domains ?(symbols = []) ?(args = [])
+    (g : sdfg) : Obs.Report.t =
+  let domains =
+    match domains with
+    | Some n -> max 1 (min n 64)
+    | None -> default_domains ()
+  in
   let stats = fresh_stats () in
+  let par = fresh_par () in
   let collector = Obs.Collect.create instrument in
   let containers = Hashtbl.create 16 in
   List.iter (fun (name, t) -> Hashtbl.replace containers name (Tens t)) args;
   let t0 = Obs.Collect.now () in
-  run_in ~containers ~symbols ~stats ~collector ~max_states ~engine g;
+  run_in ~containers ~symbols ~stats ~collector ~max_states ~engine ~domains
+    ~par g;
   let wall_s = Obs.Collect.now () -. t0 in
-  Obs.Report.of_collector ~program:g.g_name ~engine:(engine_name engine)
-    ~wall_s
+  let parallel =
+    if domains > 1 then
+      Some
+        { Obs.Report.par_domains = domains;
+          par_maps = par.par_maps;
+          par_chunks = par.par_chunks;
+          par_forced_seq = par.par_forced_seq }
+    else None
+  in
+  Obs.Report.of_collector ?parallel ~program:g.g_name
+    ~engine:(engine_name engine) ~wall_s
     ~counters:(counters_of_stats stats)
     collector

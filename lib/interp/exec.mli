@@ -37,6 +37,21 @@ type stats = {
 val fresh_stats : unit -> stats
 val pp_stats : Format.formatter -> stats -> unit
 
+(** Multicore bookkeeping (compiled engine, [domains > 1]); shared down
+    through nested SDFGs like [stats].  [par_chunks] depends on the domain
+    count — determinism checks across domain counts compare {!stats}. *)
+type par_stats = {
+  mutable par_maps : int;        (** parallel map-scope invocations *)
+  mutable par_chunks : int;      (** chunks dispatched to the pool *)
+  mutable par_forced_seq : int;  (** Cpu_multicore maps forced sequential *)
+}
+
+val fresh_par : unit -> par_stats
+
+val default_domains : unit -> int
+(** The [SDFG_DOMAINS] environment variable clamped to [[1, 64]]; 1 when
+    unset or unparsable.  The default of {!run}'s [?domains]. *)
+
 val register_external :
   string -> ((string * Tasklang.Eval.binding) list -> unit) -> unit
 (** Provide the native implementation for an [External] tasklet (paper
@@ -61,6 +76,7 @@ val run :
   ?engine:engine ->
   ?instrument:Obs.Collect.level ->
   ?max_states:int ->
+  ?domains:int ->
   ?symbols:(string * int) list ->
   ?args:(string * Tensor.t) list ->
   Sdfg_ir.Sdfg.t ->
@@ -71,6 +87,11 @@ val run :
     Containers not supplied are allocated zero-initialized.
     [max_states] bounds state-machine steps (default 1,000,000).
     [engine] selects the execution engine (default [`Reference]).
+    [domains] (default {!default_domains}, i.e. [SDFG_DOMAINS] or 1)
+    lets the compiled engine run top-level [Cpu_multicore] map scopes
+    across that many OCaml domains — only those the static race analysis
+    ({!Analysis.Races}) proves safe; the rest are forced sequential and
+    counted in the report's parallel section.
     [instrument] sets the timing level (default [Off]: counters only, no
     timers; the compiled engine plans uninstrumented closures so the
     timing machinery costs nothing).  The returned {!Obs.Report.t}
@@ -100,6 +121,8 @@ type env = {
   max_states : int;
   engine : engine;
   plans : (int, cached_plan) Hashtbl.t;  (** state id -> cached plan *)
+  domains : int;  (** domains the compiled engine may use (>= 1) *)
+  par : par_stats;
 }
 
 val map_span_name : Sdfg_ir.Defs.map_info -> string

@@ -44,6 +44,20 @@ type ctx = {
   sym_slots : (string, int) Hashtbl.t;  (* interstate symbol -> slot *)
 }
 
+(* One worker domain's compiled copy of a parallel map body.  Each
+   replica owns its frame, stats, collector and — for WCR accumulators
+   and privatized transients — its own container bindings, so worker
+   domains share nothing mutable except the output tensors the race
+   analysis proved disjoint. *)
+type replica = {
+  rp_ctx : ctx;                  (* for the frame (symbol refresh) *)
+  rp_stats : Exec.stats;         (* merged into the main stats after join *)
+  rp_collector : Obs.Collect.t;  (* absorbed under the map's span *)
+  rp_sym : (string * int) array; (* interstate symbol -> replica slot *)
+  rp_acc : Tensor.t array;       (* private accumulators, in verdict order *)
+  rp_run : int -> int -> int -> unit;  (* lo hi step over the outer param *)
+}
+
 let alloc_slot ctx =
   let i = ctx.n_slots in
   ctx.n_slots <- i + 1;
@@ -251,9 +265,16 @@ let spanned ctx kind name ~flag (f : unit -> unit) : unit -> unit =
         raise e);
       Obs.Collect.exit c sp
 
-let rec comp_node ctx scope_env nid : unit -> unit =
+(* [strict] compilation admits no reference fallback: any node the plan
+   cannot lower raises {!Fallback} instead of building a closure over
+   [Exec.exec_nodes].  The parallel map compiler uses it — worker domains
+   must only ever run compiled closures (the reference executors walk
+   shared mutable engine state: symbol tables, scope caches, the symbolic
+   evaluator's memo tables). *)
+let rec comp_node ?(strict = false) ctx scope_env nid : unit -> unit =
   let collector = ctx.env.Exec.collector in
   let fallback () =
+    if strict then raise Fallback;
     Obs.Collect.note_fallback_node collector;
     let env = ctx.env and st = ctx.st in
     match scope_env with
@@ -270,7 +291,14 @@ let rec comp_node ctx scope_env nid : unit -> unit =
   match State.node ctx.st nid with
   | Map_entry info -> (
     try
-      let f = comp_map ctx scope_env nid info in
+      let f =
+        match
+          if strict || scope_env <> [] then None
+          else comp_parallel_map ctx nid info
+        with
+        | Some f -> f
+        | None -> comp_map ~strict ctx scope_env nid info
+      in
       Obs.Collect.note_compiled_node collector;
       spanned ctx Obs.Collect.Map (Exec.map_span_name info)
         ~flag:info.mp_instrument f
@@ -288,7 +316,8 @@ let rec comp_node ctx scope_env nid : unit -> unit =
    invocation into a bounds scratch (as the reference does), each level
    writes its parameter's frame slot, and the innermost level counts one
    map iteration before running the body steps. *)
-and comp_map ctx scope_env entry (info : map_info) : unit -> unit =
+and comp_map ?(strict = false) ctx scope_env entry (info : map_info) :
+    unit -> unit =
   let dims =
     List.map2
       (fun p (r : Subset.range) ->
@@ -314,7 +343,7 @@ and comp_map ctx scope_env entry (info : map_info) : unit -> unit =
       (State.topological_order ctx.st)
   in
   let steps =
-    Array.of_list (List.map (comp_node ctx scope_env') body_ids)
+    Array.of_list (List.map (comp_node ~strict ctx scope_env') body_ids)
   in
   let nd = Array.length dims in
   let bounds = Array.make (max 1 (nd * 3)) 0 in
@@ -356,6 +385,331 @@ and comp_map ctx scope_env entry (info : map_info) : unit -> unit =
         bounds.((3 * k) + 2) <- s)
       dims;
     nest ()
+
+(* --- parallel maps ------------------------------------------------------- *)
+
+(* Decide whether a top-level map runs on the domain pool.  Gated on the
+   schedule being [Cpu_multicore], the run having more than one domain,
+   the static race analysis returning [Parallel], no runtime aliasing
+   among the scope's written containers, and the body compiling in strict
+   mode (no reference fallback on worker domains).  Any rejection yields
+   the ordinary sequential compilation wrapped with a forced-sequential
+   counter, so reports show exactly how much parallelism was declined. *)
+and comp_parallel_map ctx nid (info : map_info) : (unit -> unit) option =
+  let env = ctx.env in
+  if env.Exec.domains <= 1 || info.mp_schedule <> Cpu_multicore then None
+  else
+    let forced () =
+      let seq = comp_map ctx [] nid info in
+      let par = env.Exec.par in
+      Some
+        (fun () ->
+          par.Exec.par_forced_seq <- par.Exec.par_forced_seq + 1;
+          seq ())
+    in
+    match Analysis.Races.analyze_map env.Exec.g ctx.st nid with
+    (* the analysis must never abort execution: any failure to analyze is
+       a failure to prove safety *)
+    | exception _ -> forced ()
+    | report -> (
+      match report.Analysis.Races.mr_verdict with
+      | Analysis.Races.Serial _ -> forced ()
+      | Analysis.Races.Parallel { accumulate; privatize } -> (
+        try
+          Some
+            (build_parallel ctx nid info ~accumulate ~privatize
+               ~containers:report.Analysis.Races.mr_containers)
+        with Fallback -> forced ()))
+
+and build_parallel ctx entry (info : map_info) ~accumulate ~privatize
+    ~containers : unit -> unit =
+  let env = ctx.env in
+  let d = env.Exec.domains in
+  let tens name =
+    match Hashtbl.find_opt env.Exec.containers name with
+    | Some (Exec.Tens t) -> t
+    | _ -> raise Fallback
+  in
+  (* The race analysis reasons about container *names*; at runtime two
+     names can alias one buffer (nested-SDFG views of overlapping outer
+     windows).  If any accessed pair involving a write shares a buffer,
+     refuse to parallelize. *)
+  let same_buf (a : Tensor.t) (b : Tensor.t) =
+    match a.Tensor.buf, b.Tensor.buf with
+    | Tensor.Fbuf x, Tensor.Fbuf y -> x == y
+    | Tensor.Ibuf x, Tensor.Ibuf y -> x == y
+    | _ -> false
+  in
+  let accessed =
+    List.map (fun (name, cls) -> (name, cls, tens name)) containers
+  in
+  List.iter
+    (fun (n1, c1, t1) ->
+      List.iter
+        (fun (n2, c2, t2) ->
+          if
+            n1 < n2
+            && (c1 <> Analysis.Races.Read_only
+               || c2 <> Analysis.Races.Read_only)
+            && same_buf t1 t2
+          then raise Fallback)
+        accessed)
+    accessed;
+  (* Outer range endpoints compile against the enclosing (top-level)
+     scope on the main ctx; evaluated once per invocation into a bounds
+     scratch the workers read but never write. *)
+  let dims =
+    Array.of_list
+      (List.map2
+         (fun p (r : Subset.range) ->
+           ( p,
+             comp_expr ctx [] r.start,
+             comp_expr ctx [] r.stop,
+             comp_expr ctx [] r.stride ))
+         info.mp_params info.mp_ranges)
+  in
+  let nd = Array.length dims in
+  if nd = 0 then raise Fallback;
+  let bounds = Array.make (nd * 3) 0 in
+  let body_ids =
+    let members = State.scope_nodes ctx.st entry in
+    let parents = State.scope_parents ctx.st in
+    let direct =
+      List.filter (fun nid -> Hashtbl.find parents nid = Some entry) members
+    in
+    List.filter
+      (fun nid -> List.mem nid direct)
+      (State.topological_order ctx.st)
+  in
+  let acc_shared =
+    Array.of_list
+      (List.map
+         (fun (name, w) ->
+           let t = tens name in
+           match Wcr.identity w (Tensor.dtype t) with
+           | Some idv -> (w, t, idv)
+           | None -> raise Fallback)
+         accumulate)
+  in
+  let n_acc = Array.length acc_shared in
+  let acc_names = Array.of_list (List.map fst accumulate) in
+  let priv_names = Array.of_list privatize in
+  let make_replica _ =
+    let rcontainers =
+      if n_acc = 0 && Array.length priv_names = 0 then env.Exec.containers
+      else begin
+        let tbl = Hashtbl.copy env.Exec.containers in
+        Array.iteri
+          (fun a name ->
+            let _, t, idv = acc_shared.(a) in
+            let p =
+              Tensor.create (Tensor.dtype t) (Array.copy (Tensor.shape t))
+            in
+            Tensor.fill p idv;
+            Hashtbl.replace tbl name (Exec.Tens p))
+          acc_names;
+        Array.iter
+          (fun name ->
+            let t = tens name in
+            Hashtbl.replace tbl name
+              (Exec.Tens
+                 (Tensor.create (Tensor.dtype t)
+                    (Array.copy (Tensor.shape t)))))
+          priv_names;
+        tbl
+      end
+    in
+    let renv =
+      { env with
+        Exec.stats = Exec.fresh_stats ();
+        collector = Obs.Collect.create (Obs.Collect.level env.Exec.collector);
+        containers = rcontainers }
+    in
+    let rctx =
+      { env = renv; st = ctx.st; frame = [||]; n_slots = 0;
+        sym_slots = Hashtbl.create 8 }
+    in
+    let pslots = Array.map (fun (p, _, _, _) -> (p, alloc_slot rctx)) dims in
+    let scope_env = Array.to_list pslots in
+    let steps =
+      Array.of_list
+        (List.map (comp_node ~strict:true rctx scope_env) body_ids)
+    in
+    rctx.frame <- Array.make (max 1 rctx.n_slots) 0;
+    let sym_refresh =
+      Array.of_list
+        (Hashtbl.fold (fun name slot acc -> (name, slot) :: acc)
+           rctx.sym_slots [])
+    in
+    let stats = renv.Exec.stats in
+    let run_body () =
+      stats.Exec.map_iterations <- stats.Exec.map_iterations + 1;
+      for i = 0 to Array.length steps - 1 do
+        (Array.unsafe_get steps i) ()
+      done
+    in
+    (* inner dimensions loop sequentially inside each chunk *)
+    let rec build k =
+      if k = nd then run_body
+      else
+        let inner = build (k + 1) in
+        let _, slot = pslots.(k) in
+        fun () ->
+          let fr = rctx.frame in
+          let hi = bounds.((3 * k) + 1) and step = bounds.((3 * k) + 2) in
+          let i = ref bounds.(3 * k) in
+          while !i <= hi do
+            fr.(slot) <- !i;
+            inner ();
+            i := !i + step
+          done
+    in
+    let inner = build 1 in
+    let slot0 = snd pslots.(0) in
+    let run_range lo hi step =
+      let fr = rctx.frame in
+      let i = ref lo in
+      while !i <= hi do
+        fr.(slot0) <- !i;
+        inner ();
+        i := !i + step
+      done
+    in
+    let rp_acc =
+      Array.map
+        (fun name ->
+          match Hashtbl.find rcontainers name with
+          | Exec.Tens p -> p
+          | _ -> assert false)
+        acc_names
+    in
+    { rp_ctx = rctx; rp_stats = stats; rp_collector = renv.Exec.collector;
+      rp_sym = sym_refresh; rp_acc; rp_run = run_range }
+  in
+  let replicas = Array.init d make_replica in
+  (* body nodes were compiled once per replica on replica collectors;
+     report one replica's coverage so totals equal the sequential plan *)
+  Obs.Collect.merge_coverage env.Exec.collector replicas.(0).rp_collector;
+  let par = env.Exec.par in
+  let collector = env.Exec.collector in
+  let main_stats = env.Exec.stats in
+  let label = ctx.st.st_label in
+  fun () ->
+    let fr = ctx.frame in
+    Array.iteri
+      (fun k (p, lo_f, hi_f, step_f) ->
+        bounds.(3 * k) <- lo_f fr;
+        bounds.((3 * k) + 1) <- hi_f fr;
+        let s = step_f fr in
+        if s <= 0 then
+          Exec.runtime_error
+            "map over parameter %S in state %S: non-positive stride %d" p
+            label s;
+        bounds.((3 * k) + 2) <- s)
+      dims;
+    let lo = bounds.(0) and hi = bounds.(1) and step = bounds.(2) in
+    if lo > hi then ()
+    else begin
+      let trips = ((hi - lo) / step) + 1 in
+      let workers = if trips < d then trips else d in
+      par.Exec.par_maps <- par.Exec.par_maps + 1;
+      (* interstate symbols may have changed since the last invocation:
+         refresh every participating replica's slots before dispatch *)
+      for w = 0 to workers - 1 do
+        let r = replicas.(w) in
+        let rfr = r.rp_ctx.frame in
+        Array.iter
+          (fun (name, slot) ->
+            rfr.(slot) <- Hashtbl.find env.Exec.symbols name)
+          r.rp_sym
+      done;
+      if n_acc > 0 then begin
+        (* accumulating maps get exactly one contiguous block per worker:
+           the private-accumulator merge below then combines partial sums
+           in canonical (ascending-iteration) order, so results are
+           deterministic for a given domain count *)
+        par.Exec.par_chunks <- par.Exec.par_chunks + workers;
+        Pool.run ~domains:workers (fun w ->
+            let t0 = w * trips / workers
+            and t1 = (w + 1) * trips / workers in
+            if t1 > t0 then
+              replicas.(w).rp_run
+                (lo + (t0 * step))
+                (lo + ((t1 - 1) * step))
+                step)
+      end
+      else begin
+        (* disjoint writes: chunk assignment cannot affect the result, so
+           deal chunks dynamically for load balance *)
+        let nchunks = if trips < workers * 4 then trips else workers * 4 in
+        par.Exec.par_chunks <- par.Exec.par_chunks + nchunks;
+        let next = Atomic.make 0 in
+        Pool.run ~domains:workers (fun w ->
+            let r = replicas.(w) in
+            let continue_ = ref true in
+            while !continue_ do
+              let c = Atomic.fetch_and_add next 1 in
+              if c >= nchunks then continue_ := false
+              else
+                let t0 = c * trips / nchunks
+                and t1 = (c + 1) * trips / nchunks in
+                if t1 > t0 then
+                  r.rp_run
+                    (lo + (t0 * step))
+                    (lo + ((t1 - 1) * step))
+                    step
+            done)
+      end;
+      (* merge per-domain counters; totals are bit-equal to sequential *)
+      for w = 0 to workers - 1 do
+        let s = replicas.(w).rp_stats in
+        main_stats.Exec.elements_moved <-
+          main_stats.Exec.elements_moved + s.Exec.elements_moved;
+        main_stats.Exec.tasklet_execs <-
+          main_stats.Exec.tasklet_execs + s.Exec.tasklet_execs;
+        main_stats.Exec.map_iterations <-
+          main_stats.Exec.map_iterations + s.Exec.map_iterations;
+        main_stats.Exec.stream_pushes <-
+          main_stats.Exec.stream_pushes + s.Exec.stream_pushes;
+        main_stats.Exec.stream_pops <-
+          main_stats.Exec.stream_pops + s.Exec.stream_pops;
+        main_stats.Exec.states_executed <-
+          main_stats.Exec.states_executed + s.Exec.states_executed;
+        main_stats.Exec.wcr_writes <-
+          main_stats.Exec.wcr_writes + s.Exec.wcr_writes;
+        s.Exec.elements_moved <- 0;
+        s.Exec.tasklet_execs <- 0;
+        s.Exec.map_iterations <- 0;
+        s.Exec.stream_pushes <- 0;
+        s.Exec.stream_pops <- 0;
+        s.Exec.states_executed <- 0;
+        s.Exec.wcr_writes <- 0
+      done;
+      (* fold worker timing trees under this map's open span *)
+      if Obs.Collect.timing_on collector then
+        for w = 0 to workers - 1 do
+          Obs.Collect.absorb collector replicas.(w).rp_collector
+        done;
+      (* merge the private WCR accumulators into the shared containers in
+         worker-index order (= ascending iteration order), resetting each
+         to the identity for the next invocation.  Identity elements are
+         skipped: an element no iteration touched must not be rewritten. *)
+      for a = 0 to n_acc - 1 do
+        let w_, shared, idv = acc_shared.(a) in
+        let n = Tensor.num_elements shared in
+        for wk = 0 to workers - 1 do
+          let priv = replicas.(wk).rp_acc.(a) in
+          for i = 0 to n - 1 do
+            let v = Tensor.get_linear priv i in
+            if v <> idv then begin
+              Tensor.set_linear shared i
+                (Wcr.apply w_ ~old_v:(Tensor.get_linear shared i) ~new_v:v);
+              Tensor.set_linear priv i idv
+            end
+          done
+        done
+      done
+    end
 
 (* A tasklet compiles when its code is Tasklang, every connected memlet
    targets an array container, and all subset expressions compile.

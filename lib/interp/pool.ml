@@ -1,0 +1,130 @@
+(* A small, spawn-once domain pool for the compiled engine's parallel
+   maps.
+
+   Workers are plain [Stdlib.Domain]s parked on a mutex/condition
+   mailbox; they are spawned on first use and reused for the rest of the
+   process (like the plan cache: pay the setup cost once, not per map
+   invocation).  [run ~domains f] executes [f w] for every worker index
+   [w] in [0, domains): index 0 runs on the calling domain, the rest on
+   pool domains.  The call is a barrier — it returns only after every
+   index has finished — and re-raises the first exception by worker
+   index, so failures are deterministic.
+
+   The pool is deliberately not reentrant: parallel maps are only ever
+   started from the main domain (nested maps compile to sequential loops
+   inside their chunk), so a worker never calls [run]. *)
+
+type worker = {
+  w_mutex : Mutex.t;
+  w_cond : Condition.t;
+  mutable w_job : (unit -> unit) option;
+  mutable w_done : bool;
+  mutable w_exn : exn option;
+  mutable w_stop : bool;
+}
+
+let max_domains = 64
+
+let workers : worker array ref = ref [||]
+let pool_mutex = Mutex.create ()
+let handles : unit Domain.t list ref = ref []
+let shutdown_registered = ref false
+
+let worker_loop (w : worker) =
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock w.w_mutex;
+    while w.w_job = None && not w.w_stop do
+      Condition.wait w.w_cond w.w_mutex
+    done;
+    match w.w_job with
+    | None ->
+      (* stop requested with no pending job *)
+      Mutex.unlock w.w_mutex;
+      continue_ := false
+    | Some job ->
+      Mutex.unlock w.w_mutex;
+      let exn = match job () with () -> None | exception e -> Some e in
+      Mutex.lock w.w_mutex;
+      w.w_exn <- exn;
+      w.w_job <- None;
+      w.w_done <- true;
+      Condition.broadcast w.w_cond;
+      Mutex.unlock w.w_mutex
+  done
+
+let shutdown () =
+  Array.iter
+    (fun w ->
+      Mutex.lock w.w_mutex;
+      w.w_stop <- true;
+      Condition.broadcast w.w_cond;
+      Mutex.unlock w.w_mutex)
+    !workers;
+  List.iter Domain.join !handles;
+  workers := [||];
+  handles := []
+
+(* Grow the pool to at least [n] parked workers. *)
+let ensure n =
+  if Array.length !workers < n then begin
+    Mutex.lock pool_mutex;
+    let have = Array.length !workers in
+    if have < n then begin
+      if not !shutdown_registered then begin
+        shutdown_registered := true;
+        at_exit shutdown
+      end;
+      let fresh =
+        Array.init (n - have) (fun _ ->
+            { w_mutex = Mutex.create ();
+              w_cond = Condition.create ();
+              w_job = None;
+              w_done = false;
+              w_exn = None;
+              w_stop = false })
+      in
+      Array.iter
+        (fun w -> handles := Domain.spawn (fun () -> worker_loop w) :: !handles)
+        fresh;
+      workers := Array.append !workers fresh
+    end;
+    Mutex.unlock pool_mutex
+  end
+
+let dispatch w job =
+  Mutex.lock w.w_mutex;
+  w.w_done <- false;
+  w.w_exn <- None;
+  w.w_job <- Some job;
+  Condition.broadcast w.w_cond;
+  Mutex.unlock w.w_mutex
+
+let await w =
+  Mutex.lock w.w_mutex;
+  while not w.w_done do
+    Condition.wait w.w_cond w.w_mutex
+  done;
+  w.w_done <- false;
+  let e = w.w_exn in
+  w.w_exn <- None;
+  Mutex.unlock w.w_mutex;
+  e
+
+let run ~domains (f : int -> unit) =
+  if domains <= 1 then f 0
+  else begin
+    let domains = min domains max_domains in
+    ensure (domains - 1);
+    let ws = Array.sub !workers 0 (domains - 1) in
+    Array.iteri (fun i w -> dispatch w (fun () -> f (i + 1))) ws;
+    let exn0 = match f 0 with () -> None | exception e -> Some e in
+    (* join everyone before raising, so the pool is quiescent again *)
+    let exns = Array.map await ws in
+    match exn0 with
+    | Some e -> raise e
+    | None ->
+      Array.iter (function Some e -> raise e | None -> ()) exns
+  end
+
+let available () = Domain.recommended_domain_count ()

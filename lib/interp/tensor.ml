@@ -169,17 +169,50 @@ let squeeze t =
 
 (* Copy [src] into [dst]; shapes must contain the same number of elements
    (reshape-on-copy is allowed, as generated memcpys are linear). *)
-let copy_into ~src ~dst =
+(* Whether two tensors view the same physical allocation. *)
+let shares_buffer a b =
+  match a.buf, b.buf with
+  | Fbuf x, Fbuf y -> x == y
+  | Ibuf x, Ibuf y -> x == y
+  | _ -> false
+
+(* Inclusive range of buffer offsets a tensor's elements occupy.  View
+   strides are always positive (subsets clamp steps to >= 1), so the
+   minimum is the origin and the maximum adds each dimension's full
+   stride span. *)
+let touched_range t =
+  let hi = ref t.offset in
+  Array.iteri
+    (fun d n -> if n > 0 then hi := !hi + ((n - 1) * t.strides.(d)))
+    t.shape;
+  (t.offset, !hi)
+
+let overlapping a b =
+  shares_buffer a b
+  &&
+  let alo, ahi = touched_range a and blo, bhi = touched_range b in
+  alo <= bhi && blo <= ahi
+
+let rec copy_into ~src ~dst =
   let n = num_elements src in
   if num_elements dst <> n then
     bounds_error "copy: %d elements into %d" n (num_elements dst);
   match src.buf, dst.buf with
   (* Same representation and both sides dense: one bulk move.  Reshape is
-     fine because dense memory order is the logical order on both sides. *)
+     fine because dense memory order is the logical order on both sides,
+     and [Array.blit] is memmove-safe for overlapping same-array runs. *)
   | Fbuf sb, Fbuf db when is_dense src && is_dense dst ->
     Array.blit sb src.offset db dst.offset n
   | Ibuf sb, Ibuf db when is_dense src && is_dense dst ->
     Array.blit sb src.offset db dst.offset n
+  | _ when n > 0 && overlapping src dst ->
+    (* Strided views of one buffer whose element ranges overlap: the
+       elementwise loop below would read elements it already overwrote.
+       Stage through a dense snapshot of the source so the copy always
+       sees pre-copy values. *)
+    let tmp = create src.dtype (Array.copy src.shape) in
+    copy_into ~src ~dst:tmp;
+    copy_into ~src:tmp ~dst
   | _ ->
   let sidx = Array.make (rank src) 0 in
   let didx = Array.make (rank dst) 0 in

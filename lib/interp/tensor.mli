@@ -57,7 +57,11 @@ val squeeze : t -> t
     rank-1 connector of 3 elements). *)
 
 val copy_into : src:t -> dst:t -> unit
-(** Element-count-preserving copy; reshape-on-copy is allowed. *)
+(** Element-count-preserving copy; reshape-on-copy is allowed.
+    Overlap-safe: when [src] and [dst] are views of one buffer with
+    overlapping element ranges, the copy behaves as if [src] were
+    snapshotted first (the dense fast path relies on [Array.blit]'s
+    memmove semantics; strided overlaps stage through a temporary). *)
 
 val of_float_array : Tasklang.Types.dtype -> int array -> float array -> t
 val of_int_array : Tasklang.Types.dtype -> int array -> int array -> t

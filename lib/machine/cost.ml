@@ -782,9 +782,19 @@ let pp_report ppf r =
     r.r_overhead_s r.r_flops r.r_bytes
 
 (* Degree of parallelism available to the top-level scopes of the SDFG on
-   the CPU: max trips over parallel-scheduled top maps. *)
+   the CPU: max trips over parallel-scheduled top maps.  A [Cpu_multicore]
+   map only counts if the static race analysis would actually let the
+   compiled engine parallelize it — the model prices what the runtime
+   does, not what the schedule annotation wishes. *)
 let cpu_parallel_degree ctx =
   let g = ctx.g in
+  let provably_parallel st nid (m : map_info) =
+    match m.mp_schedule with
+    | Cpu_multicore -> (
+      try Analysis.Races.parallelizable (Analysis.Races.verdict_of g st nid)
+      with _ -> false)
+    | _ -> true
+  in
   Sdfg.states g
   |> List.concat_map (fun st ->
          let parents = State.scope_parents st in
@@ -793,6 +803,7 @@ let cpu_parallel_degree ctx =
                 if
                   Hashtbl.find parents nid = None
                   && is_parallel_schedule m.mp_schedule
+                  && provably_parallel st nid m
                   && not ctx.opts.force_sequential
                 then
                   Some
@@ -813,6 +824,33 @@ let cpu_parallel_degree ctx =
                        1e9)
                 else None))
   |> List.fold_left Float.max 1.
+
+(* Calibrate [parallel_efficiency] from a measured domain-count scaling
+   curve [(domains, wall_seconds)].  The model applies efficiency
+   linearly (effective degree = e * d), so each multi-domain point yields
+   e_d = speedup(d) / d; the calibrated value is their mean, clamped to
+   (0, 1].  Points without a sequential baseline, or degenerate timings,
+   fall back to [default]. *)
+let calibrate_parallel_efficiency
+    ?(default = default_options.parallel_efficiency)
+    (points : (int * float) list) : float =
+  match List.assoc_opt 1 points with
+  | Some t1 when t1 > 0. -> (
+    let effs =
+      List.filter_map
+        (fun (d, td) ->
+          if d > 1 && td > 0. then Some (t1 /. td /. float_of_int d)
+          else None)
+        points
+    in
+    match effs with
+    | [] -> default
+    | _ ->
+      let e =
+        List.fold_left ( +. ) 0. effs /. float_of_int (List.length effs)
+      in
+      Float.max 0.01 (Float.min 1.0 e))
+  | _ -> default
 
 let cpu_time (spec : Spec.cpu) ctx (a : acct) : report =
   let degree =

@@ -89,6 +89,17 @@ val estimate :
   symbols:(string * int) list ->
   Sdfg_ir.Sdfg.t ->
   report
-(** Evaluate an SDFG at concrete sizes on the given machine.
+(** Evaluate an SDFG at concrete sizes on the given machine.  On the CPU
+    target, a top-level [Cpu_multicore] map contributes parallelism only
+    when {!Analysis.Races} proves it parallelizable — the model prices
+    what the compiled engine's multicore runtime will actually do.
     @raise Cost_error when a map extent cannot be evaluated (missing
     symbol or hint). *)
+
+val calibrate_parallel_efficiency :
+  ?default:float -> (int * float) list -> float
+(** Fit the [parallel_efficiency] knob to a measured domain-count scaling
+    curve [(domains, wall_seconds)]: each point with [domains > 1] yields
+    [speedup / domains] against the [domains = 1] baseline; the result is
+    their mean clamped to (0, 1].  Returns [default] (the built-in 0.92)
+    when the curve has no usable baseline or multi-domain points. *)

@@ -123,6 +123,47 @@ let roots c = List.rev c.c_root.sp_children
 
 let children span = List.rev span.sp_children
 
+(* --- multicore merge ------------------------------------------------------- *)
+
+(* Merge a finished span tree into [parent], summing counts and times by
+   (kind, name) recursively; children unseen by the target keep the
+   source's first-opened order.  Used by the parallel map runtime to fold
+   worker-domain collectors back into the main tree — only ever called
+   from the main domain, after the workers have joined. *)
+let rec merge_span parent (s : span) =
+  let tgt =
+    match
+      List.find_opt
+        (fun c -> c.sp_kind = s.sp_kind && String.equal c.sp_name s.sp_name)
+        parent.sp_children
+    with
+    | Some c -> c
+    | None ->
+      let c =
+        { sp_kind = s.sp_kind; sp_name = s.sp_name; sp_count = 0;
+          sp_total_s = 0.; sp_children = [] }
+      in
+      parent.sp_children <- c :: parent.sp_children;
+      c
+  in
+  tgt.sp_count <- tgt.sp_count + s.sp_count;
+  tgt.sp_total_s <- tgt.sp_total_s +. s.sp_total_s;
+  List.iter (merge_span tgt) (List.rev s.sp_children)
+
+(* Fold [src]'s root spans into [dst] under dst's innermost open span
+   (the parallel map's own span during a merge), then zero [src]'s counts
+   in place so per-invocation merging never double-counts.  Zeroing — not
+   detaching — matters: the compiled engine memoizes span nodes inside
+   its closures, so the source tree's structure must survive the merge. *)
+let rec zero_span s =
+  s.sp_count <- 0;
+  s.sp_total_s <- 0.;
+  List.iter zero_span s.sp_children
+
+let absorb dst src =
+  List.iter (merge_span (parent dst)) (List.rev src.c_root.sp_children);
+  List.iter zero_span src.c_root.sp_children
+
 (* --- compiled-engine plan coverage ---------------------------------------- *)
 
 let note_planned_state c = c.c_planned_states <- c.c_planned_states + 1
@@ -131,3 +172,12 @@ let note_fallback_node c = c.c_fallback_nodes <- c.c_fallback_nodes + 1
 
 let coverage c =
   (c.c_planned_states, c.c_compiled_nodes, c.c_fallback_nodes)
+
+(* Fold coverage accumulated on a replica collector into the main one —
+   the parallel planner compiles each map body once per domain but
+   reports the coverage of a single replica, so the numbers match the
+   sequential plan. *)
+let merge_coverage dst src =
+  dst.c_planned_states <- dst.c_planned_states + src.c_planned_states;
+  dst.c_compiled_nodes <- dst.c_compiled_nodes + src.c_compiled_nodes;
+  dst.c_fallback_nodes <- dst.c_fallback_nodes + src.c_fallback_nodes

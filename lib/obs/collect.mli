@@ -63,6 +63,17 @@ val roots : t -> span list
 val children : span -> span list
 (** Child spans in first-opened order. *)
 
+(** {1 Multicore merge} *)
+
+val absorb : t -> t -> unit
+(** [absorb dst src] folds [src]'s finished root spans into [dst] under
+    [dst]'s innermost open span, summing counts and times by (kind, name)
+    recursively, then zeroes [src]'s counts in place (structure kept —
+    the compiled engine memoizes span nodes).  The parallel map runtime
+    uses this to merge worker-domain collectors back into the main tree;
+    the resulting tree shape and counts equal a sequential run's.  Must
+    only be called from the domain owning [dst], after workers joined. *)
+
 (** {1 Compiled-engine plan coverage} *)
 
 val note_planned_state : t -> unit
@@ -72,3 +83,9 @@ val note_fallback_node : t -> unit
 val coverage : t -> int * int * int
 (** (states planned, nodes compiled natively, nodes on the reference
     fallback path) accumulated by the compiled engine's planner. *)
+
+val merge_coverage : t -> t -> unit
+(** [merge_coverage dst src] adds [src]'s coverage counters into [dst]
+    (without clearing [src]).  The parallel planner compiles a map body
+    once per domain on replica collectors and merges exactly one
+    replica's coverage, so totals match the sequential plan. *)

@@ -33,6 +33,17 @@ type coverage = {
   cov_fallback : int;  (* nodes executed through the reference path *)
 }
 
+(* Multicore execution summary: present only when the run was given more
+   than one domain.  [par_chunks] depends on the domain count (it is the
+   number of work units dispatched to the pool), so determinism checks
+   across domain counts compare [counters], not this record. *)
+type parallel = {
+  par_domains : int;       (* domains the run was allowed to use *)
+  par_maps : int;          (* parallel map-scope invocations *)
+  par_chunks : int;        (* chunks dispatched to the domain pool *)
+  par_forced_seq : int;    (* parallel-scheduled maps forced sequential *)
+}
+
 type t = {
   r_program : string;
   r_engine : string;
@@ -41,6 +52,7 @@ type t = {
   r_counters : counters;
   r_timers : timer list;    (* roots; empty when timing was off *)
   r_coverage : coverage option;  (* compiled engine only *)
+  r_parallel : parallel option;  (* multicore runs only *)
 }
 
 (* --- construction ---------------------------------------------------------- *)
@@ -52,7 +64,8 @@ let rec freeze_span (s : Collect.span) : timer =
     t_total_s = s.Collect.sp_total_s;
     t_children = List.map freeze_span (Collect.children s) }
 
-let of_collector ~program ~engine ~wall_s ~counters (c : Collect.t) : t =
+let of_collector ?parallel ~program ~engine ~wall_s ~counters (c : Collect.t)
+    : t =
   let coverage =
     match Collect.coverage c with
     | 0, 0, 0 -> None
@@ -67,7 +80,8 @@ let of_collector ~program ~engine ~wall_s ~counters (c : Collect.t) : t =
     r_wall_s = wall_s;
     r_counters = counters;
     r_timers = List.map freeze_span (Collect.roots c);
-    r_coverage = coverage }
+    r_coverage = coverage;
+    r_parallel = parallel }
 
 (* --- shape ------------------------------------------------------------------ *)
 
@@ -108,6 +122,13 @@ let pp ppf (r : t) =
       "plan coverage: %d state(s) planned, %d node(s) compiled, %d on the \
        reference fallback@."
       cov.cov_states cov.cov_compiled cov.cov_fallback
+  | None -> ());
+  (match r.r_parallel with
+  | Some p ->
+    Fmt.pf ppf
+      "parallel: %d domain(s), %d map(s) parallelized, %d chunk(s), %d \
+       forced sequential@."
+      p.par_domains p.par_maps p.par_chunks p.par_forced_seq
   | None -> ());
   if r.r_timers <> [] then begin
     Fmt.pf ppf "%-48s%10s %s@." "construct" "count" "     total";
@@ -165,6 +186,15 @@ let to_json (r : t) : Json.t =
               [ ("states", Json.Int cov.cov_states);
                 ("compiled_nodes", Json.Int cov.cov_compiled);
                 ("fallback_nodes", Json.Int cov.cov_fallback) ] ) ])
+    @ (match r.r_parallel with
+      | None -> []
+      | Some p ->
+        [ ( "parallel",
+            Json.Obj
+              [ ("domains", Json.Int p.par_domains);
+                ("parallel_maps", Json.Int p.par_maps);
+                ("chunks", Json.Int p.par_chunks);
+                ("forced_sequential", Json.Int p.par_forced_seq) ] ) ])
     @
     match r.r_timers with
     | [] -> []

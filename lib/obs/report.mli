@@ -29,6 +29,16 @@ type coverage = {
   cov_fallback : int;  (** nodes executed through the reference path *)
 }
 
+type parallel = {
+  par_domains : int;     (** domains the run was allowed to use *)
+  par_maps : int;        (** parallel map-scope invocations *)
+  par_chunks : int;      (** chunks dispatched to the domain pool *)
+  par_forced_seq : int;  (** parallel-scheduled maps forced sequential *)
+}
+(** Multicore execution summary, present only on runs given more than one
+    domain.  [par_chunks] depends on the domain count; determinism checks
+    across domain counts compare [counters], not this record. *)
+
 type t = {
   r_program : string;
   r_engine : string;
@@ -37,9 +47,11 @@ type t = {
   r_counters : counters;
   r_timers : timer list;         (** roots; empty when timing was off *)
   r_coverage : coverage option;  (** compiled engine only *)
+  r_parallel : parallel option;  (** multicore runs only *)
 }
 
 val of_collector :
+  ?parallel:parallel ->
   program:string ->
   engine:string ->
   wall_s:float ->

@@ -365,9 +365,11 @@ let tensor_bits (t : Interp.Tensor.t) =
 
 let crossval ?(symbols = []) (build : unit -> Sdfg_ir.Sdfg.t)
     (chain : Xform.chain_step list) =
+  (* bit-identity is a sequential contract: pin domains so an ambient
+     SDFG_DOMAINS cannot reorder float accumulation *)
   let run g engine =
     let args = Interp.Profile.make_args ~symbols (build ()) in
-    ignore (Interp.Exec.run g ~engine ~symbols ~args : Obs.Report.t);
+    ignore (Interp.Exec.run g ~engine ~domains:1 ~symbols ~args : Obs.Report.t);
     args
   in
   match realize build chain with

@@ -13,6 +13,7 @@ let () =
       ("polybench", Test_polybench.suite);
       ("properties", Test_properties.suite);
       ("crossval", Test_crossval.suite);
+      ("parallel", Test_parallel.suite);
       ("session", Test_session.suite);
       ("report", Test_report.suite);
       ("opt", Test_opt.suite);

@@ -145,10 +145,12 @@ let check_stats_equal name (r : R.t) (c : R.t) =
    nesting, same invocation counts) and the counters must not drift from
    the uninstrumented runs. *)
 let compare_engines ~name ~build ~args ~symbols () =
+  (* domains pinned to 1: reference-vs-compiled bit-identity is the
+     sequential contract; test_parallel owns the 1/2/4-domain one *)
   let run ?(instrument = Obs.Collect.Off) engine =
     let g = build () in
     let a = args () in
-    let report = Exec.run g ~engine ~instrument ~symbols ~args:a in
+    let report = Exec.run g ~engine ~instrument ~domains:1 ~symbols ~args:a in
     (a, report)
   in
   let check_tensors tag ra ca =

@@ -278,6 +278,200 @@ let error_path_tests =
     ("duplicate container name is rejected", `Quick, t_err_duplicate_container);
     ("out-of-bounds memlet fails loudly", `Quick, t_err_oob_memlet) ]
 
+(* --- race-analysis verdict tables ---------------------------------------- *)
+
+(* Pin the Races taxonomy on hand-built map scopes.  Soundness direction:
+   a "parallel*" expectation here is a claim that chunked execution is
+   safe — any false "safe" is a bug in the analysis, so the serial cases
+   below must never drift to parallel. *)
+module Races = Analysis.Races
+
+let f64 = T.F64
+
+(* One-map graph: a single Cpu_multicore mapped tasklet writing [outs]
+   from [ins] over ranges [ranges]. *)
+let one_map ?(symbols = [ "N" ]) ?(extra = fun _ -> ()) ~ranges ~params ~ins
+    ~outs ~code () =
+  let g, st = Build.single_state ~symbols "race_case" in
+  let n = E.sym "N" in
+  Sdfg.add_array g "A" ~shape:[ n ] ~dtype:f64;
+  Sdfg.add_array g "B" ~shape:[ n ] ~dtype:f64;
+  extra g;
+  ignore
+    (Build.mapped_tasklet g st ~name:"body" ~schedule:Defs.Cpu_multicore
+       ~params ~ranges ~ins ~outs ~code ());
+  Build.finalize g
+
+let verdict_codes g =
+  List.map (fun r -> Races.verdict_code r.Races.mr_verdict) (Races.analyze g)
+
+let check_verdicts name expected g =
+  Alcotest.(check (list string)) name expected (verdict_codes g)
+
+let i = E.sym "i"
+let nm1 = E.sub (E.sym "N") E.one
+
+let t_races_disjoint_strided () =
+  (* stride-2 map writing A[i] and A[i+1]: per-iteration span 2, chunk
+     step 2 -> provably disjoint *)
+  check_verdicts "stride-2 pair write is disjoint" [ "parallel" ]
+    (one_map
+       ~ranges:[ S.range ~stride:(E.int 2) E.zero (E.sub (E.sym "N") (E.int 2)) ]
+       ~params:[ "i" ]
+       ~ins:[ Build.in_elem "a" "B" [ i ] ]
+       ~outs:
+         [ Build.out_elem "o1" "A" [ i ];
+           Build.out_elem "o2" "A" [ E.add i E.one ] ]
+       ~code:(`Src "o1 = a\no2 = a") ());
+  (* same double write at stride 1: adjacent iterations collide *)
+  check_verdicts "stride-1 pair write overlaps" [ "overlapping-writes" ]
+    (one_map
+       ~ranges:[ S.range E.zero (E.sub (E.sym "N") (E.int 2)) ]
+       ~params:[ "i" ]
+       ~ins:[ Build.in_elem "a" "B" [ i ] ]
+       ~outs:
+         [ Build.out_elem "o1" "A" [ i ];
+           Build.out_elem "o2" "A" [ E.add i E.one ] ]
+       ~code:(`Src "o1 = a\no2 = a") ())
+
+let t_races_halo () =
+  (* read A[i-1..i+1], write A[i]: a flow dependency across iterations *)
+  check_verdicts "3-point halo is a cross-iteration dependency"
+    [ "read-write-overlap" ]
+    (one_map
+       ~ranges:[ S.range E.one (E.sub (E.sym "N") (E.int 2)) ]
+       ~params:[ "i" ]
+       ~ins:[ Build.in_ "a" "A" [ S.range (E.sub i E.one) (E.add i E.one) ] ]
+       ~outs:[ Build.out_elem "o" "A" [ i ] ]
+       ~code:(`Src "o = a[0] - 2.0 * a[1] + a[2]") ());
+  (* the double-buffered Laplace fixture has the same shape *)
+  check_verdicts "laplace halo forces sequential" [ "read-write-overlap" ]
+    (Fixtures.laplace ())
+
+let t_races_wcr () =
+  (* reduction into one cell: conflicting, but commutative-with-identity
+     WCR and never read -> per-domain private accumulators are safe *)
+  check_verdicts "dot-product WCR accumulates" [ "parallel-accumulate" ]
+    (one_map
+       ~extra:(fun g -> Sdfg.add_array g "out" ~shape:[ E.one ] ~dtype:f64)
+       ~ranges:[ S.range E.zero nm1 ] ~params:[ "i" ]
+       ~ins:[ Build.in_elem "a" "A" [ i ]; Build.in_elem "b" "B" [ i ] ]
+       ~outs:[ Build.out_elem ~wcr:Wcr.sum "o" "out" [ E.zero ] ]
+       ~code:(`Src "o = a * b") ());
+  (* WCR matmul: C[i,j] += ... is disjoint across the chunked i even
+     though it carries a WCR - every k lands in one chunk *)
+  (match verdict_codes (Fixtures.matmul_wcr ()) with
+  | [ init_v; main_v ] ->
+    Alcotest.(check string) "matmul init map" "parallel" init_v;
+    Alcotest.(check string) "matmul WCR map is disjoint along i" "parallel"
+      main_v
+  | vs -> Alcotest.failf "expected 2 maps, got %d" (List.length vs));
+  (* self-conflict: the histogram kernel reads hist and WCR-writes it *)
+  (match verdict_codes (Fixtures.histogram ()) with
+  | [ init_v; main_v ] ->
+    Alcotest.(check string) "histogram init map" "parallel" init_v;
+    Alcotest.(check string) "read + WCR write is serial" "wcr-read" main_v
+  | vs -> Alcotest.failf "expected 2 maps, got %d" (List.length vs))
+
+let t_races_private_transient () =
+  (* scope-local staging buffer, fully written before read: each domain
+     can hold a private copy *)
+  let g, st = Build.single_state ~symbols:[ "N" ] "priv" in
+  let n = E.sym "N" in
+  Sdfg.add_array g "A" ~shape:[ n ] ~dtype:f64;
+  Sdfg.add_array g "B" ~shape:[ n ] ~dtype:f64;
+  Sdfg.add_array g "tmp" ~transient:true ~shape:[ E.int 2 ] ~dtype:f64;
+  let entry, exit_ =
+    Build.map_scope st ~schedule:Defs.Cpu_multicore ~params:[ "i" ]
+      ~ranges:[ S.range E.zero nm1 ] ()
+  in
+  let stage =
+    Build.tasklet st ~name:"stage"
+      ~inputs:[ { Defs.k_name = "a"; k_dtype = f64; k_rank = 0 } ]
+      ~outputs:[ { Defs.k_name = "t"; k_dtype = f64; k_rank = 1 } ]
+      ~code:(`Src "t[0] = a\nt[1] = a * 2.0") ()
+  in
+  let use =
+    Build.tasklet st ~name:"use"
+      ~inputs:[ { Defs.k_name = "t"; k_dtype = f64; k_rank = 1 } ]
+      ~outputs:[ { Defs.k_name = "o"; k_dtype = f64; k_rank = 0 } ]
+      ~code:(`Src "o = t[0] + t[1]") ()
+  in
+  let a_acc = Build.access st "A" and b_acc = Build.access st "B" in
+  let tmp_acc = Build.access st "tmp" in
+  let tmp_full = Memlet.full "tmp" [ E.int 2 ] in
+  Build.edge st ~dst_conn:"IN_A"
+    ~memlet:(Memlet.element "A" [ i ]) ~src:a_acc ~dst:entry ();
+  Build.edge st ~src_conn:"OUT_A" ~dst_conn:"a"
+    ~memlet:(Memlet.element "A" [ i ]) ~src:entry ~dst:stage ();
+  Build.edge st ~src_conn:"t" ~memlet:tmp_full ~src:stage ~dst:tmp_acc ();
+  Build.edge st ~dst_conn:"t" ~memlet:tmp_full ~src:tmp_acc ~dst:use ();
+  Build.edge st ~src_conn:"o" ~dst_conn:"IN_B"
+    ~memlet:(Memlet.element "B" [ i ]) ~src:use ~dst:exit_ ();
+  Build.edge st ~src_conn:"OUT_B"
+    ~memlet:(Memlet.element "B" [ i ]) ~src:exit_ ~dst:b_acc ();
+  ignore (Build.finalize g);
+  match Races.analyze g with
+  | [ r ] ->
+    Alcotest.(check string) "verdict" "parallel-private"
+      (Races.verdict_code r.mr_verdict);
+    (match r.mr_verdict with
+    | Races.Parallel { privatize; _ } ->
+      Alcotest.(check (list string)) "privatized containers" [ "tmp" ]
+        privatize
+    | Races.Serial _ -> Alcotest.fail "expected Parallel")
+  | rs -> Alcotest.failf "expected 1 map, got %d" (List.length rs)
+
+let t_races_nested_opaque () =
+  (* a nested SDFG hides its write footprint: always serial *)
+  match Races.analyze (Fixtures.nested_loop ()) with
+  | [ r ] -> (
+    match Races.reason_of r.Races.mr_verdict with
+    | Some reason ->
+      Alcotest.(check string) "reason" "nested-sdfg" reason.Races.r_code
+    | None -> Alcotest.fail "expected Serial for a nested SDFG in scope")
+  | rs -> Alcotest.failf "expected 1 map, got %d" (List.length rs)
+
+let t_races_corners () =
+  (* zero-trip range: the verdict is a static property; an empty range
+     still classifies (runtime no-ops either way) *)
+  check_verdicts "zero-trip map still classifies" [ "parallel" ]
+    (one_map ~symbols:[]
+       ~ranges:[ S.range E.zero (E.int (-1)) ]
+       ~params:[ "i" ]
+       ~ins:[ Build.in_elem "a" "B" [ i ] ]
+       ~outs:[ Build.out_elem "o" "A" [ i ] ]
+       ~code:(`Src "o = a") ());
+  (* non-positive stride: the analysis must clamp the chunk step to the
+     sound minimum 1, so a 2-element write is NOT disjoint even though
+     |stride| = 2 would cover it *)
+  check_verdicts "negative stride clamps to step 1" [ "overlapping-writes" ]
+    (one_map
+       ~ranges:
+         [ S.range ~stride:(E.int (-2)) E.zero (E.sub (E.sym "N") (E.int 2)) ]
+       ~params:[ "i" ]
+       ~ins:[ Build.in_elem "a" "B" [ i ] ]
+       ~outs:
+         [ Build.out_elem "o1" "A" [ i ];
+           Build.out_elem "o2" "A" [ E.add i E.one ] ]
+       ~code:(`Src "o1 = a\no2 = a") ());
+  (* single-element write survives any stride *)
+  check_verdicts "negative stride, disjoint single write" [ "parallel" ]
+    (one_map
+       ~ranges:[ S.range ~stride:(E.neg E.one) nm1 E.zero ]
+       ~params:[ "i" ]
+       ~ins:[ Build.in_elem "a" "B" [ i ] ]
+       ~outs:[ Build.out_elem "o" "A" [ i ] ]
+       ~code:(`Src "o = a") ())
+
+let race_table_tests =
+  [ ("disjoint strided writes", `Quick, t_races_disjoint_strided);
+    ("overlapping halos", `Quick, t_races_halo);
+    ("WCR conflicts and accumulation", `Quick, t_races_wcr);
+    ("iteration-private transients", `Quick, t_races_private_transient);
+    ("nested SDFGs are opaque", `Quick, t_races_nested_opaque);
+    ("zero-trip and negative-stride corners", `Quick, t_races_corners) ]
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_union_covers_both;
@@ -287,4 +481,4 @@ let suite =
       prop_expr_sexp_roundtrip;
       prop_tasklet_print_parse_eval;
       prop_random_pipelines ]
-  @ error_path_tests
+  @ error_path_tests @ race_table_tests

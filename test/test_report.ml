@@ -40,7 +40,8 @@ let fixed_report : R.t =
                       t_total_s = 0.0005;
                       t_children = [] } ] } ] } ];
     r_coverage =
-      Some { R.cov_states = 1; cov_compiled = 2; cov_fallback = 1 } }
+      Some { R.cov_states = 1; cov_compiled = 2; cov_fallback = 1 };
+    r_parallel = None }
 
 let read_file path =
   let ic = open_in path in
