@@ -750,6 +750,123 @@ let engines () =
                 results) );
          ("geomean_speedup", Float gm) ])
 
+(* --- engine v2: bulk strided kernels vs the closure path --------------------------- *)
+
+(* Same compiled engine, kernels off vs on, pinned to one domain so the
+   comparison isolates the bulk-kernel lowering itself.  The first three
+   workloads are the §6.1 kernels of the "engines" experiment; the
+   micro-workloads are the memory-bound affine bodies (copy, elementwise
+   add, axpy) where per-iteration closure overhead dominates.  Besides
+   timing, each case is checked for output bit-identity between the two
+   paths and its kernel coverage (which map bodies lowered, and why the
+   rest fell back) is recorded. *)
+let engines_v2_cases =
+  [ ("matmul 256x256x256", Workloads.Kernels.matmul,
+     [ ("M", 256); ("N", 256); ("K", 256) ]);
+    ("jacobi-2d N=256 T=50", Workloads.Kernels.jacobi,
+     [ ("N", 256); ("T", 50) ]);
+    ("histogram 1024x1024", Workloads.Kernels.histogram,
+     [ ("H", 1024); ("W", 1024) ]);
+    ("copy 4M", Workloads.Kernels.copy, [ ("N", 1 lsl 22) ]);
+    ("eadd 4M", Workloads.Kernels.eadd, [ ("N", 1 lsl 22) ]);
+    ("axpy 4M", Workloads.Kernels.axpy, [ ("N", 1 lsl 22) ]) ]
+
+(* geomean over the three §6.1 kernels — the headline claim *)
+let engines_v2_core = [ "matmul 256x256x256"; "jacobi-2d N=256 T=50";
+                        "histogram 1024x1024" ]
+
+let engines_v2 () =
+  header "Engine v2: bulk strided kernels vs closure path (compiled engine)";
+  row "%-22s%14s%13s%10s%7s  %s@." "workload" "closure [s]" "kernel [s]"
+    "speedup" "bits" "kernel coverage";
+  let results =
+    List.map
+      (fun (name, build, symbols) ->
+        let measure kernels =
+          time_run (fun () ->
+              ignore
+                (Interp.Exec.run ~engine:Interp.Plan.compiled ~kernels
+                   ~domains:1 ~symbols (build ())))
+        in
+        let closure_t = measure false in
+        let kernel_t = measure true in
+        let speedup = closure_t /. kernel_t in
+        (* output bit-identity and coverage, from one run per path on
+           identical deterministic inputs *)
+        let outputs kernels =
+          let g = build () in
+          let args = Interp.Profile.make_args ~symbols g in
+          let r =
+            Interp.Exec.run ~engine:Interp.Plan.compiled ~kernels ~domains:1
+              ~symbols ~args g
+          in
+          (args, r.Obs.Report.r_coverage)
+        in
+        let closure_out, _ = outputs false in
+        let kernel_out, cov = outputs true in
+        let identical =
+          List.for_all2
+            (fun (n1, t1) (n2, t2) ->
+              String.equal n1 n2 && Interp.Tensor.equal t1 t2)
+            closure_out kernel_out
+        in
+        if not identical then
+          Fmt.failwith "engines_v2: %s kernel output differs from closure"
+            name;
+        let kmaps, kfall =
+          match cov with
+          | Some c ->
+            (c.Obs.Report.cov_kernels, c.Obs.Report.cov_kernel_fallbacks)
+          | None -> ([], [])
+        in
+        let pp_tally ts =
+          String.concat ", "
+            (List.map (fun (k, n) -> Fmt.str "%s x%d" k n) ts)
+        in
+        row "%-22s%14.4f%13.4f%9.2fx%7s  %s%s@." name closure_t kernel_t
+          speedup
+          (if identical then "=" else "!=")
+          (if kmaps = [] then "(none)" else pp_tally kmaps)
+          (if kfall = [] then ""
+           else Fmt.str "; fallback: %s" (pp_tally kfall));
+        (name, closure_t, kernel_t, speedup, kmaps, kfall))
+      engines_v2_cases
+  in
+  let gm_all =
+    geomean (List.map (fun (_, _, _, s, _, _) -> s) results)
+  in
+  let gm_core =
+    geomean
+      (List.filter_map
+         (fun (n, _, _, s, _, _) ->
+           if List.mem n engines_v2_core then Some s else None)
+         results)
+  in
+  row "geomean kernel-path speedup: %.2fx overall, %.2fx on the \
+       matmul/jacobi/histogram core@."
+    gm_all gm_core;
+  let open Obs.Json in
+  let tally ts = Obj (List.map (fun (k, n) -> (k, Int n)) ts) in
+  update_bench_json "engines_v2"
+    (Obj
+       [ ("engine", Str "compiled");
+         ("domains", Int 1);
+         ("bit_identical", Bool true);
+         ( "results",
+           Arr
+             (List.map
+                (fun (name, closure_t, kernel_t, speedup, kmaps, kfall) ->
+                  Obj
+                    [ ("workload", Str name);
+                      ("closure_s", Float closure_t);
+                      ("kernel_s", Float kernel_t);
+                      ("speedup", Float speedup);
+                      ("kernel_maps", tally kmaps);
+                      ("kernel_fallbacks", tally kfall) ])
+                results) );
+         ("geomean_speedup", Float gm_all);
+         ("geomean_core_speedup", Float gm_core) ])
+
 (* --- multicore map execution: domain-count scaling --------------------------------- *)
 
 (* Scaling curve of the compiled engine's domain pool on the 256^3 WCR
@@ -1008,7 +1125,8 @@ let experiments =
     ("fig14a", fig14a); ("fig14b", fig14b); ("fig14c", fig14c);
     ("fig15", fig15); ("fig17", fig17); ("table2", table2);
     ("table3", table3); ("ablations", ablations); ("micro", micro);
-    ("engines", engines); ("autoopt", autoopt); ("parallel", parallel) ]
+    ("engines", engines); ("engines_v2", engines_v2); ("autoopt", autoopt);
+    ("parallel", parallel) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1016,7 +1134,8 @@ let () =
   | [] ->
     List.iter
       (fun (name, f) ->
-        if not (List.mem name [ "micro"; "engines"; "autoopt" ]) then f ())
+        if not (List.mem name [ "micro"; "engines"; "engines_v2"; "autoopt" ])
+        then f ())
       experiments;
     Fmt.pr "@.(run with argument 'micro' for bechamel microbenchmarks)@."
   | names ->

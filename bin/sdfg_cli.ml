@@ -216,6 +216,13 @@ let domains_arg =
                  Only Cpu_multicore maps the race analysis proves safe \
                  are parallelized; see 'sdfg analyze-races'.")
 
+let no_kernels_arg =
+  Arg.(value & flag
+       & info [ "no-kernels" ]
+           ~doc:"Disable bulk-kernel lowering of affine map bodies: the \
+                 compiled engine runs every map through the closure path. \
+                 The baseline side of kernel crossvalidation.")
+
 let analyze_races_cmd =
   let run name =
     let g = build name in
@@ -229,47 +236,53 @@ let analyze_races_cmd =
              machine-readable reason) that gates multicore execution")
     Term.(const run $ prog_arg)
 
+(* Programs runnable/profilable by name: every Polybench kernel at mini
+   size, plus the §6.1 engine workloads and the engine-v2 micro-workloads
+   (copy / eadd / axpy) at small bench sizes. *)
+let kernel_programs =
+  [ ("matmul", Workloads.Kernels.matmul,
+     [ ("M", 64); ("N", 64); ("K", 64) ]);
+    ("jacobi", Workloads.Kernels.jacobi, [ ("N", 64); ("T", 10) ]);
+    ("histogram", Workloads.Kernels.histogram, [ ("H", 256); ("W", 256) ]);
+    ("copy", Workloads.Kernels.copy, [ ("N", 65536) ]);
+    ("eadd", Workloads.Kernels.eadd, [ ("N", 65536) ]);
+    ("axpy", Workloads.Kernels.axpy, [ ("N", 65536) ]) ]
+
+let find_program name =
+  match
+    List.find_opt
+      (fun (k : Workloads.Polybench.kernel) -> String.equal k.k_name name)
+      Workloads.Polybench.all
+  with
+  | Some k -> Some (k.Workloads.Polybench.k_build, k.k_mini)
+  | None ->
+    List.find_opt (fun (n, _, _) -> String.equal n name) kernel_programs
+    |> Option.map (fun (_, build, symbols) -> (build, symbols))
+
 let run_cmd =
-  let run name engine domains =
-    match
-      List.find_opt
-        (fun (k : Workloads.Polybench.kernel) -> String.equal k.k_name name)
-        Workloads.Polybench.all
-    with
+  let run name engine domains no_kernels =
+    match find_program name with
     | None ->
-      Fmt.epr "'run' supports the Polybench programs (mini sizes)@.";
+      Fmt.epr
+        "'run' supports the Polybench programs (mini sizes) and the \
+         engine workloads (%s)@."
+        (String.concat ", " (List.map (fun (n, _, _) -> n) kernel_programs));
       exit 1
-    | Some k ->
-      let g = k.k_build () in
-      let args =
-        Sdfg_ir.Sdfg.descs g
-        |> List.filter_map (fun (dname, d) ->
-               if Sdfg_ir.Defs.ddesc_transient d
-                  || Sdfg_ir.Defs.ddesc_is_stream d
-               then None
-               else
-                 let shape =
-                   Sdfg_ir.Defs.ddesc_shape d
-                   |> List.map (Symbolic.Expr.eval_list k.k_mini)
-                   |> Array.of_list
-                 in
-                 Some
-                   ( dname,
-                     Interp.Tensor.init (Sdfg_ir.Defs.ddesc_dtype d) shape
-                       (fun idx ->
-                         Tasklang.Types.F
-                           (1.0
-                            +. (float_of_int
-                                  (List.fold_left ( + ) (Hashtbl.hash dname mod 7) idx)
-                                /. 13.))) ))
+    | Some (build, symbols) ->
+      let g = build () in
+      let args = Interp.Profile.make_args ~symbols g in
+      let report =
+        Interp.Exec.run g ~engine ?domains ~kernels:(not no_kernels)
+          ~symbols ~args
       in
-      let report = Interp.Exec.run g ~engine ?domains ~symbols:k.k_mini ~args in
-      Fmt.pr "ran %s at mini size: %a@." name Obs.Report.pp_counters
+      Fmt.pr "ran %s: %a@." name Obs.Report.pp_counters
         report.Obs.Report.r_counters
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Interpret a Polybench program at mini size")
-    Term.(const run $ prog_arg $ engine_arg $ domains_arg)
+    (Cmd.info "run"
+       ~doc:"Interpret a Polybench program (mini size) or an engine \
+             workload")
+    Term.(const run $ prog_arg $ engine_arg $ domains_arg $ no_kernels_arg)
 
 let profile_cmd =
   let repeat_arg =
@@ -305,20 +318,19 @@ let profile_cmd =
              ~doc:"Write the median run as a Chrome trace-event file to \
                    $(docv) (open in about://tracing or Perfetto).")
   in
-  let run name engine domains repeat warmup instrument json trace =
-    match
-      List.find_opt
-        (fun (k : Workloads.Polybench.kernel) -> String.equal k.k_name name)
-        Workloads.Polybench.all
-    with
+  let run name engine domains no_kernels repeat warmup instrument json trace =
+    match find_program name with
     | None ->
-      Fmt.epr "'profile' supports the Polybench programs (mini sizes)@.";
+      Fmt.epr
+        "'profile' supports the Polybench programs (mini sizes) and the \
+         engine workloads (%s)@."
+        (String.concat ", " (List.map (fun (n, _, _) -> n) kernel_programs));
       exit 1
-    | Some k ->
-      let g = k.k_build () in
+    | Some (build, symbols) ->
+      let g = build () in
       let res =
-        Interp.Profile.run ~engine ?domains ~instrument ~warmup ~repeat
-          ~symbols:k.k_mini g
+        Interp.Profile.run ~engine ?domains ~kernels:(not no_kernels)
+          ~instrument ~warmup ~repeat ~symbols g
       in
       Fmt.pr "%a" Interp.Profile.pp res;
       Option.iter
@@ -334,11 +346,11 @@ let profile_cmd =
   in
   Cmd.v
     (Cmd.info "profile"
-       ~doc:"Profile a Polybench program at mini size: warmup + repeated \
-             measured runs, median report, optional JSON / Chrome-trace \
-             output")
-    Term.(const run $ prog_arg $ engine_arg $ domains_arg $ repeat_arg
-          $ warmup_arg $ instrument_arg $ json_arg $ trace_arg)
+       ~doc:"Profile a Polybench program (mini size) or an engine \
+             workload: warmup + repeated measured runs, median report, \
+             optional JSON / Chrome-trace output")
+    Term.(const run $ prog_arg $ engine_arg $ domains_arg $ no_kernels_arg
+          $ repeat_arg $ warmup_arg $ instrument_arg $ json_arg $ trace_arg)
 
 let optimize_cmd =
   let beam_arg =
@@ -459,8 +471,8 @@ let fuzz_cmd =
     Arg.(value & opt string "all"
          & info [ "oracle" ] ~docv:"ORACLE"
              ~doc:"Oracle to check: $(b,engine), $(b,roundtrip), \
-                   $(b,xform), $(b,opt), $(b,parallel_crossval) or \
-                   $(b,all).")
+                   $(b,xform), $(b,opt), $(b,parallel_crossval), \
+                   $(b,kernel_crossval) or $(b,all).")
   in
   let shrink_arg =
     Arg.(value & flag
@@ -490,7 +502,7 @@ let fuzz_cmd =
         | None ->
           Fmt.epr
             "unknown oracle '%s' \
-             (engine|roundtrip|xform|opt|parallel_crossval|all)@."
+             (engine|roundtrip|xform|opt|parallel_crossval|kernel_crossval|all)@."
             s;
           exit 2)
     in

@@ -2,9 +2,15 @@ open Sdfg_ir
 module Tensor = Interp.Tensor
 module Xform = Transform.Xform
 
-type kind = Engine | Roundtrip | Xform | Opt | Parallel_crossval
+type kind =
+  | Engine
+  | Roundtrip
+  | Xform
+  | Opt
+  | Parallel_crossval
+  | Kernel_crossval
 
-let kinds = [ Engine; Roundtrip; Xform; Opt; Parallel_crossval ]
+let kinds = [ Engine; Roundtrip; Xform; Opt; Parallel_crossval; Kernel_crossval ]
 
 let kind_name = function
   | Engine -> "engine"
@@ -12,6 +18,7 @@ let kind_name = function
   | Xform -> "xform"
   | Opt -> "opt"
   | Parallel_crossval -> "parallel_crossval"
+  | Kernel_crossval -> "kernel_crossval"
 
 let kind_of_string = function
   | "engine" -> Some Engine
@@ -19,6 +26,7 @@ let kind_of_string = function
   | "xform" -> Some Xform
   | "opt" -> Some Opt
   | "parallel_crossval" | "parallel" -> Some Parallel_crossval
+  | "kernel_crossval" | "kernel" -> Some Kernel_crossval
   | _ -> None
 
 type status = Pass of string | Skip of string | Fail of string
@@ -97,11 +105,15 @@ let diff ~approx base got =
   go base
 
 (* Run the compiled engine at a given domain count, returning both the
-   output tensors and the run's instrumentation counters. *)
-let exec_compiled ~domains g =
+   output tensors and the run's instrumentation counters.  [kernels]
+   selects between the bulk-kernel path (default) and the pure closure
+   path. *)
+let exec_compiled ?(kernels = true) ~domains g =
   let symbols = Gen.symbols_for g in
   let args = Interp.Profile.make_args ~symbols g in
-  let r = Interp.Exec.run ~engine:`Compiled ~domains ~symbols ~args g in
+  let r =
+    Interp.Exec.run ~engine:`Compiled ~kernels ~domains ~symbols ~args g
+  in
   (args, r.Obs.Report.r_counters)
 
 (* --- the oracles -------------------------------------------------------- *)
@@ -259,6 +271,52 @@ let parallel_crossval_oracle g =
     in
     at [ 2; 4 ]
 
+(* Three-way: reference vs the compiled engine's closure path
+   ([kernels:false]) vs its bulk-kernel path ([kernels:true]), at 1, 2
+   and 4 domains.  The closure path is the semantic anchor — it must be
+   bit-equal to reference sequentially.  The kernel path executes the
+   same reads and writes in the same order as the closure nest, so the
+   two must agree bit-for-bit except under float WCR/Reduce, where
+   parallel chunking legally reorders the combination and
+   {!Tensor.approx_equal} applies.  Counter totals must be identical on
+   both paths at every domain count: a kernel launch of [T] trips bulk-
+   bumps exactly what [T] closure iterations would. *)
+let kernel_crossval_oracle g =
+  let approx = float_accumulation g in
+  let base = exec `Reference g in
+  let closure_seq, _ = exec_compiled ~kernels:false ~domains:1 g in
+  match diff ~approx:false base closure_seq with
+  | Some d -> Fail ("closure path diverges from reference: " ^ d)
+  | None ->
+    let rec at = function
+      | [] ->
+        Pass
+          (if approx then
+             "kernel ~= closure (float accumulation) at 1, 2 and 4 domains"
+           else "kernel = closure (bit-exact) at 1, 2 and 4 domains")
+      | d :: rest -> (
+        match exec_compiled ~kernels:false ~domains:d g with
+        | exception Interp.Exec.Runtime_error m ->
+          Fail (Fmt.str "closure path crashed at %d domains: %s" d m)
+        | closure, cc -> (
+          match exec_compiled ~kernels:true ~domains:d g with
+          | exception Interp.Exec.Runtime_error m ->
+            Fail (Fmt.str "kernel path crashed at %d domains: %s" d m)
+          | kern, kc -> (
+            if cc <> kc then
+              Fail
+                (Fmt.str
+                   "counters diverge at %d domains: %a (kernel) vs %a \
+                    (closure)"
+                   d Obs.Report.pp_counters kc Obs.Report.pp_counters cc)
+            else
+              match diff ~approx closure kern with
+              | Some m ->
+                Fail (Fmt.str "kernel divergence at %d domains: %s" d m)
+              | None -> at rest)))
+    in
+    at [ 1; 2; 4 ]
+
 let check kind g =
   let f =
     match kind with
@@ -267,6 +325,7 @@ let check kind g =
     | Xform -> xform_oracle
     | Opt -> opt_oracle
     | Parallel_crossval -> parallel_crossval_oracle
+    | Kernel_crossval -> kernel_crossval_oracle
   in
   try f g with
   | Interp.Exec.Runtime_error m -> Fail ("runtime error: " ^ m)

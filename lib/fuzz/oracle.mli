@@ -17,15 +17,25 @@
     - [Parallel_crossval] — the compiled engine at 2 and 4 domains
       produces the same output tensors and instrumentation counters as
       compiled-sequential (which must itself be bit-equal to reference).
+    - [Kernel_crossval] — three-way: the compiled engine's closure path
+      ([~kernels:false]) is bit-equal to reference, and its bulk-kernel
+      path ({!Interp.Kernels}) matches the closure path — outputs and
+      instrumentation counters — at 1, 2 and 4 domains.
 
     Comparison policy: bit equality by default; when the graph contains
-    a floating-point WCR memlet or Reduce node, transformation and
-    parallel oracles fall back to {!Interp.Tensor.approx_equal}, since
-    reordering a float reduction is legal but not bit-stable.  Engine and
-    roundtrip oracles always require bit equality — they never reorder
-    anything. *)
+    a floating-point WCR memlet or Reduce node, transformation,
+    parallel and kernel oracles fall back to
+    {!Interp.Tensor.approx_equal}, since reordering a float reduction is
+    legal but not bit-stable.  Engine and roundtrip oracles always
+    require bit equality — they never reorder anything. *)
 
-type kind = Engine | Roundtrip | Xform | Opt | Parallel_crossval
+type kind =
+  | Engine
+  | Roundtrip
+  | Xform
+  | Opt
+  | Parallel_crossval
+  | Kernel_crossval
 
 val kinds : kind list
 (** All oracles, in the order the driver runs them. *)

@@ -95,6 +95,7 @@ type env = {
   plans : (int, cached_plan) Hashtbl.t;  (* state id -> plan *)
   domains : int;  (* domains the compiled engine may use (>= 1) *)
   par : par_stats;
+  kernels : bool;  (* let the compiled engine lower maps to bulk kernels *)
 }
 
 (* Span names are shared between engines so the timing trees match
@@ -771,7 +772,8 @@ and exec_nested env params st nid (nest : nested) =
   run_in ~containers:inner_containers
     ~symbols:(inner_symbols @ inherited)
     ~stats:env.stats ~collector:env.collector ~max_states:env.max_states
-    ~engine:env.engine ~domains:env.domains ~par:env.par inner
+    ~engine:env.engine ~domains:env.domains ~par:env.par
+    ~kernels:env.kernels inner
 
 (* --- top-level execution ---------------------------------------------------- *)
 
@@ -817,10 +819,10 @@ and run_state_machine env =
 (* Run an SDFG whose containers are already bound (used for nested
    invocations); allocates any transients not provided. *)
 and run_in ~containers ~symbols ~stats ~collector ~max_states ~engine
-    ~domains ~par (g : sdfg) =
+    ~domains ~par ~kernels (g : sdfg) =
   let env =
     { g; containers; symbols = Hashtbl.create 8; stats; collector;
-      max_states; engine; plans = Hashtbl.create 4; domains; par }
+      max_states; engine; plans = Hashtbl.create 4; domains; par; kernels }
   in
   List.iter (fun (s, v) -> Hashtbl.replace env.symbols s v) symbols;
   (* Allocate missing containers (transients; also non-transients when the
@@ -875,8 +877,8 @@ let default_domains () =
    compiled engine's plan coverage and — when [domains > 1] — the
    multicore summary. *)
 let run ?(engine = `Reference) ?(instrument = Obs.Collect.Off)
-    ?(max_states = 1_000_000) ?domains ?(symbols = []) ?(args = [])
-    (g : sdfg) : Obs.Report.t =
+    ?(max_states = 1_000_000) ?domains ?(kernels = true) ?(symbols = [])
+    ?(args = []) (g : sdfg) : Obs.Report.t =
   let domains =
     match domains with
     | Some n -> max 1 (min n 64)
@@ -889,7 +891,7 @@ let run ?(engine = `Reference) ?(instrument = Obs.Collect.Off)
   List.iter (fun (name, t) -> Hashtbl.replace containers name (Tens t)) args;
   let t0 = Obs.Collect.now () in
   run_in ~containers ~symbols ~stats ~collector ~max_states ~engine ~domains
-    ~par g;
+    ~par ~kernels g;
   let wall_s = Obs.Collect.now () -. t0 in
   let parallel =
     if domains > 1 then

@@ -77,6 +77,7 @@ val run :
   ?instrument:Obs.Collect.level ->
   ?max_states:int ->
   ?domains:int ->
+  ?kernels:bool ->
   ?symbols:(string * int) list ->
   ?args:(string * Tensor.t) list ->
   Sdfg_ir.Sdfg.t ->
@@ -92,6 +93,10 @@ val run :
     across that many OCaml domains — only those the static race analysis
     ({!Analysis.Races}) proves safe; the rest are forced sequential and
     counted in the report's parallel section.
+    [kernels] (default [true]) lets the compiled engine lower recognized
+    affine map bodies to bulk strided kernels ({!Kernels}); [false]
+    forces every map onto the closure path — the crossval baseline and
+    the CLI's [--no-kernels].
     [instrument] sets the timing level (default [Off]: counters only, no
     timers; the compiled engine plans uninstrumented closures so the
     timing machinery costs nothing).  The returned {!Obs.Report.t}
@@ -123,6 +128,7 @@ type env = {
   plans : (int, cached_plan) Hashtbl.t;  (** state id -> cached plan *)
   domains : int;  (** domains the compiled engine may use (>= 1) *)
   par : par_stats;
+  kernels : bool;  (** allow bulk-kernel lowering of affine map bodies *)
 }
 
 val map_span_name : Sdfg_ir.Defs.map_info -> string

@@ -265,6 +265,38 @@ let spanned ctx kind name ~flag (f : unit -> unit) : unit -> unit =
         raise e);
       Obs.Collect.exit c sp
 
+(* Engine v2: try to lower a map scope to a bulk strided kernel
+   ({!Kernels}).  The closure nest is kept as the kernel's slow path —
+   launches whose bounds pre-check fails replay through it, reproducing
+   the reference engine's exact error and partial counters — so
+   recognition only ever changes how fast the common case runs.  The
+   outcome is tallied in plan coverage either way. *)
+let try_kernel ctx scope_env entry (info : map_info) : Kernels.t option =
+  if not ctx.env.Exec.kernels then None
+  else begin
+    let collector = ctx.env.Exec.collector in
+    let result =
+      (* a parameter shadowed by an enclosing scope does not iterate in
+         subscripts (outer bindings win in the reference's assoc order),
+         which the kernel's substitution-based extractor cannot express *)
+      if List.exists (fun p -> List.mem_assoc p scope_env) info.mp_params
+      then Error "shadowed"
+      else
+        Kernels.recognize ~env:ctx.env ~st:ctx.st ~entry ~info
+          ~comp:(fun e ->
+            match comp_expr ctx scope_env e with
+            | f -> Some f
+            | exception Fallback -> None)
+    in
+    match result with
+    | Ok k ->
+      Obs.Collect.note_kernel_map collector k.Kernels.k_name;
+      Some k
+    | Error r ->
+      Obs.Collect.note_kernel_fallback collector r;
+      None
+  end
+
 (* [strict] compilation admits no reference fallback: any node the plan
    cannot lower raises {!Fallback} instead of building a closure over
    [Exec.exec_nodes].  The parallel map compiler uses it — worker domains
@@ -370,6 +402,14 @@ and comp_map ?(strict = false) ctx scope_env entry (info : map_info) :
         done
   in
   let nest = build 0 in
+  let launch =
+    match try_kernel ctx scope_env entry info with
+    | None -> nest
+    | Some k ->
+      fun () ->
+        k.Kernels.k_run ~frame:ctx.frame ~bounds ~lo:bounds.(0)
+          ~hi:bounds.(1) ~step:bounds.(2) ~slow:nest
+  in
   let label = ctx.st.st_label in
   fun () ->
     let fr = ctx.frame in
@@ -384,7 +424,7 @@ and comp_map ?(strict = false) ctx scope_env entry (info : map_info) :
             label s;
         bounds.((3 * k) + 2) <- s)
       dims;
-    nest ()
+    launch ()
 
 (* --- parallel maps ------------------------------------------------------- *)
 
@@ -535,6 +575,10 @@ and build_parallel ctx entry (info : map_info) ~accumulate ~privatize
       Array.of_list
         (List.map (comp_node ~strict:true rctx scope_env) body_ids)
     in
+    (* per-replica kernel recognition: operand buffers bind against the
+       replica's containers (private accumulators and transients), and
+       any symbol slots it allocates must precede the frame allocation *)
+    let kernel = try_kernel rctx [] entry info in
     rctx.frame <- Array.make (max 1 rctx.n_slots) 0;
     let sym_refresh =
       Array.of_list
@@ -574,6 +618,14 @@ and build_parallel ctx entry (info : map_info) ~accumulate ~privatize
         inner ();
         i := !i + step
       done
+    in
+    let run_range =
+      match kernel with
+      | None -> run_range
+      | Some k ->
+        fun lo hi step ->
+          k.Kernels.k_run ~frame:rctx.frame ~bounds ~lo ~hi ~step
+            ~slow:(fun () -> run_range lo hi step)
     in
     let rp_acc =
       Array.map

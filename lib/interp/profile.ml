@@ -61,19 +61,21 @@ let wall_min res =
    arguments so in-place mutation cannot feed one repetition's output
    into the next.  The reported run is the median by wall-clock. *)
 let run ?(engine = `Reference) ?(instrument = Obs.Collect.Off) ?(warmup = 1)
-    ?(repeat = 5) ?max_states ?domains ?(symbols = []) ?args_for (g : Sdfg.t)
-    : result =
+    ?(repeat = 5) ?max_states ?domains ?kernels ?(symbols = []) ?args_for
+    (g : Sdfg.t) : result =
   if repeat < 1 then invalid_arg "Profile.run: repeat must be >= 1";
   if warmup < 0 then invalid_arg "Profile.run: warmup must be >= 0";
   let fresh () =
     match args_for with Some f -> f () | None -> make_args ~symbols g
   in
   for _ = 1 to warmup do
-    ignore (Exec.run ?max_states ?domains ~engine ~symbols ~args:(fresh ()) g)
+    ignore
+      (Exec.run ?max_states ?domains ?kernels ~engine ~symbols
+         ~args:(fresh ()) g)
   done;
   let reports =
     List.init repeat (fun _ ->
-        Exec.run ?max_states ?domains ~engine ~instrument ~symbols
+        Exec.run ?max_states ?domains ?kernels ~engine ~instrument ~symbols
           ~args:(fresh ()) g)
   in
   let walls = List.map (fun r -> r.Obs.Report.r_wall_s) reports in

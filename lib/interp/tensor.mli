@@ -44,7 +44,27 @@ val get_linear : t -> int -> Tasklang.Types.value
 val set_linear : t -> int -> Tasklang.Types.value -> unit
 val get_scalar : t -> Tasklang.Types.value
 val set_scalar : t -> Tasklang.Types.value -> unit
+
 val fill : t -> Tasklang.Types.value -> unit
+(** Set every element of the view to [v] (coerced to the buffer's
+    representation).  Dense views take one [Array.fill]; strided views
+    walk an allocation-free stride odometer. *)
+
+val scale : t -> alpha:Tasklang.Types.value -> unit
+(** In-place [t := alpha * t], elementwise; dense fast path, strided
+    odometer otherwise. *)
+
+val axpy : alpha:Tasklang.Types.value -> x:t -> y:t -> unit
+(** In-place [y := alpha * x + y] over same-shaped views of matching
+    representation; dense fast path when both views are dense.
+    @raise Bounds on shape or representation mismatch. *)
+
+val shares_buffer : t -> t -> bool
+(** Whether two tensors view the same physical allocation. *)
+
+val overlapping : t -> t -> bool
+(** Whether two tensors touch intersecting offset ranges of one buffer
+    (conservative: range overlap, not exact element intersection). *)
 
 val view : t -> starts:int array -> counts:int array -> steps:int array -> t
 (** A strided sub-view sharing the buffer. *)

@@ -50,6 +50,10 @@ type t = {
   mutable c_planned_states : int;
   mutable c_compiled_nodes : int;
   mutable c_fallback_nodes : int;
+  (* bulk-kernel coverage: kernel name -> maps lowered to that kernel,
+     and fallback reason code -> maps left on the closure path *)
+  c_kernel_maps : (string, int) Hashtbl.t;
+  c_kernel_fallbacks : (string, int) Hashtbl.t;
 }
 
 let create level =
@@ -60,7 +64,9 @@ let create level =
     c_stack = [];
     c_planned_states = 0;
     c_compiled_nodes = 0;
-    c_fallback_nodes = 0 }
+    c_fallback_nodes = 0;
+    c_kernel_maps = Hashtbl.create 8;
+    c_kernel_fallbacks = Hashtbl.create 8 }
 
 let level c = c.c_level
 
@@ -170,8 +176,22 @@ let note_planned_state c = c.c_planned_states <- c.c_planned_states + 1
 let note_compiled_node c = c.c_compiled_nodes <- c.c_compiled_nodes + 1
 let note_fallback_node c = c.c_fallback_nodes <- c.c_fallback_nodes + 1
 
+let tally tbl key =
+  Hashtbl.replace tbl key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let note_kernel_map c name = tally c.c_kernel_maps name
+let note_kernel_fallback c reason = tally c.c_kernel_fallbacks reason
+
+let sorted_tallies tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let coverage c =
   (c.c_planned_states, c.c_compiled_nodes, c.c_fallback_nodes)
+
+let kernel_coverage c =
+  (sorted_tallies c.c_kernel_maps, sorted_tallies c.c_kernel_fallbacks)
 
 (* Fold coverage accumulated on a replica collector into the main one —
    the parallel planner compiles each map body once per domain but
@@ -180,4 +200,14 @@ let coverage c =
 let merge_coverage dst src =
   dst.c_planned_states <- dst.c_planned_states + src.c_planned_states;
   dst.c_compiled_nodes <- dst.c_compiled_nodes + src.c_compiled_nodes;
-  dst.c_fallback_nodes <- dst.c_fallback_nodes + src.c_fallback_nodes
+  dst.c_fallback_nodes <- dst.c_fallback_nodes + src.c_fallback_nodes;
+  Hashtbl.iter
+    (fun k v -> Hashtbl.replace dst.c_kernel_maps k
+        (v + Option.value ~default:0 (Hashtbl.find_opt dst.c_kernel_maps k)))
+    src.c_kernel_maps;
+  Hashtbl.iter
+    (fun k v -> Hashtbl.replace dst.c_kernel_fallbacks k
+        (v
+        + Option.value ~default:0
+            (Hashtbl.find_opt dst.c_kernel_fallbacks k)))
+    src.c_kernel_fallbacks

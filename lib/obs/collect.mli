@@ -80,9 +80,20 @@ val note_planned_state : t -> unit
 val note_compiled_node : t -> unit
 val note_fallback_node : t -> unit
 
+val note_kernel_map : t -> string -> unit
+(** Record one map scope lowered to the named bulk kernel. *)
+
+val note_kernel_fallback : t -> string -> unit
+(** Record one map scope left on the closure path, with the reason code
+    the recognizer produced. *)
+
 val coverage : t -> int * int * int
 (** (states planned, nodes compiled natively, nodes on the reference
     fallback path) accumulated by the compiled engine's planner. *)
+
+val kernel_coverage : t -> (string * int) list * (string * int) list
+(** (kernel name, maps lowered) and (fallback reason, maps on the
+    closure path) tallies, each sorted by key. *)
 
 val merge_coverage : t -> t -> unit
 (** [merge_coverage dst src] adds [src]'s coverage counters into [dst]

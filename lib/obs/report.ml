@@ -31,6 +31,10 @@ type coverage = {
   cov_states : int;    (* states planned by the compiled engine *)
   cov_compiled : int;  (* nodes lowered to native closures *)
   cov_fallback : int;  (* nodes executed through the reference path *)
+  cov_kernels : (string * int) list;
+  (* bulk-kernel maps lowered, tallied by kernel name *)
+  cov_kernel_fallbacks : (string * int) list;
+  (* maps left on the closure path, tallied by fallback reason code *)
 }
 
 (* Multicore execution summary: present only when the run was given more
@@ -70,9 +74,11 @@ let of_collector ?parallel ~program ~engine ~wall_s ~counters (c : Collect.t)
     match Collect.coverage c with
     | 0, 0, 0 -> None
     | states, compiled, fallback ->
+      let kernels, kernel_fallbacks = Collect.kernel_coverage c in
       Some
         { cov_states = states; cov_compiled = compiled;
-          cov_fallback = fallback }
+          cov_fallback = fallback; cov_kernels = kernels;
+          cov_kernel_fallbacks = kernel_fallbacks }
   in
   { r_program = program;
     r_engine = engine;
@@ -121,7 +127,23 @@ let pp ppf (r : t) =
     Fmt.pf ppf
       "plan coverage: %d state(s) planned, %d node(s) compiled, %d on the \
        reference fallback@."
-      cov.cov_states cov.cov_compiled cov.cov_fallback
+      cov.cov_states cov.cov_compiled cov.cov_fallback;
+    let pp_tally ppf (k, n) = Fmt.pf ppf "%s x%d" k n in
+    let pp_tallies = Fmt.list ~sep:(Fmt.any ", ") pp_tally in
+    if cov.cov_kernels <> [] || cov.cov_kernel_fallbacks <> [] then begin
+      let lowered =
+        List.fold_left (fun a (_, n) -> a + n) 0 cov.cov_kernels
+      and kept =
+        List.fold_left (fun a (_, n) -> a + n) 0 cov.cov_kernel_fallbacks
+      in
+      Fmt.pf ppf "kernels: %d map(s) lowered" lowered;
+      if cov.cov_kernels <> [] then
+        Fmt.pf ppf " (%a)" pp_tallies cov.cov_kernels;
+      Fmt.pf ppf ", %d on the closure path" kept;
+      if cov.cov_kernel_fallbacks <> [] then
+        Fmt.pf ppf " (%a)" pp_tallies cov.cov_kernel_fallbacks;
+      Fmt.pf ppf "@."
+    end
   | None -> ());
   (match r.r_parallel with
   | Some p ->
@@ -181,11 +203,21 @@ let to_json (r : t) : Json.t =
     @ (match r.r_coverage with
       | None -> []
       | Some cov ->
+        let tallies kvs =
+          Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) kvs)
+        in
         [ ( "plan_coverage",
             Json.Obj
-              [ ("states", Json.Int cov.cov_states);
-                ("compiled_nodes", Json.Int cov.cov_compiled);
-                ("fallback_nodes", Json.Int cov.cov_fallback) ] ) ])
+              ([ ("states", Json.Int cov.cov_states);
+                 ("compiled_nodes", Json.Int cov.cov_compiled);
+                 ("fallback_nodes", Json.Int cov.cov_fallback) ]
+              @ (if cov.cov_kernels = [] then []
+                 else [ ("kernel_maps", tallies cov.cov_kernels) ])
+              @
+              if cov.cov_kernel_fallbacks = [] then []
+              else
+                [ ("kernel_fallbacks", tallies cov.cov_kernel_fallbacks) ])
+          ) ])
     @ (match r.r_parallel with
       | None -> []
       | Some p ->

@@ -27,6 +27,10 @@ type coverage = {
   cov_states : int;    (** states planned by the compiled engine *)
   cov_compiled : int;  (** nodes lowered to native closures *)
   cov_fallback : int;  (** nodes executed through the reference path *)
+  cov_kernels : (string * int) list;
+  (** bulk-kernel maps lowered, tallied by kernel name *)
+  cov_kernel_fallbacks : (string * int) list;
+  (** maps left on the closure path, tallied by fallback reason code *)
 }
 
 type parallel = {

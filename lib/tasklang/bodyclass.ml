@@ -1,0 +1,63 @@
+(* Affine-body classification of tasklet ASTs for the bulk-kernel
+   recognizer (Engine v2).
+
+   A map body is kernelizable only when its single tasklet is a pure
+   scalar expression: one assignment to one connector, whose right-hand
+   side reads scalar connectors / parameters / symbols and applies
+   operators — no element indexing, no control flow, no locals.  This
+   module performs that *shape* check; the kernel compiler in
+   [lib/interp] layers type- and binding-dependent checks (dtype mixing,
+   sign-dependent integer [Pow], connector ranks) on top, because those
+   need the memlet bindings the AST alone does not carry.
+
+   Rejections return the reason code surfaced in plan coverage, so a
+   profile can say *why* a map stayed on the closure path. *)
+
+type t = {
+  b_out : string;         (* the single written connector *)
+  b_expr : Ast.expr;      (* its right-hand side, a pure scalar expr *)
+  b_reads : string list;  (* distinct names read, in first-use order *)
+}
+
+(* Distinct [Var] names in first-use order; [Error reason] if the
+   expression reads through an index (connector element access) — such
+   bodies need the closure path's per-access resolution. *)
+let scalar_reads (e : Ast.expr) : (string list, string) result =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let exception Reject of string in
+  let rec walk = function
+    | Ast.Float_lit _ | Ast.Int_lit _ | Ast.Bool_lit _ -> ()
+    | Ast.Var x ->
+      if not (Hashtbl.mem seen x) then begin
+        Hashtbl.add seen x ();
+        acc := x :: !acc
+      end
+    | Ast.Index _ -> raise (Reject "indexed-read")
+    | Ast.Unop (_, a) -> walk a
+    | Ast.Binop (_, a, b) ->
+      walk a;
+      walk b
+    | Ast.Cond (c, a, b) ->
+      walk c;
+      walk a;
+      walk b
+  in
+  match walk e with
+  | () -> Ok (List.rev !acc)
+  | exception Reject r -> Error r
+
+let classify (code : Ast.t) : (t, string) result =
+  match code with
+  | [] -> Error "empty-body"
+  | _ :: _ :: _ -> Error "multi-stmt"
+  | [ Ast.If _ ] | [ Ast.For _ ] -> Error "control-flow"
+  | [ Ast.Assign (Ast.Lindex _, _) ] -> Error "indexed-write"
+  | [ Ast.Assign (Ast.Lvar out, e) ] -> (
+    match scalar_reads e with
+    | Error r -> Error r
+    | Ok reads ->
+      (* a body reading its own output connector observes the previous
+         buffer value through the write view — closure-path territory *)
+      if List.mem out reads then Error "reads-output"
+      else Ok { b_out = out; b_expr = e; b_reads = reads })

@@ -1,0 +1,19 @@
+(** Affine-body classification of tasklet ASTs for the bulk-kernel
+    recognizer: detects bodies that are a single pure scalar assignment
+    ([out = expr] with no element indexing, control flow or locals) and
+    extracts the pieces the kernel compiler consumes.  Rejections carry
+    the reason code reported in plan coverage. *)
+
+type t = {
+  b_out : string;         (** the single written connector *)
+  b_expr : Ast.expr;      (** its right-hand side, a pure scalar expr *)
+  b_reads : string list;  (** distinct names read, in first-use order *)
+}
+
+val classify : Ast.t -> (t, string) result
+(** [classify code] is [Ok] when [code] is exactly one [out = expr]
+    assignment whose RHS reads only whole (scalar-bound) names — no
+    [a\[i\]] accesses, no [if]/[for], and no read of [out] itself.
+    Reason codes on rejection: ["empty-body"], ["multi-stmt"],
+    ["control-flow"], ["indexed-write"], ["indexed-read"],
+    ["reads-output"]. *)

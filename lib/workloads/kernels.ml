@@ -140,6 +140,53 @@ let spmv () =
         "acc = 0.0\nfor j in rows[0]:rows[1] { acc = acc + vals[j] * xin[cols[j]] }\no = acc");
   Build.finalize g
 
+(* --- Engine v2 micro-workloads ---------------------------------------
+   Memory-bound affine map bodies the bulk-kernel engine targets: dense
+   copy, elementwise add and axpy over length-N vectors.  One tiny
+   tasklet under a huge trip count — exactly where per-iteration closure
+   overhead dominates and the flat strided loops pay off. *)
+
+let copy () =
+  let g = Sdfg.create ~symbols:[ "N" ] "copy" in
+  let n = s "N" in
+  vec g "X" n;
+  vec g "Y" n;
+  let main = Sdfg.add_state g ~label:"main" () in
+  pmap g main ~name:"copy" ~params:[ "i" ] ~ranges:[ r0 n ]
+    ~ins:[ Build.in_elem "x" "X" [ s "i" ] ]
+    ~outs:[ Build.out_elem "y" "Y" [ s "i" ] ]
+    ~code:(`Src "y = x");
+  Build.finalize g
+
+let eadd () =
+  let g = Sdfg.create ~symbols:[ "N" ] "eadd" in
+  let n = s "N" in
+  vec g "A" n;
+  vec g "B" n;
+  vec g "C" n;
+  let main = Sdfg.add_state g ~label:"main" () in
+  pmap g main ~name:"eadd" ~params:[ "i" ] ~ranges:[ r0 n ]
+    ~ins:
+      [ Build.in_elem "a" "A" [ s "i" ]; Build.in_elem "b" "B" [ s "i" ] ]
+    ~outs:[ Build.out_elem "c" "C" [ s "i" ] ]
+    ~code:(`Src "c = a + b");
+  Build.finalize g
+
+(* y = 2.5 * x + y: the in-place update exercises the kernel's
+   read-modify-write path (output container also read as input). *)
+let axpy () =
+  let g = Sdfg.create ~symbols:[ "N" ] "axpy" in
+  let n = s "N" in
+  vec g "X" n;
+  vec g "Y" n;
+  let main = Sdfg.add_state g ~label:"main" () in
+  pmap g main ~name:"axpy" ~params:[ "i" ] ~ranges:[ r0 n ]
+    ~ins:
+      [ Build.in_elem "x" "X" [ s "i" ]; Build.in_elem "y" "Y" [ s "i" ] ]
+    ~outs:[ Build.out_elem "o" "Y" [ s "i" ] ]
+    ~code:(`Src "o = 2.5 * x + y");
+  Build.finalize g
+
 (* CSR generator: [rows] x [cols] with ~nnz_per_row nonzeros per row. *)
 let csr_matrix ~rows ~cols ~nnz_per_row ~seed =
   let st = Random.State.make [| seed |] in

@@ -40,7 +40,9 @@ let fixed_report : R.t =
                       t_total_s = 0.0005;
                       t_children = [] } ] } ] } ];
     r_coverage =
-      Some { R.cov_states = 1; cov_compiled = 2; cov_fallback = 1 };
+      Some
+        { R.cov_states = 1; cov_compiled = 2; cov_fallback = 1;
+          cov_kernels = []; cov_kernel_fallbacks = [] };
     r_parallel = None }
 
 let read_file path =
