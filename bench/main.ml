@@ -724,7 +724,11 @@ let engines () =
       (fun (name, build, symbols) ->
         let measure engine =
           time_run (fun () ->
-              ignore (Interp.Exec.run ~engine ~symbols (build ())))
+              ignore
+                (Interp.Exec.run
+                   ~config:(Interp.Exec.Config.with_engine engine
+                              Interp.Exec.Config.default)
+                   ~symbols (build ())))
         in
         let ref_t = measure Interp.Plan.reference in
         let comp_t = measure Interp.Plan.compiled in
@@ -782,11 +786,16 @@ let engines_v2 () =
   let results =
     List.map
       (fun (name, build, symbols) ->
+        let compiled_1dom kernels =
+          Interp.Exec.Config.(
+            default |> with_engine Interp.Plan.compiled
+            |> with_kernels kernels |> with_domains 1)
+        in
         let measure kernels =
           time_run (fun () ->
               ignore
-                (Interp.Exec.run ~engine:Interp.Plan.compiled ~kernels
-                   ~domains:1 ~symbols (build ())))
+                (Interp.Exec.run ~config:(compiled_1dom kernels) ~symbols
+                   (build ())))
         in
         let closure_t = measure false in
         let kernel_t = measure true in
@@ -797,8 +806,7 @@ let engines_v2 () =
           let g = build () in
           let args = Interp.Profile.make_args ~symbols g in
           let r =
-            Interp.Exec.run ~engine:Interp.Plan.compiled ~kernels ~domains:1
-              ~symbols ~args g
+            Interp.Exec.run ~config:(compiled_1dom kernels) ~symbols ~args g
           in
           (args, r.Obs.Report.r_coverage)
         in
@@ -887,8 +895,12 @@ let parallel () =
   let outputs d =
     let g = build () in
     let args = Interp.Profile.make_args ~symbols g in
-    ignore (Interp.Exec.run ~engine:Interp.Plan.compiled ~domains:d ~symbols
-              ~args g);
+    ignore
+      (Interp.Exec.run
+         ~config:
+           Interp.Exec.Config.(
+             default |> with_engine Interp.Plan.compiled |> with_domains d)
+         ~symbols ~args g);
     args
   in
   let tensor_bits (t : Interp.Tensor.t) =
@@ -901,7 +913,11 @@ let parallel () =
     List.map
       (fun d ->
         let res =
-          Interp.Profile.run ~engine:Interp.Plan.compiled ~domains:d
+          Interp.Profile.run
+            ~config:
+              Interp.Exec.Config.(
+                default |> with_engine Interp.Plan.compiled
+                |> with_domains d)
             ~warmup:1 ~repeat:3 ~symbols (build ())
         in
         let wall = Interp.Profile.wall_min res in
@@ -983,8 +999,10 @@ let autoopt () =
         let k = Workloads.Polybench.find name in
         let wall g =
           Interp.Profile.wall_min
-            (Interp.Profile.run ~engine:Interp.Plan.compiled ~warmup:1
-               ~repeat:5 ~symbols:bench_sizes g)
+            (Interp.Profile.run
+               ~config:(Interp.Exec.Config.with_engine Interp.Plan.compiled
+                          Interp.Exec.Config.default)
+               ~warmup:1 ~repeat:5 ~symbols:bench_sizes g)
         in
         let base_s = wall (k.k_build ()) in
         let strict_s =
@@ -1118,6 +1136,81 @@ let micro () =
     tests;
   engines ()
 
+(* --- serve: daemon throughput, cold vs warm plan cache --------------------------- *)
+
+(* Start an in-process daemon, replay the same fuzz-generated request
+   schedule twice — once against an empty plan cache (every request
+   parses, validates and plans) and once against a warm one (every
+   request is a cache hit) — and record both rates plus the daemon's own
+   latency percentiles in BENCH_serve.json. *)
+let serve () =
+  header "Serve daemon: cold vs warm plan cache";
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "sdfg-bench-serve-%d.sock" (Unix.getpid ()))
+  in
+  let distinct = 24 in
+  let clients = 4 in
+  let config =
+    Interp.Exec.Config.(
+      default |> with_engine Interp.Plan.compiled |> with_domains 1)
+  in
+  let srv =
+    Serve.Server.start ~capacity:(2 * distinct) ~max_queue:256 ~socket ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop srv;
+      Serve.Server.wait srv)
+    (fun () ->
+      (* Larger-than-default graphs weight the cold path toward its
+         parse + validate + plan work, which is what the warm cache
+         elides. *)
+      let gen_config =
+        { Fuzz.Gen.default with c_max_states = 10; c_max_ops = 10; c_max_rank = 1 }
+      in
+      let load ?prime requests =
+        Fuzz.Load.run ~clients ~distinct ~config ~gen_config ?prime ~socket
+          ~requests ()
+      in
+      (* Cold: every distinct graph exactly once, nothing cached yet —
+         each request parses, validates, instantiates and plans. *)
+      let cold = load distinct in
+      (* Warm: the same graphs in steady state — resubmitted by cache
+         key, all plan-cache hits (priming pass unmeasured). *)
+      let warm = load ~prime:true (4 * distinct) in
+      let stats =
+        let c = Serve.Client.connect socket in
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close c)
+          (fun () ->
+            match Serve.Client.stats c with
+            | Ok j -> j
+            | Error e -> Obs.Json.Obj [ ("error", Obs.Json.Str e) ])
+      in
+      let speedup =
+        if cold.Fuzz.Load.o_rps > 0. then warm.Fuzz.Load.o_rps /. cold.o_rps
+        else 0.
+      in
+      row "%-8s%10s%10s%10s%12s@." "phase" "requests" "errors" "hits"
+        "req/s";
+      row "%-8s%10d%10d%10d%12.1f@." "cold" cold.Fuzz.Load.o_requests
+        cold.o_errors cold.o_hits cold.o_rps;
+      row "%-8s%10d%10d%10d%12.1f@." "warm" warm.Fuzz.Load.o_requests
+        warm.o_errors warm.o_hits warm.o_rps;
+      row "warm/cold throughput: %.1fx@." speedup;
+      Obs.Json.save
+        (Obs.Json.Obj
+           [ ("generated_by", Obs.Json.Str "dune exec bench/main.exe serve");
+             ("clients", Obs.Json.Int clients);
+             ("distinct_graphs", Obs.Json.Int distinct);
+             ("cold", Fuzz.Load.outcome_to_json cold);
+             ("warm", Fuzz.Load.outcome_to_json warm);
+             ("warm_over_cold", Obs.Json.Float speedup);
+             ("server_stats", stats) ])
+        "BENCH_serve.json";
+      row "wrote BENCH_serve.json@.")
+
 (* --- driver --------------------------------------------------------------------- *)
 
 let experiments =
@@ -1126,7 +1219,7 @@ let experiments =
     ("fig15", fig15); ("fig17", fig17); ("table2", table2);
     ("table3", table3); ("ablations", ablations); ("micro", micro);
     ("engines", engines); ("engines_v2", engines_v2); ("autoopt", autoopt);
-    ("parallel", parallel) ]
+    ("parallel", parallel); ("serve", serve) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1134,7 +1227,7 @@ let () =
   | [] ->
     List.iter
       (fun (name, f) ->
-        if not (List.mem name [ "micro"; "engines"; "engines_v2"; "autoopt" ])
+        if not (List.mem name [ "micro"; "engines"; "engines_v2"; "autoopt"; "serve" ])
         then f ())
       experiments;
     Fmt.pr "@.(run with argument 'micro' for bechamel microbenchmarks)@."

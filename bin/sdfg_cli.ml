@@ -211,10 +211,12 @@ let engine_arg =
 let domains_arg =
   Arg.(value & opt (some int) None
        & info [ "d"; "domains" ] ~docv:"N"
-           ~doc:"OCaml domains for the compiled engine's parallel maps \
-                 (default: the SDFG_DOMAINS environment variable, else 1). \
-                 Only Cpu_multicore maps the race analysis proves safe \
-                 are parallelized; see 'sdfg analyze-races'.")
+           ~doc:"OCaml domains for the compiled engine's parallel maps. \
+                 An explicit $(docv) takes precedence over the \
+                 SDFG_DOMAINS environment variable; when neither is set \
+                 the default is 1.  Only Cpu_multicore maps the race \
+                 analysis proves safe are parallelized; see 'sdfg \
+                 analyze-races'.")
 
 let no_kernels_arg =
   Arg.(value & flag
@@ -222,6 +224,22 @@ let no_kernels_arg =
            ~doc:"Disable bulk-kernel lowering of affine map bodies: the \
                  compiled engine runs every map through the closure path. \
                  The baseline side of kernel crossvalidation.")
+
+(* Fold the tuning flags into the one Exec.Config surface, reporting
+   invalid values (e.g. --domains 0) as the typed Config error rather
+   than a raise downstream. *)
+let exec_config ?instrument ~engine ~domains ~no_kernels () =
+  let open Interp.Exec.Config in
+  let c = default |> with_engine engine |> with_kernels (not no_kernels) in
+  let c = match domains with Some d -> with_domains d c | None -> c in
+  let c =
+    match instrument with Some l -> with_instrument l c | None -> c
+  in
+  match validate c with
+  | Ok c -> c
+  | Error e ->
+    Fmt.epr "error: %s@." (error_message e);
+    exit 1
 
 let analyze_races_cmd =
   let run name =
@@ -271,10 +289,8 @@ let run_cmd =
     | Some (build, symbols) ->
       let g = build () in
       let args = Interp.Profile.make_args ~symbols g in
-      let report =
-        Interp.Exec.run g ~engine ?domains ~kernels:(not no_kernels)
-          ~symbols ~args
-      in
+      let config = exec_config ~engine ~domains ~no_kernels () in
+      let report = Interp.Exec.run g ~config ~symbols ~args in
       Fmt.pr "ran %s: %a@." name Obs.Report.pp_counters
         report.Obs.Report.r_counters
   in
@@ -328,10 +344,10 @@ let profile_cmd =
       exit 1
     | Some (build, symbols) ->
       let g = build () in
-      let res =
-        Interp.Profile.run ~engine ?domains ~kernels:(not no_kernels)
-          ~instrument ~warmup ~repeat ~symbols g
+      let config =
+        exec_config ~instrument ~engine ~domains ~no_kernels ()
       in
+      let res = Interp.Profile.run ~config ~warmup ~repeat ~symbols g in
       Fmt.pr "%a" Interp.Profile.pp res;
       Option.iter
         (fun path ->
@@ -530,6 +546,121 @@ let fuzz_cmd =
     Term.(const run $ seeds_arg $ seed_arg $ oracle_arg $ shrink_arg
           $ out_arg $ replay_arg)
 
+let socket_arg =
+  Arg.(value & opt string "/tmp/sdfg-serve.sock"
+       & info [ "s"; "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket of the serve daemon.")
+
+let serve_cmd =
+  let capacity_arg =
+    Arg.(value & opt int 32
+         & info [ "cache-capacity" ] ~docv:"N"
+             ~doc:"Plan-cache capacity (LRU-evicted beyond $(docv)).")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persist the plan-cache index under $(docv); a \
+                   restarted daemon comes back warm.")
+  in
+  let max_queue_arg =
+    Arg.(value & opt int 64
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"Admission bound: run requests beyond $(docv) queued \
+                   jobs are shed immediately.")
+  in
+  let run socket capacity cache_dir max_queue =
+    if capacity < 1 then begin
+      Fmt.epr "error: --cache-capacity must be >= 1@.";
+      exit 1
+    end;
+    if max_queue < 1 then begin
+      Fmt.epr "error: --max-queue must be >= 1@.";
+      exit 1
+    end;
+    let srv =
+      Serve.Server.start ~capacity ?cache_dir ~max_queue ~programs:builders
+        ~log:(fun line -> Fmt.pr "[serve] %s@." line)
+        ~socket ()
+    in
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle (fun _ -> Serve.Server.stop srv));
+    Serve.Server.wait srv
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the compile-and-run daemon: validate once, plan once, \
+             run many.  Clients submit .sdfg programs (or registered \
+             program names) with symbol and argument sets over a \
+             length-prefixed JSON socket protocol; plans are cached \
+             content-addressed and shared.  Stop with SIGINT or a \
+             client 'shutdown' request.")
+    Term.(const run $ socket_arg $ capacity_arg $ cache_dir_arg
+          $ max_queue_arg)
+
+let serve_load_cmd =
+  let requests_arg =
+    Arg.(value & opt int 100
+         & info [ "n"; "requests" ] ~docv:"N" ~doc:"Run requests to send.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let distinct_arg =
+    Arg.(value & opt int 8
+         & info [ "distinct" ] ~docv:"N"
+             ~doc:"Distinct generator seeds; repeats of a seed are \
+                   plan-cache hits.")
+  in
+  let verify_arg =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Check every response bit-identical to a direct \
+                   in-process Exec.run of the same request.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the outcome (counts, wall, req/s) as JSON.")
+  in
+  let run socket requests clients distinct verify engine domains no_kernels
+      json =
+    let config = exec_config ~engine ~domains ~no_kernels () in
+    let o =
+      Fuzz.Load.run ~clients ~distinct ~verify ~config ~socket ~requests ()
+    in
+    Fmt.pr
+      "%d requests over %d clients: %d ok, %d errors, %d cache hits, %d \
+       mismatches, %.3fs wall (%.1f req/s)@."
+      o.Fuzz.Load.o_requests clients o.o_ok o.o_errors o.o_hits
+      o.o_mismatches o.o_wall_s o.o_rps;
+    (match
+       let c = Serve.Client.connect socket in
+       Fun.protect
+         ~finally:(fun () -> Serve.Client.close c)
+         (fun () -> Serve.Client.stats c)
+     with
+    | Ok stats -> Fmt.pr "server stats: %s@." (Obs.Json.to_string stats)
+    | Error e -> Fmt.epr "stats request failed: %s@." e
+    | exception _ -> ());
+    Option.iter
+      (fun path ->
+        Obs.Json.save (Fuzz.Load.outcome_to_json o) path;
+        Fmt.pr "wrote outcome JSON to %s@." path)
+      json;
+    if o.o_errors > 0 || o.o_mismatches > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve-load"
+       ~doc:"Drive a running serve daemon with fuzzer-generated \
+             programs: concurrent clients, deterministic request \
+             schedule, optional bit-identity verification against \
+             direct execution.")
+    Term.(const run $ socket_arg $ requests_arg $ clients_arg
+          $ distinct_arg $ verify_arg $ engine_arg $ domains_arg
+          $ no_kernels_arg $ json_arg)
+
 let () =
   Sdfg_ir.Errors.register ();
   let doc = "the SDFG data-centric toolchain" in
@@ -538,4 +669,5 @@ let () =
        (Cmd.group (Cmd.info "sdfg" ~doc)
           [ list_cmd; show_cmd; dot_cmd; codegen_cmd; transform_cmd;
             estimate_cmd; run_cmd; profile_cmd; optimize_cmd; save_cmd;
-            load_cmd; fuzz_cmd; analyze_races_cmd ]))
+            load_cmd; fuzz_cmd; analyze_races_cmd; serve_cmd;
+            serve_load_cmd ]))

@@ -27,3 +27,8 @@ val save : Defs.sdfg -> string -> unit
 (** Write to a file path. *)
 
 val load : string -> Defs.sdfg
+
+val hash : Defs.sdfg -> string
+(** Hex digest of {!to_string} — the implementation behind
+    {!Sdfg.hash} (registered at load time), exposed directly for callers
+    that already hold the serialized text's module dependency. *)

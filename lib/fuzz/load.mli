@@ -1,0 +1,41 @@
+(** Load generator for the serve daemon — the fuzzer's graph generator
+    repurposed as a traffic source.
+
+    [requests] run requests are spread over [clients] concurrent
+    connections; request [i] carries the graph of seed [i mod distinct],
+    so [distinct] controls the plan-cache hit rate (every seed after its
+    first submission is a warm hit).  With [verify], each response's
+    output tensors are checked against a direct in-process
+    {!Interp.Exec.run} of the same (graph, symbols, config, args) —
+    bit-identical, except approximately when the graph carries a float
+    accumulation and the config resolves to more than one domain
+    (reordered float reduction). *)
+
+type outcome = {
+  o_requests : int;
+  o_ok : int;
+  o_errors : int;       (** shed, invalid, or runtime-failed requests *)
+  o_hits : int;         (** responses served from the plan cache *)
+  o_mismatches : int;   (** verify-mode output divergences (0 or bug) *)
+  o_wall_s : float;
+  o_rps : float;        (** completed requests per wall second *)
+}
+
+val run :
+  ?clients:int ->
+  ?distinct:int ->
+  ?verify:bool ->
+  ?config:Interp.Exec.Config.t ->
+  ?gen_config:Gen.config ->
+  ?prime:bool ->
+  socket:string ->
+  requests:int ->
+  unit ->
+  outcome
+(** Defaults: 4 clients, 8 distinct seeds, no verification,
+    {!Interp.Exec.Config.default}, {!Gen.default}, no priming.
+    With [prime], every distinct seed is submitted once before the
+    clock starts, so the measured phase is pure warm-cache steady
+    state (all requests by key, all hits). *)
+
+val outcome_to_json : outcome -> Obs.Json.t

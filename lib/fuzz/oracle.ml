@@ -76,7 +76,10 @@ let rec float_accumulation g =
 let exec engine g =
   let symbols = Gen.symbols_for g in
   let args = Interp.Profile.make_args ~symbols g in
-  ignore (Interp.Exec.run ~engine ~domains:1 ~symbols ~args g);
+  let config =
+    Interp.Exec.Config.(default |> with_engine engine |> with_domains 1)
+  in
+  ignore (Interp.Exec.run ~config ~symbols ~args g);
   args
 
 let first_diff a b =
@@ -111,9 +114,12 @@ let diff ~approx base got =
 let exec_compiled ?(kernels = true) ~domains g =
   let symbols = Gen.symbols_for g in
   let args = Interp.Profile.make_args ~symbols g in
-  let r =
-    Interp.Exec.run ~engine:`Compiled ~kernels ~domains ~symbols ~args g
+  let config =
+    Interp.Exec.Config.(
+      default |> with_engine `Compiled |> with_kernels kernels
+      |> with_domains domains)
   in
+  let r = Interp.Exec.run ~config ~symbols ~args g in
   (args, r.Obs.Report.r_counters)
 
 (* --- the oracles -------------------------------------------------------- *)

@@ -851,6 +851,11 @@ let engine_name : engine -> string = function
   | `Reference -> "reference"
   | `Compiled -> "compiled"
 
+let engine_of_string : string -> engine option = function
+  | "reference" -> Some `Reference
+  | "compiled" -> Some `Compiled
+  | _ -> None
+
 let counters_of_stats (s : stats) : Obs.Report.counters =
   { Obs.Report.elements_moved = s.elements_moved;
     tasklet_execs = s.tasklet_execs;
@@ -870,28 +875,159 @@ let default_domains () =
     | Some n when n >= 1 -> min n 64
     | _ -> 1)
 
+(* --- execution configuration --------------------------------------------- *)
+
+(* The single tuning surface of the execution layer.  Everything that
+   used to travel as a row of optional labelled arguments (engine,
+   instrument, max_states, domains, kernels) is one record, so adding a
+   knob no longer ripples a new [?arg] through Profile, Opt.Search, the
+   CLI, the bench harness and the fuzz oracles — and so the serving
+   layer can hash, serialize and validate a request's tuning in one
+   place. *)
+module Config = struct
+  type error =
+    | Invalid_domains of int
+    | Invalid_max_states of int
+    | Parse of string
+
+  let error_message = function
+    | Invalid_domains n -> Fmt.str "config: domains must be >= 1 (got %d)" n
+    | Invalid_max_states n ->
+      Fmt.str "config: max_states must be >= 1 (got %d)" n
+    | Parse msg -> "config: " ^ msg
+
+  type t = {
+    engine : engine;
+    instrument : Obs.Collect.level;
+    max_states : int;
+    domains : int option;
+        (* None: defer to SDFG_DOMAINS at run time; Some d beats the
+           environment (precedence: explicit config > SDFG_DOMAINS > 1). *)
+    kernels : bool;
+  }
+
+  let default =
+    { engine = `Reference; instrument = Obs.Collect.Off;
+      max_states = 1_000_000; domains = None; kernels = true }
+
+  (* With-style setters, argument-last so they chain off [default]:
+     [Config.(default |> with_engine `Compiled |> with_domains 4)]. *)
+  let with_engine engine c = { c with engine }
+  let with_instrument instrument c = { c with instrument }
+  let with_max_states max_states c = { c with max_states }
+  let with_domains d c = { c with domains = Some d }
+  let with_default_domains c = { c with domains = None }
+  let with_kernels kernels c = { c with kernels }
+
+  let validate c =
+    if c.max_states < 1 then Error (Invalid_max_states c.max_states)
+    else
+      match c.domains with
+      | Some n when n < 1 -> Error (Invalid_domains n)
+      | _ -> Ok c
+
+  (* The effective domain count: explicit setting first (capped at the
+     pool maximum), then the SDFG_DOMAINS environment variable, then 1. *)
+  let resolved_domains c =
+    match c.domains with
+    | Some n -> max 1 (min n 64)
+    | None -> default_domains ()
+
+  let to_json c : Obs.Json.t =
+    Obs.Json.Obj
+      [ ("engine", Obs.Json.Str (engine_name c.engine));
+        ("instrument", Obs.Json.Str (Obs.Collect.level_name c.instrument));
+        ("max_states", Obs.Json.Int c.max_states);
+        ("domains",
+         (match c.domains with
+         | Some n -> Obs.Json.Int n
+         | None -> Obs.Json.Null));
+        ("kernels", Obs.Json.Bool c.kernels) ]
+
+  (* Missing fields keep their defaults; present fields must be
+     well-typed.  [Null] for [domains] means "defer to the environment",
+     mirroring {!to_json}. *)
+  let of_json (j : Obs.Json.t) : (t, error) result =
+    let field name update c =
+      match Obs.Json.member name j with
+      | None | Some Obs.Json.Null -> Ok c
+      | Some v -> update v c
+    in
+    let ( let* ) = Result.bind in
+    let str name v =
+      match Obs.Json.to_string_opt v with
+      | Some s -> Ok s
+      | None -> Error (Parse (Fmt.str "%s must be a string" name))
+    in
+    let int name v =
+      match Obs.Json.to_int_opt v with
+      | Some n -> Ok n
+      | None -> Error (Parse (Fmt.str "%s must be an integer" name))
+    in
+    let* c =
+      field "engine"
+        (fun v c ->
+          let* s = str "engine" v in
+          match engine_of_string s with
+          | Some e -> Ok { c with engine = e }
+          | None -> Error (Parse (Fmt.str "unknown engine %S" s)))
+        default
+    in
+    let* c =
+      field "instrument"
+        (fun v c ->
+          let* s = str "instrument" v in
+          match Obs.Collect.level_of_string s with
+          | Some l -> Ok { c with instrument = l }
+          | None -> Error (Parse (Fmt.str "unknown instrument level %S" s)))
+        c
+    in
+    let* c =
+      field "max_states"
+        (fun v c ->
+          let* n = int "max_states" v in
+          Ok { c with max_states = n })
+        c
+    in
+    let* c =
+      field "domains"
+        (fun v c ->
+          let* n = int "domains" v in
+          Ok { c with domains = Some n })
+        c
+    in
+    let* c =
+      field "kernels"
+        (fun v c ->
+          match v with
+          | Obs.Json.Bool b -> Ok { c with kernels = b }
+          | _ -> Error (Parse "kernels must be a boolean"))
+        c
+    in
+    validate c
+end
+
 (* Main entry point: run [g] on the given tensors and symbol values.
    Non-transient containers not supplied in [args] are allocated
    zero-initialized and discarded.  The returned report freezes the
-   counters, the instrumentation timing tree (per [instrument] level), the
-   compiled engine's plan coverage and — when [domains > 1] — the
-   multicore summary. *)
-let run ?(engine = `Reference) ?(instrument = Obs.Collect.Off)
-    ?(max_states = 1_000_000) ?domains ?(kernels = true) ?(symbols = [])
-    ?(args = []) (g : sdfg) : Obs.Report.t =
-  let domains =
-    match domains with
-    | Some n -> max 1 (min n 64)
-    | None -> default_domains ()
-  in
+   counters, the instrumentation timing tree (per the config's
+   [instrument] level), the compiled engine's plan coverage and — when
+   the resolved domain count exceeds 1 — the multicore summary. *)
+let run ?(config = Config.default) ?(symbols = []) ?(args = [])
+    (g : sdfg) : Obs.Report.t =
+  (match Config.validate config with
+  | Ok _ -> ()
+  | Error e -> runtime_error "%s" (Config.error_message e));
+  let domains = Config.resolved_domains config in
   let stats = fresh_stats () in
   let par = fresh_par () in
-  let collector = Obs.Collect.create instrument in
+  let collector = Obs.Collect.create config.Config.instrument in
   let containers = Hashtbl.create 16 in
   List.iter (fun (name, t) -> Hashtbl.replace containers name (Tens t)) args;
   let t0 = Obs.Collect.now () in
-  run_in ~containers ~symbols ~stats ~collector ~max_states ~engine ~domains
-    ~par ~kernels g;
+  run_in ~containers ~symbols ~stats ~collector
+    ~max_states:config.Config.max_states ~engine:config.Config.engine
+    ~domains ~par ~kernels:config.Config.kernels g;
   let wall_s = Obs.Collect.now () -. t0 in
   let parallel =
     if domains > 1 then
@@ -903,6 +1039,164 @@ let run ?(engine = `Reference) ?(instrument = Obs.Collect.Off)
     else None
   in
   Obs.Report.of_collector ?parallel ~program:g.g_name
-    ~engine:(engine_name engine) ~wall_s
+    ~engine:(engine_name config.Config.engine) ~wall_s
     ~counters:(counters_of_stats stats)
     collector
+
+(* Pre-Config entry point, kept for one release so external callers can
+   migrate at leisure; in-tree callers all use [run ?config].  Preserves
+   the historical clamping of out-of-range [domains] (the new surface
+   reports a typed {!Config.error} instead). *)
+let run_labelled ?(engine = `Reference) ?(instrument = Obs.Collect.Off)
+    ?(max_states = 1_000_000) ?domains ?(kernels = true) ?symbols ?args g =
+  let config =
+    { Config.engine; instrument; max_states;
+      domains = Option.map (fun n -> max 1 (min n 64)) domains; kernels }
+  in
+  run ~config ?symbols ?args g
+
+(* --- reusable instances (plan-once / run-many) ----------------------------- *)
+
+(* A persistent execution environment for one (graph, symbol valuation,
+   config) triple.  Compiled plans close over their environment — the
+   stats record, the collector, the container table, even specific
+   tensors for recognized bulk kernels — so reuse means keeping ONE
+   environment alive and resetting its mutable contents per run, not
+   rebuilding it.  This is the unit the serving layer caches: validate
+   once, plan on first run, then every subsequent run pays only
+   copy-in + execute + copy-out. *)
+module Instance = struct
+  type t = {
+    i_env : env;
+    i_config : Config.t;
+    i_domains : int;  (* resolved at creation, frozen *)
+    i_symbols : (string * int) list;
+    i_lock : Mutex.t;  (* an instance runs one request at a time *)
+  }
+
+  let create ?(config = Config.default) ?(symbols = []) (g : sdfg) : t =
+    (match Config.validate config with
+    | Ok _ -> ()
+    | Error e -> runtime_error "%s" (Config.error_message e));
+    (* Timing spans memoize into plan closures at compile time, so a
+       timed plan would accumulate spans across requests; instances are
+       counters-only. *)
+    let config = { config with Config.instrument = Obs.Collect.Off } in
+    let domains = Config.resolved_domains config in
+    let g = Sdfg.clone g in  (* isolate from later caller mutation *)
+    let env =
+      { g; containers = Hashtbl.create 16; symbols = Hashtbl.create 8;
+        stats = fresh_stats ();
+        collector = Obs.Collect.create Obs.Collect.Off;
+        max_states = config.Config.max_states;
+        engine = config.Config.engine; plans = Hashtbl.create 4; domains;
+        par = fresh_par (); kernels = config.Config.kernels }
+    in
+    List.iter (fun (s, v) -> Hashtbl.replace env.symbols s v) symbols;
+    (* Allocate every container up front so plans and recognized kernels
+       bind to tensors that stay stable across runs.  Shapes concretize
+       against the instance's symbol valuation, which is why the
+       valuation is part of the instance's identity (and of the serve
+       cache key). *)
+    List.iter
+      (fun (name, d) ->
+        let shape =
+          List.map (fun e -> eval_expr env [] e) (ddesc_shape d)
+          |> Array.of_list
+        in
+        match d with
+        | Array a ->
+          Hashtbl.replace env.containers name
+            (Tens (Tensor.create a.a_dtype shape))
+        | Stream s ->
+          let nq = max 1 (Array.fold_left ( * ) 1 shape) in
+          Hashtbl.replace env.containers name
+            (Strm
+               { qs = Array.init nq (fun _ -> Queue.create ());
+                 q_shape = shape;
+                 q_dtype = s.s_dtype }))
+      (Sdfg.descs g);
+    { i_env = env; i_config = config; i_domains = domains;
+      i_symbols = symbols; i_lock = Mutex.create () }
+
+  let config inst = inst.i_config
+  let symbols inst = inst.i_symbols
+  let graph inst = inst.i_env.g
+
+  let reset_stats (s : stats) =
+    s.elements_moved <- 0;
+    s.tasklet_execs <- 0;
+    s.map_iterations <- 0;
+    s.stream_pushes <- 0;
+    s.stream_pops <- 0;
+    s.states_executed <- 0;
+    s.wcr_writes <- 0
+
+  let reset_par (p : par_stats) =
+    p.par_maps <- 0;
+    p.par_chunks <- 0;
+    p.par_forced_seq <- 0
+
+  (* One run: copy the request's tensors in, reset every piece of
+     mutable run state the plans close over, execute, copy results back
+     into the caller's tensors (preserving {!run}'s mutate-in-place
+     contract).  Bit-identical to a fresh [run] with the same config:
+     unsupplied containers are zero-filled exactly as [run_in]
+     zero-allocates them, and [Tensor.copy_into] moves raw values. *)
+  let run ?(args = []) (inst : t) : Obs.Report.t =
+    Mutex.lock inst.i_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock inst.i_lock) @@ fun () ->
+    let env = inst.i_env in
+    List.iter
+      (fun (name, _) ->
+        if not (Hashtbl.mem env.containers name) then
+          runtime_error "instance %S: unknown argument container %S"
+            env.g.g_name name)
+      args;
+    Hashtbl.reset env.symbols;
+    List.iter
+      (fun (s, v) -> Hashtbl.replace env.symbols s v)
+      inst.i_symbols;
+    reset_stats env.stats;
+    reset_par env.par;
+    Hashtbl.iter
+      (fun name c ->
+        match c with
+        | Tens t -> (
+          match List.assoc_opt name args with
+          | Some src ->
+            if
+              Tensor.shape src <> Tensor.shape t
+              || Tensor.dtype src <> Tensor.dtype t
+            then
+              runtime_error
+                "instance %S: argument %S does not match the instance's \
+                 shape/dtype for that container"
+                env.g.g_name name
+            else Tensor.copy_into ~src ~dst:t
+          | None -> Tensor.fill t (Tasklang.Types.zero_of (Tensor.dtype t)))
+        | Strm s -> Array.iter Queue.clear s.qs)
+      env.containers;
+    let t0 = Obs.Collect.now () in
+    run_state_machine env;
+    let wall_s = Obs.Collect.now () -. t0 in
+    List.iter
+      (fun (name, dst) ->
+        match Hashtbl.find_opt env.containers name with
+        | Some (Tens src) -> Tensor.copy_into ~src ~dst
+        | _ -> ())
+      args;
+    let parallel =
+      if inst.i_domains > 1 then
+        Some
+          { Obs.Report.par_domains = inst.i_domains;
+            par_maps = env.par.par_maps;
+            par_chunks = env.par.par_chunks;
+            par_forced_seq = env.par.par_forced_seq }
+      else None
+    in
+    Obs.Report.of_collector ?parallel ~program:env.g.g_name
+      ~engine:(engine_name env.engine) ~wall_s
+      ~counters:(counters_of_stats env.stats)
+      env.collector
+end

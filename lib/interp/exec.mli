@@ -69,10 +69,90 @@ type engine = [ `Reference | `Compiled ]
 val engine_name : engine -> string
 (** ["reference"] / ["compiled"] — the [r_engine] field of reports. *)
 
+val engine_of_string : string -> engine option
+(** Inverse of {!engine_name}; [None] on anything else. *)
+
 val counters_of_stats : stats -> Obs.Report.counters
 (** Freeze the mutable counters into a report's immutable record. *)
 
+(** Execution-tuning configuration — the single surface for every knob
+    that used to be a separate optional argument of {!run}.  Build one
+    with the with-style setters off {!Config.default}:
+    [Config.(default |> with_engine `Compiled |> with_domains 4)]. *)
+module Config : sig
+  type error =
+    | Invalid_domains of int     (** [domains < 1] *)
+    | Invalid_max_states of int  (** [max_states < 1] *)
+    | Parse of string            (** malformed JSON field *)
+
+  val error_message : error -> string
+
+  type t = {
+    engine : engine;                  (** default [`Reference] *)
+    instrument : Obs.Collect.level;   (** default [Off] *)
+    max_states : int;                 (** default 1,000,000 *)
+    domains : int option;
+        (** [Some d] pins the compiled engine's domain count and takes
+            precedence over the [SDFG_DOMAINS] environment variable;
+            [None] (the default) defers to it.  See
+            {!resolved_domains}. *)
+    kernels : bool;                   (** default [true] *)
+  }
+
+  val default : t
+
+  val with_engine : engine -> t -> t
+  val with_instrument : Obs.Collect.level -> t -> t
+  val with_max_states : int -> t -> t
+
+  val with_domains : int -> t -> t
+  (** Pin the domain count explicitly (beats [SDFG_DOMAINS]). *)
+
+  val with_default_domains : t -> t
+  (** Back to deferring to the environment. *)
+
+  val with_kernels : bool -> t -> t
+
+  val validate : t -> (t, error) result
+  (** Typed validation: [domains < 1] and [max_states < 1] are
+      {!error}s here rather than raises downstream — the CLI and the
+      serve protocol report them without exception handling.  Values
+      above the pool maximum (64) are not errors; they clamp. *)
+
+  val resolved_domains : t -> int
+  (** The effective domain count: the explicit [domains] clamped to
+      [[1, 64]] when set, else {!default_domains} (i.e. [SDFG_DOMAINS]
+      clamped, or 1). *)
+
+  val to_json : t -> Obs.Json.t
+
+  val of_json : Obs.Json.t -> (t, error) result
+  (** Missing fields keep their defaults; present fields must be
+      well-typed ([engine]/[instrument] as names, [max_states]/[domains]
+      integers, [kernels] boolean).  Runs {!validate}. *)
+end
+
 val run :
+  ?config:Config.t ->
+  ?symbols:(string * int) list ->
+  ?args:(string * Tensor.t) list ->
+  Sdfg_ir.Sdfg.t ->
+  Obs.Report.t
+(** Execute an SDFG.  [symbols] binds the free symbols (sizes);
+    [args] binds non-transient containers to caller-owned tensors,
+    which are mutated in place (the array-based interface of §2.1).
+    Containers not supplied are allocated zero-initialized.
+    [config] carries every tuning knob (engine, instrumentation level,
+    state budget, domain count, kernel lowering) — see {!Config};
+    the default is {!Config.default}.
+    The returned {!Obs.Report.t} carries the counters, the
+    per-construct timing tree and — for the compiled engine — plan
+    coverage and (at a resolved domain count > 1) the multicore
+    summary.
+    @raise Runtime_error on stuck or ill-formed programs, and on a
+    config that fails {!Config.validate}. *)
+
+val run_labelled :
   ?engine:engine ->
   ?instrument:Obs.Collect.level ->
   ?max_states:int ->
@@ -82,27 +162,50 @@ val run :
   ?args:(string * Tensor.t) list ->
   Sdfg_ir.Sdfg.t ->
   Obs.Report.t
-(** Execute an SDFG.  [symbols] binds the free symbols (sizes);
-    [args] binds non-transient containers to caller-owned tensors,
-    which are mutated in place (the array-based interface of §2.1).
-    Containers not supplied are allocated zero-initialized.
-    [max_states] bounds state-machine steps (default 1,000,000).
-    [engine] selects the execution engine (default [`Reference]).
-    [domains] (default {!default_domains}, i.e. [SDFG_DOMAINS] or 1)
-    lets the compiled engine run top-level [Cpu_multicore] map scopes
-    across that many OCaml domains — only those the static race analysis
-    ({!Analysis.Races}) proves safe; the rest are forced sequential and
-    counted in the report's parallel section.
-    [kernels] (default [true]) lets the compiled engine lower recognized
-    affine map bodies to bulk strided kernels ({!Kernels}); [false]
-    forces every map onto the closure path — the crossval baseline and
-    the CLI's [--no-kernels].
-    [instrument] sets the timing level (default [Off]: counters only, no
-    timers; the compiled engine plans uninstrumented closures so the
-    timing machinery costs nothing).  The returned {!Obs.Report.t}
-    carries the counters, the per-construct timing tree and — for the
-    compiled engine — plan coverage.
-    @raise Runtime_error on stuck or ill-formed programs. *)
+[@@ocaml.deprecated
+  "use Exec.run ?config with Exec.Config (labelled-argument surface kept \
+   for one release)"]
+(** The pre-{!Config} entry point, one release from removal.  Same
+    semantics as {!run} with the corresponding config, except
+    out-of-range [domains] clamp silently as they historically did. *)
+
+(** Plan-once / run-many execution.  An instance pins one
+    (graph, symbol valuation, config) triple, keeps the execution
+    environment — including compiled plans and their kernel tensor
+    bindings — alive across runs, and resets all mutable run state per
+    request.  The unit cached by the serving layer. *)
+module Instance : sig
+  type t
+
+  val create :
+    ?config:Config.t ->
+    ?symbols:(string * int) list ->
+    Sdfg_ir.Sdfg.t ->
+    t
+  (** Validates the config, clones the graph (later caller mutation
+      cannot invalidate cached plans) and allocates every container
+      zero-initialized at shapes concretized against [symbols].  The
+      instrumentation level is forced to [Off]: plan closures memoize
+      their spans, so a timed instance would accumulate timing state
+      across requests.  Plans are compiled lazily on first {!run}.
+      @raise Runtime_error on an invalid config or unbound shape
+      symbols. *)
+
+  val run : ?args:(string * Tensor.t) list -> t -> Obs.Report.t
+  (** Execute once: copies [args] into the instance's containers
+      (shape and dtype must match exactly), zero-fills the rest,
+      resets symbols/counters/streams, runs, then copies results back
+      into the caller's tensors ({!Exec.run}'s mutate-in-place
+      contract).  Results and counters are bit-identical to a fresh
+      {!Exec.run} with the same config, symbols and args.  Thread-safe:
+      an internal lock serializes concurrent runs of one instance.
+      @raise Runtime_error on unknown or mis-shaped argument
+      containers. *)
+
+  val config : t -> Config.t
+  val symbols : t -> (string * int) list
+  val graph : t -> Sdfg_ir.Sdfg.t
+end
 
 (** {1 Engine internals}
 

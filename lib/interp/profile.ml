@@ -57,26 +57,26 @@ let wall_min res =
   List.fold_left Float.min Float.infinity res.p_walls
 
 (* Profile [g]: [warmup] unmeasured runs (instrumentation off), then
-   [repeat] measured runs at [instrument], each on freshly synthesized
-   arguments so in-place mutation cannot feed one repetition's output
-   into the next.  The reported run is the median by wall-clock. *)
-let run ?(engine = `Reference) ?(instrument = Obs.Collect.Off) ?(warmup = 1)
-    ?(repeat = 5) ?max_states ?domains ?kernels ?(symbols = []) ?args_for
-    (g : Sdfg.t) : result =
+   [repeat] measured runs at the config's instrument level, each on
+   freshly synthesized arguments so in-place mutation cannot feed one
+   repetition's output into the next.  The reported run is the median by
+   wall-clock. *)
+let run ?(config = Exec.Config.default) ?(warmup = 1) ?(repeat = 5)
+    ?(symbols = []) ?args_for (g : Sdfg.t) : result =
   if repeat < 1 then invalid_arg "Profile.run: repeat must be >= 1";
   if warmup < 0 then invalid_arg "Profile.run: warmup must be >= 0";
   let fresh () =
     match args_for with Some f -> f () | None -> make_args ~symbols g
   in
+  let warm_config =
+    Exec.Config.with_instrument Obs.Collect.Off config
+  in
   for _ = 1 to warmup do
-    ignore
-      (Exec.run ?max_states ?domains ?kernels ~engine ~symbols
-         ~args:(fresh ()) g)
+    ignore (Exec.run ~config:warm_config ~symbols ~args:(fresh ()) g)
   done;
   let reports =
     List.init repeat (fun _ ->
-        Exec.run ?max_states ?domains ?kernels ~engine ~instrument ~symbols
-          ~args:(fresh ()) g)
+        Exec.run ~config ~symbols ~args:(fresh ()) g)
   in
   let walls = List.map (fun r -> r.Obs.Report.r_wall_s) reports in
   let sorted =

@@ -22,24 +22,20 @@ val wall_median : result -> float
 val wall_min : result -> float
 
 val run :
-  ?engine:Exec.engine ->
-  ?instrument:Obs.Collect.level ->
+  ?config:Exec.Config.t ->
   ?warmup:int ->
   ?repeat:int ->
-  ?max_states:int ->
-  ?domains:int ->
-  ?kernels:bool ->
   ?symbols:(string * int) list ->
   ?args_for:(unit -> (string * Tensor.t) list) ->
   Sdfg_ir.Sdfg.t ->
   result
-(** Profile an SDFG: [warmup] unmeasured runs (default 1, instrumentation
-    off), then [repeat] measured runs (default 5) at [instrument]
-    (default [Off]).  [domains] and [kernels] are forwarded to
-    {!Exec.run} (multicore map execution and bulk-kernel lowering on the
-    compiled engine).  Each run gets fresh arguments
-    — from [args_for] when given, else {!make_args} — so in-place
-    mutation cannot leak between repetitions.
+(** Profile an SDFG: [warmup] unmeasured runs (default 1,
+    instrumentation forced [Off]), then [repeat] measured runs
+    (default 5) under [config] (default {!Exec.Config.default}) —
+    engine, instrument level, domains and kernel lowering all travel in
+    the config.  Each run gets fresh arguments — from [args_for] when
+    given, else {!make_args} — so in-place mutation cannot leak between
+    repetitions.
     @raise Invalid_argument when [repeat < 1] or [warmup < 0]. *)
 
 val to_json : result -> Obs.Json.t

@@ -32,7 +32,7 @@ type config = {
   c_symbols : (string * int) list;
   c_measure_symbols : (string * int) list;
   c_objective : objective;
-  c_engine : Interp.Exec.engine;
+  c_exec : Interp.Exec.Config.t;
   c_warmup : int;
   c_repeat : int;
   c_beam : int;
@@ -44,9 +44,13 @@ type config = {
   c_xforms : string list;
 }
 
+let default_exec =
+  Interp.Exec.Config.with_engine Interp.Plan.compiled
+    Interp.Exec.Config.default
+
 let config ?(spec = Machine.Spec.paper_testbed) ?(opts = Cost.default_options)
-    ?measure_symbols ?(objective = Model_only)
-    ?(engine = Interp.Plan.compiled) ?(warmup = 1) ?(repeat = 5) ?(beam = 4)
+    ?measure_symbols ?(objective = Model_only) ?(exec = default_exec)
+    ?(warmup = 1) ?(repeat = 5) ?(beam = 4)
     ?(max_steps = 8) ?(max_candidates = 8) ?(min_gain = 1e-3) ?(patience = 1)
     ?budget_s ?(xforms = []) ~target ~symbols () =
   { c_target = target;
@@ -55,7 +59,7 @@ let config ?(spec = Machine.Spec.paper_testbed) ?(opts = Cost.default_options)
     c_symbols = symbols;
     c_measure_symbols = Option.value measure_symbols ~default:symbols;
     c_objective = objective;
-    c_engine = engine;
+    c_exec = exec;
     c_warmup = warmup;
     c_repeat = repeat;
     c_beam = max 1 beam;
@@ -142,7 +146,7 @@ let optimize ?(name = "sdfg") (cfg : config) (build : unit -> Sdfg_ir.Sdfg.t)
   let measure g =
     incr profile_runs;
     let res =
-      Interp.Profile.run ~engine:cfg.c_engine ~warmup:cfg.c_warmup
+      Interp.Profile.run ~config:cfg.c_exec ~warmup:cfg.c_warmup
         ~repeat:cfg.c_repeat ~symbols:cfg.c_measure_symbols g
     in
     Interp.Profile.wall_median res
@@ -369,7 +373,10 @@ let crossval ?(symbols = []) (build : unit -> Sdfg_ir.Sdfg.t)
      SDFG_DOMAINS cannot reorder float accumulation *)
   let run g engine =
     let args = Interp.Profile.make_args ~symbols (build ()) in
-    ignore (Interp.Exec.run g ~engine ~domains:1 ~symbols ~args : Obs.Report.t);
+    let config =
+      Interp.Exec.Config.(default |> with_engine engine |> with_domains 1)
+    in
+    ignore (Interp.Exec.run g ~config ~symbols ~args : Obs.Report.t);
     args
   in
   match realize build chain with

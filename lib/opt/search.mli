@@ -27,7 +27,10 @@ type config = {
   c_symbols : (string * int) list;  (** sizes the model is evaluated at *)
   c_measure_symbols : (string * int) list;  (** sizes measured runs use *)
   c_objective : objective;
-  c_engine : Interp.Exec.engine;
+  c_exec : Interp.Exec.Config.t;
+      (** execution config of measured runs and crossval (engine,
+          domains, kernels) — default: compiled engine, everything else
+          {!Interp.Exec.Config.default} *)
   c_warmup : int;
   c_repeat : int;
   c_beam : int;            (** beam width *)
@@ -44,7 +47,7 @@ val config :
   ?opts:Machine.Cost.options ->
   ?measure_symbols:(string * int) list ->
   ?objective:objective ->
-  ?engine:Interp.Exec.engine ->
+  ?exec:Interp.Exec.Config.t ->
   ?warmup:int ->
   ?repeat:int ->
   ?beam:int ->

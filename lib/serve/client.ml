@@ -1,0 +1,71 @@
+(* Synchronous serve client: frame out, frame in.  Each connection
+   carries at most one request at a time, so responses correlate by
+   position; the [id] echo exists for sanity checking and for future
+   pipelined clients. *)
+
+module Json = Obs.Json
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+}
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  { fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    next_id = 1 }
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let request c req =
+  let id = c.next_id in
+  c.next_id <- id + 1;
+  Protocol.write_frame c.oc (Json.to_string (Protocol.request_to_json ~id req));
+  match Protocol.read_frame c.ic with
+  | None -> raise (Protocol.Protocol_error "connection closed by server")
+  | Some payload -> (
+    match Json.parse payload with
+    | exception _ ->
+      raise (Protocol.Protocol_error "malformed response payload")
+    | json -> (
+      match Protocol.response_of_json json with
+      | Ok resp -> resp
+      | Error e -> raise (Protocol.Protocol_error e)))
+
+let run ?(symbols = []) ?(config = Interp.Exec.Config.default) ?(args = []) c
+    program =
+  match
+    request c
+      (Protocol.Run
+         { rq_program = program; rq_symbols = symbols; rq_config = config;
+           rq_args = args })
+  with
+  | Protocol.Resp_run r -> Ok r
+  | Protocol.Resp_error { err; _ } -> Error err
+  | Protocol.Resp_pong | Protocol.Resp_shutdown | Protocol.Resp_stats _ ->
+    Error "unexpected response kind"
+
+let stats c =
+  match request c Protocol.Stats with
+  | Protocol.Resp_stats j -> Ok j
+  | Protocol.Resp_error { err; _ } -> Error err
+  | _ -> Error "unexpected response kind"
+
+let ping c =
+  match request c Protocol.Ping with
+  | Protocol.Resp_pong -> true
+  | _ -> false
+  | exception _ -> false
+
+let shutdown c =
+  match request c Protocol.Shutdown with
+  | Protocol.Resp_shutdown | _ -> ()
+  | exception _ -> ()

@@ -1,0 +1,29 @@
+(** Synchronous client for the serve daemon — one request in flight per
+    connection.  Used by the CLI, the load generator and the tests; a
+    connection is not thread-safe, give each thread its own. *)
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon's Unix-domain socket.
+    @raise Unix.Unix_error when nobody is listening. *)
+
+val close : t -> unit
+
+val request : t -> Protocol.request -> Protocol.response
+(** Send one request and block for its response.
+    @raise Protocol.Protocol_error on a broken or malformed stream. *)
+
+val run :
+  ?symbols:(string * int) list ->
+  ?config:Interp.Exec.Config.t ->
+  ?args:(string * Interp.Tensor.t) list ->
+  t ->
+  Protocol.program ->
+  (Protocol.run_result, string) result
+(** Execute a program on the daemon.  [Error] carries the daemon's
+    message (shed, validation failure, runtime error, …). *)
+
+val stats : t -> (Obs.Json.t, string) result
+val ping : t -> bool
+val shutdown : t -> unit

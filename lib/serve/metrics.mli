@@ -1,0 +1,33 @@
+(** Aggregate service counters for the serve daemon ([stats] request):
+    request/error/shed/batch totals, queue-depth gauge and p50/p95/p99
+    latency over a bounded window of recent requests.  Thread-safe. *)
+
+type t
+
+val create : unit -> t
+
+val record_request : t -> ok:bool -> batched:bool -> latency_s:float -> unit
+(** One completed run request (enqueue-to-response latency). *)
+
+val record_shed : t -> unit
+(** One request rejected at admission (queue full). *)
+
+val queue_changed : t -> int -> unit
+(** New queue depth (jobs waiting or executing). *)
+
+type snapshot = {
+  s_requests : int;
+  s_errors : int;
+  s_shed : int;
+  s_batched : int;
+  s_queue_depth : int;
+  s_max_queue_depth : int;
+  s_uptime_s : float;
+  s_p50_s : float;
+  s_p95_s : float;
+  s_p99_s : float;
+}
+
+val snapshot : t -> snapshot
+
+val to_json : snapshot -> cache:Cache.stats -> Obs.Json.t

@@ -1,0 +1,369 @@
+(* The serve daemon: validate once, plan once, run many.
+
+   Thread layout — everything is a [Thread.t], never a [Domain.t]:
+   OCaml threads stay on the domain that created them, and the compiled
+   engine's domain pool ({!Interp.Pool}) may only be driven from the
+   main domain.  [start] (called from the main domain) creates the
+   accept thread and the single executor thread; the accept thread
+   creates one connection thread per client.  All of them therefore
+   live on the main domain, and the executor can run parallel maps.
+
+   Connection threads do the cheap work — framing, JSON, parsing the
+   program to its canonical form and cache key — and answer [ping] /
+   [stats] / [shutdown] inline.  Run requests pass through admission
+   control into a bounded FIFO; when the queue is full they are shed
+   immediately ([Resp_error { shed = true }]) rather than queued into
+   unbounded latency.  The executor pops the oldest job plus every
+   queued job with the same cache key (a batch): the instance is
+   resolved once and the whole batch runs against it back-to-back,
+   so a burst of identical-shape requests pays one cache probe. *)
+
+module Json = Obs.Json
+module Exec = Interp.Exec
+module Tensor = Interp.Tensor
+module Defs = Sdfg_ir.Defs
+module Serialize = Sdfg_ir.Serialize
+module Expr = Symbolic.Expr
+
+type job = {
+  jb_id : int;
+  jb_key : string;
+  jb_text : string option;  (* canonical serialized graph; None = Prog_key *)
+  jb_symbols : (string * int) list;
+  jb_config : Exec.Config.t;
+  jb_args : (string * Tensor.t) list;
+  jb_reply : Protocol.response -> unit;
+  jb_enqueued : float;
+}
+
+type t = {
+  srv_socket : string;
+  srv_cache : Cache.t;
+  srv_metrics : Metrics.t;
+  srv_programs : (string * (unit -> Defs.sdfg)) list;
+  srv_log : string -> unit;
+  srv_max_queue : int;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable queue : job list;  (* FIFO, head oldest; bounded by max_queue *)
+  mutable stopping : bool;
+  mutable threads : Thread.t list;  (* accept + executor *)
+}
+
+let cache srv = srv.srv_cache
+let metrics srv = srv.srv_metrics
+let socket_path srv = srv.srv_socket
+
+let stop srv =
+  Mutex.lock srv.lock;
+  if not srv.stopping then begin
+    srv.stopping <- true;
+    srv.srv_log "stopping";
+    Condition.broadcast srv.cond
+  end;
+  Mutex.unlock srv.lock
+
+(* --- executor ------------------------------------------------------------ *)
+
+let exn_message = function
+  | Exec.Runtime_error msg -> msg
+  | Defs.Invalid_sdfg msg -> msg
+  | Failure msg -> msg
+  | exn -> Printexc.to_string exn
+
+(* Look the job's key up in the plan cache; on a miss, parse + validate
+   + instantiate from the job's canonical text and publish the instance.
+   [Cache.add] returns the winning instance, so a lost insertion race
+   still leaves every caller sharing one instance (whose internal lock
+   serializes runs). *)
+let resolve srv job =
+  match Cache.find srv.srv_cache job.jb_key with
+  | Some inst -> Ok (inst, true)
+  | None -> (
+    match job.jb_text with
+    | None ->
+      Error
+        (Fmt.str
+           "unknown cache key %s (evicted or never seen: resend the program)"
+           job.jb_key)
+    | Some text -> (
+      try
+        let g = Serialize.of_string text in
+        match Sdfg_ir.Validate.validate g with
+        | Error errs ->
+          Error
+            (Fmt.str "invalid SDFG: %s"
+               (String.concat "; "
+                  (List.map
+                     (fun (e : Sdfg_ir.Validate.error) -> e.e_msg)
+                     errs)))
+        | Ok () ->
+          let inst =
+            Exec.Instance.create ~config:job.jb_config ~symbols:job.jb_symbols
+              g
+          in
+          Ok (Cache.add srv.srv_cache ~key:job.jb_key ~text inst, false)
+      with exn -> Error (exn_message exn)))
+
+(* The response's output set: every non-transient array container, the
+   caller's tensor when supplied, a zero-initialized allocation at the
+   instance's concrete shape otherwise.  Passing them all as [args]
+   makes {!Exec.Instance.run} copy results back into exactly these
+   tensors — the mutate-in-place contract, reproduced over the wire. *)
+let materialize_outputs inst supplied =
+  let symbols = Exec.Instance.symbols inst in
+  List.filter_map
+    (fun (name, d) ->
+      match d with
+      | Defs.Stream _ -> None
+      | Defs.Array a when a.Defs.a_transient -> None
+      | Defs.Array a -> (
+        match List.assoc_opt name supplied with
+        | Some t -> Some (name, t)
+        | None ->
+          let dims =
+            List.map (fun e -> Expr.eval_list symbols e) a.Defs.a_shape
+          in
+          Some (name, Tensor.create a.Defs.a_dtype (Array.of_list dims))))
+    (Sdfg_ir.Sdfg.descs (Exec.Instance.graph inst))
+
+let finish srv job ~batched result =
+  let resp =
+    match result with
+    | Ok r -> Protocol.Resp_run r
+    | Error err -> Protocol.Resp_error { err; shed = false }
+  in
+  (* Record before replying: a client that sees its last response must
+     find the full tally in a subsequent [stats] request. *)
+  Metrics.record_request srv.srv_metrics
+    ~ok:(match result with Ok _ -> true | Error _ -> false)
+    ~batched
+    ~latency_s:(Unix.gettimeofday () -. job.jb_enqueued);
+  try job.jb_reply resp with _ -> ()
+
+let run_job srv job inst ~hit ~batched =
+  let result =
+    try
+      (* Unknown argument names must error even when they are not
+         output containers (e.g. a typo), so let Instance.run see the
+         caller's args verbatim plus the materialized outputs. *)
+      let outputs = materialize_outputs inst job.jb_args in
+      let extra =
+        List.filter
+          (fun (n, _) -> not (List.mem_assoc n outputs))
+          job.jb_args
+      in
+      let report = Exec.Instance.run ~args:(extra @ outputs) inst in
+      Ok
+        { Protocol.rs_key = job.jb_key;
+          rs_hit = hit;
+          rs_report = Obs.Report.to_json report;
+          rs_outputs = outputs }
+    with exn -> Error (exn_message exn)
+  in
+  finish srv job ~batched result
+
+let rec exec_loop srv =
+  Mutex.lock srv.lock;
+  while srv.queue = [] && not srv.stopping do
+    Condition.wait srv.cond srv.lock
+  done;
+  let work =
+    match srv.queue with
+    | [] -> `Stop (* stopping with an empty queue *)
+    | leader :: rest when srv.stopping ->
+      srv.queue <- [];
+      `Drain (leader :: rest)
+    | leader :: rest ->
+      let batch, other =
+        List.partition (fun j -> String.equal j.jb_key leader.jb_key) rest
+      in
+      srv.queue <- other;
+      `Batch (leader, batch)
+  in
+  let depth = List.length srv.queue in
+  Mutex.unlock srv.lock;
+  Metrics.queue_changed srv.srv_metrics depth;
+  match work with
+  | `Stop -> ()
+  | `Drain jobs ->
+    List.iter
+      (fun j -> finish srv j ~batched:false (Error "server shutting down"))
+      jobs;
+    exec_loop srv
+  | `Batch (leader, followers) ->
+    (match resolve srv leader with
+    | Error e ->
+      finish srv leader ~batched:false (Error e);
+      List.iter (fun j -> finish srv j ~batched:true (Error e)) followers
+    | Ok (inst, hit) ->
+      run_job srv leader inst ~hit ~batched:false;
+      (* Followers share the leader's freshly resolved instance: a hit
+         by construction. *)
+      List.iter (fun j -> run_job srv j inst ~hit:true ~batched:true) followers);
+    exec_loop srv
+
+(* --- connections --------------------------------------------------------- *)
+
+(* Resolve the request's program to (cache key, canonical text).  Runs
+   on the connection thread: parsing and re-serialization are cheap next
+   to planning and keep malformed programs out of the executor.  Keying
+   on the canonical form means cosmetic differences in the submitted
+   text (whitespace, ordering the serializer normalizes) cannot split
+   the cache. *)
+let program_key srv (rq : Protocol.run_request) =
+  let key_of text =
+    (Protocol.cache_key ~sdfg_text:text ~symbols:rq.rq_symbols
+       ~config:rq.rq_config, Some text)
+  in
+  match rq.rq_program with
+  | Protocol.Prog_key k -> Ok (k, None)
+  | Protocol.Prog_sdfg text -> (
+    try Ok (key_of (Serialize.to_string (Serialize.of_string text)))
+    with exn -> Error (Fmt.str "parse error: %s" (exn_message exn)))
+  | Protocol.Prog_name name -> (
+    match List.assoc_opt name srv.srv_programs with
+    | None -> Error (Fmt.str "unknown program %S" name)
+    | Some build -> (
+      try Ok (key_of (Serialize.to_string (build ())))
+      with exn -> Error (exn_message exn)))
+
+let submit srv (rq : Protocol.run_request) ~id ~send =
+  match program_key srv rq with
+  | Error err -> send id (Protocol.Resp_error { err; shed = false })
+  | Ok (key, text) ->
+    let job =
+      { jb_id = id; jb_key = key; jb_text = text; jb_symbols = rq.rq_symbols;
+        jb_config = rq.rq_config; jb_args = rq.rq_args;
+        jb_reply = (fun r -> send id r);
+        jb_enqueued = Unix.gettimeofday () }
+    in
+    Mutex.lock srv.lock;
+    let verdict =
+      if srv.stopping then `Stopping
+      else if List.length srv.queue >= srv.srv_max_queue then `Full
+      else begin
+        srv.queue <- srv.queue @ [ job ];
+        Metrics.queue_changed srv.srv_metrics (List.length srv.queue);
+        Condition.signal srv.cond;
+        `Queued
+      end
+    in
+    Mutex.unlock srv.lock;
+    (match verdict with
+    | `Queued -> ()
+    | `Stopping ->
+      send id
+        (Protocol.Resp_error { err = "server shutting down"; shed = false })
+    | `Full ->
+      Metrics.record_shed srv.srv_metrics;
+      send id
+        (Protocol.Resp_error
+           { err = "server overloaded: run queue full"; shed = true }))
+
+let handle_conn srv fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (* The executor replies through [send] concurrently with this thread's
+     inline ping/stats replies; one lock per connection keeps frames
+     whole. *)
+  let wlock = Mutex.create () in
+  let send id resp =
+    Mutex.lock wlock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock wlock)
+      (fun () ->
+        try
+          Protocol.write_frame oc
+            (Json.to_string (Protocol.response_to_json ~id resp))
+        with Sys_error _ | Unix.Unix_error _ -> ())
+  in
+  let rec loop () =
+    match Protocol.read_frame ic with
+    | None -> ()
+    | Some payload ->
+      (match Json.parse payload with
+      | exception _ ->
+        send 0
+          (Protocol.Resp_error { err = "malformed JSON payload"; shed = false })
+      | json -> (
+        let id = Protocol.request_id json in
+        match Protocol.request_of_json json with
+        | Error err -> send id (Protocol.Resp_error { err; shed = false })
+        | Ok Protocol.Ping -> send id Protocol.Resp_pong
+        | Ok Protocol.Stats ->
+          send id
+            (Protocol.Resp_stats
+               (Metrics.to_json
+                  (Metrics.snapshot srv.srv_metrics)
+                  ~cache:(Cache.stats srv.srv_cache)))
+        | Ok Protocol.Shutdown ->
+          send id Protocol.Resp_shutdown;
+          stop srv
+        | Ok (Protocol.Run rq) -> submit srv rq ~id ~send));
+      loop ()
+  in
+  (try loop () with
+  | Protocol.Protocol_error _ | Sys_error _ | End_of_file -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* --- accept loop --------------------------------------------------------- *)
+
+let accept_loop srv listen_fd =
+  let stopping () =
+    Mutex.lock srv.lock;
+    let s = srv.stopping in
+    Mutex.unlock srv.lock;
+    s
+  in
+  let rec loop () =
+    if not (stopping ()) then begin
+      (* Poll with a timeout so [stop] takes effect even when no client
+         ever connects again — a blocked [accept] would never wake. *)
+      (match Unix.select [ listen_fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept listen_fd with
+        | fd, _ -> ignore (Thread.create (fun () -> handle_conn srv fd) ())
+        | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  try Sys.remove srv.srv_socket with Sys_error _ -> ()
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let start ?(capacity = 32) ?cache_dir ?(max_queue = 64) ?(programs = [])
+    ?(log = ignore) ~socket () =
+  if max_queue < 1 then invalid_arg "Server.start: max_queue must be >= 1";
+  (* A client vanishing mid-reply must surface as EPIPE, not kill the
+     daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let srv_cache = Cache.create ~capacity ?dir:cache_dir () in
+  (try Sys.remove socket with Sys_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+     Unix.listen listen_fd 64
+   with exn ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise exn);
+  let srv =
+    { srv_socket = socket; srv_cache; srv_metrics = Metrics.create ();
+      srv_programs = programs; srv_log = log; srv_max_queue = max_queue;
+      lock = Mutex.create (); cond = Condition.create (); queue = [];
+      stopping = false; threads = [] }
+  in
+  let acceptor = Thread.create (fun () -> accept_loop srv listen_fd) () in
+  let executor = Thread.create (fun () -> exec_loop srv) () in
+  srv.threads <- [ acceptor; executor ];
+  srv.srv_log
+    (Fmt.str "listening on %s (cache capacity %d, queue %d, %d programs)"
+       socket capacity max_queue (List.length programs));
+  srv
+
+let wait srv = List.iter Thread.join srv.threads

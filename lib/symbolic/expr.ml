@@ -115,8 +115,11 @@ let floormod a b =
    pure, so results are memoized.  Keys are whole expression trees;
    structural equality backs up the (depth-limited) generic hash.  The
    table is reset when it grows past a bound so pathological workloads
-   cannot leak memory. *)
-let simplify_tbl : (t, t) Hashtbl.t = Hashtbl.create 4096
+   cannot leak memory.  One table per domain (domain-local storage):
+   the serve layer parses, validates and plans graphs from concurrent
+   OCaml domains, and a shared table would race. *)
+let simplify_tbl_key : (t, t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
 
 let simplify_tbl_max = 1 lsl 16
 
@@ -124,6 +127,7 @@ let rec simplify e =
   match e with
   | Int _ | Sym _ -> e
   | _ -> (
+    let simplify_tbl = Domain.DLS.get simplify_tbl_key in
     match Hashtbl.find_opt simplify_tbl e with
     | Some r -> r
     | None ->

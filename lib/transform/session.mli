@@ -24,7 +24,7 @@ val create : ?measure:(Sdfg_ir.Sdfg.t -> float) -> (unit -> Sdfg_ir.Sdfg.t) -> t
     recorded as the entry's metric. *)
 
 val create_profiled :
-  ?engine:Interp.Exec.engine ->
+  ?exec:Interp.Exec.Config.t ->
   ?warmup:int ->
   ?repeat:int ->
   ?symbols:(string * int) list ->
@@ -32,7 +32,8 @@ val create_profiled :
   t
 (** A session whose measure is the profiler's median wall-clock over
     [repeat] runs (default 3, after [warmup] unmeasured runs) of the
-    current graph under [engine] — the DIODE "run and compare" loop
+    current graph under the [exec] config (default
+    {!Interp.Exec.Config.default}) — the DIODE "run and compare" loop
     backed by {!Interp.Profile}. *)
 
 val current : t -> Sdfg_ir.Sdfg.t

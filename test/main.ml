@@ -18,4 +18,5 @@ let () =
       ("session", Test_session.suite);
       ("report", Test_report.suite);
       ("opt", Test_opt.suite);
-      ("fuzz", Test_fuzz.suite) ]
+      ("fuzz", Test_fuzz.suite);
+      ("serve", Test_serve.suite) ]

@@ -150,7 +150,12 @@ let compare_engines ~name ~build ~args ~symbols () =
   let run ?(instrument = Obs.Collect.Off) engine =
     let g = build () in
     let a = args () in
-    let report = Exec.run g ~engine ~instrument ~domains:1 ~symbols ~args:a in
+    let config =
+      Exec.Config.(
+        default |> with_engine engine |> with_instrument instrument
+        |> with_domains 1)
+    in
+    let report = Exec.run g ~config ~symbols ~args:a in
     (a, report)
   in
   let check_tensors tag ra ca =
@@ -269,7 +274,11 @@ let test_nonpositive_stride_raises () =
             let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
             go 0
           in
-          match Exec.run g ~engine ~symbols:[ ("N", 4); ("S", s) ] with
+          match
+            Exec.run g
+              ~config:(Exec.Config.with_engine engine Exec.Config.default)
+              ~symbols:[ ("N", 4); ("S", s) ]
+          with
           | exception Exec.Runtime_error msg ->
             Alcotest.(check bool)
               (Fmt.str "error names the parameter (stride %d): %s" s msg)

@@ -280,7 +280,9 @@ let test_max_states_guard () =
   ignore
     (Sdfg_ir.Sdfg.add_transition g ~src:(Sdfg_ir.State.id s0)
        ~dst:(Sdfg_ir.State.id s0) ());
-  (match Exec.run ~max_states:100 g with
+  (match
+     Exec.run ~config:(Exec.Config.with_max_states 100 Exec.Config.default) g
+   with
   | exception Exec.Runtime_error _ -> ()
   | _ -> Alcotest.fail "expected Runtime_error for unbounded loop")
 

@@ -24,6 +24,12 @@ open Interp
 let tensor_bits = Test_crossval.tensor_bits
 let counter_list = Test_crossval.counter_list
 
+(* Compiled engine at an explicit domain count, kernels on/off. *)
+let compiled_cfg ?(kernels = true) ~domains () =
+  Exec.Config.(
+    default |> with_engine Plan.compiled |> with_kernels kernels
+    |> with_domains domains)
+
 let check_bits tag a b =
   List.iter2
     (fun (n1, t1) (n2, t2) ->
@@ -95,7 +101,7 @@ let test_tensor_axpy () =
 let coverage ?(kernels = true) build symbols =
   let g = build () in
   let args = Profile.make_args ~symbols g in
-  let r = Exec.run g ~engine:Plan.compiled ~kernels ~domains:1 ~symbols ~args in
+  let r = Exec.run g ~config:(compiled_cfg ~kernels ~domains:1 ()) ~symbols ~args in
   match r.R.r_coverage with
   | None -> Alcotest.fail "compiled run must report coverage"
   | Some c ->
@@ -164,7 +170,7 @@ let check_paths_agree tag build symbols args_for ~domains =
   let run kernels =
     let g = build () in
     let args = args_for g in
-    let r = Exec.run g ~engine:Plan.compiled ~kernels ~domains ~symbols ~args in
+    let r = Exec.run g ~config:(compiled_cfg ~kernels ~domains ()) ~symbols ~args in
     (args, r)
   in
   let closure_out, closure_r = run false in
@@ -237,7 +243,8 @@ let test_oob_same_error () =
   let run kernels =
     let x = Tensor.init T.F64 [| 8 |] (fun _ -> T.F (-1.)) in
     match
-      Exec.run (oob_graph ()) ~engine:Plan.compiled ~kernels ~domains:1
+      Exec.run (oob_graph ())
+        ~config:(compiled_cfg ~kernels ~domains:1 ())
         ~symbols:[ ("N", 9) ]
         ~args:[ ("X", x) ]
     with
@@ -253,7 +260,8 @@ let test_oob_same_error () =
 let test_zero_trip_kernel () =
   let x = Tensor.init T.F64 [| 8 |] (fun _ -> T.F 7.) in
   let r =
-    Exec.run (oob_graph ()) ~engine:Plan.compiled ~domains:1
+    Exec.run (oob_graph ())
+      ~config:(compiled_cfg ~domains:1 ())
       ~symbols:[ ("N", 0) ]
       ~args:[ ("X", x) ]
   in

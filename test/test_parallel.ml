@@ -19,6 +19,11 @@ open Interp
 let tensor_bits = Test_crossval.tensor_bits
 let counter_list = Test_crossval.counter_list
 
+(* Compiled engine pinned to an explicit domain count. *)
+let compiled_at domains =
+  Exec.Config.(
+    default |> with_engine Plan.compiled |> with_domains domains)
+
 let check_bits tag a b =
   List.iter2
     (fun (n1, t1) (n2, t2) ->
@@ -57,7 +62,7 @@ let run_polybench (k : Workloads.Polybench.kernel) ~domains =
   let g = k.k_build () in
   let args = Test_polybench.alloc_args g k.k_mini in
   let report =
-    Exec.run g ~engine:Plan.compiled ~domains ~symbols:k.k_mini ~args
+    Exec.run g ~config:(compiled_at domains) ~symbols:k.k_mini ~args
   in
   (args, report)
 
@@ -98,7 +103,7 @@ let test_fixture_domains (name, build, symbols, args) () =
   let run ~domains =
     let g = build () in
     let a = args () in
-    ignore (Exec.run g ~engine:Plan.compiled ~domains ~symbols ~args:a);
+    ignore (Exec.run g ~config:(compiled_at domains) ~symbols ~args:a);
     a
   in
   let base = run ~domains:1 in
@@ -149,7 +154,7 @@ let test_zero_trip_parallel () =
   let g = corner_graph ~stride:E.one in
   let x = Tensor.init T.F64 [| 8 |] (fun _ -> T.F 7.) in
   let r =
-    Exec.run g ~engine:Plan.compiled ~domains:4 ~symbols:[ ("N", 0) ]
+    Exec.run g ~config:(compiled_at 4) ~symbols:[ ("N", 0) ]
       ~args:[ ("X", x) ]
   in
   List.iter
@@ -163,7 +168,7 @@ let test_nonpositive_stride_parallel () =
   let g = corner_graph ~stride:(E.int (-1)) in
   let x = Tensor.create T.F64 [| 8 |] in
   match
-    Exec.run g ~engine:Plan.compiled ~domains:4 ~symbols:[ ("N", 8) ]
+    Exec.run g ~config:(compiled_at 4) ~symbols:[ ("N", 8) ]
       ~args:[ ("X", x) ]
   with
   | exception Exec.Runtime_error msg ->

@@ -143,7 +143,11 @@ let t_real_run_roundtrip () =
   let symbols = k.Workloads.Polybench.k_mini in
   let args = Interp.Profile.make_args ~symbols g in
   let r =
-    Interp.Exec.run ~engine:Interp.Plan.compiled ~instrument:Obs.Collect.All
+    Interp.Exec.run
+      ~config:
+        Interp.Exec.Config.(
+          default |> with_engine Interp.Plan.compiled
+          |> with_instrument Obs.Collect.All)
       ~symbols ~args g
   in
   let jpath = Filename.temp_file "report" ".json" in
