@@ -1211,6 +1211,120 @@ let serve () =
         "BENCH_serve.json";
       row "wrote BENCH_serve.json@.")
 
+(* --- streaming: continuous queries, chunked vs batch ----------------------------- *)
+
+(* Run every continuous-query workload both ways on one instance — batch
+   (the whole input pre-loaded on the stream) and streaming (chunked
+   source, bounded channels, consume-scope workers) — and record
+   sustained element throughput plus per-run latency percentiles in
+   BENCH_stream.json.  Two invariants are checked and recorded, not
+   assumed: the streamed output is bit-identical to the batch run, and
+   no channel's depth high-water mark ever exceeds its capacity. *)
+let streaming () =
+  header "Streaming: chunked continuous queries vs batch";
+  let n_elems = 2048 and chunk = 64 and runs = 30 in
+  let config =
+    Interp.Exec.Config.(
+      default |> with_engine Interp.Plan.compiled |> with_domains 2
+      |> with_stream_chunk chunk)
+  in
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then 0.
+    else sorted.(min (n - 1) (int_of_float (q /. 100. *. float_of_int n)))
+  in
+  let bench_workload (name, mk, input, output, symbols) =
+    let module I = Interp.Exec.Instance in
+    let g = mk () in
+    let inst = I.create ~config ~symbols g in
+    let values = Workloads.Streaming.sample_values n_elems 42 in
+    let fresh_args () = Interp.Profile.make_args ~symbols g in
+    (* Batch baseline: input pre-loaded, one shot.  Fresh deterministic
+       args every run — several workloads accumulate into their outputs,
+       and run k's results must not leak into run k+1's inputs. *)
+    let batch_args = ref [] in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to runs do
+      batch_args := fresh_args ();
+      ignore (I.run ~args:!batch_args ~stream_args:[ (input, values) ] inst)
+    done;
+    let batch_s = (Unix.gettimeofday () -. t0) /. float_of_int runs in
+    let batch_out =
+      match output with Some o -> I.stream_contents inst o | None -> [||]
+    in
+    (* Streaming: chunked source, sink collecting the output stream. *)
+    let stream_args = ref [] in
+    let collected = ref [] in
+    let hwm_ok = ref true in
+    let latencies =
+      Array.init runs (fun i ->
+          let source = Workloads.Streaming.chunked_source values chunk in
+          if i = 0 then collected := [];
+          let sink =
+            match output with
+            | None -> None
+            | Some _ ->
+              Some (fun vs -> if i = 0 then collected := vs :: !collected)
+          in
+          stream_args := fresh_args ();
+          let t0 = Unix.gettimeofday () in
+          let report =
+            I.run_streaming ~args:!stream_args ~input ?output ?sink ~source
+              inst
+          in
+          (match report.Obs.Report.r_parallel with
+          | Some par ->
+            List.iter
+              (fun (c : Obs.Report.channel_stat) ->
+                if c.pc_depth_hwm > c.pc_capacity then hwm_ok := false)
+              par.Obs.Report.par_channels
+          | None -> ());
+          Unix.gettimeofday () -. t0)
+    in
+    let streamed_out = Array.concat (List.rev !collected) in
+    (* Every run saw identical inputs, so the last of each path compares. *)
+    let identical =
+      streamed_out = batch_out
+      && List.for_all2
+           (fun (_, a) (_, b) ->
+             Interp.Tensor.to_float_list a = Interp.Tensor.to_float_list b)
+           !batch_args !stream_args
+    in
+    let sorted = Array.copy latencies in
+    Array.sort compare sorted;
+    let total = Array.fold_left ( +. ) 0. latencies in
+    let eps = float_of_int (n_elems * runs) /. total in
+    let p50 = 1e3 *. percentile sorted 50.
+    and p95 = 1e3 *. percentile sorted 95.
+    and p99 = 1e3 *. percentile sorted 99. in
+    row "%-8s%14.0f%12.2f%12.2f%12.2f%10.2f%8s%6s@." name eps p50 p95 p99
+      (1e3 *. batch_s)
+      (if identical then "ok" else "DIFF")
+      (if !hwm_ok then "ok" else "OVER");
+    ( name,
+      Obs.Json.Obj
+        [ ("elements_per_s", Obs.Json.Float eps);
+          ("p50_ms", Obs.Json.Float p50);
+          ("p95_ms", Obs.Json.Float p95);
+          ("p99_ms", Obs.Json.Float p99);
+          ("batch_ms", Obs.Json.Float (1e3 *. batch_s));
+          ("bit_identical_to_batch", Obs.Json.Bool identical);
+          ("channel_hwm_within_capacity", Obs.Json.Bool !hwm_ok) ] )
+  in
+  row "%-8s%14s%12s%12s%12s%10s%8s%6s@." "query" "elems/s" "p50 ms"
+    "p95 ms" "p99 ms" "batch ms" "bits" "hwm";
+  let results = List.map bench_workload Workloads.Streaming.all in
+  Obs.Json.save
+    (Obs.Json.Obj
+       [ ("generated_by", Obs.Json.Str "dune exec bench/main.exe streaming");
+         ("elements", Obs.Json.Int n_elems);
+         ("chunk", Obs.Json.Int chunk);
+         ("runs", Obs.Json.Int runs);
+         ("domains", Obs.Json.Int 2);
+         ("workloads", Obs.Json.Obj results) ])
+    "BENCH_stream.json";
+  row "wrote BENCH_stream.json@."
+
 (* --- driver --------------------------------------------------------------------- *)
 
 let experiments =
@@ -1219,7 +1333,7 @@ let experiments =
     ("fig15", fig15); ("fig17", fig17); ("table2", table2);
     ("table3", table3); ("ablations", ablations); ("micro", micro);
     ("engines", engines); ("engines_v2", engines_v2); ("autoopt", autoopt);
-    ("parallel", parallel); ("serve", serve) ]
+    ("parallel", parallel); ("serve", serve); ("streaming", streaming) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1227,7 +1341,10 @@ let () =
   | [] ->
     List.iter
       (fun (name, f) ->
-        if not (List.mem name [ "micro"; "engines"; "engines_v2"; "autoopt"; "serve" ])
+        if not
+             (List.mem name
+                [ "micro"; "engines"; "engines_v2"; "autoopt"; "serve";
+                  "streaming" ])
         then f ())
       experiments;
     Fmt.pr "@.(run with argument 'micro' for bechamel microbenchmarks)@."

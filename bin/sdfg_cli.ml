@@ -488,7 +488,8 @@ let fuzz_cmd =
          & info [ "oracle" ] ~docv:"ORACLE"
              ~doc:"Oracle to check: $(b,engine), $(b,roundtrip), \
                    $(b,xform), $(b,opt), $(b,parallel_crossval), \
-                   $(b,kernel_crossval) or $(b,all).")
+                   $(b,kernel_crossval), $(b,stream_crossval) or \
+                   $(b,all).")
   in
   let shrink_arg =
     Arg.(value & flag
@@ -518,7 +519,7 @@ let fuzz_cmd =
         | None ->
           Fmt.epr
             "unknown oracle '%s' \
-             (engine|roundtrip|xform|opt|parallel_crossval|kernel_crossval|all)@."
+             (engine|roundtrip|xform|opt|parallel_crossval|kernel_crossval|stream_crossval|all)@."
             s;
           exit 2)
     in

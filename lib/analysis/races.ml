@@ -398,6 +398,297 @@ let analyze_map g (st : state) entry : map_report =
 let analyze_state g st =
   List.map (fun (nid, _) -> analyze_map g st nid) (State.map_entries st)
 
+(* --- pipeline-parallel analysis ----------------------------------------- *)
+
+(* Whether a state's consume scopes may run as concurrently-overlapping
+   pipeline stages connected by bounded channels.  The batch executor
+   runs consume scopes to completion in topological order; a streaming
+   run overlaps them in time, so the proof obligations differ from the
+   map case: stage-interior footprints need not be disjoint across
+   *iterations* (each stage stays a single sequential worker) but must
+   be disjoint across *stages*, every channel must have exactly one
+   producer side and one consumer (FIFO order then matches the batch
+   schedule), and nothing may observe a stream's transient length. *)
+
+type pipeline_stage = {
+  pl_entry : int;            (* Consume_entry node id *)
+  pl_stream : string;        (* stream the stage consumes *)
+  pl_pushes : string list;   (* streams the stage pushes to *)
+}
+
+type pipeline_verdict =
+  | Pipeline of pipeline_stage list  (* producer-before-consumer order *)
+  | No_pipeline of reason
+
+let analyze_pipeline g (st : state) : pipeline_verdict =
+  let entries =
+    List.filter_map
+      (fun (nid, n) ->
+        match n with Consume_entry i -> Some (nid, i) | _ -> None)
+      (State.nodes st)
+  in
+  let container_names = List.map fst (Sdfg.descs g) in
+  let names_container syms = List.exists (fun s -> List.mem s syms) container_names in
+  let subset_data_dep (s : S.t) = names_container (S.free_syms s) in
+  (* fail-fast via exceptions; every rejection carries a reason *)
+  let exception Reject of reason in
+  try
+    if entries = [] then
+      raise (Reject (reason "no-consume" "state %s has no consume scope" st.st_label));
+    List.iter
+      (fun (nid, _) ->
+        if Hashtbl.find (State.scope_parents st) nid <> None then
+          raise
+            (Reject
+               (reason "nested-consume"
+                  "consume scope at node %d is nested inside another scope" nid)))
+      entries;
+    (* members of all stages; everything else must be a plain access node *)
+    let stage_members =
+      List.map
+        (fun (nid, info) ->
+          let exit_ = State.exit_of st nid in
+          (nid, info, exit_, State.scope_nodes st nid))
+        entries
+    in
+    let in_some_stage nid =
+      List.exists
+        (fun (e, _, x, members) -> nid = e || nid = x || List.mem nid members)
+        stage_members
+    in
+    List.iter
+      (fun (nid, n) ->
+        if not (in_some_stage nid) then
+          match n with
+          | Access _ -> ()
+          | _ ->
+            raise
+              (Reject
+                 (reason "non-stream-compute"
+                    "top-level compute node %d outside any consume scope" nid)))
+      (State.nodes st);
+    (* one consumer per stream *)
+    let seen = Hashtbl.create 4 in
+    List.iter
+      (fun (nid, (info : consume_info)) ->
+        (match Hashtbl.find_opt seen info.cs_stream with
+        | Some _ ->
+          raise
+            (Reject
+               (reason "multi-consumer" "stream %s has more than one consume scope"
+                  info.cs_stream))
+        | None -> Hashtbl.add seen info.cs_stream nid);
+        if container_shape g info.cs_stream <> [] then
+          raise
+            (Reject
+               (reason "stream-shape"
+                  "stream %s is multi-queue (non-scalar shape)" info.cs_stream));
+        if names_container (E.free_syms info.cs_num_pes) then
+          raise
+            (Reject
+               (reason "data-dependent-subset"
+                  "num_pes of consume scope %d depends on container data" nid)))
+      entries;
+    (* per-stage stream discipline + push sets, from interior edges *)
+    let stages =
+      List.map
+        (fun (entry, (info : consume_info), exit_, members) ->
+          let interior (e : edge) =
+            (e.e_src = entry || List.mem e.e_src members)
+            && (e.e_dst = exit_ || List.mem e.e_dst members)
+          in
+          let pushes = ref [] in
+          List.iter
+            (fun (e : edge) ->
+              if interior e then
+                match e.e_memlet with
+                | None -> ()
+                | Some m ->
+                  if subset_data_dep m.m_subset
+                     || (match m.m_other with
+                        | Some o -> subset_data_dep o
+                        | None -> false)
+                  then
+                    raise
+                      (Reject
+                         (reason "data-dependent-subset"
+                            "memlet of %s in consume scope %d has a data-dependent subset"
+                            m.m_data entry));
+                  (* written side of the edge *)
+                  let written =
+                    match State.node st e.e_dst with
+                    | Map_exit | Consume_exit -> Some m.m_data
+                    | Access dst when String.equal m.m_data dst -> Some dst
+                    | Access dst -> Some dst (* copy: m_data is the source *)
+                    | _ -> None
+                  in
+                  (match written with
+                  | Some w when is_stream g w ->
+                    if not (List.mem w !pushes) then pushes := w :: !pushes
+                  | _ -> ());
+                  (* read side: stream reads other than the popped element *)
+                  let read_stream s =
+                    if String.equal s info.cs_stream then begin
+                      if e.e_src <> entry then
+                        raise
+                          (Reject
+                             (reason "stream-body-read"
+                                "stream %s re-read inside its own consume scope" s))
+                    end
+                    else
+                      raise
+                        (Reject
+                           (reason "stream-body-read"
+                              "stream %s read inside consume scope %d" s entry))
+                  in
+                  (match State.node st e.e_dst with
+                  | Map_exit | Consume_exit ->
+                    (match State.node st e.e_src with
+                    | Access src
+                      when (not (String.equal src m.m_data)) && is_stream g src ->
+                      read_stream src
+                    | _ -> ())
+                  | Access dst when not (String.equal m.m_data dst) ->
+                    if is_stream g m.m_data then read_stream m.m_data
+                  | Access _ -> ()
+                  | _ -> if is_stream g m.m_data then read_stream m.m_data))
+            (State.edges st);
+          if List.mem info.cs_stream !pushes then
+            raise
+              (Reject
+                 (reason "stream-self-feed"
+                    "consume scope %d pushes to its own stream %s" entry
+                    info.cs_stream));
+          { pl_entry = entry; pl_stream = info.cs_stream; pl_pushes = !pushes })
+        stage_members
+    in
+    (* every channel has one producer stage at most *)
+    let producers = Hashtbl.create 4 in
+    List.iter
+      (fun stg ->
+        List.iter
+          (fun s ->
+            match Hashtbl.find_opt producers s with
+            | Some _ ->
+              raise
+                (Reject
+                   (reason "multi-producer"
+                      "stream %s pushed by more than one consume scope" s))
+            | None -> Hashtbl.add producers s stg.pl_entry)
+          stg.pl_pushes)
+      stages;
+    (* non-stream footprints must be disjoint across stages (read-only
+       sharing is fine; a write in one stage excludes any other touch) *)
+    let per_stage =
+      List.map
+        (fun (entry, _, exit_, members) ->
+          (entry, collect_footprints st entry exit_ members))
+        stage_members
+    in
+    let all_names = Hashtbl.create 8 in
+    List.iter
+      (fun (_, tbl) ->
+        Hashtbl.iter
+          (fun name _ ->
+            if not (is_stream g name) then Hashtbl.replace all_names name ())
+          tbl)
+      per_stage;
+    Hashtbl.iter
+      (fun name () ->
+        let touches =
+          List.filter_map
+            (fun (entry, tbl) ->
+              match Hashtbl.find_opt tbl name with
+              | Some acc -> Some (entry, acc)
+              | None -> None)
+            per_stage
+        in
+        if List.length touches >= 2 then begin
+          let fps_of acc ~writes_only =
+            (if writes_only then [] else acc.reads)
+            @ List.map fst acc.writes
+          in
+          let disjoint_pair a b =
+            match (a, b) with
+            | Some sa, Some sb -> S.intersects sa sb = Some false
+            | _ -> false (* unknown footprint: cannot prove *)
+          in
+          List.iter
+            (fun (ea, acca) ->
+              if acca.writes <> [] then
+                List.iter
+                  (fun (eb, accb) ->
+                    if ea <> eb then
+                      List.iter
+                        (fun wa ->
+                          List.iter
+                            (fun fb ->
+                              if not (disjoint_pair wa fb) then
+                                raise
+                                  (Reject
+                                     (reason "stage-overlap"
+                                        "%s written by stage %d overlaps stage %d"
+                                        name ea eb)))
+                            (fps_of accb ~writes_only:false))
+                        (fps_of acca ~writes_only:true))
+                  touches)
+            touches
+        end)
+      all_names;
+    (* producer-before-consumer order (matches the batch topological
+       schedule); a cycle between distinct stages cannot stream *)
+    let consumer_of s =
+      List.find_opt (fun stg -> String.equal stg.pl_stream s) stages
+    in
+    let n = List.length stages in
+    let ordered = ref [] in
+    let placed = Hashtbl.create 4 in
+    let rec place depth stg =
+      if depth > n then
+        raise
+          (Reject
+             (reason "stream-cycle" "consume scopes form a feedback cycle"));
+      if not (Hashtbl.mem placed stg.pl_entry) then begin
+        Hashtbl.add placed stg.pl_entry ();
+        List.iter
+          (fun s ->
+            match consumer_of s with
+            | Some downstream -> place (depth + 1) downstream
+            | None -> ())
+          stg.pl_pushes;
+        ordered := stg :: !ordered
+      end
+    in
+    (* visiting producers first keeps upstream stages early *)
+    List.iter (place 0) stages;
+    (* cycle detection: placed-marking hides back-edges from the depth
+       guard above, so verify the order is consistent *)
+    let pos = Hashtbl.create 4 in
+    List.iteri (fun i stg -> Hashtbl.add pos stg.pl_entry i) !ordered;
+    List.iter
+      (fun stg ->
+        List.iter
+          (fun s ->
+            match consumer_of s with
+            | Some down ->
+              if Hashtbl.find pos down.pl_entry <= Hashtbl.find pos stg.pl_entry
+              then
+                raise
+                  (Reject
+                     (reason "stream-cycle"
+                        "consume scopes form a feedback cycle"))
+            | None -> ())
+          stg.pl_pushes)
+      !ordered;
+    Pipeline !ordered
+  with Reject r -> No_pipeline r
+
+let pipeline_code = function
+  | Pipeline _ -> "pipeline"
+  | No_pipeline r -> r.r_code
+
+let pipeline_reason = function Pipeline _ -> None | No_pipeline r -> Some r
+
 let analyze g = List.concat_map (analyze_state g) (Sdfg.states g)
 
 let verdict_of g st entry = (analyze_map g st entry).mr_verdict

@@ -26,7 +26,11 @@ type reason = {
         ["copy-opaque"], ["dynamic-memlet"], ["tiled-subset"],
         ["overlapping-writes"], ["read-write-overlap"], ["wcr-read"],
         ["wcr-mixed"], ["wcr-non-commutative"], ["wcr-no-identity"],
-        ["transient-shared"], ["unprovable-footprint"] *)
+        ["transient-shared"], ["unprovable-footprint"] — and, from the
+        pipeline verdict: ["no-consume"], ["nested-consume"],
+        ["non-stream-compute"], ["multi-consumer"], ["multi-producer"],
+        ["stream-shape"], ["stream-body-read"], ["stream-self-feed"],
+        ["data-dependent-subset"], ["stage-overlap"], ["stream-cycle"] *)
   r_detail : string;  (** human-readable elaboration *)
 }
 
@@ -80,6 +84,41 @@ val parallelizable : verdict -> bool
 (** [true] for [Parallel _]. *)
 
 val reason_of : verdict -> reason option
+
+(** {2 Pipeline-parallel verdict}
+
+    Gate for the streaming execution mode ([Exec.Instance.run_streaming]):
+    may a state's consume scopes run as time-overlapping workers
+    connected by bounded channels?  The batch executor runs consume
+    scopes to completion in topological order; overlapping them is safe
+    — and bit-identical to that schedule — when every stream has at
+    most one producer stage and exactly one consumer (so each channel
+    stays FIFO in the batch order), stages form no feedback cycle, no
+    stage re-reads a stream beyond its popped element, no memlet subset
+    depends on container data (stream lengths are time-varying under
+    streaming), and the stages' non-stream footprints are provably
+    disjoint (read-only sharing allowed).  Like the map verdict this is
+    sound but incomplete: [No_pipeline] only costs performance. *)
+
+type pipeline_stage = {
+  pl_entry : int;            (** Consume_entry node id *)
+  pl_stream : string;        (** stream the stage consumes *)
+  pl_pushes : string list;   (** streams the stage pushes to *)
+}
+
+type pipeline_verdict =
+  | Pipeline of pipeline_stage list
+      (** stages in producer-before-consumer (batch topological) order *)
+  | No_pipeline of reason
+
+val analyze_pipeline :
+  Sdfg_ir.Defs.sdfg -> Sdfg_ir.Defs.state -> pipeline_verdict
+(** Analyze one state's consume scopes as pipeline stages. *)
+
+val pipeline_code : pipeline_verdict -> string
+(** ["pipeline"] or the rejection reason code. *)
+
+val pipeline_reason : pipeline_verdict -> reason option
 
 val class_name : access_class -> string
 val verdict_code : verdict -> string

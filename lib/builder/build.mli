@@ -1,0 +1,142 @@
+(** Graph-construction DSL (DESIGN.md): thin helpers over the raw
+    [Sdfg]/[State] mutators that emit the [IN_<data>]/[OUT_<data>]
+    scope-connector convention expected by memlet propagation and
+    validation.
+
+    The internal plumbing that derives connectors and scope-edge
+    memlets from io specs ([conn_rank], [group_memlet], ...) is not
+    exposed: construct graphs through the tasklet/scope helpers and
+    explicit [edge] calls, then seal them with {!finalize}. *)
+
+type code_spec =
+  [ `Src of string                    (** Tasklang source, parsed here *)
+  | `Ast of Tasklang.Ast.t
+  | `External of string * string ]    (** language, opaque code *)
+
+(** An input/output specification of a tasklet: connector name,
+    container, subset accessed per execution, and write semantics. *)
+type io = {
+  io_conn : string;
+  io_data : string;
+  io_subset : Symbolic.Subset.t;
+  io_wcr : Sdfg_ir.Defs.wcr option;
+  io_dynamic : bool;
+}
+
+val in_ : ?dynamic:bool -> string -> string -> Symbolic.Subset.t -> io
+val out_ :
+  ?wcr:Sdfg_ir.Defs.wcr ->
+  ?dynamic:bool ->
+  string -> string -> Symbolic.Subset.t -> io
+
+val in_elem : string -> string -> Symbolic.Expr.t list -> io
+(** [in_ conn data] over single indices. *)
+
+val out_elem :
+  ?wcr:Sdfg_ir.Defs.wcr ->
+  ?dynamic:bool ->
+  string -> string -> Symbolic.Expr.t list -> io
+
+val single_state :
+  ?symbols:string list -> string -> Sdfg_ir.Sdfg.t * Sdfg_ir.Defs.state
+
+val access : Sdfg_ir.Defs.state -> string -> int
+(** Add an access node; returns its node id. *)
+
+val edge :
+  Sdfg_ir.Defs.state ->
+  ?src_conn:string ->
+  ?dst_conn:string ->
+  ?memlet:Sdfg_ir.Defs.memlet ->
+  src:int -> dst:int -> unit -> unit
+
+val tasklet :
+  Sdfg_ir.Defs.state ->
+  ?instrument:bool ->
+  name:string ->
+  inputs:Sdfg_ir.Defs.conn list ->
+  outputs:Sdfg_ir.Defs.conn list ->
+  code:code_spec ->
+  unit -> int
+(** A bare tasklet node with explicit connectors; wire it with {!edge}. *)
+
+val map_scope :
+  Sdfg_ir.Defs.state ->
+  ?schedule:Sdfg_ir.Defs.schedule ->
+  ?unroll:bool ->
+  ?instrument:bool ->
+  params:string list ->
+  ranges:Symbolic.Subset.t ->
+  unit -> int * int
+(** Paired map entry/exit nodes, registered as a scope. *)
+
+val consume_scope :
+  Sdfg_ir.Defs.state ->
+  ?schedule:Sdfg_ir.Defs.schedule ->
+  ?instrument:bool ->
+  pe:string ->
+  num_pes:Symbolic.Expr.t ->
+  stream:string ->
+  unit -> int * int
+(** Paired consume entry/exit nodes (paper Fig. 8): pop [stream] until
+    end-of-stream, [pe] ranging over [num_pes] workers. *)
+
+val nested :
+  Sdfg_ir.Defs.state ->
+  sdfg:Sdfg_ir.Sdfg.t ->
+  inputs:string list ->
+  outputs:string list ->
+  ?symbol_map:(string * Symbolic.Expr.t) list ->
+  unit -> int
+
+val simple_tasklet :
+  Sdfg_ir.Sdfg.t ->
+  Sdfg_ir.Defs.state ->
+  ?instrument:bool ->
+  name:string ->
+  ins:io list ->
+  outs:io list ->
+  code:code_spec ->
+  unit -> int
+(** A lone tasklet outside any scope, with one access node per distinct
+    container on each side and memlets derived from the io specs. *)
+
+val mapped_tasklet :
+  Sdfg_ir.Sdfg.t ->
+  Sdfg_ir.Defs.state ->
+  name:string ->
+  params:string list ->
+  ?schedule:Sdfg_ir.Defs.schedule ->
+  ?unroll:bool ->
+  ?instrument:bool ->
+  ranges:Symbolic.Subset.t ->
+  ins:io list ->
+  outs:io list ->
+  code:code_spec ->
+  unit -> int * int * int
+(** The workhorse: a map scope enclosing a single tasklet, with access
+    nodes and scope edges generated from the io specs.  Returns
+    (entry, tasklet, exit). *)
+
+val map_reduce :
+  Sdfg_ir.Sdfg.t ->
+  Sdfg_ir.Defs.state ->
+  name:string ->
+  params:string list ->
+  ?schedule:Sdfg_ir.Defs.schedule ->
+  ranges:Symbolic.Subset.t ->
+  ins:io list ->
+  out_conn:string ->
+  tmp_data:string ->
+  tmp_subset:Symbolic.Subset.t ->
+  out_data:string ->
+  out_subset:Symbolic.Subset.t ->
+  wcr:Sdfg_ir.Defs.wcr ->
+  code:code_spec ->
+  unit -> int * int * int
+(** Map writing a transient, reduced into the output through a Reduce
+    node (paper Fig. 9b). *)
+
+val finalize : Sdfg_ir.Sdfg.t -> Sdfg_ir.Sdfg.t
+(** Propagate memlets outward and validate; returns the graph for
+    pipelining. *)

@@ -304,3 +304,175 @@ let sum ~axis a =
   if axis < 0 || axis >= List.length s then
     err "sum: axis %d out of range for shape %s" axis (pp_shape s);
   Sum (axis, a, List.filteri (fun i _ -> i <> axis) s)
+
+(* --- text frontend ----------------------------------------------------- *)
+
+(* Line-oriented concrete syntax over the combinators above, so programs
+   can cross the serve wire as source text:
+
+     # comment
+     input A[M, K]
+     input B[K, N]
+     input x            # scalar
+     output C[M, N]
+     C = A @ B * 2.0 + transpose(D) - sqrt(x)
+     output s[M]
+     s = sum(C, 1)
+
+   Dimensions are integer literals or symbol names (declared on the
+   SDFG as they appear).  [@] is matmul, [*] elementwise; [+ -] bind
+   loosest, [* @] tighter, calls and parentheses tightest.  Every
+   statement is one line; [#] starts a comment. *)
+
+type token = Tid of string | Tnum of float | Tp of char
+
+let tokenize ~ln line =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_id c = ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+                || ('0' <= c && c <= '9') || c = '_' in
+  let is_num c = ('0' <= c && c <= '9') || c = '.' in
+  while !i < n do
+    let c = line.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if is_num c then begin
+      let j = ref !i in
+      while !j < n && is_num line.[!j] do incr j done;
+      let s = String.sub line !i (Stdlib.( - ) !j !i) in
+      (match float_of_string_opt s with
+      | Some f -> toks := Tnum f :: !toks
+      | None -> err "line %d: bad number %S" ln s);
+      i := !j
+    end
+    else if is_id c then begin
+      let j = ref !i in
+      while !j < n && is_id line.[!j] do incr j done;
+      toks := Tid (String.sub line !i (Stdlib.( - ) !j !i)) :: !toks;
+      i := !j
+    end
+    else
+      match c with
+      | '+' | '-' | '*' | '@' | '(' | ')' | '[' | ']' | ',' | '=' ->
+        toks := Tp c :: !toks;
+        incr i
+      | _ -> err "line %d: stray character %C" ln c
+  done;
+  List.rev !toks
+
+(* [A, 3, N] after an identifier; [None] when the brackets are absent
+   (a scalar). *)
+let parse_dims p ~ln toks =
+  match toks with
+  | Tp '[' :: rest ->
+    let rec dims acc = function
+      | Tid s :: more ->
+        Sdfg.declare_symbol p.nd_sdfg s;
+        sep (Expr.sym s :: acc) more
+      | Tnum f :: more ->
+        if Float.is_integer f then sep (Expr.int (int_of_float f) :: acc) more
+        else err "line %d: dimension must be an integer" ln
+      | _ -> err "line %d: expected a dimension" ln
+    and sep acc = function
+      | Tp ',' :: more -> dims acc more
+      | Tp ']' :: more -> (List.rev acc, more)
+      | _ -> err "line %d: expected ',' or ']'" ln
+    in
+    let shape, rest = dims [] rest in
+    (shape, rest)
+  | rest -> ([], rest)
+
+let leaf_of p ~ln name =
+  if not (Sdfg.has_desc p.nd_sdfg name) then
+    err "line %d: unknown container %S" ln name;
+  Leaf (name, Sdfg.desc p.nd_sdfg name |> Defs.ddesc_shape)
+
+let parse_expr p ~ln toks =
+  let rec expr toks =
+    let lhs, rest = term toks in
+    let rec more lhs = function
+      | Tp '+' :: r ->
+        let rhs, r = term r in
+        more (binop Ast.Add "+" lhs rhs) r
+      | Tp '-' :: r ->
+        let rhs, r = term r in
+        more (binop Ast.Sub "-" lhs rhs) r
+      | r -> (lhs, r)
+    in
+    more lhs rest
+  and term toks =
+    let lhs, rest = factor toks in
+    let rec more lhs = function
+      | Tp '*' :: r ->
+        let rhs, r = factor r in
+        more (binop Ast.Mul "*" lhs rhs) r
+      | Tp '@' :: r ->
+        let rhs, r = factor r in
+        more (( @@@ ) lhs rhs) r
+      | r -> (lhs, r)
+    in
+    more lhs rest
+  and factor = function
+    | Tnum f :: r -> (Const f, r)
+    | Tp '-' :: r ->
+      let a, r = factor r in
+      (binop Ast.Sub "-" (Const 0.) a, r)
+    | Tp '(' :: r -> (
+      let e, r = expr r in
+      match r with
+      | Tp ')' :: r -> (e, r)
+      | _ -> err "line %d: expected ')'" ln)
+    | Tid "transpose" :: Tp '(' :: r -> (
+      let e, r = expr r in
+      match r with
+      | Tp ')' :: r -> (transpose e, r)
+      | _ -> err "line %d: expected ')'" ln)
+    | Tid "sqrt" :: Tp '(' :: r -> (
+      let e, r = expr r in
+      match r with
+      | Tp ')' :: r -> (sqrt_ e, r)
+      | _ -> err "line %d: expected ')'" ln)
+    | Tid "sum" :: Tp '(' :: r -> (
+      let e, r = expr r in
+      match r with
+      | Tp ',' :: Tnum ax :: Tp ')' :: r when Float.is_integer ax ->
+        (sum ~axis:(int_of_float ax) e, r)
+      | _ -> err "line %d: sum takes (expr, axis)" ln)
+    | Tid name :: r -> (leaf_of p ~ln name, r)
+    | _ -> err "line %d: expected an expression" ln
+  in
+  match expr toks with
+  | e, [] -> e
+  | _, _ -> err "line %d: trailing tokens after expression" ln
+
+let parse_line p ~ln line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match tokenize ~ln line with
+  | [] -> ()
+  | Tid "input" :: Tid name :: rest ->
+    let shape, rest = parse_dims p ~ln rest in
+    if rest <> [] then err "line %d: trailing tokens after input" ln;
+    ignore (input p name ~shape)
+  | Tid "output" :: Tid name :: rest ->
+    let shape, rest = parse_dims p ~ln rest in
+    if rest <> [] then err "line %d: trailing tokens after output" ln;
+    output p name ~shape
+  | Tid name :: Tp '=' :: rest -> (
+    (* Shape/name diagnostics from the combinators carry no position;
+       re-raise them with the line (syntax errors already have one). *)
+    try assign p name (parse_expr p ~ln rest) with
+    | Frontend_error msg when not (String.starts_with ~prefix:"line " msg) ->
+      err "line %d: %s" ln msg
+    | Defs.Invalid_sdfg msg -> err "line %d: %s" ln msg)
+  | _ -> err "line %d: expected input/output/assignment" ln
+
+let parse ?(name = "ndlang") (src : string) : Sdfg.t =
+  let p = program name in
+  List.iteri
+    (fun i line -> parse_line p ~ln:(Stdlib.( + ) i 1) line)
+    (String.split_on_char '\n' src);
+  finalize p

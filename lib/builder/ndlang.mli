@@ -1,0 +1,85 @@
+(** Numpy-like frontend (paper §2.1: "the code [A @ B] generates the
+    dataflow of a matrix multiplication").
+
+    Two surfaces over one elaborator:
+
+    - {b Combinators} — [input]/[output] declare containers, the
+      operators build a shape-checked expression tree eagerly, and
+      [assign] lowers it to SDFG states (elementwise subtrees fuse
+      into one mapped tasklet; matmul and reductions materialize
+      transients and chain states sequentially).
+    - {b Text} — {!parse} reads the same programs as line-oriented
+      source ([input A[M, K]], [C = A @ B + transpose(D)]), the form
+      the serve daemon accepts over the wire.
+
+    The lowering machinery (elementwise-tree flattening, transient
+    materialization, per-operator state emission) is internal. *)
+
+exception Frontend_error of string
+(** Shape mismatches, unknown containers, parse errors — raised eagerly
+    at operator application / statement parse. *)
+
+type shape = Symbolic.Expr.t list
+
+type expr
+(** A shape-checked expression tree. *)
+
+val shape_of : expr -> shape
+
+type t
+(** A program under construction: an SDFG plus the tail state new
+    statements chain from. *)
+
+val program : string -> t
+
+val input : t -> string -> shape:shape -> expr
+(** Declare a (non-transient) container and return it as a leaf.
+    An empty shape declares a scalar. *)
+
+val output : t -> string -> shape:shape -> unit
+(** Declare a container to {!assign} into (outputs may also be read
+    back as leaves of later expressions through {!parse}'s text form). *)
+
+val const : float -> expr
+
+val assign : t -> string -> expr -> unit
+(** Lower [expr] into the named declared container.
+    @raise Frontend_error when the shapes disagree. *)
+
+val finalize : t -> Sdfg_ir.Sdfg.t
+(** Validate and return the built SDFG. *)
+
+(** {1 Operators}
+
+    [+ - *] are elementwise (scalars broadcast); [@@@] is matmul. *)
+
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( @@@ ) : expr -> expr -> expr
+val sqrt_ : expr -> expr
+val transpose : expr -> expr
+
+val sum : axis:int -> expr -> expr
+(** Axis reduction through a Reduce node. *)
+
+(** {1 Text frontend} *)
+
+val parse : ?name:string -> string -> Sdfg_ir.Sdfg.t
+(** Parse and elaborate a line-oriented Ndlang program:
+
+    {v
+    # comment
+    input A[M, K]
+    input B[K, N]
+    input x            # scalar
+    output C[M, N]
+    C = A @ B * 2.0 - sqrt(x)
+    v}
+
+    Dimensions are integer literals or symbol names (declared on the
+    SDFG as they appear); [@] is matmul, [*] elementwise; [+ -] bind
+    loosest, [* @] tighter, calls and parentheses tightest; every
+    statement is one line.  Returns the finalized SDFG.
+    @raise Frontend_error on syntax, shape or unknown-name errors,
+    with the offending line number. *)

@@ -9,8 +9,11 @@ type kind =
   | Opt
   | Parallel_crossval
   | Kernel_crossval
+  | Stream_crossval
 
-let kinds = [ Engine; Roundtrip; Xform; Opt; Parallel_crossval; Kernel_crossval ]
+let kinds =
+  [ Engine; Roundtrip; Xform; Opt; Parallel_crossval; Kernel_crossval;
+    Stream_crossval ]
 
 let kind_name = function
   | Engine -> "engine"
@@ -19,6 +22,7 @@ let kind_name = function
   | Opt -> "opt"
   | Parallel_crossval -> "parallel_crossval"
   | Kernel_crossval -> "kernel_crossval"
+  | Stream_crossval -> "stream_crossval"
 
 let kind_of_string = function
   | "engine" -> Some Engine
@@ -27,6 +31,7 @@ let kind_of_string = function
   | "opt" -> Some Opt
   | "parallel_crossval" | "parallel" -> Some Parallel_crossval
   | "kernel_crossval" | "kernel" -> Some Kernel_crossval
+  | "stream_crossval" | "stream" -> Some Stream_crossval
   | _ -> None
 
 type status = Pass of string | Skip of string | Fail of string
@@ -323,6 +328,91 @@ let kernel_crossval_oracle g =
     in
     at [ 1; 2; 4 ]
 
+(* Chunked streaming execution vs batch pre-loaded streams.  The
+   generator does not emit stream containers, so the generated graph
+   only seeds a deterministic pick over the continuous-query workload
+   menu ({!Workloads.Streaming.all}) plus the feed size, chunk size and
+   input values.  The batch anchor is [Instance.run ~stream_args]; the
+   streaming runs must reproduce its output stream bit-for-bit and its
+   tensors bit-for-bit (approximately under float WCR, where the
+   contract allows reordering), through both engines, at 1, 2 and 4
+   domains — and no channel may ever have held more elements than its
+   capacity (the backpressure invariant). *)
+let stream_crossval_oracle g =
+  let h = Hashtbl.hash (Serialize.to_string g) in
+  let menu = Workloads.Streaming.all in
+  let wname, mk, input, output, syms =
+    List.nth menu (h mod List.length menu)
+  in
+  let sg = mk () in
+  let approx = float_accumulation sg in
+  let n = 16 + ((h lsr 3) mod 113) in
+  let chunk = 1 + ((h lsr 5) mod 9) in
+  let values = Workloads.Streaming.sample_values n (1 + (h land 0xffff)) in
+  let config engine d =
+    Interp.Exec.Config.(
+      default |> with_engine engine |> with_domains d
+      |> with_stream_chunk chunk)
+  in
+  let module I = Interp.Exec.Instance in
+  let base_args = Interp.Profile.make_args ~symbols:syms sg in
+  let base = I.create ~config:(config `Reference 1) ~symbols:syms sg in
+  ignore (I.run ~args:base_args ~stream_args:[ (input, values) ] base);
+  let base_out =
+    match output with None -> [||] | Some o -> I.stream_contents base o
+  in
+  let rec at = function
+    | [] ->
+      Pass
+        (Fmt.str "chunked (%d x %d) = batch on %s at 1, 2 and 4 domains"
+           chunk n wname)
+    | (engine, d) :: rest -> (
+      let args = Interp.Profile.make_args ~symbols:syms sg in
+      let inst = I.create ~config:(config engine d) ~symbols:syms sg in
+      let got = ref [] in
+      match
+        I.run_streaming ~args ~input ?output
+          ~sink:(fun c -> got := c :: !got)
+          ~source:(Workloads.Streaming.chunked_source values chunk)
+          inst
+      with
+      | exception Interp.Exec.Runtime_error m ->
+        Fail (Fmt.str "streaming run crashed at %d domains: %s" d m)
+      | rep ->
+        let out = Array.concat (List.rev !got) in
+        if out <> base_out then
+          Fail
+            (Fmt.str
+               "output stream diverges from batch on %s at %d domains (%d \
+                vs %d elements)"
+               wname d (Array.length out) (Array.length base_out))
+        else
+          let over =
+            match rep.Obs.Report.r_parallel with
+            | None -> []
+            | Some p ->
+              List.filter
+                (fun (c : Obs.Report.channel_stat) ->
+                  c.pc_depth_hwm > c.pc_capacity)
+                p.Obs.Report.par_channels
+          in
+          match over with
+          | c :: _ ->
+            Fail
+              (Fmt.str "channel %s held %d elements over capacity %d"
+                 c.Obs.Report.pc_name c.pc_depth_hwm c.pc_capacity)
+          | [] -> (
+            match diff ~approx base_args args with
+            | Some m ->
+              Fail
+                (Fmt.str "tensor divergence from batch on %s at %d \
+                          domains: %s" wname d m)
+            | None -> at rest))
+  in
+  at
+    [ (`Reference, 1); (`Reference, 2); (`Compiled, 1); (`Compiled, 2);
+      (`Compiled, 4) ]
+
 let check kind g =
   let f =
     match kind with
@@ -332,6 +422,7 @@ let check kind g =
     | Opt -> opt_oracle
     | Parallel_crossval -> parallel_crossval_oracle
     | Kernel_crossval -> kernel_crossval_oracle
+    | Stream_crossval -> stream_crossval_oracle
   in
   try f g with
   | Interp.Exec.Runtime_error m -> Fail ("runtime error: " ^ m)

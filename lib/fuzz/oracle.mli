@@ -21,6 +21,13 @@
       ([~kernels:false]) is bit-equal to reference, and its bulk-kernel
       path ({!Interp.Kernels}) matches the closure path — outputs and
       instrumentation counters — at 1, 2 and 4 domains.
+    - [Stream_crossval] — chunked streaming execution
+      ({!Interp.Exec.Instance.run_streaming}) reproduces the batch
+      baseline ([run ~stream_args] + [stream_contents]) on a
+      continuous-query workload picked deterministically from
+      {!Workloads.Streaming.all} (the generator does not emit stream
+      containers), through both engines at 1, 2 and 4 domains, with no
+      channel ever exceeding its capacity.
 
     Comparison policy: bit equality by default; when the graph contains
     a floating-point WCR memlet or Reduce node, transformation,
@@ -36,6 +43,7 @@ type kind =
   | Opt
   | Parallel_crossval
   | Kernel_crossval
+  | Stream_crossval
 
 val kinds : kind list
 (** All oracles, in the order the driver runs them. *)

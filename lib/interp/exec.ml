@@ -34,6 +34,10 @@ type stream_rt = {
 type container =
   | Tens of Tensor.t
   | Strm of stream_rt
+  | Chan of value Stream.t
+      (* streaming mode only: the stream is a live bounded channel with
+         blocking push/pop; workers see these in their container table
+         in place of [Strm] queues *)
 
 type stats = {
   mutable elements_moved : int;
@@ -127,6 +131,19 @@ let compiled_state_exec : (env -> state -> unit) ref =
 
 let set_compiled_state_exec f = compiled_state_exec := f
 
+(* Streaming stage compiler, registered by {!Plan} at load time like the
+   state executor.  Called once per pipeline worker with that worker's
+   private environment, the state, the consume entry's node id and its
+   info; [Some f] means [f pe v] executes the stage body for one popped
+   element [v] (kernel-lowered map bodies included), [None] falls the
+   worker back to the reference body loop. *)
+let stage_compiler :
+    (env -> state -> int -> consume_info -> (int -> value -> unit) option)
+      ref =
+  ref (fun _ _ _ _ -> None)
+
+let set_stage_compiler f = stage_compiler := f
+
 (* Symbol environment for symbolic evaluation: interstate symbols first,
    then rank-0 containers read as integers (data-dependent control flow,
    Fig. 10a), then scope parameters supplied by the caller. *)
@@ -144,6 +161,10 @@ let sym_lookup env params name =
       | Some (Strm s) ->
         (* len(S): queue length is visible to quiescence conditions *)
         Some (Array.fold_left (fun acc q -> acc + Queue.length q) 0 s.qs)
+      | Some (Chan c) ->
+        (* transient under streaming; the pipeline verdict rejects any
+           graph whose memlets depend on it *)
+        Some (Stream.length c)
       | _ -> None))
 
 let eval_expr env params e = Expr.eval (sym_lookup env params) e
@@ -159,12 +180,16 @@ let get_container env name =
 let get_tensor env name =
   match get_container env name with
   | Tens t -> t
-  | Strm _ -> runtime_error "container %S is a stream, expected array" name
+  | Strm _ | Chan _ ->
+    runtime_error "container %S is a stream, expected array" name
 
 let get_stream env name =
   match get_container env name with
   | Strm s -> s
   | Tens _ -> runtime_error "container %S is an array, expected stream" name
+  | Chan _ ->
+    runtime_error "container %S is a live channel, expected a batch stream"
+      name
 
 let stream_queue s idx =
   let li =
@@ -242,7 +267,15 @@ let bind_input env params (t : tasklet) (e : edge) :
               end),
             fun _ _ ->
               runtime_error "tasklet %S: writing input connector %S" t.t_name
-                conn)))
+                conn))
+    | Chan _ ->
+      (* under streaming, the only stream read a worker may perform is
+         the consume scope's popped element, delivered via [popped];
+         the pipeline verdict rejects anything else *)
+      runtime_error
+        "tasklet %S: stream %S read beyond its popped element under \
+         streaming execution"
+        t.t_name m.m_data)
 
 let bind_output env params (t : tasklet) (e : edge) :
     (string * Tasklang.Eval.binding) option =
@@ -291,7 +324,16 @@ let bind_output env params (t : tasklet) (e : edge) :
            ((fun _ -> runtime_error "reading output stream connector %S" conn),
             fun _ v ->
               env.stats.stream_pushes <- env.stats.stream_pushes + 1;
-              Queue.push v (stream_queue s q_idx))))
+              Queue.push v (stream_queue s q_idx)))
+    | Chan c ->
+      (* streaming: pushes block when the channel is full (backpressure) *)
+      Some
+        (conn,
+         Tasklang.Eval.Buffer
+           ((fun _ -> runtime_error "reading output stream connector %S" conn),
+            fun _ v ->
+              env.stats.stream_pushes <- env.stats.stream_pushes + 1;
+              Stream.push c v)))
 
 (* [popped] carries elements already dequeued by an enclosing consume
    scope: connector bindings for those streams deliver the popped value
@@ -427,7 +469,31 @@ let exec_copy env params st (e : edge) =
           while not (Queue.is_empty q) do
             Queue.push (Queue.pop q) dst_s.qs.(i mod Array.length dst_s.qs)
           done)
-        src_s.qs)
+        src_s.qs
+    | Tens src_t, Chan c ->
+      (* streaming: feed the channel from an array, blocking on
+         backpressure when it fills *)
+      let n = Tensor.num_elements src_t in
+      let idx = Array.make (Tensor.rank src_t) 0 in
+      for _ = 1 to n do
+        Stream.push c (Tensor.get src_t (Array.to_list idx));
+        env.stats.stream_pushes <- env.stats.stream_pushes + 1;
+        let rec carry d =
+          if d >= 0 then begin
+            idx.(d) <- idx.(d) + 1;
+            if idx.(d) >= (Tensor.shape src_t).(d) then begin
+              idx.(d) <- 0;
+              carry (d - 1)
+            end
+          end
+        in
+        carry (Tensor.rank src_t - 1)
+      done;
+      env.stats.elements_moved <- env.stats.elements_moved + n
+    | Chan _, _ | _, Chan _ ->
+      runtime_error
+        "copy %S -> %S reads a live channel outside its pipeline stage"
+        src_name dst_name)
 
 (* Copy-in edge: scope entry -> access node, memlet naming the source
    container on the far side of the scope (LocalStorage pattern,
@@ -547,7 +613,31 @@ let exec_scope_copy_out env params (e : edge) src_name =
           end
         in
         carry (Tensor.rank src_t - 1)
-      done)
+      done
+    | Tens _, Chan c ->
+      (* streaming: commit a scope-local array into a live channel *)
+      let src_t = get_tensor env src_name in
+      let n = Tensor.num_elements src_t in
+      let idx = Array.make (Tensor.rank src_t) 0 in
+      for _ = 1 to n do
+        Stream.push c (Tensor.get src_t (Array.to_list idx));
+        env.stats.stream_pushes <- env.stats.stream_pushes + 1;
+        let rec carry d =
+          if d >= 0 then begin
+            idx.(d) <- idx.(d) + 1;
+            if idx.(d) >= (Tensor.shape src_t).(d) then begin
+              idx.(d) <- 0;
+              carry (d - 1)
+            end
+          end
+        in
+        carry (Tensor.rank src_t - 1)
+      done
+    | Chan _, _ | _, Chan _ ->
+      runtime_error
+        "scope commit %S -> %S reads a live channel outside its pipeline \
+         stage"
+        src_name m.m_data)
   | _ -> ()
 
 (* --- reduce nodes --------------------------------------------------------- *)
@@ -741,7 +831,12 @@ and exec_nested env params st nid (nest : nested) =
           if inner_rank < Tensor.rank view then Tensor.squeeze view else view
         in
         Hashtbl.replace inner_containers conn (Tens view)
-      | Strm s -> Hashtbl.replace inner_containers conn (Strm s))
+      | Strm s -> Hashtbl.replace inner_containers conn (Strm s)
+      | Chan _ ->
+        runtime_error
+          "nested SDFG input %S is a live channel; nested SDFGs do not \
+           run inside pipeline stages"
+          conn)
   in
   List.iter
     (fun conn ->
@@ -888,12 +983,18 @@ module Config = struct
   type error =
     | Invalid_domains of int
     | Invalid_max_states of int
+    | Invalid_stream_chunk of int
+    | Invalid_stream_capacity of int
     | Parse of string
 
   let error_message = function
     | Invalid_domains n -> Fmt.str "config: domains must be >= 1 (got %d)" n
     | Invalid_max_states n ->
       Fmt.str "config: max_states must be >= 1 (got %d)" n
+    | Invalid_stream_chunk n ->
+      Fmt.str "config: stream_chunk must be >= 1 (got %d)" n
+    | Invalid_stream_capacity n ->
+      Fmt.str "config: stream_capacity must be >= 1 (got %d)" n
     | Parse msg -> "config: " ^ msg
 
   type t = {
@@ -904,11 +1005,17 @@ module Config = struct
         (* None: defer to SDFG_DOMAINS at run time; Some d beats the
            environment (precedence: explicit config > SDFG_DOMAINS > 1). *)
     kernels : bool;
+    stream_chunk : int;
+        (* streaming mode: output elements buffered per sink flush *)
+    stream_capacity : int option;
+        (* streaming mode: channel capacity override; None means each
+           stream's declared [s_buffer] (default 256 when unbounded) *)
   }
 
   let default =
     { engine = `Reference; instrument = Obs.Collect.Off;
-      max_states = 1_000_000; domains = None; kernels = true }
+      max_states = 1_000_000; domains = None; kernels = true;
+      stream_chunk = 64; stream_capacity = None }
 
   (* With-style setters, argument-last so they chain off [default]:
      [Config.(default |> with_engine `Compiled |> with_domains 4)]. *)
@@ -918,12 +1025,16 @@ module Config = struct
   let with_domains d c = { c with domains = Some d }
   let with_default_domains c = { c with domains = None }
   let with_kernels kernels c = { c with kernels }
+  let with_stream_chunk stream_chunk c = { c with stream_chunk }
+  let with_stream_capacity n c = { c with stream_capacity = Some n }
 
   let validate c =
     if c.max_states < 1 then Error (Invalid_max_states c.max_states)
+    else if c.stream_chunk < 1 then Error (Invalid_stream_chunk c.stream_chunk)
     else
-      match c.domains with
-      | Some n when n < 1 -> Error (Invalid_domains n)
+      match c.domains, c.stream_capacity with
+      | Some n, _ when n < 1 -> Error (Invalid_domains n)
+      | _, Some n when n < 1 -> Error (Invalid_stream_capacity n)
       | _ -> Ok c
 
   (* The effective domain count: explicit setting first (capped at the
@@ -942,7 +1053,12 @@ module Config = struct
          (match c.domains with
          | Some n -> Obs.Json.Int n
          | None -> Obs.Json.Null));
-        ("kernels", Obs.Json.Bool c.kernels) ]
+        ("kernels", Obs.Json.Bool c.kernels);
+        ("stream_chunk", Obs.Json.Int c.stream_chunk);
+        ("stream_capacity",
+         (match c.stream_capacity with
+         | Some n -> Obs.Json.Int n
+         | None -> Obs.Json.Null)) ]
 
   (* Missing fields keep their defaults; present fields must be
      well-typed.  [Null] for [domains] means "defer to the environment",
@@ -1004,6 +1120,20 @@ module Config = struct
           | _ -> Error (Parse "kernels must be a boolean"))
         c
     in
+    let* c =
+      field "stream_chunk"
+        (fun v c ->
+          let* n = int "stream_chunk" v in
+          Ok { c with stream_chunk = n })
+        c
+    in
+    let* c =
+      field "stream_capacity"
+        (fun v c ->
+          let* n = int "stream_capacity" v in
+          Ok { c with stream_capacity = Some n })
+        c
+    in
     validate c
 end
 
@@ -1035,7 +1165,9 @@ let run ?(config = Config.default) ?(symbols = []) ?(args = [])
         { Obs.Report.par_domains = domains;
           par_maps = par.par_maps;
           par_chunks = par.par_chunks;
-          par_forced_seq = par.par_forced_seq }
+          par_forced_seq = par.par_forced_seq;
+          par_channels = [];
+          par_workers = [] }
     else None
   in
   Obs.Report.of_collector ?parallel ~program:g.g_name
@@ -1043,17 +1175,325 @@ let run ?(config = Config.default) ?(symbols = []) ?(args = [])
     ~counters:(counters_of_stats stats)
     collector
 
-(* Pre-Config entry point, kept for one release so external callers can
-   migrate at leisure; in-tree callers all use [run ?config].  Preserves
-   the historical clamping of out-of-range [domains] (the new surface
-   reports a typed {!Config.error} instead). *)
-let run_labelled ?(engine = `Reference) ?(instrument = Obs.Collect.Off)
-    ?(max_states = 1_000_000) ?domains ?(kernels = true) ?symbols ?args g =
-  let config =
-    { Config.engine; instrument; max_states;
-      domains = Option.map (fun n -> max 1 (min n 64)) domains; kernels }
+(* --- streaming execution --------------------------------------------------- *)
+
+(* Channel capacity for one stream: an explicit config override wins,
+   then the stream's declared [s_buffer] (evaluated against the run's
+   symbols), then 256 for unbounded/unevaluable buffers.  Clamped >= 1 —
+   a bounded channel is what produces backpressure. *)
+let channel_capacity env (config : Config.t) name =
+  match config.Config.stream_capacity with
+  | Some n -> max 1 n
+  | None -> (
+    match (if Sdfg.has_desc env.g name then Some (Sdfg.desc env.g name) else None) with
+    | Some (Stream s) ->
+      let n = try eval_expr env [] s.s_buffer with _ -> 0 in
+      if n >= 1 then n else 256
+    | _ -> 256)
+
+(* Run [env]'s graph in streaming mode.  [source] is polled for input
+   chunks ([None] = end of stream) fed into [input]'s channel; every
+   consume scope becomes a long-lived worker connected to its peers by
+   bounded channels; [sink] receives output chunks popped from [output].
+
+   The overlapped schedule only engages when {!Analysis.Races.analyze_pipeline}
+   proves it bit-identical to the batch schedule (single state, each
+   channel single-producer single-consumer, stages acyclic with disjoint
+   non-stream footprints).  Anything else degrades to batch emulation:
+   drain the source fully into the input stream, run the state machine
+   once, hand the whole output stream to the sink in one chunk.  Returns
+   per-channel and per-worker statistics — empty on the degraded path. *)
+let run_streaming_env env (config : Config.t) ~input ~output ~source ~sink :
+    Obs.Report.channel_stat list * Obs.Report.worker_stat list =
+  let degrade () =
+    (match get_container env input with
+    | Strm s ->
+      let rec feed () =
+        match source () with
+        | None -> ()
+        | Some chunk ->
+          Array.iter
+            (fun v ->
+              env.stats.stream_pushes <- env.stats.stream_pushes + 1;
+              Queue.push v (stream_queue s []))
+            chunk;
+          feed ()
+      in
+      feed ()
+    | _ -> runtime_error "streaming: input %S is not a stream" input);
+    run_state_machine env;
+    (match output with
+    | None -> ()
+    | Some out -> (
+      match get_container env out with
+      | Strm s ->
+        let buf = ref [] in
+        Array.iter
+          (fun q ->
+            while not (Queue.is_empty q) do
+              buf := Queue.pop q :: !buf
+            done)
+          s.qs;
+        sink (Array.of_list (List.rev !buf))
+      | _ -> runtime_error "streaming: output %S is not a stream" out));
+    ([], [])
   in
-  run ~config ?symbols ?args g
+  if Sdfg.num_states env.g <> 1 then degrade ()
+  else
+    let st = Sdfg.start_state env.g in
+    match Analysis.Races.analyze_pipeline env.g st with
+    | Analysis.Races.No_pipeline _ -> degrade ()
+    | Analysis.Races.Pipeline stages ->
+      let consumed s =
+        List.exists
+          (fun stg -> String.equal stg.Analysis.Races.pl_stream s)
+          stages
+      in
+      let pushed s =
+        List.exists (fun stg -> List.mem s stg.Analysis.Races.pl_pushes) stages
+      in
+      let chan_names =
+        List.sort_uniq String.compare
+          (input
+          :: List.concat_map
+               (fun stg ->
+                 stg.Analysis.Races.pl_stream :: stg.Analysis.Races.pl_pushes)
+               stages)
+      in
+      let terminals = List.filter (fun n -> not (consumed n)) chan_names in
+      let n_workers = 1 + List.length stages + List.length terminals in
+      let eligible =
+        consumed input
+        && not (pushed input)
+        && (match output with
+           | None -> true
+           | Some o -> pushed o && not (consumed o))
+        && n_workers <= 64
+      in
+      if not eligible then degrade ()
+      else begin
+        (* Force the per-state caches (topological order, scope tree) on
+           this domain: they memoize lazily and are not thread-safe. *)
+        ignore (State.topological_order st);
+        ignore (State.scope_parents st);
+        List.iter
+          (fun stg -> ignore (State.scope_nodes st stg.Analysis.Races.pl_entry))
+          stages;
+        let chans =
+          List.map
+            (fun n ->
+              ( n,
+                Stream.create ~name:n ~capacity:(channel_capacity env config n)
+                  () ))
+            chan_names
+        in
+        let chan n = List.assoc n chans in
+        let close_all () = List.iter (fun (_, c) -> Stream.close c) chans in
+        (* Workers see streams as live channels; tensors are shared — the
+           pipeline verdict proved the stages' footprints disjoint. *)
+        let stbl = Hashtbl.copy env.containers in
+        List.iter (fun (n, c) -> Hashtbl.replace stbl n (Chan c)) chans;
+        let err_lock = Mutex.create () in
+        let first_err = ref None in
+        let record e =
+          Mutex.lock err_lock;
+          (match !first_err with
+          | None -> first_err := Some e
+          | Some _ -> ());
+          Mutex.unlock err_lock;
+          close_all ()
+        in
+        (* A worker hitting a closed channel is being told to shut down
+           (EOS or another worker's failure): exit silently. *)
+        let guard f () = try f () with Stream.Closed _ -> () | e -> record e in
+        let in_ch = chan input in
+        let feeder_stats = fresh_stats () in
+        let feeder_elems = ref 0 and feeder_busy = ref 0.0 in
+        let feeder () =
+          let rec loop () =
+            let t0 = Obs.Collect.now () in
+            let chunk = source () in
+            feeder_busy := !feeder_busy +. (Obs.Collect.now () -. t0);
+            match chunk with
+            | None -> Stream.close in_ch
+            | Some chunk ->
+              Array.iter
+                (fun v ->
+                  feeder_stats.stream_pushes <-
+                    feeder_stats.stream_pushes + 1;
+                  incr feeder_elems;
+                  Stream.push in_ch v)
+                chunk;
+              loop ()
+          in
+          loop ()
+        in
+        let stage_worker stg =
+          let entry = stg.Analysis.Races.pl_entry in
+          let info =
+            match State.node st entry with
+            | Consume_entry i -> i
+            | _ -> assert false
+          in
+          (* Direct body children in topological order — exactly the
+             batch executor's [exec_consume] schedule. *)
+          let body =
+            let members = State.scope_nodes st entry in
+            let parents = State.scope_parents st in
+            let direct =
+              List.filter
+                (fun nid -> Hashtbl.find parents nid = Some entry)
+                members
+            in
+            let order = State.topological_order st in
+            List.filter (fun nid -> List.mem nid direct) order
+          in
+          let wstats = fresh_stats () in
+          let wenv =
+            (* domains = 1: the pool is not reentrant, so inner maps run
+               sequentially inside a pipeline stage *)
+            { env with stats = wstats; containers = stbl; domains = 1;
+              par = fresh_par (); plans = Hashtbl.create 1 }
+          in
+          let st_in = chan stg.Analysis.Races.pl_stream in
+          let st_out = List.map chan stg.Analysis.Races.pl_pushes in
+          let elems = ref 0 and busy = ref 0.0 in
+          (* compile here, on the main domain — plan construction records
+             coverage into the shared collector *)
+          let num_pes = max 1 (eval_expr wenv [] info.cs_num_pes) in
+          let compiled =
+            if wenv.engine = `Compiled then !stage_compiler wenv st entry info
+            else None
+          in
+          let task () =
+            let pe = ref 0 in
+            let rec loop () =
+              match Stream.pop st_in with
+              | None -> List.iter Stream.close st_out
+              | Some v ->
+                wstats.stream_pops <- wstats.stream_pops + 1;
+                wstats.map_iterations <- wstats.map_iterations + 1;
+                let t0 = Obs.Collect.now () in
+                (match compiled with
+                | Some f -> f (!pe mod num_pes) v
+                | None ->
+                  exec_nodes wenv st
+                    ~params:[ (info.cs_pe_param, !pe mod num_pes) ]
+                    ~popped:[ (info.cs_stream, v) ]
+                    body);
+                busy := !busy +. (Obs.Collect.now () -. t0);
+                incr elems;
+                incr pe;
+                loop ()
+            in
+            loop ()
+          in
+          ("consume:" ^ stg.Analysis.Races.pl_stream, task, Some wstats, elems,
+           busy)
+        in
+        let drainer name =
+          let ch = chan name in
+          let elems = ref 0 and busy = ref 0.0 in
+          let is_out =
+            match output with Some o -> String.equal o name | None -> false
+          in
+          let task () =
+            if is_out then begin
+              let buf = ref [] and count = ref 0 in
+              let flush () =
+                if !count > 0 then begin
+                  let arr = Array.of_list (List.rev !buf) in
+                  buf := [];
+                  count := 0;
+                  let t0 = Obs.Collect.now () in
+                  sink arr;
+                  busy := !busy +. (Obs.Collect.now () -. t0)
+                end
+              in
+              let rec loop () =
+                match Stream.pop ch with
+                | None -> flush ()
+                | Some v ->
+                  buf := v :: !buf;
+                  incr count;
+                  incr elems;
+                  if !count >= config.Config.stream_chunk then flush ();
+                  loop ()
+              in
+              loop ()
+            end
+            else
+              (* unconsumed stream: drain and discard so producers never
+                 block permanently on a full channel nobody reads *)
+              let rec loop () =
+                match Stream.pop ch with
+                | None -> ()
+                | Some _ ->
+                  incr elems;
+                  loop ()
+              in
+              loop ()
+          in
+          ("drain:" ^ name, task, None, elems, busy)
+        in
+        let workers =
+          (("feed:" ^ input, feeder, Some feeder_stats, feeder_elems,
+            feeder_busy)
+          :: List.map stage_worker stages)
+          @ List.map drainer terminals
+        in
+        let tasks = Array.of_list workers in
+        let t0 = Obs.Collect.now () in
+        Pool.run ~domains:(Array.length tasks) (fun i ->
+            let _, task, _, _, _ = tasks.(i) in
+            guard task ());
+        let wall = Obs.Collect.now () -. t0 in
+        (match !first_err with Some e -> raise e | None -> ());
+        (* Deterministic counter merge: feeder first, then stages in
+           pipeline order.  Drainer pops are bookkeeping, not program
+           semantics, and stay out of the counters (the batch path's
+           sink hand-off does not count pops either). *)
+        Array.iter
+          (fun (_, _, stats, _, _) ->
+            match stats with
+            | Some (s : stats) ->
+              env.stats.elements_moved <-
+                env.stats.elements_moved + s.elements_moved;
+              env.stats.tasklet_execs <-
+                env.stats.tasklet_execs + s.tasklet_execs;
+              env.stats.map_iterations <-
+                env.stats.map_iterations + s.map_iterations;
+              env.stats.stream_pushes <-
+                env.stats.stream_pushes + s.stream_pushes;
+              env.stats.stream_pops <- env.stats.stream_pops + s.stream_pops;
+              env.stats.wcr_writes <- env.stats.wcr_writes + s.wcr_writes
+            | None -> ())
+          tasks;
+        env.stats.states_executed <- env.stats.states_executed + 1;
+        let channels =
+          List.map
+            (fun (_, c) ->
+              let s = Stream.stats c in
+              { Obs.Report.pc_name = s.Stream.ch_name;
+                pc_capacity = s.Stream.ch_capacity;
+                pc_pushes = s.Stream.ch_pushes;
+                pc_pops = s.Stream.ch_pops;
+                pc_depth_hwm = s.Stream.ch_depth_hwm;
+                pc_push_blocked_s = s.Stream.ch_push_blocked_s;
+                pc_pop_blocked_s = s.Stream.ch_pop_blocked_s })
+            chans
+        in
+        let worker_stats =
+          List.map
+            (fun (name, _, _, elems, busy) ->
+              { Obs.Report.pw_name = name;
+                pw_elements = !elems;
+                pw_busy_s = !busy;
+                pw_wall_s = wall })
+            (Array.to_list tasks)
+        in
+        (channels, worker_stats)
+      end
 
 (* --- reusable instances (plan-once / run-many) ----------------------------- *)
 
@@ -1137,15 +1577,11 @@ module Instance = struct
     p.par_chunks <- 0;
     p.par_forced_seq <- 0
 
-  (* One run: copy the request's tensors in, reset every piece of
-     mutable run state the plans close over, execute, copy results back
-     into the caller's tensors (preserving {!run}'s mutate-in-place
-     contract).  Bit-identical to a fresh [run] with the same config:
-     unsupplied containers are zero-filled exactly as [run_in]
-     zero-allocates them, and [Tensor.copy_into] moves raw values. *)
-  let run ?(args = []) (inst : t) : Obs.Report.t =
-    Mutex.lock inst.i_lock;
-    Fun.protect ~finally:(fun () -> Mutex.unlock inst.i_lock) @@ fun () ->
+  (* Shared per-run preparation: validate the request's containers,
+     restore the instance's symbol valuation, zero the counters, copy
+     the request's tensors in, zero-fill unsupplied tensors exactly as
+     [run_in] zero-allocates them, and empty every stream. *)
+  let prepare (inst : t) args =
     let env = inst.i_env in
     List.iter
       (fun (name, _) ->
@@ -1175,25 +1611,124 @@ module Instance = struct
                 env.g.g_name name
             else Tensor.copy_into ~src ~dst:t
           | None -> Tensor.fill t (Tasklang.Types.zero_of (Tensor.dtype t)))
-        | Strm s -> Array.iter Queue.clear s.qs)
-      env.containers;
-    let t0 = Obs.Collect.now () in
-    run_state_machine env;
-    let wall_s = Obs.Collect.now () -. t0 in
+        | Strm s -> Array.iter Queue.clear s.qs
+        | Chan _ ->
+          (* instances allocate [Strm] only; a [Chan] never outlives the
+             streaming run that created it *)
+          assert false)
+      env.containers
+
+  let copy_out env args =
     List.iter
       (fun (name, dst) ->
         match Hashtbl.find_opt env.containers name with
         | Some (Tens src) -> Tensor.copy_into ~src ~dst
         | _ -> ())
-      args;
+      args
+
+  (* One run: copy the request's tensors in, reset every piece of
+     mutable run state the plans close over, execute, copy results back
+     into the caller's tensors (preserving {!run}'s mutate-in-place
+     contract).  Bit-identical to a fresh [run] with the same config.
+     [stream_args] pre-loads stream containers element-by-element before
+     the state machine starts — the batch baseline the streaming
+     cross-validation oracle compares against. *)
+  let run ?(args = []) ?(stream_args = []) (inst : t) : Obs.Report.t =
+    Mutex.lock inst.i_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock inst.i_lock) @@ fun () ->
+    let env = inst.i_env in
+    prepare inst args;
+    List.iter
+      (fun (name, (vs : value array)) ->
+        match Hashtbl.find_opt env.containers name with
+        | Some (Strm s) ->
+          Array.iter
+            (fun v ->
+              env.stats.stream_pushes <- env.stats.stream_pushes + 1;
+              Queue.push v (stream_queue s []))
+            vs
+        | _ ->
+          runtime_error "instance %S: stream argument %S is not a stream"
+            env.g.g_name name)
+      stream_args;
+    let t0 = Obs.Collect.now () in
+    run_state_machine env;
+    let wall_s = Obs.Collect.now () -. t0 in
+    copy_out env args;
     let parallel =
       if inst.i_domains > 1 then
         Some
           { Obs.Report.par_domains = inst.i_domains;
             par_maps = env.par.par_maps;
             par_chunks = env.par.par_chunks;
-            par_forced_seq = env.par.par_forced_seq }
+            par_forced_seq = env.par.par_forced_seq;
+            par_channels = [];
+            par_workers = [] }
       else None
+    in
+    Obs.Report.of_collector ?parallel ~program:env.g.g_name
+      ~engine:(engine_name env.engine) ~wall_s
+      ~counters:(counters_of_stats env.stats)
+      env.collector
+
+  (* Non-destructive peek at a stream container's buffered contents, in
+     pop order.  How batch runs expose what streaming runs hand to the
+     sink. *)
+  let stream_contents (inst : t) name : value array =
+    match Hashtbl.find_opt inst.i_env.containers name with
+    | Some (Strm s) ->
+      let buf = ref [] in
+      Array.iter
+        (fun q -> Queue.iter (fun v -> buf := v :: !buf) q)
+        s.qs;
+      Array.of_list (List.rev !buf)
+    | Some _ ->
+      runtime_error "instance %S: container %S is not a stream"
+        inst.i_env.g.g_name name
+    | None ->
+      runtime_error "instance %S: no container %S" inst.i_env.g.g_name name
+
+  (* Streaming run: feed [input] incrementally from [source] (chunks of
+     elements, [None] = end of stream), emit [output] incrementally to
+     [sink].  When the pipeline verdict admits it the consume scopes run
+     as overlapped workers with bounded backpressure channels; otherwise
+     the graph executes once, batch-style, after the source drains.
+     Either way the observable results are bit-identical to
+     [run ~stream_args:[(input, all-elements)]] followed by
+     [stream_contents] on the output. *)
+  let run_streaming ?(args = []) ~input ?output
+      ?(sink = fun (_ : value array) -> ()) ~source (inst : t) :
+      Obs.Report.t =
+    Mutex.lock inst.i_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock inst.i_lock) @@ fun () ->
+    let env = inst.i_env in
+    prepare inst args;
+    let t0 = Obs.Collect.now () in
+    let channels, workers =
+      run_streaming_env env inst.i_config ~input ~output ~source ~sink
+    in
+    let wall_s = Obs.Collect.now () -. t0 in
+    copy_out env args;
+    let parallel =
+      match workers with
+      | [] ->
+        if inst.i_domains > 1 then
+          Some
+            { Obs.Report.par_domains = inst.i_domains;
+              par_maps = env.par.par_maps;
+              par_chunks = env.par.par_chunks;
+              par_forced_seq = env.par.par_forced_seq;
+              par_channels = [];
+              par_workers = [] }
+        else None
+      | _ ->
+        Some
+          { Obs.Report.par_domains = List.length workers;
+            par_maps = env.par.par_maps;
+            par_chunks = env.par.par_chunks;
+            par_forced_seq = env.par.par_forced_seq;
+            par_channels = channels;
+            par_workers = workers }
     in
     Obs.Report.of_collector ?parallel ~program:env.g.g_name
       ~engine:(engine_name env.engine) ~wall_s

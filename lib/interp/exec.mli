@@ -21,7 +21,13 @@ type stream_rt = {
   q_dtype : Tasklang.Types.dtype;
 }
 
-type container = Tens of Tensor.t | Strm of stream_rt
+type container =
+  | Tens of Tensor.t
+  | Strm of stream_rt
+  | Chan of Tasklang.Types.value Stream.t
+      (** streaming mode only: a live bounded channel with blocking
+          push/pop, substituted for [Strm] in pipeline workers' container
+          tables *)
 
 (** Instrumentation counters gathered during a run. *)
 type stats = {
@@ -81,9 +87,11 @@ val counters_of_stats : stats -> Obs.Report.counters
     [Config.(default |> with_engine `Compiled |> with_domains 4)]. *)
 module Config : sig
   type error =
-    | Invalid_domains of int     (** [domains < 1] *)
-    | Invalid_max_states of int  (** [max_states < 1] *)
-    | Parse of string            (** malformed JSON field *)
+    | Invalid_domains of int          (** [domains < 1] *)
+    | Invalid_max_states of int       (** [max_states < 1] *)
+    | Invalid_stream_chunk of int     (** [stream_chunk < 1] *)
+    | Invalid_stream_capacity of int  (** [stream_capacity < 1] *)
+    | Parse of string                 (** malformed JSON field *)
 
   val error_message : error -> string
 
@@ -97,6 +105,13 @@ module Config : sig
             [None] (the default) defers to it.  See
             {!resolved_domains}. *)
     kernels : bool;                   (** default [true] *)
+    stream_chunk : int;
+        (** streaming mode: output elements buffered per sink flush;
+            default 64 *)
+    stream_capacity : int option;
+        (** streaming mode: overrides every channel's capacity; [None]
+            (the default) uses each stream's declared [s_buffer], with
+            256 standing in for unbounded or unevaluable buffers *)
   }
 
   val default : t
@@ -112,12 +127,15 @@ module Config : sig
   (** Back to deferring to the environment. *)
 
   val with_kernels : bool -> t -> t
+  val with_stream_chunk : int -> t -> t
+  val with_stream_capacity : int -> t -> t
 
   val validate : t -> (t, error) result
-  (** Typed validation: [domains < 1] and [max_states < 1] are
-      {!error}s here rather than raises downstream — the CLI and the
-      serve protocol report them without exception handling.  Values
-      above the pool maximum (64) are not errors; they clamp. *)
+  (** Typed validation: [domains < 1], [max_states < 1],
+      [stream_chunk < 1] and [stream_capacity < 1] are {!error}s here
+      rather than raises downstream — the CLI and the serve protocol
+      report them without exception handling.  Values above the pool
+      maximum (64) are not errors; they clamp. *)
 
   val resolved_domains : t -> int
   (** The effective domain count: the explicit [domains] clamped to
@@ -128,8 +146,9 @@ module Config : sig
 
   val of_json : Obs.Json.t -> (t, error) result
   (** Missing fields keep their defaults; present fields must be
-      well-typed ([engine]/[instrument] as names, [max_states]/[domains]
-      integers, [kernels] boolean).  Runs {!validate}. *)
+      well-typed ([engine]/[instrument] as names, [max_states]/[domains]/
+      [stream_chunk]/[stream_capacity] integers, [kernels] boolean).
+      Runs {!validate}. *)
 end
 
 val run :
@@ -151,23 +170,6 @@ val run :
     summary.
     @raise Runtime_error on stuck or ill-formed programs, and on a
     config that fails {!Config.validate}. *)
-
-val run_labelled :
-  ?engine:engine ->
-  ?instrument:Obs.Collect.level ->
-  ?max_states:int ->
-  ?domains:int ->
-  ?kernels:bool ->
-  ?symbols:(string * int) list ->
-  ?args:(string * Tensor.t) list ->
-  Sdfg_ir.Sdfg.t ->
-  Obs.Report.t
-[@@ocaml.deprecated
-  "use Exec.run ?config with Exec.Config (labelled-argument surface kept \
-   for one release)"]
-(** The pre-{!Config} entry point, one release from removal.  Same
-    semantics as {!run} with the corresponding config, except
-    out-of-range [domains] clamp silently as they historically did. *)
 
 (** Plan-once / run-many execution.  An instance pins one
     (graph, symbol valuation, config) triple, keeps the execution
@@ -191,16 +193,56 @@ module Instance : sig
       @raise Runtime_error on an invalid config or unbound shape
       symbols. *)
 
-  val run : ?args:(string * Tensor.t) list -> t -> Obs.Report.t
+  val run :
+    ?args:(string * Tensor.t) list ->
+    ?stream_args:(string * Tasklang.Types.value array) list ->
+    t ->
+    Obs.Report.t
   (** Execute once: copies [args] into the instance's containers
       (shape and dtype must match exactly), zero-fills the rest,
       resets symbols/counters/streams, runs, then copies results back
       into the caller's tensors ({!Exec.run}'s mutate-in-place
-      contract).  Results and counters are bit-identical to a fresh
-      {!Exec.run} with the same config, symbols and args.  Thread-safe:
-      an internal lock serializes concurrent runs of one instance.
+      contract).  [stream_args] pre-loads stream containers
+      element-by-element before the state machine starts — the batch
+      baseline {!run_streaming} is validated against.  Results and
+      counters are bit-identical to a fresh {!Exec.run} with the same
+      config, symbols and args.  Thread-safe: an internal lock
+      serializes concurrent runs of one instance.
       @raise Runtime_error on unknown or mis-shaped argument
       containers. *)
+
+  val run_streaming :
+    ?args:(string * Tensor.t) list ->
+    input:string ->
+    ?output:string ->
+    ?sink:(Tasklang.Types.value array -> unit) ->
+    source:(unit -> Tasklang.Types.value array option) ->
+    t ->
+    Obs.Report.t
+  (** Continuous-query execution: poll [source] for input chunks
+      ([None] = end of stream) fed into the [input] stream, deliver
+      [output]'s elements to [sink] in chunks of the config's
+      [stream_chunk].  When {!Analysis.Races.analyze_pipeline} proves
+      the graph a pipeline (single state; every stream single-producer,
+      single-consumer; acyclic stages with disjoint non-stream
+      footprints), consume scopes run as long-lived workers connected
+      by bounded channels — producers block on full channels
+      (backpressure), consumers on empty ones — and the report's
+      parallel section carries per-channel depth/blocked-time and
+      per-worker utilization.  Otherwise the source is drained fully
+      and the graph runs once, batch-style, the sink receiving one
+      final chunk.  Both paths are bit-identical to
+      [run ~stream_args:[(input, elements)]] followed by
+      {!stream_contents} on the output.
+      @raise Runtime_error on unknown containers or a worker failure
+      (first error rethrown after shutdown). *)
+
+  val stream_contents : t -> string -> Tasklang.Types.value array
+  (** Non-destructive peek at a stream container's buffered elements in
+      pop order — how batch runs expose what {!run_streaming} hands to
+      the sink.
+      @raise Runtime_error if the container is missing or not a
+      stream. *)
 
   val config : t -> Config.t
   val symbols : t -> (string * int) list
@@ -265,3 +307,17 @@ val exec_nodes :
 val set_compiled_state_exec : (env -> Sdfg_ir.Defs.state -> unit) -> unit
 (** Register the compiled engine's state executor; called by {!Plan} at
     load time. *)
+
+val set_stage_compiler :
+  (env ->
+  Sdfg_ir.Defs.state ->
+  int ->
+  Sdfg_ir.Defs.consume_info ->
+  (int -> Tasklang.Types.value -> unit) option) ->
+  unit
+(** Register the streaming stage compiler; called by {!Plan} at load
+    time.  Invoked once per pipeline worker with the worker's private
+    environment, the state, the consume entry's node id and its info;
+    [Some f] means [f pe v] runs the stage body for one popped element
+    (kernel-lowered map bodies included), [None] keeps the worker on
+    the reference body loop. *)

@@ -410,7 +410,7 @@ let recognize_exn ~env ~st ~entry ~(info : map_info) ~comp : t =
   let tens_of name =
     match Hashtbl.find_opt env.Exec.containers name with
     | Some (Exec.Tens t) -> t
-    | Some (Exec.Strm _) -> reject "stream"
+    | Some (Exec.Strm _ | Exec.Chan _) -> reject "stream"
     | None -> reject "container"
   in
   let wcr =

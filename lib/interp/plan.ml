@@ -42,6 +42,9 @@ type ctx = {
   mutable frame : int array;   (* allocated once slot count is known *)
   mutable n_slots : int;
   sym_slots : (string, int) Hashtbl.t;  (* interstate symbol -> slot *)
+  popped : (string * value ref) option;
+      (* streaming stage compilation: the consumed stream and the cell
+         holding the element popped for the current body invocation *)
 }
 
 (* One worker domain's compiled copy of a parallel map body.  Each
@@ -342,6 +345,33 @@ let rec comp_node ?(strict = false) ctx scope_env nid : unit -> unit =
       spanned ctx Obs.Collect.Tasklet t.t_name ~flag:t.t_instrument f
     with Fallback -> fallback ())
   | Map_exit | Consume_exit -> fun () -> ()
+  | Access d when strict ->
+    (* Inside a compiled pipeline stage an access node is admissible only
+       when every incident edge is one the reference executor treats as a
+       semantic no-op (same-container commit wiring, connector-less value
+       flow): scope-entry copy-ins and copies to other containers would
+       need the interpreter, so they fall back. *)
+    let passthrough =
+      List.for_all
+        (fun (e : edge) ->
+          (not (State.is_scope_entry ctx.st e.e_src))
+          ||
+          match e.e_memlet with
+          | None -> true
+          | Some m -> String.equal m.m_data d)
+        (State.in_edges ctx.st nid)
+      && List.for_all
+           (fun (e : edge) ->
+             match State.node ctx.st e.e_dst with
+             | Access _ -> e.e_memlet = None
+             | Map_exit | Consume_exit -> (
+               match e.e_memlet with
+               | None -> true
+               | Some m -> String.equal m.m_data d)
+             | _ -> true)
+           (State.out_edges ctx.st nid)
+    in
+    if passthrough then fun () -> () else fallback ()
   | Access _ | Consume_entry _ | Reduce _ | Nested_sdfg _ -> fallback ()
 
 (* A map scope compiles to a loop nest: ranges are evaluated once per
@@ -567,7 +597,7 @@ and build_parallel ctx entry (info : map_info) ~accumulate ~privatize
     in
     let rctx =
       { env = renv; st = ctx.st; frame = [||]; n_slots = 0;
-        sym_slots = Hashtbl.create 8 }
+        sym_slots = Hashtbl.create 8; popped = None }
     in
     let pslots = Array.map (fun (p, _, _, _) -> (p, alloc_slot rctx)) dims in
     let scope_env = Array.to_list pslots in
@@ -779,6 +809,17 @@ and comp_tasklet ctx scope_env nid (t : tasklet) : unit -> unit =
   let prologues = ref [] and resolutions = ref [] in
   let add_in (e : edge) =
     match e.e_dst_conn, e.e_memlet with
+    | Some conn, Some m
+      when (match ctx.popped with
+           | Some (sname, _) -> String.equal sname m.m_data
+           | None -> false) ->
+      (* the stage's popped stream element: bound as a scalar, no stats
+         counted — mirrors [Exec.exec_tasklet]'s short-circuit *)
+      let cell =
+        match ctx.popped with Some (_, c) -> c | None -> assert false
+      in
+      resolutions :=
+        (conn, Tasklang.Compile.Scalar_src (fun () -> !cell)) :: !resolutions
     | Some conn, Some m ->
       let kconn =
         match List.find_opt (fun c -> c.k_name = conn) t.t_inputs with
@@ -822,18 +863,33 @@ and comp_tasklet ctx scope_env nid (t : tasklet) : unit -> unit =
   in
   let add_out (e : edge) =
     match e.e_src_conn, e.e_memlet with
-    | Some conn, Some m ->
+    | Some conn, Some m -> (
       let kconn =
         match List.find_opt (fun c -> c.k_name = conn) t.t_outputs with
         | Some c -> c
         | None -> raise Fallback
       in
-      let tens = tens_of m.m_data in
-      let v = make_cview ctx scope_env tens kconn.k_rank m.m_subset in
-      prologues := (fun fr -> refresh_view v fr) :: !prologues;
-      resolutions :=
-        (conn, Tasklang.Compile.Buffer_src (view_get v, view_set env v m.m_wcr))
-        :: !resolutions
+      match Hashtbl.find_opt env.Exec.containers m.m_data with
+      | Some (Exec.Chan c) ->
+        (* streaming stage: pushes go to the live channel, blocking on
+           backpressure — mirrors [Exec.bind_output]'s [Chan] case *)
+        resolutions :=
+          (conn,
+           Tasklang.Compile.Buffer_src
+             ((fun _ ->
+                Exec.runtime_error "reading output stream connector %S" conn),
+              fun _ v ->
+                stats.Exec.stream_pushes <- stats.Exec.stream_pushes + 1;
+                Stream.push c v))
+          :: !resolutions
+      | _ ->
+        let tens = tens_of m.m_data in
+        let v = make_cview ctx scope_env tens kconn.k_rank m.m_subset in
+        prologues := (fun fr -> refresh_view v fr) :: !prologues;
+        resolutions :=
+          (conn,
+           Tasklang.Compile.Buffer_src (view_get v, view_set env v m.m_wcr))
+          :: !resolutions)
     | _ -> ()
   in
   List.iter add_in (State.in_edges st nid);
@@ -870,7 +926,8 @@ and comp_tasklet ctx scope_env nid (t : tasklet) : unit -> unit =
 let prepare (env : Exec.env) (st : state) : Exec.cached_plan =
   Obs.Collect.note_planned_state env.Exec.collector;
   let ctx =
-    { env; st; frame = [||]; n_slots = 0; sym_slots = Hashtbl.create 8 }
+    { env; st; frame = [||]; n_slots = 0; sym_slots = Hashtbl.create 8;
+      popped = None }
   in
   let top =
     let parents = State.scope_parents st in
@@ -912,6 +969,59 @@ let exec_state (env : Exec.env) (st : state) =
   plan.Exec.pl_run ()
 
 let () = Exec.set_compiled_state_exec exec_state
+
+(* --- streaming stage bodies ---------------------------------------------- *)
+
+(* Compile one consume scope's body for a streaming pipeline worker:
+   the popped element binds as a scalar through a shared cell, pushes
+   resolve to live channels, and inner maps compile as usual (bulk
+   kernels included).  Strict mode: a body the plan cannot fully lower
+   returns [None] and the worker stays on the reference loop — workers
+   run concurrently, so partially-compiled bodies that re-enter the
+   reference executors are acceptable (each worker owns a private
+   environment) but a half-lowered plan is not worth the risk of
+   diverging counters.  Called on the worker's environment from the
+   main domain, before the pipeline starts. *)
+let compile_stage (env : Exec.env) (st : state) entry (info : consume_info) :
+    (int -> value -> unit) option =
+  let cell = ref (I 0) in
+  let ctx =
+    { env; st; frame = [||]; n_slots = 0; sym_slots = Hashtbl.create 8;
+      popped = Some (info.cs_stream, cell) }
+  in
+  let pe_slot = alloc_slot ctx in
+  let scope_env = [ (info.cs_pe_param, pe_slot) ] in
+  let body_ids =
+    let members = State.scope_nodes st entry in
+    let parents = State.scope_parents st in
+    let direct =
+      List.filter (fun nid -> Hashtbl.find parents nid = Some entry) members
+    in
+    List.filter (fun nid -> List.mem nid direct) (State.topological_order st)
+  in
+  match List.map (comp_node ~strict:true ctx scope_env) body_ids with
+  | exception Fallback -> None
+  | steps ->
+    let steps = Array.of_list steps in
+    ctx.frame <- Array.make (max 1 ctx.n_slots) 0;
+    let sym_refresh =
+      Array.of_list
+        (Hashtbl.fold (fun name slot acc -> (name, slot) :: acc) ctx.sym_slots
+           [])
+    in
+    Some
+      (fun pe v ->
+        let fr = ctx.frame in
+        Array.iter
+          (fun (name, slot) -> fr.(slot) <- Hashtbl.find env.Exec.symbols name)
+          sym_refresh;
+        fr.(pe_slot) <- pe;
+        cell := v;
+        for i = 0 to Array.length steps - 1 do
+          (Array.unsafe_get steps i) ()
+        done)
+
+let () = Exec.set_stage_compiler compile_stage
 
 (* Referencing these values from a program forces this module to be
    linked (and thus the engine to be registered); plain

@@ -37,15 +37,42 @@ type coverage = {
   (* maps left on the closure path, tallied by fallback reason code *)
 }
 
+(* Per-channel pressure counters from a streaming run: one entry per
+   bounded stream channel.  The depth high-water mark never exceeding
+   the capacity is the backpressure guarantee. *)
+type channel_stat = {
+  pc_name : string;
+  pc_capacity : int;
+  pc_pushes : int;
+  pc_pops : int;
+  pc_depth_hwm : int;
+  pc_push_blocked_s : float;  (* producers waiting on a full channel *)
+  pc_pop_blocked_s : float;   (* consumers waiting on an empty channel *)
+}
+
+(* Per-worker utilization from a streaming run: feeder, one worker per
+   consume scope, and drainers.  [pw_busy_s / pw_wall_s] is the
+   utilization. *)
+type worker_stat = {
+  pw_name : string;
+  pw_elements : int;     (* elements processed (popped/pushed) *)
+  pw_busy_s : float;     (* time spent executing, not blocked *)
+  pw_wall_s : float;     (* lifetime of the worker (the barrier wall) *)
+}
+
 (* Multicore execution summary: present only when the run was given more
-   than one domain.  [par_chunks] depends on the domain count (it is the
-   number of work units dispatched to the pool), so determinism checks
-   across domain counts compare [counters], not this record. *)
+   than one domain, or ran in streaming mode.  [par_chunks] depends on
+   the domain count (it is the number of work units dispatched to the
+   pool), so determinism checks across domain counts compare
+   [counters], not this record.  [par_channels]/[par_workers] are empty
+   except for streaming runs. *)
 type parallel = {
   par_domains : int;       (* domains the run was allowed to use *)
   par_maps : int;          (* parallel map-scope invocations *)
   par_chunks : int;        (* chunks dispatched to the domain pool *)
   par_forced_seq : int;    (* parallel-scheduled maps forced sequential *)
+  par_channels : channel_stat list;  (* streaming: bounded channels *)
+  par_workers : worker_stat list;    (* streaming: pipeline workers *)
 }
 
 type t = {
@@ -150,7 +177,24 @@ let pp ppf (r : t) =
     Fmt.pf ppf
       "parallel: %d domain(s), %d map(s) parallelized, %d chunk(s), %d \
        forced sequential@."
-      p.par_domains p.par_maps p.par_chunks p.par_forced_seq
+      p.par_domains p.par_maps p.par_chunks p.par_forced_seq;
+    List.iter
+      (fun c ->
+        Fmt.pf ppf
+          "channel %-16s cap=%d pushes=%d pops=%d depth_hwm=%d \
+           push_blocked=%a pop_blocked=%a@."
+          c.pc_name c.pc_capacity c.pc_pushes c.pc_pops c.pc_depth_hwm
+          pp_time c.pc_push_blocked_s pp_time c.pc_pop_blocked_s)
+      p.par_channels;
+    List.iter
+      (fun w ->
+        let util =
+          if w.pw_wall_s > 0. then 100. *. w.pw_busy_s /. w.pw_wall_s else 0.
+        in
+        Fmt.pf ppf "worker  %-16s elements=%d busy=%a wall=%a util=%.1f%%@."
+          w.pw_name w.pw_elements pp_time w.pw_busy_s pp_time w.pw_wall_s
+          util)
+      p.par_workers
   | None -> ());
   if r.r_timers <> [] then begin
     Fmt.pf ppf "%-48s%10s %s@." "construct" "count" "     total";
@@ -221,12 +265,43 @@ let to_json (r : t) : Json.t =
     @ (match r.r_parallel with
       | None -> []
       | Some p ->
+        let channel_to_json c =
+          Json.Obj
+            [ ("name", Json.Str c.pc_name);
+              ("capacity", Json.Int c.pc_capacity);
+              ("pushes", Json.Int c.pc_pushes);
+              ("pops", Json.Int c.pc_pops);
+              ("depth_hwm", Json.Int c.pc_depth_hwm);
+              ("push_blocked_s", Json.Float c.pc_push_blocked_s);
+              ("pop_blocked_s", Json.Float c.pc_pop_blocked_s) ]
+        in
+        let worker_to_json w =
+          Json.Obj
+            [ ("name", Json.Str w.pw_name);
+              ("elements", Json.Int w.pw_elements);
+              ("busy_s", Json.Float w.pw_busy_s);
+              ("wall_s", Json.Float w.pw_wall_s);
+              ( "utilization",
+                Json.Float
+                  (if w.pw_wall_s > 0. then w.pw_busy_s /. w.pw_wall_s
+                   else 0.) ) ]
+        in
         [ ( "parallel",
             Json.Obj
-              [ ("domains", Json.Int p.par_domains);
-                ("parallel_maps", Json.Int p.par_maps);
-                ("chunks", Json.Int p.par_chunks);
-                ("forced_sequential", Json.Int p.par_forced_seq) ] ) ])
+              ([ ("domains", Json.Int p.par_domains);
+                 ("parallel_maps", Json.Int p.par_maps);
+                 ("chunks", Json.Int p.par_chunks);
+                 ("forced_sequential", Json.Int p.par_forced_seq) ]
+              @ (if p.par_channels = [] then []
+                 else
+                   [ ( "channels",
+                       Json.Arr (List.map channel_to_json p.par_channels) )
+                   ])
+              @
+              if p.par_workers = [] then []
+              else
+                [ ("workers", Json.Arr (List.map worker_to_json p.par_workers))
+                ]) ) ])
     @
     match r.r_timers with
     | [] -> []

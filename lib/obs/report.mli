@@ -33,15 +33,38 @@ type coverage = {
   (** maps left on the closure path, tallied by fallback reason code *)
 }
 
+type channel_stat = {
+  pc_name : string;
+  pc_capacity : int;
+  pc_pushes : int;
+  pc_pops : int;
+  pc_depth_hwm : int;   (** never exceeds capacity: backpressure held *)
+  pc_push_blocked_s : float;  (** producers waiting on a full channel *)
+  pc_pop_blocked_s : float;   (** consumers waiting on an empty channel *)
+}
+(** Per-channel pressure counters from a streaming run. *)
+
+type worker_stat = {
+  pw_name : string;
+  pw_elements : int;  (** elements processed *)
+  pw_busy_s : float;  (** time spent executing, not blocked *)
+  pw_wall_s : float;  (** lifetime of the worker *)
+}
+(** Per-worker utilization from a streaming run ([pw_busy_s /
+    pw_wall_s]): the feeder, one worker per consume scope, drainers. *)
+
 type parallel = {
   par_domains : int;     (** domains the run was allowed to use *)
   par_maps : int;        (** parallel map-scope invocations *)
   par_chunks : int;      (** chunks dispatched to the domain pool *)
   par_forced_seq : int;  (** parallel-scheduled maps forced sequential *)
+  par_channels : channel_stat list;  (** streaming runs only *)
+  par_workers : worker_stat list;    (** streaming runs only *)
 }
 (** Multicore execution summary, present only on runs given more than one
-    domain.  [par_chunks] depends on the domain count; determinism checks
-    across domain counts compare [counters], not this record. *)
+    domain or executed in streaming mode.  [par_chunks] depends on the
+    domain count; determinism checks across domain counts compare
+    [counters], not this record. *)
 
 type t = {
   r_program : string;

@@ -50,8 +50,56 @@ let run ?(symbols = []) ?(config = Interp.Exec.Config.default) ?(args = []) c
   with
   | Protocol.Resp_run r -> Ok r
   | Protocol.Resp_error { err; _ } -> Error err
-  | Protocol.Resp_pong | Protocol.Resp_shutdown | Protocol.Resp_stats _ ->
-    Error "unexpected response kind"
+  | _ -> Error "unexpected response kind"
+
+(* Streaming session: open, then write pushes from a helper thread while
+   this thread reads data frames — full duplex, so a server blocked
+   writing data can never deadlock against a client blocked writing
+   pushes. *)
+let run_stream ?(symbols = []) ?(config = Interp.Exec.Config.default)
+    ?(args = []) ~input ?output c program chunks =
+  let id = c.next_id in
+  c.next_id <- id + 1;
+  let frame req =
+    Protocol.write_frame c.oc (Json.to_string (Protocol.request_to_json ~id req))
+  in
+  frame
+    (Protocol.Stream_open
+       { sq_program = program; sq_symbols = symbols; sq_config = config;
+         sq_args = args; sq_input = input; sq_output = output });
+  let read_response () =
+    match Protocol.read_frame c.ic with
+    | None -> Error "connection closed by server"
+    | Some payload -> (
+      match Json.parse payload with
+      | exception _ -> Error "malformed response payload"
+      | json -> Protocol.response_of_json json)
+  in
+  match read_response () with
+  | Error e -> Error e
+  | Ok (Protocol.Resp_error { err; _ }) -> Error err
+  | Ok (Protocol.Resp_stream_opened _) ->
+    let writer =
+      Thread.create
+        (fun () ->
+          try
+            List.iter (fun vs -> frame (Protocol.Stream_push vs)) chunks;
+            frame Protocol.Stream_close
+          with Sys_error _ | Unix.Unix_error _ -> ())
+        ()
+    in
+    let rec collect acc =
+      match read_response () with
+      | Error e -> Error e
+      | Ok (Protocol.Resp_stream_data vs) -> collect (vs :: acc)
+      | Ok (Protocol.Resp_stream_done r) -> Ok (r, List.rev acc)
+      | Ok (Protocol.Resp_error { err; _ }) -> Error err
+      | Ok _ -> Error "unexpected response kind"
+    in
+    let result = collect [] in
+    Thread.join writer;
+    result
+  | Ok _ -> Error "unexpected response kind"
 
 let stats c =
   match request c Protocol.Stats with

@@ -24,6 +24,23 @@ val run :
 (** Execute a program on the daemon.  [Error] carries the daemon's
     message (shed, validation failure, runtime error, …). *)
 
+val run_stream :
+  ?symbols:(string * int) list ->
+  ?config:Interp.Exec.Config.t ->
+  ?args:(string * Interp.Tensor.t) list ->
+  input:string ->
+  ?output:string ->
+  t ->
+  Protocol.program ->
+  Tasklang.Types.value array list ->
+  (Protocol.run_result * Tasklang.Types.value array list, string) result
+(** Run a continuous query: open a streaming session, feed [chunks]
+    into the [input] stream (written from a helper thread, so server
+    data frames and client pushes flow full-duplex), close, and collect
+    the [output] stream's chunks together with the final report and
+    outputs.  The concatenated chunks are bit-identical to a batch
+    {!run} of the same program with the chunks pre-loaded on [input]. *)
+
 val stats : t -> (Obs.Json.t, string) result
 val ping : t -> bool
 val shutdown : t -> unit

@@ -148,6 +148,43 @@ let tensor_of_json (j : Json.t) : (Tensor.t, string) result =
       | exception Failure msg -> Error msg)
   | _ -> Error "tensor: exactly one of bits/ints required"
 
+(* --- stream value codec --------------------------------------------------- *)
+
+(* Individual stream elements cross the wire under the same bit-exact
+   discipline as tensors: floats as 16-hex-digit bit patterns, ints and
+   bools as themselves. *)
+let value_to_json (v : T.value) : Json.t =
+  match v with
+  | T.F f -> Json.Str (Fmt.str "%016Lx" (Int64.bits_of_float f))
+  | T.I n -> Json.Int n
+  | T.B b -> Json.Bool b
+
+let value_of_json (j : Json.t) : (T.value, string) result =
+  match j with
+  | Json.Str s -> (
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some bits -> Ok (T.F (Int64.float_of_bits bits))
+    | None -> Error (Fmt.str "bad float bit pattern %S" s))
+  | Json.Int n -> Ok (T.I n)
+  | Json.Bool b -> Ok (T.B b)
+  | _ -> Error "stream element must be a hex string, integer or bool"
+
+let values_to_json (vs : T.value array) : Json.t =
+  Json.Arr (List.map value_to_json (Array.to_list vs))
+
+let values_of_json (j : Json.t) : (T.value array, string) result =
+  match j with
+  | Json.Arr js ->
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | v :: rest -> (
+        match value_of_json v with
+        | Ok v -> go (v :: acc) rest
+        | Error msg -> Error msg)
+    in
+    go [] js
+  | _ -> Error "stream data must be an array"
+
 (* --- symbols ------------------------------------------------------------- *)
 
 let symbols_to_json symbols =
@@ -195,9 +232,10 @@ let cache_key ~sdfg_text ~symbols ~(config : Interp.Exec.Config.t) =
 (* --- requests ------------------------------------------------------------ *)
 
 type program =
-  | Prog_sdfg of string  (* serialized .sdfg text *)
-  | Prog_name of string  (* server-registered builder *)
-  | Prog_key of string   (* cache key from a previous response *)
+  | Prog_sdfg of string    (* serialized .sdfg text *)
+  | Prog_ndlang of string  (* Ndlang source, elaborated server-side *)
+  | Prog_name of string    (* server-registered builder *)
+  | Prog_key of string     (* cache key from a previous response *)
 
 type run_request = {
   rq_program : program;
@@ -206,11 +244,35 @@ type run_request = {
   rq_args : (string * Tensor.t) list;
 }
 
+type stream_request = {
+  sq_program : program;
+  sq_symbols : (string * int) list;
+  sq_config : Interp.Exec.Config.t;
+  sq_args : (string * Tensor.t) list;
+  sq_input : string;          (* stream container fed by push frames *)
+  sq_output : string option;  (* stream forwarded back as data frames *)
+}
+
 type request =
   | Run of run_request
+  | Stream_open of stream_request
+  | Stream_push of Tasklang.Types.value array
+  | Stream_close
   | Stats
   | Ping
   | Shutdown
+
+let program_field = function
+  | Prog_sdfg text -> ("sdfg", Json.Str text)
+  | Prog_ndlang src -> ("ndlang", Json.Str src)
+  | Prog_name name -> ("name", Json.Str name)
+  | Prog_key key -> ("key", Json.Str key)
+
+let exec_fields ~program ~symbols ~config ~args =
+  [ ("program", Json.Obj [ program_field program ]);
+    ("symbols", symbols_to_json symbols);
+    ("config", Interp.Exec.Config.to_json config);
+    ("args", Json.Obj (List.map (fun (n, t) -> (n, tensor_to_json t)) args)) ]
 
 let request_to_json ~id (r : request) : Json.t =
   let base ty rest = Json.Obj ((("id", Json.Int id)) :: ("type", Json.Str ty) :: rest) in
@@ -218,20 +280,20 @@ let request_to_json ~id (r : request) : Json.t =
   | Stats -> base "stats" []
   | Ping -> base "ping" []
   | Shutdown -> base "shutdown" []
+  | Stream_close -> base "stream_close" []
+  | Stream_push vs -> base "stream_push" [ ("data", values_to_json vs) ]
   | Run rq ->
-    let program =
-      match rq.rq_program with
-      | Prog_sdfg text -> ("sdfg", Json.Str text)
-      | Prog_name name -> ("name", Json.Str name)
-      | Prog_key key -> ("key", Json.Str key)
-    in
     base "run"
-      [ ("program", Json.Obj [ program ]);
-        ("symbols", symbols_to_json rq.rq_symbols);
-        ("config", Interp.Exec.Config.to_json rq.rq_config);
-        ( "args",
-          Json.Obj
-            (List.map (fun (n, t) -> (n, tensor_to_json t)) rq.rq_args) ) ]
+      (exec_fields ~program:rq.rq_program ~symbols:rq.rq_symbols
+         ~config:rq.rq_config ~args:rq.rq_args)
+  | Stream_open sq ->
+    base "stream_open"
+      (exec_fields ~program:sq.sq_program ~symbols:sq.sq_symbols
+         ~config:sq.sq_config ~args:sq.sq_args
+      @ [ ("input", Json.Str sq.sq_input) ]
+      @ match sq.sq_output with
+        | None -> []
+        | Some o -> [ ("output", Json.Str o) ])
 
 (* The request id is decoded even from malformed payloads when possible,
    so error responses can still be correlated. *)
@@ -240,52 +302,83 @@ let request_id (j : Json.t) : int =
   | Some id -> id
   | None -> 0
 
+(* The program/symbols/config/args block shared by run and stream_open. *)
+let exec_fields_of_json (j : Json.t) :
+    (program * (string * int) list * Interp.Exec.Config.t
+     * (string * Tensor.t) list,
+     string)
+    result =
+  let ( let* ) = Result.bind in
+  let* program =
+    match Json.member "program" j with
+    | Some p -> (
+      let field n = Option.bind (Json.member n p) Json.to_string_opt in
+      match field "sdfg", field "ndlang", field "name", field "key" with
+      | Some text, None, None, None -> Ok (Prog_sdfg text)
+      | None, Some src, None, None -> Ok (Prog_ndlang src)
+      | None, None, Some name, None -> Ok (Prog_name name)
+      | None, None, None, Some key -> Ok (Prog_key key)
+      | _ -> Error "program must carry exactly one of sdfg/ndlang/name/key")
+    | None -> Error "request: missing program"
+  in
+  let* symbols =
+    match Json.member "symbols" j with
+    | None -> Ok []
+    | Some s -> symbols_of_json s
+  in
+  let* config =
+    match Json.member "config" j with
+    | None -> Ok Interp.Exec.Config.default
+    | Some c ->
+      Result.map_error Interp.Exec.Config.error_message
+        (Interp.Exec.Config.of_json c)
+  in
+  let* args =
+    match Json.member "args" j with
+    | None -> Ok []
+    | Some (Json.Obj fields) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (n, tj) :: rest -> (
+          match tensor_of_json tj with
+          | Ok t -> go ((n, t) :: acc) rest
+          | Error msg -> Error (Fmt.str "argument %S: %s" n msg))
+      in
+      go [] fields
+    | Some _ -> Error "args must be an object"
+  in
+  Ok (program, symbols, config, args)
+
 let request_of_json (j : Json.t) : (request, string) result =
   let ( let* ) = Result.bind in
   match Option.bind (Json.member "type" j) Json.to_string_opt with
   | Some "stats" -> Ok Stats
   | Some "ping" -> Ok Ping
   | Some "shutdown" -> Ok Shutdown
+  | Some "stream_close" -> Ok Stream_close
+  | Some "stream_push" -> (
+    match Json.member "data" j with
+    | None -> Error "stream_push: missing data"
+    | Some d ->
+      let* vs = values_of_json d in
+      Ok (Stream_push vs))
   | Some "run" ->
-    let* program =
-      match Json.member "program" j with
-      | Some p -> (
-        let field n = Option.bind (Json.member n p) Json.to_string_opt in
-        match field "sdfg", field "name", field "key" with
-        | Some text, None, None -> Ok (Prog_sdfg text)
-        | None, Some name, None -> Ok (Prog_name name)
-        | None, None, Some key -> Ok (Prog_key key)
-        | _ -> Error "program must carry exactly one of sdfg/name/key")
-      | None -> Error "run request: missing program"
-    in
-    let* symbols =
-      match Json.member "symbols" j with
-      | None -> Ok []
-      | Some s -> symbols_of_json s
-    in
-    let* config =
-      match Json.member "config" j with
-      | None -> Ok Interp.Exec.Config.default
-      | Some c ->
-        Result.map_error Interp.Exec.Config.error_message
-          (Interp.Exec.Config.of_json c)
-    in
-    let* args =
-      match Json.member "args" j with
-      | None -> Ok []
-      | Some (Json.Obj fields) ->
-        let rec go acc = function
-          | [] -> Ok (List.rev acc)
-          | (n, tj) :: rest -> (
-            match tensor_of_json tj with
-            | Ok t -> go ((n, t) :: acc) rest
-            | Error msg -> Error (Fmt.str "argument %S: %s" n msg))
-        in
-        go [] fields
-      | Some _ -> Error "args must be an object"
-    in
+    let* program, symbols, config, args = exec_fields_of_json j in
     Ok (Run { rq_program = program; rq_symbols = symbols;
               rq_config = config; rq_args = args })
+  | Some "stream_open" ->
+    let* program, symbols, config, args = exec_fields_of_json j in
+    let* input =
+      match Option.bind (Json.member "input" j) Json.to_string_opt with
+      | Some s -> Ok s
+      | None -> Error "stream_open: missing input"
+    in
+    let output =
+      Option.bind (Json.member "output" j) Json.to_string_opt
+    in
+    Ok (Stream_open
+          { sq_program = program; sq_symbols = symbols; sq_config = config;
+            sq_args = args; sq_input = input; sq_output = output })
   | Some ty -> Error (Fmt.str "unknown request type %S" ty)
   | None -> Error "request: missing type"
 
@@ -300,10 +393,21 @@ type run_result = {
 
 type response =
   | Resp_run of run_result
+  | Resp_stream_opened of { so_key : string }
+  | Resp_stream_data of Tasklang.Types.value array
+  | Resp_stream_done of run_result
   | Resp_stats of Json.t
   | Resp_pong
   | Resp_shutdown
   | Resp_error of { err : string; shed : bool }
+
+let run_result_fields (r : run_result) =
+  [ ("key", Json.Str r.rs_key);
+    ("cache", Json.Str (if r.rs_hit then "hit" else "miss"));
+    ("report", r.rs_report);
+    ( "outputs",
+      Json.Obj (List.map (fun (n, t) -> (n, tensor_to_json t)) r.rs_outputs) )
+  ]
 
 let response_to_json ~id (r : response) : Json.t =
   let base ok rest =
@@ -315,14 +419,13 @@ let response_to_json ~id (r : response) : Json.t =
   | Resp_stats s -> base true [ ("stats", s) ]
   | Resp_error { err; shed } ->
     base false [ ("error", Json.Str err); ("shed", Json.Bool shed) ]
-  | Resp_run r ->
-    base true
-      [ ("key", Json.Str r.rs_key);
-        ("cache", Json.Str (if r.rs_hit then "hit" else "miss"));
-        ("report", r.rs_report);
-        ( "outputs",
-          Json.Obj
-            (List.map (fun (n, t) -> (n, tensor_to_json t)) r.rs_outputs) ) ]
+  | Resp_stream_opened { so_key } ->
+    base true [ ("stream", Json.Str "opened"); ("key", Json.Str so_key) ]
+  | Resp_stream_data vs ->
+    base true [ ("stream", Json.Str "data"); ("data", values_to_json vs) ]
+  | Resp_stream_done r ->
+    base true (("stream", Json.Str "done") :: run_result_fields r)
+  | Resp_run r -> base true (run_result_fields r)
 
 let response_of_json (j : Json.t) : (response, string) result =
   let ( let* ) = Result.bind in
@@ -340,12 +443,7 @@ let response_of_json (j : Json.t) : (response, string) result =
     in
     Ok (Resp_error { err; shed })
   | Some true -> (
-    match Json.member "pong" j, Json.member "shutdown" j, Json.member "stats" j
-    with
-    | Some _, _, _ -> Ok Resp_pong
-    | _, Some _, _ -> Ok Resp_shutdown
-    | _, _, Some s -> Ok (Resp_stats s)
-    | None, None, None ->
+    let run_result_of_json () =
       let* key =
         match Option.bind (Json.member "key" j) Json.to_string_opt with
         | Some k -> Ok k
@@ -372,6 +470,31 @@ let response_of_json (j : Json.t) : (response, string) result =
           go [] fields
         | _ -> Error "run response: missing outputs"
       in
-      Ok (Resp_run
-            { rs_key = key; rs_hit = hit; rs_report = report;
-              rs_outputs = outputs }))
+      Ok { rs_key = key; rs_hit = hit; rs_report = report;
+           rs_outputs = outputs }
+    in
+    match Option.bind (Json.member "stream" j) Json.to_string_opt with
+    | Some "opened" -> (
+      match Option.bind (Json.member "key" j) Json.to_string_opt with
+      | Some k -> Ok (Resp_stream_opened { so_key = k })
+      | None -> Error "stream opened response: missing key")
+    | Some "data" -> (
+      match Json.member "data" j with
+      | None -> Error "stream data response: missing data"
+      | Some d ->
+        let* vs = values_of_json d in
+        Ok (Resp_stream_data vs))
+    | Some "done" ->
+      let* r = run_result_of_json () in
+      Ok (Resp_stream_done r)
+    | Some kind -> Error (Fmt.str "unknown stream response kind %S" kind)
+    | None -> (
+      match
+        Json.member "pong" j, Json.member "shutdown" j, Json.member "stats" j
+      with
+      | Some _, _, _ -> Ok Resp_pong
+      | _, Some _, _ -> Ok Resp_shutdown
+      | _, _, Some s -> Ok (Resp_stats s)
+      | None, None, None ->
+        let* r = run_result_of_json () in
+        Ok (Resp_run r)))

@@ -21,6 +21,13 @@ val read_frame : in_channel -> string option
 val tensor_to_json : Interp.Tensor.t -> Obs.Json.t
 val tensor_of_json : Obs.Json.t -> (Interp.Tensor.t, string) result
 
+val value_to_json : Tasklang.Types.value -> Obs.Json.t
+val value_of_json : Obs.Json.t -> (Tasklang.Types.value, string) result
+(** Individual stream elements, same bit-exact discipline as tensors. *)
+
+val values_to_json : Tasklang.Types.value array -> Obs.Json.t
+val values_of_json : Obs.Json.t -> (Tasklang.Types.value array, string) result
+
 val symbols_to_json : (string * int) list -> Obs.Json.t
 val symbols_of_json : Obs.Json.t -> ((string * int) list, string) result
 
@@ -40,9 +47,10 @@ val cache_key :
 (** {1 Requests} *)
 
 type program =
-  | Prog_sdfg of string  (** serialized .sdfg text *)
-  | Prog_name of string  (** server-registered builder *)
-  | Prog_key of string   (** cache key from a previous response *)
+  | Prog_sdfg of string    (** serialized .sdfg text *)
+  | Prog_ndlang of string  (** Ndlang source, elaborated server-side *)
+  | Prog_name of string    (** server-registered builder *)
+  | Prog_key of string     (** cache key from a previous response *)
 
 type run_request = {
   rq_program : program;
@@ -51,8 +59,28 @@ type run_request = {
   rq_args : (string * Interp.Tensor.t) list;
 }
 
+(** A continuous query: [stream_open] resolves the program and holds the
+    connection's channel open; subsequent [stream_push] frames feed
+    [sq_input] chunk by chunk (backpressured end to end — a full
+    in-graph channel blocks the server's reader, which stops draining
+    the socket); [stream_close] ends the input, and the final
+    [Resp_stream_done] carries the report and outputs.  [sq_output]'s
+    elements flow back as [Resp_stream_data] frames while the query
+    runs. *)
+type stream_request = {
+  sq_program : program;
+  sq_symbols : (string * int) list;
+  sq_config : Interp.Exec.Config.t;
+  sq_args : (string * Interp.Tensor.t) list;
+  sq_input : string;
+  sq_output : string option;
+}
+
 type request =
   | Run of run_request
+  | Stream_open of stream_request
+  | Stream_push of Tasklang.Types.value array
+  | Stream_close
   | Stats
   | Ping
   | Shutdown
@@ -75,6 +103,12 @@ type run_result = {
 
 type response =
   | Resp_run of run_result
+  | Resp_stream_opened of { so_key : string }
+      (** ack for [Stream_open]: program resolved and queued *)
+  | Resp_stream_data of Tasklang.Types.value array
+      (** one chunk of the query's output stream, sent mid-run *)
+  | Resp_stream_done of run_result
+      (** final frame of a streaming session *)
   | Resp_stats of Obs.Json.t
   | Resp_pong
   | Resp_shutdown

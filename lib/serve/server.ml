@@ -25,13 +25,37 @@ module Defs = Sdfg_ir.Defs
 module Serialize = Sdfg_ir.Serialize
 module Expr = Symbolic.Expr
 
+(* A streaming session's connection-side state: the reader thread queues
+   pushed chunks here (bounded — when the executor falls behind, the
+   reader stops draining the socket, which is the wire half of the
+   backpressure chain), the executor's source callback pops them. *)
+type stream_session = {
+  ss_lock : Mutex.t;
+  ss_cond : Condition.t;
+  ss_chunks : Tasklang.Types.value array Queue.t;
+  mutable ss_closed : bool;    (* client sent stream_close *)
+  mutable ss_finished : bool;  (* executor finished (or errored/shed) *)
+}
+
+(* Chunks buffered per session before the reader thread blocks. *)
+let max_pending_chunks = 256
+
+type work =
+  | Wrun of (string * Tensor.t) list
+  | Wstream of {
+      sw_args : (string * Tensor.t) list;
+      sw_input : string;
+      sw_output : string option;
+      sw_session : stream_session;
+    }
+
 type job = {
   jb_id : int;
   jb_key : string;
   jb_text : string option;  (* canonical serialized graph; None = Prog_key *)
   jb_symbols : (string * int) list;
   jb_config : Exec.Config.t;
-  jb_args : (string * Tensor.t) list;
+  jb_work : work;
   jb_reply : Protocol.response -> unit;
   jb_enqueued : float;
 }
@@ -68,6 +92,7 @@ let stop srv =
 let exn_message = function
   | Exec.Runtime_error msg -> msg
   | Defs.Invalid_sdfg msg -> msg
+  | Builder.Ndlang.Frontend_error msg -> msg
   | Failure msg -> msg
   | exn -> Printexc.to_string exn
 
@@ -127,12 +152,27 @@ let materialize_outputs inst supplied =
           Some (name, Tensor.create a.Defs.a_dtype (Array.of_list dims))))
     (Sdfg_ir.Sdfg.descs (Exec.Instance.graph inst))
 
-let finish srv job ~batched result =
+(* Whatever ends a streaming job — success, runtime error, drain at
+   shutdown — must release a reader thread blocked on the chunk bound,
+   or the connection wedges. *)
+let mark_finished job =
+  match job.jb_work with
+  | Wrun _ -> ()
+  | Wstream { sw_session = s; _ } ->
+    Mutex.lock s.ss_lock;
+    s.ss_finished <- true;
+    Condition.broadcast s.ss_cond;
+    Mutex.unlock s.ss_lock
+
+(* [result] already carries the success response kind (plain runs reply
+   [Resp_run], streaming sessions [Resp_stream_done]). *)
+let finish srv job ~batched (result : (Protocol.response, string) result) =
   let resp =
     match result with
-    | Ok r -> Protocol.Resp_run r
+    | Ok r -> r
     | Error err -> Protocol.Resp_error { err; shed = false }
   in
+  mark_finished job;
   (* Record before replying: a client that sees its last response must
      find the full tally in a subsequent [stats] request. *)
   Metrics.record_request srv.srv_metrics
@@ -141,27 +181,73 @@ let finish srv job ~batched result =
     ~latency_s:(Unix.gettimeofday () -. job.jb_enqueued);
   try job.jb_reply resp with _ -> ()
 
-let run_job srv job inst ~hit ~batched =
-  let result =
-    try
-      (* Unknown argument names must error even when they are not
-         output containers (e.g. a typo), so let Instance.run see the
-         caller's args verbatim plus the materialized outputs. *)
-      let outputs = materialize_outputs inst job.jb_args in
-      let extra =
-        List.filter
-          (fun (n, _) -> not (List.mem_assoc n outputs))
-          job.jb_args
-      in
-      let report = Exec.Instance.run ~args:(extra @ outputs) inst in
-      Ok
-        { Protocol.rs_key = job.jb_key;
-          rs_hit = hit;
-          rs_report = Obs.Report.to_json report;
-          rs_outputs = outputs }
-    with exn -> Error (exn_message exn)
+(* Unknown argument names must error even when they are not output
+   containers (e.g. a typo), so let Instance.run see the caller's args
+   verbatim plus the materialized outputs. *)
+let run_args inst args =
+  let outputs = materialize_outputs inst args in
+  let extra =
+    List.filter (fun (n, _) -> not (List.mem_assoc n outputs)) args
   in
-  finish srv job ~batched result
+  (extra @ outputs, outputs)
+
+let run_job srv job inst ~hit ~batched =
+  match job.jb_work with
+  | Wstream { sw_args; sw_input; sw_output; sw_session = s } ->
+    (* The executor is occupied for the session's whole lifetime: a
+       continuous query is a long-lived tenant, not a request. *)
+    let source () =
+      Mutex.lock s.ss_lock;
+      while Queue.is_empty s.ss_chunks && not s.ss_closed do
+        Condition.wait s.ss_cond s.ss_lock
+      done;
+      let chunk =
+        if Queue.is_empty s.ss_chunks then None
+        else Some (Queue.pop s.ss_chunks)
+      in
+      Condition.broadcast s.ss_cond;
+      Mutex.unlock s.ss_lock;
+      chunk
+    in
+    let sink =
+      match sw_output with
+      | None -> None
+      | Some _ ->
+        Some
+          (fun vs ->
+            if Array.length vs > 0 then
+              try job.jb_reply (Protocol.Resp_stream_data vs) with _ -> ())
+    in
+    let result =
+      try
+        let args, outputs = run_args inst sw_args in
+        let report =
+          Exec.Instance.run_streaming ~args ~input:sw_input ?output:sw_output
+            ?sink ~source inst
+        in
+        Ok
+          (Protocol.Resp_stream_done
+             { Protocol.rs_key = job.jb_key;
+               rs_hit = hit;
+               rs_report = Obs.Report.to_json report;
+               rs_outputs = outputs })
+      with exn -> Error (exn_message exn)
+    in
+    finish srv job ~batched:false result
+  | Wrun jb_args ->
+    let result =
+      try
+        let args, outputs = run_args inst jb_args in
+        let report = Exec.Instance.run ~args inst in
+        Ok
+          (Protocol.Resp_run
+             { Protocol.rs_key = job.jb_key;
+               rs_hit = hit;
+               rs_report = Obs.Report.to_json report;
+               rs_outputs = outputs })
+      with exn -> Error (exn_message exn)
+    in
+    finish srv job ~batched result
 
 let rec exec_loop srv =
   Mutex.lock srv.lock;
@@ -175,8 +261,16 @@ let rec exec_loop srv =
       srv.queue <- [];
       `Drain (leader :: rest)
     | leader :: rest ->
+      (* Only plain runs batch: a streaming session occupies the
+         executor open-endedly, so same-key runs behind it must wait
+         their turn rather than ride along. *)
+      let is_run j = match j.jb_work with Wrun _ -> true | Wstream _ -> false in
       let batch, other =
-        List.partition (fun j -> String.equal j.jb_key leader.jb_key) rest
+        if is_run leader then
+          List.partition
+            (fun j -> is_run j && String.equal j.jb_key leader.jb_key)
+            rest
+        else ([], rest)
       in
       srv.queue <- other;
       `Batch (leader, batch)
@@ -211,16 +305,21 @@ let rec exec_loop srv =
    on the canonical form means cosmetic differences in the submitted
    text (whitespace, ordering the serializer normalizes) cannot split
    the cache. *)
-let program_key srv (rq : Protocol.run_request) =
+let program_key srv ~(program : Protocol.program) ~symbols ~config =
   let key_of text =
-    (Protocol.cache_key ~sdfg_text:text ~symbols:rq.rq_symbols
-       ~config:rq.rq_config, Some text)
+    (Protocol.cache_key ~sdfg_text:text ~symbols ~config, Some text)
   in
-  match rq.rq_program with
+  match program with
   | Protocol.Prog_key k -> Ok (k, None)
   | Protocol.Prog_sdfg text -> (
     try Ok (key_of (Serialize.to_string (Serialize.of_string text)))
     with exn -> Error (Fmt.str "parse error: %s" (exn_message exn)))
+  | Protocol.Prog_ndlang src -> (
+    (* Elaborate, then key on the canonical serialized form: the same
+       query resubmitted as text, combinators or .sdfg shares one cache
+       entry. *)
+    try Ok (key_of (Serialize.to_string (Builder.Ndlang.parse src)))
+    with exn -> Error (Fmt.str "ndlang error: %s" (exn_message exn)))
   | Protocol.Prog_name name -> (
     match List.assoc_opt name srv.srv_programs with
     | None -> Error (Fmt.str "unknown program %S" name)
@@ -228,38 +327,83 @@ let program_key srv (rq : Protocol.run_request) =
       try Ok (key_of (Serialize.to_string (build ())))
       with exn -> Error (exn_message exn)))
 
+(* Admission control shared by run and stream_open. *)
+let enqueue srv job =
+  Mutex.lock srv.lock;
+  let verdict =
+    if srv.stopping then `Stopping
+    else if List.length srv.queue >= srv.srv_max_queue then `Full
+    else begin
+      srv.queue <- srv.queue @ [ job ];
+      Metrics.queue_changed srv.srv_metrics (List.length srv.queue);
+      Condition.signal srv.cond;
+      `Queued
+    end
+  in
+  Mutex.unlock srv.lock;
+  (match verdict with
+  | `Queued -> ()
+  | `Stopping | `Full -> mark_finished job);
+  verdict
+
+let reject_verdict srv ~send ~id = function
+  | `Queued -> ()
+  | `Stopping ->
+    send id (Protocol.Resp_error { err = "server shutting down"; shed = false })
+  | `Full ->
+    Metrics.record_shed srv.srv_metrics;
+    send id
+      (Protocol.Resp_error
+         { err = "server overloaded: run queue full"; shed = true })
+
 let submit srv (rq : Protocol.run_request) ~id ~send =
-  match program_key srv rq with
+  match
+    program_key srv ~program:rq.rq_program ~symbols:rq.rq_symbols
+      ~config:rq.rq_config
+  with
   | Error err -> send id (Protocol.Resp_error { err; shed = false })
   | Ok (key, text) ->
     let job =
       { jb_id = id; jb_key = key; jb_text = text; jb_symbols = rq.rq_symbols;
-        jb_config = rq.rq_config; jb_args = rq.rq_args;
+        jb_config = rq.rq_config; jb_work = Wrun rq.rq_args;
         jb_reply = (fun r -> send id r);
         jb_enqueued = Unix.gettimeofday () }
     in
-    Mutex.lock srv.lock;
-    let verdict =
-      if srv.stopping then `Stopping
-      else if List.length srv.queue >= srv.srv_max_queue then `Full
-      else begin
-        srv.queue <- srv.queue @ [ job ];
-        Metrics.queue_changed srv.srv_metrics (List.length srv.queue);
-        Condition.signal srv.cond;
-        `Queued
-      end
+    reject_verdict srv ~send ~id (enqueue srv job)
+
+(* Open a streaming session: resolve the program on this thread, queue
+   the long-lived job, ack with the cache key.  Returns the session the
+   connection must feed. *)
+let submit_stream srv (sq : Protocol.stream_request) ~id ~send =
+  match
+    program_key srv ~program:sq.sq_program ~symbols:sq.sq_symbols
+      ~config:sq.sq_config
+  with
+  | Error err ->
+    send id (Protocol.Resp_error { err; shed = false });
+    None
+  | Ok (key, text) ->
+    let session =
+      { ss_lock = Mutex.create (); ss_cond = Condition.create ();
+        ss_chunks = Queue.create (); ss_closed = false; ss_finished = false }
     in
-    Mutex.unlock srv.lock;
-    (match verdict with
-    | `Queued -> ()
-    | `Stopping ->
-      send id
-        (Protocol.Resp_error { err = "server shutting down"; shed = false })
-    | `Full ->
-      Metrics.record_shed srv.srv_metrics;
-      send id
-        (Protocol.Resp_error
-           { err = "server overloaded: run queue full"; shed = true }))
+    let job =
+      { jb_id = id; jb_key = key; jb_text = text; jb_symbols = sq.sq_symbols;
+        jb_config = sq.sq_config;
+        jb_work =
+          Wstream
+            { sw_args = sq.sq_args; sw_input = sq.sq_input;
+              sw_output = sq.sq_output; sw_session = session };
+        jb_reply = (fun r -> send id r);
+        jb_enqueued = Unix.gettimeofday () }
+    in
+    (match enqueue srv job with
+    | `Queued ->
+      send id (Protocol.Resp_stream_opened { so_key = key });
+      Some session
+    | (`Stopping | `Full) as v ->
+      reject_verdict srv ~send ~id v;
+      None)
 
 let handle_conn srv fd =
   let ic = Unix.in_channel_of_descr fd in
@@ -277,6 +421,18 @@ let handle_conn srv fd =
           Protocol.write_frame oc
             (Json.to_string (Protocol.response_to_json ~id resp))
         with Sys_error _ | Unix.Unix_error _ -> ())
+  in
+  (* At most one streaming session per connection; a finished one may be
+     replaced by a new [stream_open]. *)
+  let active : stream_session option ref = ref None in
+  let live_session () =
+    match !active with
+    | None -> None
+    | Some s ->
+      Mutex.lock s.ss_lock;
+      let finished = s.ss_finished in
+      Mutex.unlock s.ss_lock;
+      if finished then begin active := None; None end else Some s
   in
   let rec loop () =
     match Protocol.read_frame ic with
@@ -300,11 +456,70 @@ let handle_conn srv fd =
         | Ok Protocol.Shutdown ->
           send id Protocol.Resp_shutdown;
           stop srv
-        | Ok (Protocol.Run rq) -> submit srv rq ~id ~send));
+        | Ok (Protocol.Run rq) -> submit srv rq ~id ~send
+        | Ok (Protocol.Stream_open sq) -> (
+          match live_session () with
+          | Some _ ->
+            send id
+              (Protocol.Resp_error
+                 { err = "stream already open on this connection";
+                   shed = false })
+          | None -> active := submit_stream srv sq ~id ~send)
+        | Ok (Protocol.Stream_push vs) -> (
+          match live_session () with
+          | None ->
+            send id
+              (Protocol.Resp_error
+                 { err = "no open stream on this connection"; shed = false })
+          | Some s ->
+            Mutex.lock s.ss_lock;
+            (* Bounded buffer: blocking here stops draining the socket,
+               pushing the backpressure out to the client. *)
+            while
+              Queue.length s.ss_chunks >= max_pending_chunks
+              && (not s.ss_finished) && not s.ss_closed
+            do
+              Condition.wait s.ss_cond s.ss_lock
+            done;
+            if s.ss_closed then begin
+              Mutex.unlock s.ss_lock;
+              send id
+                (Protocol.Resp_error
+                   { err = "stream already closed"; shed = false })
+            end
+            else begin
+              (* A finished (errored) session swallows late pushes: the
+                 client already holds the terminal response. *)
+              if not s.ss_finished then begin
+                Queue.push vs s.ss_chunks;
+                Condition.broadcast s.ss_cond
+              end;
+              Mutex.unlock s.ss_lock
+            end)
+        | Ok Protocol.Stream_close -> (
+          match live_session () with
+          | None ->
+            send id
+              (Protocol.Resp_error
+                 { err = "no open stream on this connection"; shed = false })
+          | Some s ->
+            Mutex.lock s.ss_lock;
+            s.ss_closed <- true;
+            Condition.broadcast s.ss_cond;
+            Mutex.unlock s.ss_lock)));
       loop ()
   in
   (try loop () with
   | Protocol.Protocol_error _ | Sys_error _ | End_of_file -> ());
+  (* A vanished client must not leave the executor blocked in [source]:
+     closing the session makes the query drain and finish. *)
+  (match !active with
+  | None -> ()
+  | Some s ->
+    Mutex.lock s.ss_lock;
+    s.ss_closed <- true;
+    Condition.broadcast s.ss_cond;
+    Mutex.unlock s.ss_lock);
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* --- accept loop --------------------------------------------------------- *)

@@ -10,7 +10,16 @@
     queue is full the request is shed immediately with
     [Resp_error { shed = true }].  Requests for the same plan-cache key
     are batched — the executor resolves the instance once and runs the
-    whole batch against it before touching the next key. *)
+    whole batch against it before touching the next key.
+
+    Streaming sessions ([stream_open]): one per connection; the reader
+    thread feeds pushed chunks through a bounded buffer into the
+    executor's {!Interp.Exec.Instance.run_streaming} source, output
+    chunks flow back as data frames mid-run, and the session occupies
+    the executor until the client closes the stream or disconnects.
+    Backpressure is end to end: full in-graph channel → blocked worker →
+    blocked source buffer → reader stops draining the socket → client's
+    push blocks. *)
 
 type t
 

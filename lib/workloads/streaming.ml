@@ -1,0 +1,220 @@
+(* Continuous-query workloads for the streaming execution mode
+   (paper §3.1 streams + Fig. 8 consume scopes, run as pipelines).
+
+   Each graph is a single state whose compute lives entirely in consume
+   scopes, so {!Analysis.Races.analyze_pipeline} admits overlapped
+   execution: [Exec.Instance.run_streaming] feeds the input stream
+   incrementally, runs every scope as a long-lived worker behind a
+   bounded channel, and drains the output stream incrementally.  The
+   same graphs run batch-style (pre-loaded streams) for the
+   cross-validation baseline. *)
+
+open Util
+open Sdfg_ir
+open Builder
+
+let sc name dtype = { Defs.k_name = name; k_dtype = dtype; k_rank = 0 }
+
+(* Feed edge + pop edge shared by every stage: the stream's access node
+   into the entry, the popped element out of it. *)
+let wire_stage st ~stream ~acc ~entry ~task ~conn =
+  Build.edge st ~dst_conn:("IN_" ^ stream)
+    ~memlet:(Memlet.dyn stream [ S.index E.zero ])
+    ~src:acc ~dst:entry ();
+  Build.edge st ~src_conn:("OUT_" ^ stream) ~dst_conn:conn
+    ~memlet:(Memlet.element stream [ E.zero ])
+    ~src:entry ~dst:task ()
+
+(* Push edge pair: tasklet connector through the scope exit into the
+   downstream stream's access node.  Returns the access node so the next
+   stage can consume from it. *)
+let wire_push st ~task ~conn ~exit_ ~stream =
+  Build.edge st ~src_conn:conn ~dst_conn:("IN_" ^ stream)
+    ~memlet:(Memlet.dyn stream [ S.index E.zero ])
+    ~src:task ~dst:exit_ ();
+  let acc = Build.access st stream in
+  Build.edge st ~src_conn:("OUT_" ^ stream)
+    ~memlet:(Memlet.dyn stream [ S.index E.zero ])
+    ~src:exit_ ~dst:acc ();
+  acc
+
+(* Windowed aggregation, two pipeline stages: stage 1 normalizes each
+   sample and forwards it; stage 2 latches the sample and scatters it
+   into W window accumulators with an inner map (the map body is affine,
+   so the compiled engine can lower it inside the pipeline stage).
+   Output lives in the [wsum] array; there is no output stream. *)
+let query_window () =
+  let g = Sdfg.create ~symbols:[ "W"; "P" ] "query_window" in
+  let w = s "W" in
+  Sdfg.add_stream g "in_q" ~dtype:f64 ~buffer:(i 64);
+  Sdfg.add_stream g "mid" ~dtype:f64 ~buffer:(i 32);
+  Sdfg.add_scalar g "cur" ~transient:true ~dtype:f64;
+  vec g "wsum" w;
+  let st = Sdfg.add_state g ~label:"main" () in
+  (* stage 1: normalize *)
+  let e1, x1 =
+    Build.consume_scope st ~pe:"p1" ~num_pes:(s "P") ~stream:"in_q" ()
+  in
+  let t1 =
+    Build.tasklet st ~name:"normalize" ~inputs:[ sc "v" f64 ]
+      ~outputs:[ sc "o" f64 ]
+      ~code:(`Src "o = 0.5 * v + 1.0") ()
+  in
+  let in_acc = Build.access st "in_q" in
+  wire_stage st ~stream:"in_q" ~acc:in_acc ~entry:e1 ~task:t1 ~conn:"v";
+  let mid_acc = wire_push st ~task:t1 ~conn:"o" ~exit_:x1 ~stream:"mid" in
+  (* stage 2: latch, then scatter across the W windows *)
+  let e2, x2 =
+    Build.consume_scope st ~pe:"p2" ~num_pes:(s "P") ~stream:"mid" ()
+  in
+  let latch =
+    Build.tasklet st ~name:"latch" ~inputs:[ sc "v" f64 ]
+      ~outputs:[ sc "c" f64 ] ~code:(`Src "c = v") ()
+  in
+  wire_stage st ~stream:"mid" ~acc:mid_acc ~entry:e2 ~task:latch ~conn:"v";
+  let cur_acc = Build.access st "cur" in
+  Build.edge st ~src_conn:"c"
+    ~memlet:(Memlet.element "cur" [ E.zero ])
+    ~src:latch ~dst:cur_acc ();
+  let me, mx = Build.map_scope st ~params:[ "w" ] ~ranges:[ r0 w ] () in
+  let scatter =
+    Build.tasklet st ~name:"scatter" ~inputs:[ sc "c" f64 ]
+      ~outputs:[ sc "o" f64 ]
+      ~code:(`Src "o = c * (w + 1)") ()
+  in
+  Build.edge st ~dst_conn:"IN_cur"
+    ~memlet:(Memlet.element "cur" [ E.zero ])
+    ~src:cur_acc ~dst:me ();
+  Build.edge st ~src_conn:"OUT_cur" ~dst_conn:"c"
+    ~memlet:(Memlet.element "cur" [ E.zero ])
+    ~src:me ~dst:scatter ();
+  Build.edge st ~src_conn:"o" ~dst_conn:"IN_wsum"
+    ~memlet:(Memlet.element ~wcr:Wcr.sum "wsum" [ s "w" ])
+    ~src:scatter ~dst:mx ();
+  let ws_acc = Build.access st "wsum" in
+  Build.edge st ~src_conn:"OUT_wsum"
+    ~memlet:(Memlet.simple ~wcr:Wcr.sum "wsum" [ r0 w ])
+    ~src:mx ~dst:ws_acc ();
+  (* commit edge naming the same container: a no-op that keeps the scope
+     convergent on its exit *)
+  Build.edge st
+    ~memlet:(Memlet.simple ~wcr:Wcr.sum "wsum" [ r0 w ])
+    ~src:ws_acc ~dst:x2 ();
+  Build.finalize g
+
+(* Filter: one consume scope keeps samples above the threshold, pushing
+   them to the output stream and counting them with a sum WCR. *)
+let query_filter () =
+  let g = Sdfg.create ~symbols:[ "P" ] "query_filter" in
+  Sdfg.add_stream g "in_q" ~dtype:f64 ~buffer:(i 64);
+  Sdfg.add_stream g "out_q" ~dtype:f64 ~buffer:(i 64);
+  Sdfg.add_scalar g "kept" ~dtype:f64;
+  let st = Sdfg.add_state g ~label:"main" () in
+  let e1, x1 =
+    Build.consume_scope st ~pe:"p" ~num_pes:(s "P") ~stream:"in_q" ()
+  in
+  let t =
+    Build.tasklet st ~name:"keep" ~inputs:[ sc "v" f64 ]
+      ~outputs:[ sc "o" f64; sc "k" f64 ]
+      ~code:(`Src "if v > 0.0 { o = v\nk = 1.0 }") ()
+  in
+  let in_acc = Build.access st "in_q" in
+  wire_stage st ~stream:"in_q" ~acc:in_acc ~entry:e1 ~task:t ~conn:"v";
+  ignore (wire_push st ~task:t ~conn:"o" ~exit_:x1 ~stream:"out_q");
+  Build.edge st ~src_conn:"k" ~dst_conn:"IN_kept"
+    ~memlet:(Memlet.simple ~wcr:Wcr.sum ~dynamic:true "kept" [ S.index E.zero ])
+    ~src:t ~dst:x1 ();
+  let k_acc = Build.access st "kept" in
+  Build.edge st ~src_conn:"OUT_kept"
+    ~memlet:(Memlet.simple ~wcr:Wcr.sum ~dynamic:true "kept" [ S.index E.zero ])
+    ~src:x1 ~dst:k_acc ();
+  Build.finalize g
+
+(* Top-k as a K-stage insertion cascade: stage i holds the i-th largest
+   value seen in [top[i]]; each sample displaces down the chain, and the
+   last stage spills everything below rank K to the output stream.  Each
+   stage reads and writes only its own element of [top], so the stages'
+   array footprints are provably disjoint — the positive case of the
+   pipeline verdict's stage-overlap analysis. *)
+let topk_ranks = 4
+
+let query_topk () =
+  let g = Sdfg.create ~symbols:[ "P" ] "query_topk" in
+  let k = topk_ranks in
+  Sdfg.add_stream g "in_q" ~dtype:f64 ~buffer:(i 64);
+  for r = 1 to k - 1 do
+    Sdfg.add_stream g (Fmt.str "c%d" r) ~dtype:f64 ~buffer:(i 16)
+  done;
+  Sdfg.add_stream g "spill" ~dtype:f64 ~buffer:(i 64);
+  vec g "top" (i k);
+  let st = Sdfg.add_state g ~label:"main" () in
+  let stream_of r = if r = 0 then "in_q" else Fmt.str "c%d" r in
+  let acc0 = Build.access st "in_q" in
+  let rec build r acc =
+    if r = k then ()
+    else begin
+      let stream = stream_of r in
+      let next = if r = k - 1 then "spill" else stream_of (r + 1) in
+      let entry, exit_ =
+        Build.consume_scope st ~pe:(Fmt.str "p%d" r) ~num_pes:(s "P")
+          ~stream ()
+      in
+      let t =
+        Build.tasklet st
+          ~name:(Fmt.str "rank%d" r)
+          ~inputs:[ sc "v" f64; sc "b" f64 ]
+          ~outputs:[ sc "nb" f64; sc "o" f64 ]
+          ~code:(`Src "if v > b { nb = v\no = b } else { nb = b\no = v }")
+          ()
+      in
+      wire_stage st ~stream ~acc ~entry ~task:t ~conn:"v";
+      (* the stage's rank cell [top[r]] flows through the scope nodes'
+         IN_/OUT_ connectors, like any array used inside a scope *)
+      let rd = Build.access st "top" in
+      Build.edge st ~dst_conn:"IN_top"
+        ~memlet:(Memlet.element "top" [ i r ])
+        ~src:rd ~dst:entry ();
+      Build.edge st ~src_conn:"OUT_top" ~dst_conn:"b"
+        ~memlet:(Memlet.element "top" [ i r ])
+        ~src:entry ~dst:t ();
+      Build.edge st ~src_conn:"nb" ~dst_conn:"IN_top"
+        ~memlet:(Memlet.element "top" [ i r ])
+        ~src:t ~dst:exit_ ();
+      let wr = Build.access st "top" in
+      Build.edge st ~src_conn:"OUT_top"
+        ~memlet:(Memlet.element "top" [ i r ])
+        ~src:exit_ ~dst:wr ();
+      let next_acc = wire_push st ~task:t ~conn:"o" ~exit_ ~stream:next in
+      build (r + 1) next_acc
+    end
+  in
+  build 0 acc0;
+  Build.finalize g
+
+(* All streaming workloads with their input stream, optional output
+   stream, and symbol valuations — the menu used by the bench harness,
+   the smoke tests and the [stream_crossval] fuzz oracle. *)
+let all :
+    (string * (unit -> Defs.sdfg) * string * string option
+    * (string * int) list)
+    list =
+  [ ("window", query_window, "in_q", None, [ ("W", 8); ("P", 4) ]);
+    ("filter", query_filter, "in_q", Some "out_q", [ ("P", 4) ]);
+    ("topk", query_topk, "in_q", Some "spill", [ ("P", 4) ]) ]
+
+(* A deterministic sample feed: [n] values in [-1, 1). *)
+let sample_values n seed =
+  let rs = Random.State.make [| seed |] in
+  Array.init n (fun _ -> T.F (Random.State.float rs 2.0 -. 1.0))
+
+(* Chunked source over a value array, for [run_streaming]. *)
+let chunked_source values chunk =
+  let pos = ref 0 in
+  fun () ->
+    if !pos >= Array.length values then None
+    else begin
+      let n = min chunk (Array.length values - !pos) in
+      let c = Array.sub values !pos n in
+      pos := !pos + n;
+      Some c
+    end

@@ -19,4 +19,5 @@ let () =
       ("report", Test_report.suite);
       ("opt", Test_opt.suite);
       ("fuzz", Test_fuzz.suite);
-      ("serve", Test_serve.suite) ]
+      ("serve", Test_serve.suite);
+      ("streaming", Test_streaming.suite) ]

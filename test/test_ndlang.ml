@@ -158,6 +158,93 @@ let test_gpu_portability () =
   Transform.Xform.apply_first_exn g Transform.Device_xforms.gpu_transform;
   Alcotest.(check (list (float 1e-9))) "GPU port identical" reference (run g)
 
+(* --- text frontend ------------------------------------------------------- *)
+
+(* The text surface must elaborate to the same graph as the combinators:
+   identical canonical serialization, hence identical execution. *)
+let test_parse_matches_combinators () =
+  let src = "# axpy\ninput A[6]\ninput B[6]\noutput C[6]\nC = 2.0 * A + B\n" in
+  let g = Nd.parse src ~name:"axpy_nd" in
+  let p = Nd.program "axpy_nd" in
+  let a = Nd.input p "A" ~shape:[ Symbolic.Expr.int 6 ] in
+  let b = Nd.input p "B" ~shape:[ Symbolic.Expr.int 6 ] in
+  Nd.output p "C" ~shape:[ Symbolic.Expr.int 6 ];
+  Nd.assign p "C" Nd.(const 2.0 * a + b);
+  Alcotest.(check string) "text = combinators (canonical form)"
+    (Sdfg_ir.Serialize.to_string (Nd.finalize p))
+    (Sdfg_ir.Serialize.to_string g)
+
+let test_parse_and_run () =
+  let src =
+    "input A[N, K]\ninput B[K, N]\noutput C[N, N]\n\
+     C = A @ B - transpose(A @ B)\n"
+  in
+  let g = Nd.parse src in
+  let symbols = [ ("K", 4); ("N", 3) ] in
+  let at =
+    farr [| 3; 4 |] (fun idx ->
+        match idx with [ r; c ] -> float_of_int ((r * 4) + c) | _ -> 0.)
+  in
+  let bt =
+    farr [| 4; 3 |] (fun idx ->
+        match idx with [ r; c ] -> float_of_int (r - c) | _ -> 0.)
+  in
+  let ct = Tensor.create T.F64 [| 3; 3 |] in
+  ignore (Exec.run g ~symbols ~args:[ ("A", at); ("B", bt); ("C", ct) ]);
+  (* M = A@B - (A@B)^T is antisymmetric: zero diagonal, C[r,c] = -C[c,r]. *)
+  for r = 0 to 2 do
+    Alcotest.(check (float 1e-9))
+      (Fmt.str "C[%d,%d] = 0" r r)
+      0.
+      (T.to_float (Tensor.get ct [ r; r ]));
+    for c = 0 to 2 do
+      Alcotest.(check (float 1e-9))
+        (Fmt.str "C antisymmetric at [%d,%d]" r c)
+        (-.T.to_float (Tensor.get ct [ c; r ]))
+        (T.to_float (Tensor.get ct [ r; c ]))
+    done
+  done
+
+let test_parse_sum_and_calls () =
+  let src =
+    "input A[4, 3]\noutput s[3]\noutput r[3]\n\
+     s = sum(A, 0)\nr = sqrt(s * s) + (s - s)\n"
+  in
+  let g = Nd.parse src in
+  let at =
+    farr [| 4; 3 |] (fun idx ->
+        match idx with [ r; c ] -> float_of_int (r + 1) *. float_of_int (c - 1) | _ -> 0.)
+  in
+  let st = Tensor.create T.F64 [| 3 |] in
+  let rt = Tensor.create T.F64 [| 3 |] in
+  ignore (Exec.run g ~args:[ ("A", at); ("s", st); ("r", rt) ]);
+  Alcotest.(check (list (float 1e-9)))
+    "column sums" [ -10.; 0.; 10. ] (Tensor.to_float_list st);
+  Alcotest.(check (list (float 1e-9)))
+    "r = |s|" [ 10.; 0.; 10. ] (Tensor.to_float_list rt)
+
+let test_parse_errors () =
+  let expect_line n src =
+    match Nd.parse src with
+    | exception Nd.Frontend_error msg ->
+      let contains s sub =
+        let ln = String.length s and m = String.length sub in
+        let rec go i = i + m <= ln && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Fmt.str "error %S names line %d" msg n)
+        true
+        (contains msg (Fmt.str "line %d" n))
+    | _ -> Alcotest.fail "malformed program must raise Frontend_error"
+  in
+  expect_line 2 "input A[4]\nB = A + 1.0\n";           (* undeclared target *)
+  expect_line 3 "input A[4]\noutput B[4]\nB = A @ A\n" (* rank-1 matmul *);
+  expect_line 1 "input A[4\n";                         (* unclosed bracket *)
+  expect_line 3 "input A[4]\noutput B[4]\nB = A + + A\n";  (* syntax *)
+  (* shape mismatch surfaces on the assignment line *)
+  expect_line 4 "input A[4]\ninput C[5]\noutput B[4]\nB = A + C\n"
+
 let suite =
   [ ("axpy with constants", `Quick, test_axpy);
     ("A @ B lowers to matmul dataflow", `Quick, test_matmul_operator);
@@ -165,4 +252,8 @@ let suite =
     ("axis reduction via Reduce node", `Quick, test_reduction);
     ("sqrt of a scalar reduction", `Quick, test_sqrt_and_scalar);
     ("shape errors rejected", `Quick, test_shape_errors);
-    ("frontend programs are portable", `Quick, test_gpu_portability) ]
+    ("frontend programs are portable", `Quick, test_gpu_portability);
+    ("text parse = combinators", `Quick, test_parse_matches_combinators);
+    ("text program with matmul and transpose", `Quick, test_parse_and_run);
+    ("text program with sum and calls", `Quick, test_parse_sum_and_calls);
+    ("parse errors carry line numbers", `Quick, test_parse_errors) ]

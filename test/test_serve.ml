@@ -96,27 +96,31 @@ let test_config_json () =
   | Error (Parse _) -> ()
   | _ -> Alcotest.fail "unknown engine must be a Parse error"
 
-(* The deprecated labelled-argument wrapper must agree with the Config
-   surface for one more release. *)
-[@@@ocaml.alert "-deprecated"]
-
-let test_run_labelled () =
-  let g () = Workloads.Kernels.matmul () in
-  let symbols = [ ("M", 6); ("N", 5); ("K", 4) ] in
-  let args () = Interp.Profile.make_args ~symbols (g ()) in
-  let a = args () and b = args () in
-  ignore (Exec.run ~config:compiled_1 ~symbols ~args:a (g ()));
-  ignore
-    (Exec.run_labelled ~engine:Interp.Plan.compiled ~domains:1 ~symbols
-       ~args:b (g ()));
-  List.iter2
-    (fun (n, t) (_, t') ->
-      Alcotest.(check (list int64))
-        (Fmt.str "run_labelled agrees on %S" n)
-        (tensor_bits t) (tensor_bits t'))
-    a b
-
-[@@@ocaml.alert "+deprecated"]
+(* The streaming knobs ride the same Config surface: with-style setters,
+   typed validation and a JSON round-trip where missing fields keep
+   their defaults (so pre-streaming configs still parse). *)
+let test_config_stream_knobs () =
+  let open Exec.Config in
+  let c = default |> with_stream_chunk 17 |> with_stream_capacity 5 in
+  (match validate c with
+  | Ok c' ->
+    Alcotest.(check int) "chunk survives validate" 17 c'.stream_chunk
+  | Error _ -> Alcotest.fail "valid stream knobs must validate");
+  (match validate (default |> with_stream_chunk 0) with
+  | Error (Invalid_stream_chunk 0) -> ()
+  | _ -> Alcotest.fail "stream_chunk 0 must be Invalid_stream_chunk");
+  (match validate (default |> with_stream_capacity (-3)) with
+  | Error (Invalid_stream_capacity -3) -> ()
+  | _ -> Alcotest.fail "stream_capacity -3 must be Invalid_stream_capacity");
+  (match of_json (to_json c) with
+  | Ok c' -> Alcotest.(check bool) "round-trip" true (c' = c)
+  | Error e -> Alcotest.fail (error_message e));
+  match of_json (Json.Obj [ ("engine", Json.Str "compiled") ]) with
+  | Ok c' ->
+    Alcotest.(check int) "missing chunk defaults" 64 c'.stream_chunk;
+    Alcotest.(check bool) "missing capacity defaults" true
+      (c'.stream_capacity = None)
+  | Error e -> Alcotest.fail (error_message e)
 
 (* --- protocol ------------------------------------------------------------ *)
 
@@ -613,6 +617,139 @@ let test_server_persistent_restart () =
                 | None -> Alcotest.fail ("missing output " ^ n))
               expected))
 
+(* Ndlang source over the wire: the daemon elaborates the text, keys the
+   cache on the canonical serialized graph (so resubmission — and the
+   same graph submitted as .sdfg text — hit), and the run is
+   bit-identical to local elaboration + direct execution. *)
+let test_server_ndlang () =
+  let src = "# axpy over the wire\ninput A[N]\ninput B[N]\noutput C[N]\nC = A * 2.0 + B\n" in
+  let symbols = [ ("N", 8) ] in
+  let g = Builder.Ndlang.parse src in
+  let expected = Interp.Profile.make_args ~symbols g in
+  ignore (Exec.run ~config:compiled_1 ~symbols ~args:expected g);
+  with_server (fun socket _srv ->
+      let c = Serve.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let args () = Interp.Profile.make_args ~symbols g in
+          let run tag program =
+            match
+              Serve.Client.run ~symbols ~config:compiled_1 ~args:(args ()) c
+                program
+            with
+            | Error e -> Alcotest.fail (tag ^ ": " ^ e)
+            | Ok (r : Protocol.run_result) ->
+              List.iter
+                (fun (n, want) ->
+                  match List.assoc_opt n r.rs_outputs with
+                  | None -> Alcotest.fail (tag ^ ": missing output " ^ n)
+                  | Some got ->
+                    Alcotest.(check (list int64))
+                      (Fmt.str "%s: %S bit-identical" tag n)
+                      (tensor_bits want) (tensor_bits got))
+                expected;
+              r
+          in
+          let r1 = run "ndlang" (Protocol.Prog_ndlang src) in
+          Alcotest.(check bool) "first submission misses" false r1.rs_hit;
+          let r2 = run "ndlang-again" (Protocol.Prog_ndlang src) in
+          Alcotest.(check bool) "resubmission hits" true r2.rs_hit;
+          Alcotest.(check string) "same key" r1.rs_key r2.rs_key;
+          (* The canonical form is the cache identity: the elaborated
+             graph submitted as .sdfg text shares the entry. *)
+          let r3 = run "as-sdfg" (Protocol.Prog_sdfg (Serialize.to_string g)) in
+          Alcotest.(check string) "text and sdfg share a key" r1.rs_key
+            r3.rs_key;
+          Alcotest.(check bool) "sdfg form hits" true r3.rs_hit;
+          (* Malformed source errors with the line, connection intact. *)
+          (match
+             Serve.Client.run ~symbols c (Protocol.Prog_ndlang "output Z[N]\nZ = nope + 1.0\n")
+           with
+          | Error e ->
+            let contains s sub =
+              let n = String.length s and m = String.length sub in
+              let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+              go 0
+            in
+            Alcotest.(check bool) "error names the line" true
+              (contains e "line 2")
+          | Ok _ -> Alcotest.fail "undeclared container must error");
+          Alcotest.(check bool) "alive after ndlang error" true
+            (Serve.Client.ping c)))
+
+(* A streaming session over the wire: stream_open holds the channel
+   across push frames; output chunks flow back mid-run; the final done
+   frame carries report + outputs; everything is bit-identical to a
+   batch run with the same elements pre-loaded.  A second session over
+   the same program is a plan-cache hit. *)
+let test_server_stream () =
+  let name, mk, input, output, symbols =
+    match
+      List.find_opt (fun (_, _, _, o, _) -> o <> None) Workloads.Streaming.all
+    with
+    | Some (n, mk, i, Some o, syms) -> (n, mk, i, o, syms)
+    | _ -> Alcotest.fail "no streaming workload with an output stream"
+  in
+  ignore name;
+  let g = mk () in
+  let values = Workloads.Streaming.sample_values 40 7 in
+  let inst = Exec.Instance.create ~config:compiled_1 ~symbols g in
+  let batch_args = Interp.Profile.make_args ~symbols g in
+  ignore (Exec.Instance.run ~args:batch_args ~stream_args:[ (input, values) ] inst);
+  let batch_out = Exec.Instance.stream_contents inst output in
+  let chunks =
+    let rec go i acc =
+      if i >= Array.length values then List.rev acc
+      else
+        let len = min 7 (Array.length values - i) in
+        go (i + len) (Array.sub values i len :: acc)
+    in
+    go 0 []
+  in
+  with_server (fun socket _srv ->
+      let c = Serve.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let session tag =
+            match
+              (* make_args is deterministic: the server starts from the
+                 same initial tensors the batch baseline saw. *)
+              Serve.Client.run_stream ~symbols ~config:compiled_1
+                ~args:(Interp.Profile.make_args ~symbols g) ~input ~output c
+                (Protocol.Prog_sdfg (Serialize.to_string g))
+                chunks
+            with
+            | Error e -> Alcotest.fail (tag ^ ": " ^ e)
+            | Ok (r, data) ->
+              let got = Array.concat data in
+              Alcotest.(check int)
+                (tag ^ ": output element count")
+                (Array.length batch_out) (Array.length got);
+              Alcotest.(check bool)
+                (tag ^ ": streamed output bit-identical to batch")
+                true (got = batch_out);
+              List.iter
+                (fun (n, want) ->
+                  match List.assoc_opt n r.rs_outputs with
+                  | None -> Alcotest.fail (tag ^ ": missing output " ^ n)
+                  | Some t ->
+                    Alcotest.(check (list int64))
+                      (Fmt.str "%s: %S bit-identical" tag n)
+                      (tensor_bits want) (tensor_bits t))
+                batch_args;
+              r
+          in
+          let r1 = session "first session" in
+          Alcotest.(check bool) "first session misses" false r1.rs_hit;
+          let r2 = session "second session" in
+          Alcotest.(check bool) "second session hits the plan cache" true
+            r2.rs_hit;
+          (* The connection is a plain request channel again. *)
+          Alcotest.(check bool) "alive after sessions" true
+            (Serve.Client.ping c)))
+
 let test_server_shutdown_request () =
   let socket = tmp_name "sdfg-serve" ^ ".sock" in
   let srv = Serve.Server.start ~socket () in
@@ -630,8 +767,8 @@ let suite =
     Alcotest.test_case "Config domains precedence" `Quick
       test_config_precedence;
     Alcotest.test_case "Config JSON round-trip" `Quick test_config_json;
-    Alcotest.test_case "deprecated run_labelled agrees" `Quick
-      test_run_labelled;
+    Alcotest.test_case "config stream knobs" `Quick
+      test_config_stream_knobs;
     Alcotest.test_case "length-prefixed frames" `Quick test_frames;
     Alcotest.test_case "tensor codec is bit-exact" `Quick test_tensor_codec;
     Alcotest.test_case "request JSON round-trip" `Quick
@@ -655,5 +792,9 @@ let suite =
       `Quick test_server_concurrent;
     Alcotest.test_case "server: persistent cache across restart" `Quick
       test_server_persistent_restart;
+    Alcotest.test_case "server: ndlang source submissions" `Quick
+      test_server_ndlang;
+    Alcotest.test_case "server: streaming session over the wire" `Quick
+      test_server_stream;
     Alcotest.test_case "server: shutdown request" `Quick
       test_server_shutdown_request ]
