@@ -875,6 +875,216 @@ let engines_v2 () =
          ("geomean_speedup", Float gm_all);
          ("geomean_core_speedup", Float gm_core) ])
 
+(* --- predictive-policy calibration ------------------------------------------------- *)
+
+(* Measure the constants of {!Machine.Cost.Parallel.calibration} on this
+   host — fork/join barrier, dynamic chunk dealing, accumulator merge
+   throughput, per-kernel-kind and closure-path iteration rates, and the
+   achieved parallel efficiency — install them process-wide with
+   [set_calibration], and persist them under the "calibrate" key of
+   BENCH_interp.json so the parallel experiment (and CI) can replay the
+   same record. *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let wall_best ?(reps = 5) f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    best := Float.min !best (wall f)
+  done;
+  !best
+
+(* one timed compiled-engine run plus its counters, for per-iteration
+   rates: ns/iter = wall / map_iterations *)
+let iter_rate_ns ~kernels build symbols =
+  let config =
+    Interp.Exec.Config.(
+      default |> with_engine Interp.Plan.compiled |> with_kernels kernels
+      |> with_domains 1)
+  in
+  let g = build () in
+  let r = Interp.Exec.run ~config ~symbols g in
+  let iters = r.Obs.Report.r_counters.Obs.Report.map_iterations in
+  let t =
+    time_run (fun () ->
+        ignore (Interp.Exec.run ~config ~symbols (build ())))
+  in
+  (t *. 1e9 /. float_of_int (max 1 iters), iters)
+
+let calibration_of_json json =
+  let open Obs.Json in
+  let module P = Cost.Parallel in
+  match json with
+  | Obj fields ->
+    let num name default =
+      match List.assoc_opt name fields with
+      | Some (Float f) -> f
+      | Some (Int i) -> float_of_int i
+      | _ -> default
+    in
+    let d = P.default_calibration in
+    let kernel_ns =
+      match List.assoc_opt "kernel_iter_ns" fields with
+      | Some (Obj kv) ->
+        List.map
+          (fun (k, v) ->
+            ( k,
+              match v with
+              | Float f -> f
+              | Int i -> float_of_int i
+              | _ -> 1.0 ))
+          kv
+      | _ -> d.P.cal_kernel_iter_ns
+    in
+    let host =
+      match List.assoc_opt "host_domains" fields with
+      | Some (Int i) when i >= 1 -> i
+      | _ -> d.P.cal_host_domains
+    in
+    Some
+      { P.cal_host_domains = host;
+        cal_fork_s = num "fork_s" d.P.cal_fork_s;
+        cal_chunk_s = num "chunk_s" d.P.cal_chunk_s;
+        cal_merge_s_per_elem =
+          num "merge_s_per_elem" d.P.cal_merge_s_per_elem;
+        cal_kernel_iter_ns = kernel_ns;
+        cal_closure_iter_ns = num "closure_iter_ns" d.P.cal_closure_iter_ns;
+        cal_efficiency = num "efficiency" d.P.cal_efficiency }
+  | _ -> None
+
+(* Load a previously measured record from BENCH_interp.json, so
+   `bench parallel` run in a fresh process prices maps with this host's
+   constants rather than the built-in defaults. *)
+let apply_saved_calibration () =
+  let path = "BENCH_interp.json" in
+  if Sys.file_exists path then
+    match
+      Obs.Json.parse (In_channel.with_open_bin path In_channel.input_all)
+    with
+    | Obs.Json.Obj fields -> (
+      match List.assoc_opt "calibrate" fields with
+      | Some json -> (
+        match calibration_of_json json with
+        | Some cal ->
+          Cost.Parallel.set_calibration cal;
+          true
+        | None -> false)
+      | None -> false)
+    | _ | (exception _) -> false
+  else false
+
+let calibrate () =
+  header "Predictive-policy calibration (measured on this host)";
+  let module P = Cost.Parallel in
+  (* fork + join barrier per dispatch: trivial work on a 2-domain pool,
+     after one warm-up dispatch that spawns the pool domains *)
+  Interp.Pool.run ~domains:2 (fun _ -> ());
+  let fork_reps = 200 in
+  let fork_s =
+    wall_best (fun () ->
+        for _ = 1 to fork_reps do
+          Interp.Pool.run ~domains:2 (fun _ -> ())
+        done)
+    /. float_of_int fork_reps
+  in
+  (* dynamic chunk dealing: one atomic fetch-and-add on the shared
+     cursor per chunk *)
+  let chunk_reps = 1_000_000 in
+  let cursor = Atomic.make 0 in
+  let chunk_s =
+    wall_best (fun () ->
+        Atomic.set cursor 0;
+        while Atomic.fetch_and_add cursor 1 < chunk_reps do
+          ()
+        done)
+    /. float_of_int chunk_reps
+  in
+  (* accumulator merge: one float add per element into shared storage *)
+  let merge_n = 1 lsl 20 in
+  let src = Array.make merge_n 1.0 and dst = Array.make merge_n 0.0 in
+  let merge_s_per_elem =
+    wall_best (fun () ->
+        for i = 0 to merge_n - 1 do
+          Array.unsafe_set dst i
+            (Array.unsafe_get dst i +. Array.unsafe_get src i)
+        done)
+    /. float_of_int merge_n
+  in
+  (* per-iteration rates of the bulk-kernel kinds this host can measure
+     directly; the remaining kinds keep their built-in ratios *)
+  let kernel_cases =
+    [ ("copy", Workloads.Kernels.copy, [ ("N", 1 lsl 22) ]);
+      ("ebinop", Workloads.Kernels.eadd, [ ("N", 1 lsl 22) ]);
+      ("axpy", Workloads.Kernels.axpy, [ ("N", 1 lsl 22) ]);
+      ("contract", Workloads.Kernels.matmul,
+       [ ("M", 128); ("N", 128); ("K", 128) ]) ]
+  in
+  let measured =
+    List.map
+      (fun (kind, build, symbols) ->
+        let ns, iters = iter_rate_ns ~kernels:true build symbols in
+        row "kernel %-10s %8.2f ns/iter  (%d iterations)@." kind ns iters;
+        (kind, ns))
+      kernel_cases
+  in
+  let closure_iter_ns, closure_iters =
+    iter_rate_ns ~kernels:false Workloads.Kernels.copy [ ("N", 1 lsl 20) ]
+  in
+  row "closure path      %8.2f ns/iter  (%d iterations)@." closure_iter_ns
+    closure_iters;
+  (* achieved parallel efficiency: forced 1 vs 2 domains on a mid-size
+     matmul; on a single-core host this honestly comes out low, which is
+     exactly what makes the policy predict 1 *)
+  let eff_symbols = [ ("M", 128); ("N", 128); ("K", 128) ] in
+  let eff_wall d =
+    let res =
+      Interp.Profile.run
+        ~config:
+          Interp.Exec.Config.(
+            default |> with_engine Interp.Plan.compiled |> with_domains d)
+        ~warmup:1 ~repeat:3 ~symbols:eff_symbols
+        (Workloads.Kernels.matmul ())
+    in
+    Interp.Profile.wall_min res
+  in
+  let e1 = eff_wall 1 and e2 = eff_wall 2 in
+  let efficiency =
+    Cost.calibrate_parallel_efficiency [ (1, e1); (2, e2) ]
+  in
+  let default_tbl = P.default_calibration.P.cal_kernel_iter_ns in
+  let kernel_tbl =
+    measured
+    @ List.filter (fun (k, _) -> not (List.mem_assoc k measured)) default_tbl
+  in
+  let cal =
+    { P.cal_host_domains = max 1 (Interp.Pool.available ());
+      cal_fork_s = fork_s;
+      cal_chunk_s = chunk_s;
+      cal_merge_s_per_elem = merge_s_per_elem;
+      cal_kernel_iter_ns = kernel_tbl;
+      cal_closure_iter_ns = closure_iter_ns;
+      cal_efficiency = efficiency }
+  in
+  P.set_calibration cal;
+  row "fork_s = %.3e  chunk_s = %.3e  merge_s/elem = %.3e@." fork_s chunk_s
+    merge_s_per_elem;
+  row "efficiency = %.3f  (1 dom %.4f s, 2 dom %.4f s on matmul 128^3)@."
+    efficiency e1 e2;
+  let open Obs.Json in
+  update_bench_json "calibrate"
+    (Obj
+       [ ("host_domains", Int (Interp.Pool.available ()));
+         ("fork_s", Float fork_s);
+         ("chunk_s", Float chunk_s);
+         ("merge_s_per_elem", Float merge_s_per_elem);
+         ( "kernel_iter_ns",
+           Obj (List.map (fun (k, v) -> (k, Float v)) kernel_tbl) );
+         ("closure_iter_ns", Float closure_iter_ns);
+         ("efficiency", Float efficiency) ])
+
 (* --- multicore map execution: domain-count scaling --------------------------------- *)
 
 (* Scaling curve of the compiled engine's domain pool on the 256^3 WCR
@@ -884,11 +1094,14 @@ let engines_v2 () =
    runtime and the machine model's parallel_efficiency knob. *)
 let parallel () =
   header "Multicore map execution: domain-count scaling (compiled engine)";
+  let calibrated = apply_saved_calibration () in
   let build = Workloads.Kernels.matmul in
   let symbols = [ ("M", 256); ("N", 256); ("K", 256) ] in
   let workload = "matmul 256x256x256" in
   let domain_counts = [ 1; 2; 4 ] in
-  row "host has %d recommended domain(s)@." (Interp.Pool.available ());
+  row "host has %d recommended domain(s); calibration: %s@."
+    (Interp.Pool.available ())
+    (if calibrated then "measured (BENCH_interp.json)" else "built-in");
   row "%-10s%12s%10s%12s%10s@." "domains" "wall [s]" "speedup" "par maps"
     "chunks";
   (* outputs at each domain count, for the bit-identity check *)
@@ -949,12 +1162,64 @@ let parallel () =
   let efficiency = Cost.calibrate_parallel_efficiency curve in
   row "calibrated parallel_efficiency: %.3f (model default %.2f)@."
     efficiency Cost.default_options.Cost.parallel_efficiency;
+  (* predictive policy: let the per-map pricing pick the domain count
+     (cap 4, matching the forced curve) and hold it to the sequential
+     baseline — bit-identical outputs, and when it predicts 1 the solo
+     dispatch must stay within noise of the forced-1 wall *)
+  let cap = 4 in
+  let predictive_config =
+    Interp.Exec.Config.(
+      default |> with_engine Interp.Plan.compiled |> with_auto_domains ~cap)
+  in
+  let pred_out =
+    let g = build () in
+    let args = Interp.Profile.make_args ~symbols g in
+    ignore (Interp.Exec.run ~config:predictive_config ~symbols ~args g);
+    args
+  in
+  let pred_identical =
+    List.for_all2
+      (fun (n1, t1) (n2, t2) ->
+        String.equal n1 n2 && tensor_bits t1 = tensor_bits t2)
+      base_out pred_out
+  in
+  if not pred_identical then
+    Fmt.failwith
+      "parallel: predictive-policy outputs differ from 1 domain";
+  let pred_res =
+    Interp.Profile.run ~config:predictive_config ~warmup:1 ~repeat:3
+      ~symbols (build ())
+  in
+  let pred_wall = Interp.Profile.wall_min pred_res in
+  let decisions =
+    match pred_res.Interp.Profile.p_report.Obs.Report.r_parallel with
+    | Some p -> p.Obs.Report.par_decisions
+    | None -> []
+  in
+  let recommended, reason =
+    (* the widest prediction across the workload's Cpu_multicore maps *)
+    match decisions with
+    | [] -> (1, "no-parallel-maps")
+    | d0 :: rest ->
+      List.fold_left
+        (fun (d, r) pm ->
+          if pm.Obs.Report.pm_domains > d then
+            (pm.Obs.Report.pm_domains, pm.Obs.Report.pm_reason)
+          else (d, r))
+        (d0.Obs.Report.pm_domains, d0.Obs.Report.pm_reason)
+        rest
+  in
+  let overhead = (pred_wall -. t1) /. t1 in
+  row "predictive policy (cap=%d): %.4f s, recommends %d domain(s) (%s), \
+       %+.2f%% vs forced 1@."
+    cap pred_wall recommended reason (100. *. overhead);
   let open Obs.Json in
   update_bench_json "parallel"
     (Obj
        [ ("workload", Str workload);
          ("engine", Str "compiled");
-         ("recommended_domains", Int (Interp.Pool.available ()));
+         ("host_domains", Int (Interp.Pool.available ()));
+         ("recommended_domains", Int recommended);
          ("bit_identical", Bool true);
          ( "curve",
            Arr
@@ -967,6 +1232,30 @@ let parallel () =
                       ("parallel_maps", Int par_maps);
                       ("chunks", Int chunks) ])
                 results) );
+         ( "policy",
+           Obj
+             [ ("cap", Int cap);
+               ("wall_s", Float pred_wall);
+               ("predicted_domains", Int recommended);
+               ("policy_reason", Str reason);
+               ("overhead_vs_seq", Float overhead);
+               ("bit_identical_vs_seq", Bool pred_identical);
+               ( "decisions",
+                 Arr
+                   (List.map
+                      (fun pm ->
+                        Obj
+                          [ ("state", Str pm.Obs.Report.pm_state);
+                            ("map", Str pm.Obs.Report.pm_map);
+                            ("kind", Str pm.Obs.Report.pm_kind);
+                            ("verdict", Str pm.Obs.Report.pm_verdict);
+                            ( "predicted_domains",
+                              Int pm.Obs.Report.pm_domains );
+                            ("policy_reason", Str pm.Obs.Report.pm_reason);
+                            ("trips", Int pm.Obs.Report.pm_trips);
+                            ( "invocations",
+                              Int pm.Obs.Report.pm_invocations ) ])
+                      decisions) ) ] );
          ("calibrated_parallel_efficiency", Float efficiency) ])
 
 (* --- auto-optimizer vs hand-written strict chain ---------------------------------- *)
@@ -1333,7 +1622,8 @@ let experiments =
     ("fig15", fig15); ("fig17", fig17); ("table2", table2);
     ("table3", table3); ("ablations", ablations); ("micro", micro);
     ("engines", engines); ("engines_v2", engines_v2); ("autoopt", autoopt);
-    ("parallel", parallel); ("serve", serve); ("streaming", streaming) ]
+    ("calibrate", calibrate); ("parallel", parallel); ("serve", serve);
+    ("streaming", streaming) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -241,19 +241,6 @@ let exec_config ?instrument ~engine ~domains ~no_kernels () =
     Fmt.epr "error: %s@." (error_message e);
     exit 1
 
-let analyze_races_cmd =
-  let run name =
-    let g = build name in
-    let reports = Analysis.Races.analyze g in
-    Fmt.pr "%a@." Analysis.Races.pp_table reports
-  in
-  Cmd.v
-    (Cmd.info "analyze-races"
-       ~doc:"Static race analysis of every map scope: per-container access \
-             classes and the parallelize/serialize verdict (with a \
-             machine-readable reason) that gates multicore execution")
-    Term.(const run $ prog_arg)
-
 (* Programs runnable/profilable by name: every Polybench kernel at mini
    size, plus the §6.1 engine workloads and the engine-v2 micro-workloads
    (copy / eadd / axpy) at small bench sizes. *)
@@ -276,6 +263,73 @@ let find_program name =
   | None ->
     List.find_opt (fun (n, _, _) -> String.equal n name) kernel_programs
     |> Option.map (fun (_, build, symbols) -> (build, symbols))
+
+let analyze_races_cmd =
+  let predict_arg =
+    Arg.(value & flag
+         & info [ "predict" ]
+             ~doc:"After the static table, run the program once under the \
+                   predictive domain policy (compiled engine, mini sizes) \
+                   and print each Cpu_multicore map's predicted_domains \
+                   and policy_reason — the per-map decisions the runtime \
+                   actually made.")
+  in
+  let cap_arg =
+    Arg.(value & opt (some int) None
+         & info [ "d"; "domains" ] ~docv:"N"
+             ~doc:"Worker-count ceiling for --predict (default: the \
+                   hardware's available domains).")
+  in
+  let run name predict cap =
+    let g = build name in
+    let reports = Analysis.Races.analyze g in
+    Fmt.pr "%a@." Analysis.Races.pp_table reports;
+    if predict then begin
+      match find_program name with
+      | None ->
+        Fmt.epr
+          "--predict needs a runnable program (Polybench mini sizes or an \
+           engine workload); %S is analyze-only@."
+          name;
+        exit 1
+      | Some (build, symbols) ->
+        let g = build () in
+        let args = Interp.Profile.make_args ~symbols g in
+        let config =
+          Interp.Exec.Config.(
+            default
+            |> with_engine Interp.Plan.compiled
+            |> with_auto_domains ?cap)
+        in
+        let report = Interp.Exec.run g ~config ~symbols ~args in
+        let cap_shown = Interp.Exec.Config.resolved_domains config in
+        Fmt.pr "predictive policy (cap=%d, sizes: %s)@." cap_shown
+          (String.concat ", "
+             (List.map (fun (s, v) -> Fmt.str "%s=%d" s v) symbols));
+        (match report.Obs.Report.r_parallel with
+        | None | Some { Obs.Report.par_decisions = []; _ } ->
+          Fmt.pr "no Cpu_multicore maps to decide about@."
+        | Some p ->
+          List.iter
+            (fun (d : Obs.Report.map_decision) ->
+              Fmt.pr
+                "%-12s %-10s kind=%-8s verdict=%-20s \
+                 predicted_domains=%d reason=%s trips=%d@."
+                d.Obs.Report.pm_map d.Obs.Report.pm_state
+                d.Obs.Report.pm_kind d.Obs.Report.pm_verdict
+                d.Obs.Report.pm_domains d.Obs.Report.pm_reason
+                d.Obs.Report.pm_trips)
+            p.Obs.Report.par_decisions)
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze-races"
+       ~doc:"Static race analysis of every map scope: per-container access \
+             classes and the parallelize/serialize verdict (with a \
+             machine-readable reason) that gates multicore execution; \
+             --predict additionally shows the predictive domain policy's \
+             per-map decisions")
+    Term.(const run $ prog_arg $ predict_arg $ cap_arg)
 
 let run_cmd =
   let run name engine domains no_kernels =

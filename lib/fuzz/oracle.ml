@@ -127,6 +127,60 @@ let exec_compiled ?(kernels = true) ~domains g =
   let r = Interp.Exec.run ~config ~symbols ~args g in
   (args, r.Obs.Report.r_counters)
 
+(* Run the compiled engine under the predictive domain policy capped at
+   [cap], returning outputs, counters and the full report (for the
+   decision-consistency checks). *)
+let exec_predictive ?(kernels = true) ~cap g =
+  let symbols = Gen.symbols_for g in
+  let args = Interp.Profile.make_args ~symbols g in
+  let config =
+    Interp.Exec.Config.(
+      default |> with_engine `Compiled |> with_kernels kernels
+      |> with_auto_domains ~cap)
+  in
+  let r = Interp.Exec.run ~config ~symbols ~args g in
+  (args, r.Obs.Report.r_counters, r)
+
+(* Internal consistency of a predictive run's parallel report section:
+   the policy label, every decision's worker count within [1, cap],
+   forced decisions pinned at 1 domain, and [forced_sequential] equal to
+   the forced decisions' invocation total. *)
+let decision_inconsistency ~cap (rep : Obs.Report.t) =
+  match rep.Obs.Report.r_parallel with
+  | None -> None
+  | Some p ->
+    if p.Obs.Report.par_policy <> "predictive" then
+      Some (Fmt.str "policy %S in a predictive run" p.Obs.Report.par_policy)
+    else
+      let forced_inv =
+        List.fold_left
+          (fun acc (d : Obs.Report.map_decision) ->
+            if d.Obs.Report.pm_forced then acc + d.Obs.Report.pm_invocations
+            else acc)
+          0 p.Obs.Report.par_decisions
+      in
+      if p.Obs.Report.par_forced_seq <> forced_inv then
+        Some
+          (Fmt.str
+             "forced_sequential=%d but forced decisions account for %d \
+              invocation(s)"
+             p.Obs.Report.par_forced_seq forced_inv)
+      else
+        List.find_map
+          (fun (d : Obs.Report.map_decision) ->
+            if d.Obs.Report.pm_domains < 1 || d.Obs.Report.pm_domains > cap
+            then
+              Some
+                (Fmt.str "map %s: predicted_domains=%d outside [1, %d]"
+                   d.Obs.Report.pm_map d.Obs.Report.pm_domains cap)
+            else if d.Obs.Report.pm_forced && d.Obs.Report.pm_domains <> 1
+            then
+              Some
+                (Fmt.str "map %s: forced sequential yet predicted_domains=%d"
+                   d.Obs.Report.pm_map d.Obs.Report.pm_domains)
+            else None)
+          p.Obs.Report.par_decisions
+
 (* --- the oracles -------------------------------------------------------- *)
 
 let engine_oracle g =
@@ -256,12 +310,39 @@ let parallel_crossval_oracle g =
   match diff ~approx:false base seq with
   | Some d -> Fail ("engine divergence (sequential): " ^ d)
   | None ->
+    let predictive () =
+      (* the same graph under the predictive policy (cap 4): the policy
+         may pick any worker count per map, so outputs and counters must
+         still match sequential, and the report's decision records must
+         be internally consistent *)
+      match exec_predictive ~cap:4 g with
+      | exception Interp.Exec.Runtime_error m ->
+        Fail ("predictive run crashed: " ^ m)
+      | got, counters, rep -> (
+        if counters <> seq_counters then
+          Fail
+            (Fmt.str
+               "counters diverge under the predictive policy: %a vs %a \
+                (sequential)"
+               Obs.Report.pp_counters counters Obs.Report.pp_counters
+               seq_counters)
+        else
+          match diff ~approx seq got with
+          | Some m -> Fail ("predictive divergence: " ^ m)
+          | None -> (
+            match decision_inconsistency ~cap:4 rep with
+            | Some m -> Fail ("inconsistent parallel report: " ^ m)
+            | None ->
+              Pass
+                (if approx then
+                   "parallel ~= sequential (float accumulation) at 2 and \
+                    4 domains and under the predictive policy"
+                 else
+                   "parallel = sequential (bit-exact) at 2 and 4 domains \
+                    and under the predictive policy")))
+    in
     let rec at = function
-      | [] ->
-        Pass
-          (if approx then
-             "parallel ~= sequential (float accumulation) at 2 and 4 domains"
-           else "parallel = sequential (bit-exact) at 2 and 4 domains")
+      | [] -> predictive ()
       | d :: rest -> (
         match exec_compiled ~domains:d g with
         | exception Interp.Exec.Runtime_error m ->
@@ -299,12 +380,42 @@ let kernel_crossval_oracle g =
   match diff ~approx:false base closure_seq with
   | Some d -> Fail ("closure path diverges from reference: " ^ d)
   | None ->
+    let predictive () =
+      (* both paths under the predictive policy (cap 4): kernel-kind
+         pricing must not change what gets computed *)
+      match exec_predictive ~kernels:false ~cap:4 g with
+      | exception Interp.Exec.Runtime_error m ->
+        Fail ("predictive closure run crashed: " ^ m)
+      | closure, cc, crep -> (
+        match exec_predictive ~kernels:true ~cap:4 g with
+        | exception Interp.Exec.Runtime_error m ->
+          Fail ("predictive kernel run crashed: " ^ m)
+        | kern, kc, krep -> (
+          if cc <> kc then
+            Fail
+              (Fmt.str
+                 "counters diverge under the predictive policy: %a \
+                  (kernel) vs %a (closure)"
+                 Obs.Report.pp_counters kc Obs.Report.pp_counters cc)
+          else
+            match diff ~approx closure kern with
+            | Some m -> Fail ("predictive kernel divergence: " ^ m)
+            | None -> (
+              match
+                List.find_map (decision_inconsistency ~cap:4) [ crep; krep ]
+              with
+              | Some m -> Fail ("inconsistent parallel report: " ^ m)
+              | None ->
+                Pass
+                  (if approx then
+                     "kernel ~= closure (float accumulation) at 1, 2 and \
+                      4 domains and under the predictive policy"
+                   else
+                     "kernel = closure (bit-exact) at 1, 2 and 4 domains \
+                      and under the predictive policy"))))
+    in
     let rec at = function
-      | [] ->
-        Pass
-          (if approx then
-             "kernel ~= closure (float accumulation) at 1, 2 and 4 domains"
-           else "kernel = closure (bit-exact) at 1, 2 and 4 domains")
+      | [] -> predictive ()
       | d :: rest -> (
         match exec_compiled ~kernels:false ~domains:d g with
         | exception Interp.Exec.Runtime_error m ->

@@ -59,6 +59,32 @@ let pp_stats ppf s =
     s.elements_moved s.tasklet_execs s.map_iterations s.stream_pushes
     s.stream_pops s.states_executed s.wcr_writes
 
+(* How the compiled engine picks a worker count for each parallel map:
+   [Fixed d] dispatches every Parallel-verdict map on [min d trips]
+   workers (the PR 5 behavior behind [SDFG_DOMAINS] / [with_domains]);
+   [Predictive cap] prices each map with {!Machine.Cost.Parallel} and
+   runs it on the predicted-profitable count, up to [cap]. *)
+type domain_policy = Fixed of int | Predictive of int
+
+let policy_name = function Fixed _ -> "fixed" | Predictive _ -> "predictive"
+
+(* One Cpu_multicore map's standing policy record: registered at plan
+   time, updated per invocation.  Lives for the whole run so the report
+   can show what the policy decided and why. *)
+type map_decision = {
+  md_state : string;             (* state label *)
+  md_node : int;                 (* map-entry node id within the state *)
+  md_map : string;               (* map span name, "[i,j]" *)
+  md_kind : string;              (* bulk-kernel kind, or "closure" *)
+  md_verdict : string;           (* race verdict: "parallel", "parallel-accumulate",
+                                    or the Serial reason code *)
+  md_forced : bool;              (* counted under [par_forced_seq] *)
+  mutable md_domains : int;      (* worker count of the last invocation *)
+  mutable md_reason : string;    (* policy reason of the last invocation *)
+  mutable md_trips : int;        (* outer trip count of the last invocation *)
+  mutable md_invocations : int;
+}
+
 (* Multicore bookkeeping, shared down through nested SDFGs like [stats].
    [par_chunks] depends on the domain count; the determinism tests compare
    [stats], not these. *)
@@ -66,9 +92,30 @@ type par_stats = {
   mutable par_maps : int;        (* parallel map-scope invocations *)
   mutable par_chunks : int;      (* chunks dispatched to the pool *)
   mutable par_forced_seq : int;  (* Cpu_multicore maps forced sequential *)
+  mutable par_decisions : map_decision list;  (* registration order, reversed *)
 }
 
-let fresh_par () = { par_maps = 0; par_chunks = 0; par_forced_seq = 0 }
+let fresh_par () =
+  { par_maps = 0; par_chunks = 0; par_forced_seq = 0; par_decisions = [] }
+
+(* Register (or re-register, after a structural-version recompile) the
+   decision record for one map.  Keyed by (state, node id) — the span
+   name alone is ambiguous when one state holds two maps over the same
+   parameters — so a recompiled plan replaces its stale record instead
+   of duplicating it. *)
+let register_decision (par : par_stats) ~state ~node ~map ~kind ~verdict
+    ~forced =
+  let md =
+    { md_state = state; md_node = node; md_map = map; md_kind = kind;
+      md_verdict = verdict; md_forced = forced; md_domains = 1;
+      md_reason = "unevaluated"; md_trips = 0; md_invocations = 0 }
+  in
+  par.par_decisions <-
+    md
+    :: List.filter
+         (fun d -> not (d.md_state = state && d.md_node = node))
+         par.par_decisions;
+  md
 
 (* External tasklet implementations (paper Fig. 5: tasklets written in the
    target language directly).  Keyed by tasklet name. *)
@@ -98,6 +145,7 @@ type env = {
   engine : engine;
   plans : (int, cached_plan) Hashtbl.t;  (* state id -> plan *)
   domains : int;  (* domains the compiled engine may use (>= 1) *)
+  policy : domain_policy;  (* how each parallel map picks its worker count *)
   par : par_stats;
   kernels : bool;  (* let the compiled engine lower maps to bulk kernels *)
 }
@@ -867,7 +915,7 @@ and exec_nested env params st nid (nest : nested) =
   run_in ~containers:inner_containers
     ~symbols:(inner_symbols @ inherited)
     ~stats:env.stats ~collector:env.collector ~max_states:env.max_states
-    ~engine:env.engine ~domains:env.domains ~par:env.par
+    ~engine:env.engine ~domains:env.domains ~policy:env.policy ~par:env.par
     ~kernels:env.kernels inner
 
 (* --- top-level execution ---------------------------------------------------- *)
@@ -914,10 +962,11 @@ and run_state_machine env =
 (* Run an SDFG whose containers are already bound (used for nested
    invocations); allocates any transients not provided. *)
 and run_in ~containers ~symbols ~stats ~collector ~max_states ~engine
-    ~domains ~par ~kernels (g : sdfg) =
+    ~domains ~policy ~par ~kernels (g : sdfg) =
   let env =
     { g; containers; symbols = Hashtbl.create 8; stats; collector;
-      max_states; engine; plans = Hashtbl.create 4; domains; par; kernels }
+      max_states; engine; plans = Hashtbl.create 4; domains; policy; par;
+      kernels }
   in
   List.iter (fun (s, v) -> Hashtbl.replace env.symbols s v) symbols;
   (* Allocate missing containers (transients; also non-transients when the
@@ -960,6 +1009,49 @@ let counters_of_stats (s : stats) : Obs.Report.counters =
     states_executed = s.states_executed;
     wcr_writes = s.wcr_writes }
 
+(* Freeze the policy's per-map records for the report, in registration
+   (= plan) order. *)
+let frozen_decisions (par : par_stats) : Obs.Report.map_decision list =
+  List.rev_map
+    (fun d ->
+      { Obs.Report.pm_state = d.md_state;
+        pm_node = d.md_node;
+        pm_map = d.md_map;
+        pm_kind = d.md_kind;
+        pm_verdict = d.md_verdict;
+        pm_forced = d.md_forced;
+        pm_domains = d.md_domains;
+        pm_reason = d.md_reason;
+        pm_trips = d.md_trips;
+        pm_invocations = d.md_invocations })
+    par.par_decisions
+
+(* The report's multicore section.  A [Fixed] pin above 1 always gets
+   one (the PR 5 contract); [Fixed 1] never does; [Predictive] gets one
+   exactly when the run had something multicore to decide about — so
+   sequential-by-nature programs keep their reports unchanged. *)
+let parallel_section ~policy ~par_domains ~channels ~workers
+    (par : par_stats) : Obs.Report.parallel option =
+  let decisions = frozen_decisions par in
+  let relevant =
+    decisions <> [] || par.par_maps > 0 || par.par_chunks > 0
+    || par.par_forced_seq > 0 || channels <> [] || workers <> []
+  in
+  let section () =
+    { Obs.Report.par_domains;
+      par_policy = policy_name policy;
+      par_maps = par.par_maps;
+      par_chunks = par.par_chunks;
+      par_forced_seq = par.par_forced_seq;
+      par_decisions = decisions;
+      par_channels = channels;
+      par_workers = workers }
+  in
+  match policy with
+  | Fixed d when d > 1 -> Some (section ())
+  | Fixed _ -> if workers <> [] then Some (section ()) else None
+  | Predictive _ -> if relevant then Some (section ()) else None
+
 (* Default domain count: the SDFG_DOMAINS environment variable, clamped
    to [1, Pool.max_domains].  Unset, unparsable or < 1 means sequential. *)
 let default_domains () =
@@ -969,6 +1061,24 @@ let default_domains () =
     match int_of_string_opt (String.trim s) with
     | Some n when n >= 1 -> min n 64
     | _ -> 1)
+
+(* The environment's pin, if any: [Some d] when SDFG_DOMAINS is set to a
+   number (unparsable garbage pins 1, matching {!default_domains});
+   [None] when unset or empty — the predictive policy's opening. *)
+let env_domains () =
+  match Sys.getenv_opt "SDFG_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    let s = String.trim s in
+    if s = "" then None
+    else
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Some (min n 64)
+      | _ -> Some 1)
+
+(* The predictive policy's worker-count ceiling when no cap is given:
+   what the hardware actually offers. *)
+let auto_cap () = max 1 (min (Pool.available ()) 64)
 
 (* --- execution configuration --------------------------------------------- *)
 
@@ -997,13 +1107,19 @@ module Config = struct
       Fmt.str "config: stream_capacity must be >= 1 (got %d)" n
     | Parse msg -> "config: " ^ msg
 
+  (* How the config asks for domains.  [Denv]: defer to SDFG_DOMAINS at
+     run time — set, it pins that count; unset, the predictive policy
+     decides per map up to {!auto_cap}.  [Dfixed d] beats the
+     environment.  [Dauto cap] forces the predictive policy with an
+     optional explicit ceiling. *)
+  type domains_spec = Denv | Dfixed of int | Dauto of int option
+
   type t = {
     engine : engine;
     instrument : Obs.Collect.level;
     max_states : int;
-    domains : int option;
-        (* None: defer to SDFG_DOMAINS at run time; Some d beats the
-           environment (precedence: explicit config > SDFG_DOMAINS > 1). *)
+    domains : domains_spec;
+        (* precedence: explicit config > SDFG_DOMAINS > predictive *)
     kernels : bool;
     stream_chunk : int;
         (* streaming mode: output elements buffered per sink flush *)
@@ -1014,7 +1130,7 @@ module Config = struct
 
   let default =
     { engine = `Reference; instrument = Obs.Collect.Off;
-      max_states = 1_000_000; domains = None; kernels = true;
+      max_states = 1_000_000; domains = Denv; kernels = true;
       stream_chunk = 64; stream_capacity = None }
 
   (* With-style setters, argument-last so they chain off [default]:
@@ -1022,8 +1138,9 @@ module Config = struct
   let with_engine engine c = { c with engine }
   let with_instrument instrument c = { c with instrument }
   let with_max_states max_states c = { c with max_states }
-  let with_domains d c = { c with domains = Some d }
-  let with_default_domains c = { c with domains = None }
+  let with_domains d c = { c with domains = Dfixed d }
+  let with_default_domains c = { c with domains = Denv }
+  let with_auto_domains ?cap c = { c with domains = Dauto cap }
   let with_kernels kernels c = { c with kernels }
   let with_stream_chunk stream_chunk c = { c with stream_chunk }
   let with_stream_capacity n c = { c with stream_capacity = Some n }
@@ -1033,16 +1150,28 @@ module Config = struct
     else if c.stream_chunk < 1 then Error (Invalid_stream_chunk c.stream_chunk)
     else
       match c.domains, c.stream_capacity with
-      | Some n, _ when n < 1 -> Error (Invalid_domains n)
+      | (Dfixed n | Dauto (Some n)), _ when n < 1 -> Error (Invalid_domains n)
       | _, Some n when n < 1 -> Error (Invalid_stream_capacity n)
       | _ -> Ok c
 
-  (* The effective domain count: explicit setting first (capped at the
-     pool maximum), then the SDFG_DOMAINS environment variable, then 1. *)
-  let resolved_domains c =
+  (* The effective worker-count policy: explicit setting first (capped at
+     the pool maximum), then the SDFG_DOMAINS environment variable, then
+     the predictive policy capped at the hardware's domain count. *)
+  let resolved_policy c : domain_policy =
     match c.domains with
-    | Some n -> max 1 (min n 64)
-    | None -> default_domains ()
+    | Dfixed n -> Fixed (max 1 (min n 64))
+    | Dauto (Some n) -> Predictive (max 1 (min n 64))
+    | Dauto None -> Predictive (auto_cap ())
+    | Denv -> (
+      match env_domains () with
+      | Some d -> Fixed d
+      | None -> Predictive (auto_cap ()))
+
+  (* The worker-count ceiling of {!resolved_policy}: the pinned count
+     under [Fixed], the cap under [Predictive].  What the compiled
+     engine sizes replica sets (and the pool) by. *)
+  let resolved_domains c =
+    match resolved_policy c with Fixed d -> d | Predictive cap -> cap
 
   let to_json c : Obs.Json.t =
     Obs.Json.Obj
@@ -1051,8 +1180,10 @@ module Config = struct
         ("max_states", Obs.Json.Int c.max_states);
         ("domains",
          (match c.domains with
-         | Some n -> Obs.Json.Int n
-         | None -> Obs.Json.Null));
+         | Dfixed n -> Obs.Json.Int n
+         | Denv -> Obs.Json.Null
+         | Dauto None -> Obs.Json.Str "auto"
+         | Dauto (Some n) -> Obs.Json.Str (Fmt.str "auto:%d" n)));
         ("kernels", Obs.Json.Bool c.kernels);
         ("stream_chunk", Obs.Json.Int c.stream_chunk);
         ("stream_capacity",
@@ -1108,8 +1239,18 @@ module Config = struct
     let* c =
       field "domains"
         (fun v c ->
-          let* n = int "domains" v in
-          Ok { c with domains = Some n })
+          match v with
+          | Obs.Json.Str "auto" -> Ok { c with domains = Dauto None }
+          | Obs.Json.Str s
+            when String.length s > 5 && String.sub s 0 5 = "auto:" -> (
+            let rest = String.sub s 5 (String.length s - 5) in
+            match int_of_string_opt rest with
+            | Some n -> Ok { c with domains = Dauto (Some n) }
+            | None ->
+              Error (Parse (Fmt.str "bad domains cap in %S" s)))
+          | _ ->
+            let* n = int "domains" v in
+            Ok { c with domains = Dfixed n })
         c
     in
     let* c =
@@ -1148,6 +1289,7 @@ let run ?(config = Config.default) ?(symbols = []) ?(args = [])
   (match Config.validate config with
   | Ok _ -> ()
   | Error e -> runtime_error "%s" (Config.error_message e));
+  let policy = Config.resolved_policy config in
   let domains = Config.resolved_domains config in
   let stats = fresh_stats () in
   let par = fresh_par () in
@@ -1157,18 +1299,11 @@ let run ?(config = Config.default) ?(symbols = []) ?(args = [])
   let t0 = Obs.Collect.now () in
   run_in ~containers ~symbols ~stats ~collector
     ~max_states:config.Config.max_states ~engine:config.Config.engine
-    ~domains ~par ~kernels:config.Config.kernels g;
+    ~domains ~policy ~par ~kernels:config.Config.kernels g;
   let wall_s = Obs.Collect.now () -. t0 in
   let parallel =
-    if domains > 1 then
-      Some
-        { Obs.Report.par_domains = domains;
-          par_maps = par.par_maps;
-          par_chunks = par.par_chunks;
-          par_forced_seq = par.par_forced_seq;
-          par_channels = [];
-          par_workers = [] }
-    else None
+    parallel_section ~policy ~par_domains:domains ~channels:[] ~workers:[]
+      par
   in
   Obs.Report.of_collector ?parallel ~program:g.g_name
     ~engine:(engine_name config.Config.engine) ~wall_s
@@ -1353,7 +1488,8 @@ let run_streaming_env env (config : Config.t) ~input ~output ~source ~sink :
             (* domains = 1: the pool is not reentrant, so inner maps run
                sequentially inside a pipeline stage *)
             { env with stats = wstats; containers = stbl; domains = 1;
-              par = fresh_par (); plans = Hashtbl.create 1 }
+              policy = Fixed 1; par = fresh_par ();
+              plans = Hashtbl.create 1 }
           in
           let st_in = chan stg.Analysis.Races.pl_stream in
           let st_out = List.map chan stg.Analysis.Races.pl_pushes in
@@ -1510,6 +1646,7 @@ module Instance = struct
     i_env : env;
     i_config : Config.t;
     i_domains : int;  (* resolved at creation, frozen *)
+    i_policy : domain_policy;  (* resolved at creation, frozen *)
     i_symbols : (string * int) list;
     i_lock : Mutex.t;  (* an instance runs one request at a time *)
   }
@@ -1523,6 +1660,7 @@ module Instance = struct
        counters-only. *)
     let config = { config with Config.instrument = Obs.Collect.Off } in
     let domains = Config.resolved_domains config in
+    let policy = Config.resolved_policy config in
     let g = Sdfg.clone g in  (* isolate from later caller mutation *)
     let env =
       { g; containers = Hashtbl.create 16; symbols = Hashtbl.create 8;
@@ -1530,7 +1668,7 @@ module Instance = struct
         collector = Obs.Collect.create Obs.Collect.Off;
         max_states = config.Config.max_states;
         engine = config.Config.engine; plans = Hashtbl.create 4; domains;
-        par = fresh_par (); kernels = config.Config.kernels }
+        policy; par = fresh_par (); kernels = config.Config.kernels }
     in
     List.iter (fun (s, v) -> Hashtbl.replace env.symbols s v) symbols;
     (* Allocate every container up front so plans and recognized kernels
@@ -1557,7 +1695,7 @@ module Instance = struct
                  q_dtype = s.s_dtype }))
       (Sdfg.descs g);
     { i_env = env; i_config = config; i_domains = domains;
-      i_symbols = symbols; i_lock = Mutex.create () }
+      i_policy = policy; i_symbols = symbols; i_lock = Mutex.create () }
 
   let config inst = inst.i_config
   let symbols inst = inst.i_symbols
@@ -1575,7 +1713,15 @@ module Instance = struct
   let reset_par (p : par_stats) =
     p.par_maps <- 0;
     p.par_chunks <- 0;
-    p.par_forced_seq <- 0
+    p.par_forced_seq <- 0;
+    (* decision records are plan-scoped (registered at compile time, the
+       plans survive the reset), so keep them and zero the per-run
+       tallies *)
+    List.iter
+      (fun d ->
+        d.md_invocations <- 0;
+        d.md_trips <- 0)
+      p.par_decisions
 
   (* Shared per-run preparation: validate the request's containers,
      restore the instance's symbol valuation, zero the counters, copy
@@ -1656,15 +1802,8 @@ module Instance = struct
     let wall_s = Obs.Collect.now () -. t0 in
     copy_out env args;
     let parallel =
-      if inst.i_domains > 1 then
-        Some
-          { Obs.Report.par_domains = inst.i_domains;
-            par_maps = env.par.par_maps;
-            par_chunks = env.par.par_chunks;
-            par_forced_seq = env.par.par_forced_seq;
-            par_channels = [];
-            par_workers = [] }
-      else None
+      parallel_section ~policy:inst.i_policy ~par_domains:inst.i_domains
+        ~channels:[] ~workers:[] env.par
     in
     Obs.Report.of_collector ?parallel ~program:env.g.g_name
       ~engine:(engine_name env.engine) ~wall_s
@@ -1710,25 +1849,13 @@ module Instance = struct
     let wall_s = Obs.Collect.now () -. t0 in
     copy_out env args;
     let parallel =
-      match workers with
-      | [] ->
-        if inst.i_domains > 1 then
-          Some
-            { Obs.Report.par_domains = inst.i_domains;
-              par_maps = env.par.par_maps;
-              par_chunks = env.par.par_chunks;
-              par_forced_seq = env.par.par_forced_seq;
-              par_channels = [];
-              par_workers = [] }
-        else None
-      | _ ->
-        Some
-          { Obs.Report.par_domains = List.length workers;
-            par_maps = env.par.par_maps;
-            par_chunks = env.par.par_chunks;
-            par_forced_seq = env.par.par_forced_seq;
-            par_channels = channels;
-            par_workers = workers }
+      let par_domains =
+        match workers with
+        | [] -> inst.i_domains
+        | _ -> List.length workers
+      in
+      parallel_section ~policy:inst.i_policy ~par_domains ~channels
+        ~workers env.par
     in
     Obs.Report.of_collector ?parallel ~program:env.g.g_name
       ~engine:(engine_name env.engine) ~wall_s

@@ -43,20 +43,71 @@ type stats = {
 val fresh_stats : unit -> stats
 val pp_stats : Format.formatter -> stats -> unit
 
-(** Multicore bookkeeping (compiled engine, [domains > 1]); shared down
-    through nested SDFGs like [stats].  [par_chunks] depends on the domain
-    count — determinism checks across domain counts compare {!stats}. *)
+(** How the compiled engine picks a worker count for each
+    [Cpu_multicore] map: [Fixed d] dispatches every Parallel-verdict map
+    on [min d trips] workers; [Predictive cap] prices each map with
+    {!Machine.Cost.Parallel} per invocation and uses the predicted
+    profitable count, up to [cap] — a map that will not profit runs
+    sequential by prediction, at sequential cost. *)
+type domain_policy = Fixed of int | Predictive of int
+
+val policy_name : domain_policy -> string
+(** ["fixed"] / ["predictive"] — the report's [par_policy] field. *)
+
+(** One [Cpu_multicore] map's standing policy record: registered when
+    the map is planned, updated on every invocation.  Surfaced in the
+    report's parallel section as [predicted_domains]/[policy_reason]. *)
+type map_decision = {
+  md_state : string;             (** state label *)
+  md_node : int;                 (** map-entry node id within the state *)
+  md_map : string;               (** map span name, ["[i,j]"] *)
+  md_kind : string;              (** bulk-kernel kind, or ["closure"] *)
+  md_verdict : string;           (** race verdict / Serial reason code *)
+  md_forced : bool;              (** counted under [par_forced_seq] *)
+  mutable md_domains : int;      (** worker count of the last invocation *)
+  mutable md_reason : string;    (** policy reason of the last invocation *)
+  mutable md_trips : int;        (** outer trip count, last invocation *)
+  mutable md_invocations : int;
+}
+
+(** Multicore bookkeeping (compiled engine); shared down through nested
+    SDFGs like [stats].  [par_chunks] depends on the domain count —
+    determinism checks across domain counts compare {!stats}. *)
 type par_stats = {
   mutable par_maps : int;        (** parallel map-scope invocations *)
   mutable par_chunks : int;      (** chunks dispatched to the pool *)
   mutable par_forced_seq : int;  (** Cpu_multicore maps forced sequential *)
+  mutable par_decisions : map_decision list;
+      (** per planned Cpu_multicore map, registration order reversed *)
 }
 
 val fresh_par : unit -> par_stats
 
+val register_decision :
+  par_stats ->
+  state:string ->
+  node:int ->
+  map:string ->
+  kind:string ->
+  verdict:string ->
+  forced:bool ->
+  map_decision
+(** Add (or replace, keyed by [(state, node)] — recompiles must not
+    duplicate, and one state may hold two maps over the same span) the
+    decision record for one map; called by {!Plan} at plan time. *)
+
 val default_domains : unit -> int
 (** The [SDFG_DOMAINS] environment variable clamped to [[1, 64]]; 1 when
     unset or unparsable.  The default of {!run}'s [?domains]. *)
+
+val env_domains : unit -> int option
+(** The environment's pin, if any: [Some d] when [SDFG_DOMAINS] is set
+    (unparsable garbage pins 1); [None] when unset or empty — in which
+    case an unpinned config resolves to the predictive policy. *)
+
+val auto_cap : unit -> int
+(** The predictive policy's default worker-count ceiling:
+    [Pool.available ()] clamped to [[1, 64]]. *)
 
 val register_external :
   string -> ((string * Tasklang.Eval.binding) list -> unit) -> unit
@@ -95,15 +146,21 @@ module Config : sig
 
   val error_message : error -> string
 
+  (** How the config asks for domains: [Denv] (the default) defers to
+      the environment — [SDFG_DOMAINS] set pins that count, unset or
+      empty selects the predictive per-map policy capped at
+      {!auto_cap}; [Dfixed d] pins a count, beating the environment;
+      [Dauto cap] forces the predictive policy with an optional
+      explicit ceiling. *)
+  type domains_spec = Denv | Dfixed of int | Dauto of int option
+
   type t = {
     engine : engine;                  (** default [`Reference] *)
     instrument : Obs.Collect.level;   (** default [Off] *)
     max_states : int;                 (** default 1,000,000 *)
-    domains : int option;
-        (** [Some d] pins the compiled engine's domain count and takes
-            precedence over the [SDFG_DOMAINS] environment variable;
-            [None] (the default) defers to it.  See
-            {!resolved_domains}. *)
+    domains : domains_spec;
+        (** precedence: explicit config > [SDFG_DOMAINS] > predictive.
+            See {!resolved_policy}. *)
     kernels : bool;                   (** default [true] *)
     stream_chunk : int;
         (** streaming mode: output elements buffered per sink flush;
@@ -126,6 +183,11 @@ module Config : sig
   val with_default_domains : t -> t
   (** Back to deferring to the environment. *)
 
+  val with_auto_domains : ?cap:int -> t -> t
+  (** Force the predictive per-map policy, optionally capped at [cap]
+      (default: the hardware's {!auto_cap}), regardless of
+      [SDFG_DOMAINS]. *)
+
   val with_kernels : bool -> t -> t
   val with_stream_chunk : int -> t -> t
   val with_stream_capacity : int -> t -> t
@@ -137,17 +199,25 @@ module Config : sig
       report them without exception handling.  Values above the pool
       maximum (64) are not errors; they clamp. *)
 
+  val resolved_policy : t -> domain_policy
+  (** The effective worker-count policy: [Fixed] for [Dfixed] and for
+      [Denv] with [SDFG_DOMAINS] set; [Predictive] for [Dauto] and for
+      [Denv] with [SDFG_DOMAINS] unset/empty.  Counts and caps clamp to
+      [[1, 64]]. *)
+
   val resolved_domains : t -> int
-  (** The effective domain count: the explicit [domains] clamped to
-      [[1, 64]] when set, else {!default_domains} (i.e. [SDFG_DOMAINS]
-      clamped, or 1). *)
+  (** The worker-count ceiling of {!resolved_policy}: the pinned count
+      under [Fixed], the cap under [Predictive].  What the compiled
+      engine sizes replica sets by. *)
 
   val to_json : t -> Obs.Json.t
 
   val of_json : Obs.Json.t -> (t, error) result
   (** Missing fields keep their defaults; present fields must be
-      well-typed ([engine]/[instrument] as names, [max_states]/[domains]/
-      [stream_chunk]/[stream_capacity] integers, [kernels] boolean).
+      well-typed ([engine]/[instrument] as names, [max_states]/
+      [stream_chunk]/[stream_capacity] integers, [kernels] boolean;
+      [domains] an integer pin, [null] for the environment default, or
+      the strings ["auto"] / ["auto:N"] for the predictive policy).
       Runs {!validate}. *)
 end
 
@@ -272,6 +342,7 @@ type env = {
   engine : engine;
   plans : (int, cached_plan) Hashtbl.t;  (** state id -> cached plan *)
   domains : int;  (** domains the compiled engine may use (>= 1) *)
+  policy : domain_policy;  (** how each parallel map picks its workers *)
   par : par_stats;
   kernels : bool;  (** allow bulk-kernel lowering of affine map bodies *)
 }

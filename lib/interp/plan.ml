@@ -58,6 +58,7 @@ type replica = {
   rp_collector : Obs.Collect.t;  (* absorbed under the map's span *)
   rp_sym : (string * int) array; (* interstate symbol -> replica slot *)
   rp_acc : Tensor.t array;       (* private accumulators, in verdict order *)
+  rp_kind : string option;       (* recognized bulk-kernel kind, if any *)
   rp_run : int -> int -> int -> unit;  (* lo hi step over the outer param *)
 }
 
@@ -459,42 +460,61 @@ and comp_map ?(strict = false) ctx scope_env entry (info : map_info) :
 (* --- parallel maps ------------------------------------------------------- *)
 
 (* Decide whether a top-level map runs on the domain pool.  Gated on the
-   schedule being [Cpu_multicore], the run having more than one domain,
+   schedule being [Cpu_multicore], the policy allowing more than zero
+   parallel candidates ([Fixed 1] compiles the plain sequential nest),
    the static race analysis returning [Parallel], no runtime aliasing
    among the scope's written containers, and the body compiling in strict
    mode (no reference fallback on worker domains).  Any rejection yields
    the ordinary sequential compilation wrapped with a forced-sequential
-   counter, so reports show exactly how much parallelism was declined. *)
+   counter plus a policy decision record, so reports show exactly how
+   much parallelism was declined and why.  Under a [Predictive] policy
+   the worker count is then chosen per invocation by
+   {!Machine.Cost.Parallel.predict}. *)
 and comp_parallel_map ctx nid (info : map_info) : (unit -> unit) option =
   let env = ctx.env in
-  if env.Exec.domains <= 1 || info.mp_schedule <> Cpu_multicore then None
+  if info.mp_schedule <> Cpu_multicore then None
+  else if (match env.Exec.policy with
+          | Exec.Fixed d -> d <= 1
+          | Exec.Predictive _ -> false)
+  then None
   else
-    let forced () =
+    let par = env.Exec.par in
+    let forced verdict =
       let seq = comp_map ctx [] nid info in
-      let par = env.Exec.par in
+      let md =
+        Exec.register_decision par ~state:ctx.st.st_label ~node:nid
+          ~map:(Exec.map_span_name info) ~kind:"closure" ~verdict
+          ~forced:true
+      in
+      md.Exec.md_reason <- "forced-serial";
       Some
         (fun () ->
           par.Exec.par_forced_seq <- par.Exec.par_forced_seq + 1;
+          md.Exec.md_invocations <- md.Exec.md_invocations + 1;
           seq ())
     in
     match Analysis.Races.analyze_map env.Exec.g ctx.st nid with
     (* the analysis must never abort execution: any failure to analyze is
        a failure to prove safety *)
-    | exception _ -> forced ()
+    | exception _ -> forced "analysis-error"
     | report -> (
       match report.Analysis.Races.mr_verdict with
-      | Analysis.Races.Serial _ -> forced ()
+      | Analysis.Races.Serial r -> forced r.Analysis.Races.r_code
       | Analysis.Races.Parallel { accumulate; privatize } -> (
         try
           Some
             (build_parallel ctx nid info ~accumulate ~privatize
-               ~containers:report.Analysis.Races.mr_containers)
-        with Fallback -> forced ()))
+               ~containers:report.Analysis.Races.mr_containers
+               ~verdict:
+                 (Analysis.Races.verdict_code
+                    report.Analysis.Races.mr_verdict))
+        with Fallback -> forced "not-compiled"))
 
 and build_parallel ctx entry (info : map_info) ~accumulate ~privatize
-    ~containers : unit -> unit =
+    ~containers ~verdict : unit -> unit =
   let env = ctx.env in
   let d = env.Exec.domains in
+  let policy = env.Exec.policy in
   let tens name =
     match Hashtbl.find_opt env.Exec.containers name with
     | Some (Exec.Tens t) -> t
@@ -564,9 +584,16 @@ and build_parallel ctx entry (info : map_info) ~accumulate ~privatize
   let n_acc = Array.length acc_shared in
   let acc_names = Array.of_list (List.map fst accumulate) in
   let priv_names = Array.of_list privatize in
-  let make_replica _ =
+  (* [solo]: a replica that shares the run's containers outright — no
+     private accumulators, no privatized transients — so running it over
+     the full range is bit-identical to the sequential plan.  The
+     predictive policy dispatches onto it whenever it predicts one
+     domain, paying no fork, no merge and no extra float-combine
+     reordering. *)
+  let make_replica ~solo _ =
     let rcontainers =
-      if n_acc = 0 && Array.length priv_names = 0 then env.Exec.containers
+      if solo || (n_acc = 0 && Array.length priv_names = 0) then
+        env.Exec.containers
       else begin
         let tbl = Hashtbl.copy env.Exec.containers in
         Array.iteri
@@ -658,24 +685,100 @@ and build_parallel ctx entry (info : map_info) ~accumulate ~privatize
             ~slow:(fun () -> run_range lo hi step)
     in
     let rp_acc =
-      Array.map
-        (fun name ->
-          match Hashtbl.find rcontainers name with
-          | Exec.Tens p -> p
-          | _ -> assert false)
-        acc_names
+      if solo then [||]
+      else
+        Array.map
+          (fun name ->
+            match Hashtbl.find rcontainers name with
+            | Exec.Tens p -> p
+            | _ -> assert false)
+          acc_names
     in
     { rp_ctx = rctx; rp_stats = stats; rp_collector = renv.Exec.collector;
-      rp_sym = sym_refresh; rp_acc; rp_run = run_range }
+      rp_sym = sym_refresh; rp_acc;
+      rp_kind = Option.map (fun k -> k.Kernels.k_name) kernel;
+      rp_run = run_range }
   in
-  let replicas = Array.init d make_replica in
+  let predictive =
+    match policy with Exec.Predictive _ -> true | Exec.Fixed _ -> false
+  in
+  let replicas =
+    if d > 1 then Array.init d (make_replica ~solo:false) else [||]
+  in
+  (* The predictive policy needs a one-domain runner with sequential
+     semantics.  For disjoint-write maps replica 0 already shares the
+     run's containers, so reuse it; accumulating/privatizing maps get a
+     dedicated solo replica bound to the shared tensors. *)
+  let solo =
+    if not predictive then None
+    else if d > 1 && n_acc = 0 && Array.length priv_names = 0 then
+      Some replicas.(0)
+    else Some (make_replica ~solo:true 0)
+  in
   (* body nodes were compiled once per replica on replica collectors;
-     report one replica's coverage so totals equal the sequential plan *)
-  Obs.Collect.merge_coverage env.Exec.collector replicas.(0).rp_collector;
+     report one replica's coverage so totals equal the sequential plan.
+     (A solo replica aliasing replica 0 must not be merged twice.) *)
+  let coverage_replica =
+    if d > 1 then replicas.(0)
+    else match solo with Some s -> s | None -> assert false
+  in
+  Obs.Collect.merge_coverage env.Exec.collector coverage_replica.rp_collector;
+  let kind = coverage_replica.rp_kind in
+  let md =
+    Exec.register_decision env.Exec.par ~state:ctx.st.st_label ~node:entry
+      ~map:(Exec.map_span_name info)
+      ~kind:(match kind with Some k -> k | None -> "closure")
+      ~verdict ~forced:false
+  in
+  (* accumulator footprint the post-join merge scans, priced by the
+     predictive policy *)
+  let merge_elems =
+    Array.fold_left
+      (fun acc (_, t, _) -> acc + Tensor.num_elements t)
+      0 acc_shared
+  in
+  (* Per-worker chunk tallies one cache line (16 words) apart; workers
+     count locally and publish once at join time, so the tally never
+     bounces between domains the way a shared counter bump would. *)
+  let pad = 16 in
+  let chunk_tally = Array.make (max 1 (d * pad)) 0 in
   let par = env.Exec.par in
   let collector = env.Exec.collector in
   let main_stats = env.Exec.stats in
   let label = ctx.st.st_label in
+  (* merge one worker's counters into the run's; totals stay bit-equal
+     to sequential because every iteration is counted exactly once *)
+  let drain_stats (s : Exec.stats) =
+    main_stats.Exec.elements_moved <-
+      main_stats.Exec.elements_moved + s.Exec.elements_moved;
+    main_stats.Exec.tasklet_execs <-
+      main_stats.Exec.tasklet_execs + s.Exec.tasklet_execs;
+    main_stats.Exec.map_iterations <-
+      main_stats.Exec.map_iterations + s.Exec.map_iterations;
+    main_stats.Exec.stream_pushes <-
+      main_stats.Exec.stream_pushes + s.Exec.stream_pushes;
+    main_stats.Exec.stream_pops <-
+      main_stats.Exec.stream_pops + s.Exec.stream_pops;
+    main_stats.Exec.states_executed <-
+      main_stats.Exec.states_executed + s.Exec.states_executed;
+    main_stats.Exec.wcr_writes <-
+      main_stats.Exec.wcr_writes + s.Exec.wcr_writes;
+    s.Exec.elements_moved <- 0;
+    s.Exec.tasklet_execs <- 0;
+    s.Exec.map_iterations <- 0;
+    s.Exec.stream_pushes <- 0;
+    s.Exec.stream_pops <- 0;
+    s.Exec.states_executed <- 0;
+    s.Exec.wcr_writes <- 0
+  in
+  (* interstate symbols may have changed since the last invocation:
+     refresh a participating replica's slots before dispatch *)
+  let refresh r =
+    let rfr = r.rp_ctx.frame in
+    Array.iter
+      (fun (name, slot) -> rfr.(slot) <- Hashtbl.find env.Exec.symbols name)
+      r.rp_sym
+  in
   fun () ->
     let fr = ctx.frame in
     Array.iteri
@@ -690,107 +793,152 @@ and build_parallel ctx entry (info : map_info) ~accumulate ~privatize
         bounds.((3 * k) + 2) <- s)
       dims;
     let lo = bounds.(0) and hi = bounds.(1) and step = bounds.(2) in
-    if lo > hi then ()
+    if lo > hi then begin
+      md.Exec.md_trips <- 0;
+      md.Exec.md_domains <- 1;
+      md.Exec.md_reason <-
+        (match policy with
+        | Exec.Fixed _ -> "pinned"
+        | Exec.Predictive _ -> "zero-trip");
+      md.Exec.md_invocations <- md.Exec.md_invocations + 1
+    end
     else begin
       let trips = ((hi - lo) / step) + 1 in
-      let workers = if trips < d then trips else d in
-      par.Exec.par_maps <- par.Exec.par_maps + 1;
-      (* interstate symbols may have changed since the last invocation:
-         refresh every participating replica's slots before dispatch *)
-      for w = 0 to workers - 1 do
-        let r = replicas.(w) in
-        let rfr = r.rp_ctx.frame in
-        Array.iter
-          (fun (name, slot) ->
-            rfr.(slot) <- Hashtbl.find env.Exec.symbols name)
-          r.rp_sym
-      done;
-      if n_acc > 0 then begin
-        (* accumulating maps get exactly one contiguous block per worker:
-           the private-accumulator merge below then combines partial sums
-           in canonical (ascending-iteration) order, so results are
-           deterministic for a given domain count *)
-        par.Exec.par_chunks <- par.Exec.par_chunks + workers;
-        Pool.run ~domains:workers (fun w ->
-            let t0 = w * trips / workers
-            and t1 = (w + 1) * trips / workers in
-            if t1 > t0 then
-              replicas.(w).rp_run
-                (lo + (t0 * step))
-                (lo + ((t1 - 1) * step))
-                step)
-      end
-      else begin
-        (* disjoint writes: chunk assignment cannot affect the result, so
-           deal chunks dynamically for load balance *)
-        let nchunks = if trips < workers * 4 then trips else workers * 4 in
-        par.Exec.par_chunks <- par.Exec.par_chunks + nchunks;
-        let next = Atomic.make 0 in
-        Pool.run ~domains:workers (fun w ->
-            let r = replicas.(w) in
-            let continue_ = ref true in
-            while !continue_ do
-              let c = Atomic.fetch_and_add next 1 in
-              if c >= nchunks then continue_ := false
-              else
-                let t0 = c * trips / nchunks
-                and t1 = (c + 1) * trips / nchunks in
-                if t1 > t0 then
-                  r.rp_run
-                    (lo + (t0 * step))
-                    (lo + ((t1 - 1) * step))
-                    step
-            done)
-      end;
-      (* merge per-domain counters; totals are bit-equal to sequential *)
-      for w = 0 to workers - 1 do
-        let s = replicas.(w).rp_stats in
-        main_stats.Exec.elements_moved <-
-          main_stats.Exec.elements_moved + s.Exec.elements_moved;
-        main_stats.Exec.tasklet_execs <-
-          main_stats.Exec.tasklet_execs + s.Exec.tasklet_execs;
-        main_stats.Exec.map_iterations <-
-          main_stats.Exec.map_iterations + s.Exec.map_iterations;
-        main_stats.Exec.stream_pushes <-
-          main_stats.Exec.stream_pushes + s.Exec.stream_pushes;
-        main_stats.Exec.stream_pops <-
-          main_stats.Exec.stream_pops + s.Exec.stream_pops;
-        main_stats.Exec.states_executed <-
-          main_stats.Exec.states_executed + s.Exec.states_executed;
-        main_stats.Exec.wcr_writes <-
-          main_stats.Exec.wcr_writes + s.Exec.wcr_writes;
-        s.Exec.elements_moved <- 0;
-        s.Exec.tasklet_execs <- 0;
-        s.Exec.map_iterations <- 0;
-        s.Exec.stream_pushes <- 0;
-        s.Exec.stream_pops <- 0;
-        s.Exec.states_executed <- 0;
-        s.Exec.wcr_writes <- 0
-      done;
-      (* fold worker timing trees under this map's open span *)
-      if Obs.Collect.timing_on collector then
+      let workers =
+        match policy with
+        | Exec.Fixed _ ->
+          md.Exec.md_reason <- "pinned";
+          if trips < d then trips else d
+        | Exec.Predictive cap ->
+          (* price the whole nest: outer trips x inner iterations *)
+          let inner =
+            let p = ref 1 in
+            for k = 1 to nd - 1 do
+              let klo = bounds.(3 * k)
+              and khi = bounds.((3 * k) + 1)
+              and kst = bounds.((3 * k) + 2) in
+              p := !p * (if klo > khi then 0 else ((khi - klo) / kst) + 1)
+            done;
+            !p
+          in
+          let dec =
+            Machine.Cost.Parallel.predict
+              ~max_domains:(if trips < cap then trips else cap)
+              ~kind ~trips ~inner ~merge_elems ()
+          in
+          md.Exec.md_reason <- dec.Machine.Cost.Parallel.d_reason;
+          dec.Machine.Cost.Parallel.d_domains
+      in
+      md.Exec.md_trips <- trips;
+      md.Exec.md_domains <- workers;
+      md.Exec.md_invocations <- md.Exec.md_invocations + 1;
+      match solo with
+      | Some s when workers <= 1 ->
+        (* sequential by prediction: the solo replica runs the whole
+           range against the shared containers — bit-identical to (and
+           as fast as) the sequential plan, no fork, no merge *)
+        refresh s;
+        s.rp_run lo hi step;
+        drain_stats s.rp_stats;
+        if Obs.Collect.timing_on collector then
+          Obs.Collect.absorb collector s.rp_collector
+      | _ ->
+        par.Exec.par_maps <- par.Exec.par_maps + 1;
         for w = 0 to workers - 1 do
-          Obs.Collect.absorb collector replicas.(w).rp_collector
+          refresh replicas.(w)
         done;
-      (* merge the private WCR accumulators into the shared containers in
-         worker-index order (= ascending iteration order), resetting each
-         to the identity for the next invocation.  Identity elements are
-         skipped: an element no iteration touched must not be rewritten. *)
-      for a = 0 to n_acc - 1 do
-        let w_, shared, idv = acc_shared.(a) in
-        let n = Tensor.num_elements shared in
-        for wk = 0 to workers - 1 do
-          let priv = replicas.(wk).rp_acc.(a) in
-          for i = 0 to n - 1 do
-            let v = Tensor.get_linear priv i in
-            if v <> idv then begin
-              Tensor.set_linear shared i
-                (Wcr.apply w_ ~old_v:(Tensor.get_linear shared i) ~new_v:v);
-              Tensor.set_linear priv i idv
-            end
+        if n_acc > 0 then begin
+          (* accumulating maps get exactly one contiguous block per
+             worker: the private-accumulator merge below then combines
+             partial sums in canonical (ascending-iteration) order, so
+             results are deterministic for a given domain count *)
+          par.Exec.par_chunks <- par.Exec.par_chunks + workers;
+          Pool.run ~domains:workers (fun w ->
+              let t0 = w * trips / workers
+              and t1 = (w + 1) * trips / workers in
+              if t1 > t0 then
+                replicas.(w).rp_run
+                  (lo + (t0 * step))
+                  (lo + ((t1 - 1) * step))
+                  step)
+        end
+        else if kind <> None then begin
+          (* bulk-kernel bodies: one contiguous block per worker means
+             one kernel launch per worker — the whole map runs as
+             [workers] flat strided loops with no shared chunk cursor
+             to contend on *)
+          par.Exec.par_chunks <- par.Exec.par_chunks + workers;
+          Pool.run ~domains:workers (fun w ->
+              let t0 = w * trips / workers
+              and t1 = (w + 1) * trips / workers in
+              if t1 > t0 then
+                replicas.(w).rp_run
+                  (lo + (t0 * step))
+                  (lo + ((t1 - 1) * step))
+                  step)
+        end
+        else begin
+          (* disjoint closure bodies: chunk assignment cannot affect the
+             result, so deal chunks dynamically for load balance; each
+             worker publishes its tally once, into its own padded slot *)
+          let nchunks =
+            if trips < workers * 4 then trips else workers * 4
+          in
+          let next = Atomic.make 0 in
+          Pool.run ~domains:workers (fun w ->
+              let r = replicas.(w) in
+              let mine = ref 0 in
+              let continue_ = ref true in
+              while !continue_ do
+                let c = Atomic.fetch_and_add next 1 in
+                if c >= nchunks then continue_ := false
+                else begin
+                  incr mine;
+                  let t0 = c * trips / nchunks
+                  and t1 = (c + 1) * trips / nchunks in
+                  if t1 > t0 then
+                    r.rp_run
+                      (lo + (t0 * step))
+                      (lo + ((t1 - 1) * step))
+                      step
+                end
+              done;
+              chunk_tally.(w * pad) <- !mine);
+          for w = 0 to workers - 1 do
+            par.Exec.par_chunks <- par.Exec.par_chunks + chunk_tally.(w * pad);
+            chunk_tally.(w * pad) <- 0
+          done
+        end;
+        (* merge per-domain counters; totals are bit-equal to sequential *)
+        for w = 0 to workers - 1 do
+          drain_stats replicas.(w).rp_stats
+        done;
+        (* fold worker timing trees under this map's open span *)
+        if Obs.Collect.timing_on collector then
+          for w = 0 to workers - 1 do
+            Obs.Collect.absorb collector replicas.(w).rp_collector
+          done;
+        (* merge the private WCR accumulators into the shared containers
+           in worker-index order (= ascending iteration order), resetting
+           each to the identity for the next invocation.  Identity
+           elements are skipped: an element no iteration touched must not
+           be rewritten. *)
+        for a = 0 to n_acc - 1 do
+          let w_, shared, idv = acc_shared.(a) in
+          let n = Tensor.num_elements shared in
+          for wk = 0 to workers - 1 do
+            let priv = replicas.(wk).rp_acc.(a) in
+            for i = 0 to n - 1 do
+              let v = Tensor.get_linear priv i in
+              if v <> idv then begin
+                Tensor.set_linear shared i
+                  (Wcr.apply w_ ~old_v:(Tensor.get_linear shared i)
+                     ~new_v:v);
+                Tensor.set_linear priv i idv
+              end
+            done
           done
         done
-      done
     end
 
 (* A tasklet compiles when its code is Tasklang, every connected memlet

@@ -961,3 +961,119 @@ let estimate ?(opts = default_options) ~(spec : Spec.t) ~(target : target)
   | Tcpu -> cpu_time spec.cpu ctx a
   | Tgpu -> gpu_time spec.gpu ctx a
   | Tfpga -> fpga_time spec.fpga ctx a
+
+(* --- per-map predictive parallel policy --------------------------------------------- *)
+
+(* The runtime analogue of [cpu_time]'s degree computation, specialized
+   to the decision the compiled engine has to make per map invocation:
+   given a Parallel race verdict, how many domains (if any) will actually
+   pay?  PR 5's machinery parallelized every provably-safe map whenever
+   SDFG_DOMAINS > 1 and recorded a *slowdown* on maps whose per-chunk
+   work was smaller than the fork/merge overhead.  This module prices
+   that trade from a calibration record — per-kernel-kind iteration
+   throughput plus measured dispatch constants — so the engine can run
+   unprofitable maps sequential by prediction rather than by env-var
+   fiat.  The prediction is a pure function of (calibration, inputs):
+   deterministic for a fixed calibration, monotone in the iteration
+   count (more work never predicts fewer domains), and never consulted
+   when the verdict is Serial (the engine forces those sequential
+   before pricing). *)
+module Parallel = struct
+  type calibration = {
+    cal_host_domains : int;
+    cal_fork_s : float;
+    cal_chunk_s : float;
+    cal_merge_s_per_elem : float;
+    cal_kernel_iter_ns : (string * float) list;
+    cal_closure_iter_ns : float;
+    cal_efficiency : float;
+  }
+
+  (* Conservative single-socket defaults, refreshed by the [calibrate]
+     bench experiment (persisted in BENCH_interp.json); the shipped
+     constants are of the measured order on the bench container.  The
+     host core count is the one field read from the machine rather than
+     guessed: extra domains beyond it time-slice one core and cannot
+     multiply throughput, which is what makes the policy predict 1 on a
+     single-core host no matter how optimistic the efficiency fit is. *)
+  let default_calibration =
+    { cal_host_domains = max 1 (Domain.recommended_domain_count ());
+      cal_fork_s = 12e-6;
+      cal_chunk_s = 0.4e-6;
+      cal_merge_s_per_elem = 6e-9;
+      cal_kernel_iter_ns =
+        [ ("fill", 0.8); ("copy", 1.0); ("scale", 1.1); ("axpy", 1.5);
+          ("ebinop", 1.6); ("contract", 1.9); ("ssum", 1.4); ("expr", 7.0) ];
+      cal_closure_iter_ns = 45.0;
+      cal_efficiency = 0.92 }
+
+  let current = ref default_calibration
+  let calibration () = !current
+  let set_calibration c = current := c
+
+  let iter_ns cal = function
+    | None -> cal.cal_closure_iter_ns
+    | Some kind -> (
+      match List.assoc_opt kind cal.cal_kernel_iter_ns with
+      | Some ns -> ns
+      | None -> cal.cal_closure_iter_ns)
+
+  type decision = { d_domains : int; d_reason : string }
+
+  (* Modeled wall seconds of one invocation at [domains]: linear-speedup
+     work scaled by the calibrated efficiency, plus the fork barrier, the
+     dynamic chunk dealing (4 chunks per worker, the dispatcher's ratio)
+     and the canonical-order merge of every private accumulator copy. *)
+  let predicted_time_s ?cal ~kind ~trips ~inner ~merge_elems domains =
+    let cal = match cal with Some c -> c | None -> !current in
+    let work =
+      float_of_int (max 0 trips)
+      *. float_of_int (max 1 inner)
+      *. iter_ns cal kind *. 1e-9
+    in
+    if domains <= 1 then work
+    else
+      let d = float_of_int domains in
+      (* speedup saturates at the host's core count: domains beyond it
+         time-slice rather than multiply throughput *)
+      let useful =
+        float_of_int (max 1 (min domains cal.cal_host_domains))
+      in
+      let eff = Float.max 0.05 (Float.min 1.0 cal.cal_efficiency) in
+      work /. (useful *. eff)
+      +. cal.cal_fork_s
+      +. (cal.cal_chunk_s *. 4. *. d)
+      +. (float_of_int (max 0 merge_elems) *. cal.cal_merge_s_per_elem *. d)
+
+  (* The margin a parallel candidate must clear: predicted parallel time
+     below 95% of sequential.  A sub-5% modeled win is within calibration
+     noise and not worth occupying the pool. *)
+  let profit_margin = 0.95
+
+  let predict ?cal ~max_domains ~kind ~trips ~inner ~merge_elems () :
+      decision =
+    let cal = match cal with Some c -> c | None -> !current in
+    if max_domains <= 1 then { d_domains = 1; d_reason = "single-domain" }
+    else if trips <= 0 then { d_domains = 1; d_reason = "zero-trip" }
+    else begin
+      let seq =
+        predicted_time_s ~cal ~kind ~trips ~inner ~merge_elems 1
+      in
+      let eff = Float.max 0.05 (Float.min 1.0 cal.cal_efficiency) in
+      let best = ref 1 and best_t = ref seq in
+      for d = 2 to min max_domains trips do
+        (* a degree whose efficiency-scaled speedup cannot exceed 1 is
+           never a candidate, whatever the overheads *)
+        if float_of_int d *. eff > 1. then begin
+          let t = predicted_time_s ~cal ~kind ~trips ~inner ~merge_elems d in
+          if t < !best_t then begin
+            best := d;
+            best_t := t
+          end
+        end
+      done;
+      if !best > 1 && !best_t < seq *. profit_margin then
+        { d_domains = !best; d_reason = "profitable" }
+      else { d_domains = 1; d_reason = "below-threshold" }
+    end
+end

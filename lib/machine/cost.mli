@@ -103,3 +103,77 @@ val calibrate_parallel_efficiency :
     [speedup / domains] against the [domains = 1] baseline; the result is
     their mean clamped to (0, 1].  Returns [default] (the built-in 0.92)
     when the curve has no usable baseline or multi-domain points. *)
+
+(** Per-map predictive parallel policy — the runtime pricing side of the
+    model.  Given a map the race analysis proved [Parallel], predict the
+    profitable domain count from a calibration record (per-kernel-kind
+    iteration throughput and measured fork/chunk/merge overhead
+    constants) so the compiled engine can leave unprofitable maps
+    sequential {e by prediction} rather than relying on a global
+    [SDFG_DOMAINS] choice.  The prediction is a pure function of
+    (calibration, inputs): deterministic for a fixed calibration and
+    monotone in [trips] (a larger map never predicts fewer domains).
+    Maps with a Serial verdict are forced sequential by the engine
+    before pricing and never reach {!Parallel.predict}. *)
+module Parallel : sig
+  type calibration = {
+    cal_host_domains : int;
+        (** cores the host can actually run in parallel
+            ([Domain.recommended_domain_count ()] by default); modeled
+            speedup saturates here — extra domains only add overhead *)
+    cal_fork_s : float;           (** fork + join barrier per dispatch *)
+    cal_chunk_s : float;          (** dynamic chunk-dealing cost per chunk *)
+    cal_merge_s_per_elem : float; (** accumulator merge per element per copy *)
+    cal_kernel_iter_ns : (string * float) list;
+        (** per-iteration nanoseconds by bulk-kernel kind
+            ({!Interp.Kernels.t}'s [k_name]: "fill", "copy", ...) *)
+    cal_closure_iter_ns : float;  (** per-iteration ns on the closure path *)
+    cal_efficiency : float;       (** fraction of linear speedup achieved *)
+  }
+
+  val default_calibration : calibration
+  (** Conservative built-in constants; the [calibrate] bench experiment
+      measures the real ones and persists them in BENCH_interp.json. *)
+
+  val calibration : unit -> calibration
+  (** The process-wide calibration consulted when [?cal] is omitted;
+      {!default_calibration} until {!set_calibration}. *)
+
+  val set_calibration : calibration -> unit
+
+  type decision = {
+    d_domains : int;    (** 1 = run sequential *)
+    d_reason : string;
+        (** ["single-domain"], ["zero-trip"], ["below-threshold"] or
+            ["profitable"] *)
+  }
+
+  val predicted_time_s :
+    ?cal:calibration ->
+    kind:string option ->
+    trips:int ->
+    inner:int ->
+    merge_elems:int ->
+    int ->
+    float
+  (** Modeled wall seconds of one map invocation at the given domain
+      count: work scaled by efficiency-adjusted speedup plus fork,
+      chunk-dealing and accumulator-merge overheads.  [kind] is the bulk
+      kernel the body lowered to ([None] = closure path), [trips] the
+      outermost (chunked) dimension's trip count, [inner] the iterations
+      per outer trip, [merge_elems] the total elements of private WCR
+      accumulators merged after the join. *)
+
+  val predict :
+    ?cal:calibration ->
+    max_domains:int ->
+    kind:string option ->
+    trips:int ->
+    inner:int ->
+    merge_elems:int ->
+    unit ->
+    decision
+  (** The profitable domain count in [[1, max_domains]]: the candidate
+      minimizing {!predicted_time_s}, required to beat sequential by at
+      least 5%; otherwise 1 with the reason. *)
+end

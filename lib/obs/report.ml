@@ -66,11 +66,28 @@ type worker_stat = {
    pool), so determinism checks across domain counts compare
    [counters], not this record.  [par_channels]/[par_workers] are empty
    except for streaming runs. *)
+(* One Cpu_multicore map's domain-policy record: what the race analysis
+   said, what the policy decided last time the map ran, and why. *)
+type map_decision = {
+  pm_state : string;        (* state label *)
+  pm_node : int;            (* map-entry node id within the state *)
+  pm_map : string;          (* map span name, "[i,j]" *)
+  pm_kind : string;         (* bulk-kernel kind, or "closure" *)
+  pm_verdict : string;      (* race verdict / Serial reason code *)
+  pm_forced : bool;         (* invocations counted as forced sequential *)
+  pm_domains : int;         (* worker count of the last invocation *)
+  pm_reason : string;       (* policy reason of the last invocation *)
+  pm_trips : int;           (* outer trip count of the last invocation *)
+  pm_invocations : int;
+}
+
 type parallel = {
   par_domains : int;       (* domains the run was allowed to use *)
+  par_policy : string;     (* "fixed" | "predictive" *)
   par_maps : int;          (* parallel map-scope invocations *)
   par_chunks : int;        (* chunks dispatched to the domain pool *)
   par_forced_seq : int;    (* parallel-scheduled maps forced sequential *)
+  par_decisions : map_decision list;  (* per Cpu_multicore map, plan order *)
   par_channels : channel_stat list;  (* streaming: bounded channels *)
   par_workers : worker_stat list;    (* streaming: pipeline workers *)
 }
@@ -175,9 +192,17 @@ let pp ppf (r : t) =
   (match r.r_parallel with
   | Some p ->
     Fmt.pf ppf
-      "parallel: %d domain(s), %d map(s) parallelized, %d chunk(s), %d \
-       forced sequential@."
-      p.par_domains p.par_maps p.par_chunks p.par_forced_seq;
+      "parallel: %d domain(s) (%s policy), %d map(s) parallelized, %d \
+       chunk(s), %d forced sequential@."
+      p.par_domains p.par_policy p.par_maps p.par_chunks p.par_forced_seq;
+    List.iter
+      (fun d ->
+        Fmt.pf ppf
+          "map     %-16s state=%s node=%d kind=%s verdict=%s \
+           predicted_domains=%d reason=%s trips=%d invocations=%d@."
+          d.pm_map d.pm_state d.pm_node d.pm_kind d.pm_verdict d.pm_domains
+          d.pm_reason d.pm_trips d.pm_invocations)
+      p.par_decisions;
     List.iter
       (fun c ->
         Fmt.pf ppf
@@ -286,12 +311,31 @@ let to_json (r : t) : Json.t =
                   (if w.pw_wall_s > 0. then w.pw_busy_s /. w.pw_wall_s
                    else 0.) ) ]
         in
+        let decision_to_json d =
+          Json.Obj
+            [ ("state", Json.Str d.pm_state);
+              ("node", Json.Int d.pm_node);
+              ("map", Json.Str d.pm_map);
+              ("kind", Json.Str d.pm_kind);
+              ("verdict", Json.Str d.pm_verdict);
+              ("forced", Json.Bool d.pm_forced);
+              ("predicted_domains", Json.Int d.pm_domains);
+              ("policy_reason", Json.Str d.pm_reason);
+              ("trips", Json.Int d.pm_trips);
+              ("invocations", Json.Int d.pm_invocations) ]
+        in
         [ ( "parallel",
             Json.Obj
               ([ ("domains", Json.Int p.par_domains);
+                 ("policy", Json.Str p.par_policy);
                  ("parallel_maps", Json.Int p.par_maps);
                  ("chunks", Json.Int p.par_chunks);
                  ("forced_sequential", Json.Int p.par_forced_seq) ]
+              @ (if p.par_decisions = [] then []
+                 else
+                   [ ( "maps",
+                       Json.Arr (List.map decision_to_json p.par_decisions)
+                     ) ])
               @ (if p.par_channels = [] then []
                  else
                    [ ( "channels",

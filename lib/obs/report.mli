@@ -53,16 +53,38 @@ type worker_stat = {
 (** Per-worker utilization from a streaming run ([pw_busy_s /
     pw_wall_s]): the feeder, one worker per consume scope, drainers. *)
 
+type map_decision = {
+  pm_state : string;   (** state label *)
+  pm_node : int;       (** map-entry node id, disambiguates same-span maps *)
+  pm_map : string;     (** map span name, ["[i,j]"] *)
+  pm_kind : string;    (** bulk-kernel kind, or ["closure"] *)
+  pm_verdict : string; (** race verdict / Serial reason code *)
+  pm_forced : bool;    (** invocations counted as forced sequential *)
+  pm_domains : int;    (** worker count of the last invocation *)
+  pm_reason : string;  (** policy reason: ["profitable"],
+                           ["below-threshold"], ["single-domain"],
+                           ["zero-trip"], ["pinned"], ["forced-serial"] *)
+  pm_trips : int;      (** outer trip count of the last invocation *)
+  pm_invocations : int;
+}
+(** One [Cpu_multicore] map's domain-policy record: the race verdict,
+    what the policy decided the last time the map ran, and why.  JSON
+    fields: [predicted_domains] / [policy_reason]. *)
+
 type parallel = {
   par_domains : int;     (** domains the run was allowed to use *)
+  par_policy : string;   (** ["fixed"] or ["predictive"] *)
   par_maps : int;        (** parallel map-scope invocations *)
   par_chunks : int;      (** chunks dispatched to the domain pool *)
   par_forced_seq : int;  (** parallel-scheduled maps forced sequential *)
+  par_decisions : map_decision list;
+      (** one per planned [Cpu_multicore] map, plan order *)
   par_channels : channel_stat list;  (** streaming runs only *)
   par_workers : worker_stat list;    (** streaming runs only *)
 }
-(** Multicore execution summary, present only on runs given more than one
-    domain or executed in streaming mode.  [par_chunks] depends on the
+(** Multicore execution summary, present on runs pinned to more than one
+    domain, on predictive-policy runs that had [Cpu_multicore] maps to
+    decide about, and on streaming runs.  [par_chunks] depends on the
     domain count; determinism checks across domain counts compare
     [counters], not this record. *)
 

@@ -209,14 +209,17 @@ let symbols_of_json j : ((string * int) list, string) result =
    serialized graph, the full symbol valuation (it fixes every container
    shape, hence plan and kernel validity) and the run-relevant config.
    The config is normalized the way {!Interp.Exec.Instance} resolves it
-   — instrumentation forced off, the domain count resolved against the
-   environment — so requests differing only in ways the instance ignores
-   share an entry. *)
+   — instrumentation forced off, the domain policy resolved against the
+   environment (a pinned count and a predictive cap at the same number
+   are distinct entries: they execute differently) — so requests
+   differing only in ways the instance ignores share an entry. *)
 let cache_key ~sdfg_text ~symbols ~(config : Interp.Exec.Config.t) =
   let config =
     Interp.Exec.Config.(
-      config |> with_instrument Obs.Collect.Off
-      |> with_domains (resolved_domains config))
+      let config = config |> with_instrument Obs.Collect.Off in
+      match resolved_policy config with
+      | Interp.Exec.Fixed d -> with_domains d config
+      | Interp.Exec.Predictive cap -> with_auto_domains ~cap config)
   in
   let symbols =
     List.sort (fun (a, _) (b, _) -> String.compare a b) symbols

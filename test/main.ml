@@ -14,6 +14,7 @@ let () =
       ("properties", Test_properties.suite);
       ("crossval", Test_crossval.suite);
       ("parallel", Test_parallel.suite);
+      ("scaling", Test_scaling.suite);
       ("kernels", Test_kernels.suite);
       ("session", Test_session.suite);
       ("report", Test_report.suite);

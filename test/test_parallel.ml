@@ -130,6 +130,57 @@ let test_corpus_parallel () =
       | Fuzz.Oracle.Pass _ | Fuzz.Oracle.Skip _ -> ())
     (Test_fuzz.corpus_files ())
 
+(* --- pinned policy regressions ------------------------------------------- *)
+
+(* Two shrunk pathologies the predictive policy must keep sequential
+   forever: a four-iteration map whose fork barrier dwarfs its work
+   (chunk-granularity pathology), and a WCR map whose privatized
+   1M-element accumulator would be rescanned once per domain at the
+   merge (accumulator-merge pathology).  Both also replay through every
+   oracle via the corpus test above; by hand:
+
+     dune exec bin/sdfg_cli.exe -- fuzz \
+       --replay test/corpus/parallel_chunk_tiny_map.sdfg
+     dune exec bin/sdfg_cli.exe -- fuzz \
+       --replay test/corpus/parallel_merge_large_accumulator.sdfg *)
+let test_policy_pinned_regressions () =
+  let read path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  List.iter
+    (fun path ->
+      let g = Serialize.of_string (read path) in
+      let args = Profile.make_args ~symbols:[] g in
+      let r =
+        Exec.run g
+          ~config:
+            Exec.Config.(
+              default |> with_engine Plan.compiled
+              |> with_auto_domains ~cap:4)
+          ~symbols:[] ~args
+      in
+      match r.R.r_parallel with
+      | None -> Alcotest.failf "%s: no parallel section" path
+      | Some p ->
+        Alcotest.(check bool)
+          (path ^ ": has a policy decision")
+          true
+          (p.R.par_decisions <> []);
+        List.iter
+          (fun d ->
+            Alcotest.(check int)
+              (Fmt.str "%s: map %s stays sequential" path d.R.pm_map)
+              1 d.R.pm_domains;
+            Alcotest.(check string)
+              (Fmt.str "%s: map %s priced unprofitable" path d.R.pm_map)
+              "below-threshold" d.R.pm_reason)
+          p.R.par_decisions)
+    [ "corpus/parallel_chunk_tiny_map.sdfg";
+      "corpus/parallel_merge_large_accumulator.sdfg" ]
+
 (* --- runtime corners ----------------------------------------------------- *)
 
 module E = Symbolic.Expr
@@ -187,7 +238,9 @@ let suite =
   [ ("zero-trip map at 4 domains no-ops", `Quick, test_zero_trip_parallel);
     ("non-positive stride raises at 4 domains", `Quick,
       test_nonpositive_stride_parallel);
-    ("corpus repros: parallel == sequential", `Quick, test_corpus_parallel) ]
+    ("corpus repros: parallel == sequential", `Quick, test_corpus_parallel);
+    ("pinned pathologies: policy predicts 1 domain", `Quick,
+      test_policy_pinned_regressions) ]
   @ List.map
       (fun c ->
         let name, _, _, _ = c in

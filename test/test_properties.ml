@@ -472,6 +472,98 @@ let race_table_tests =
     ("nested SDFGs are opaque", `Quick, t_races_nested_opaque);
     ("zero-trip and negative-stride corners", `Quick, t_races_corners) ]
 
+(* --- predictive domain policy (ISSUE: make multicore pay) --------------- *)
+
+module CP = Machine.Cost.Parallel
+
+(* A fixed synthetic calibration for the pure-function properties: an
+   8-core host so predictions are free to exceed 1 even when the test
+   machine itself is single-core. *)
+let policy_cal =
+  { CP.cal_host_domains = 8;
+    cal_fork_s = 10e-6;
+    cal_chunk_s = 0.5e-6;
+    cal_merge_s_per_elem = 5e-9;
+    cal_kernel_iter_ns = [ ("copy", 1.0); ("contract", 2.0) ];
+    cal_closure_iter_ns = 40.0;
+    cal_efficiency = 0.9 }
+
+let gen_kind =
+  QCheck2.Gen.oneofl [ None; Some "copy"; Some "contract"; Some "unknown" ]
+
+let prop_predict_deterministic =
+  QCheck2.Test.make ~count:300
+    ~name:"domain prediction is deterministic for a fixed calibration"
+    QCheck2.Gen.(
+      quad gen_kind (int_range 0 2_000_000) (int_range 1 4096)
+        (int_range 0 100_000))
+    (fun (kind, trips, inner, merge_elems) ->
+      let p () =
+        CP.predict ~cal:policy_cal ~max_domains:8 ~kind ~trips ~inner
+          ~merge_elems ()
+      in
+      let a = p () and b = p () in
+      a.CP.d_domains = b.CP.d_domains && a.CP.d_reason = b.CP.d_reason)
+
+let prop_predict_monotone_trips =
+  QCheck2.Test.make ~count:300
+    ~name:"a larger map never predicts fewer domains"
+    QCheck2.Gen.(
+      quad gen_kind
+        (pair (int_range 0 1_000_000) (int_range 0 1_000_000))
+        (int_range 1 512) (int_range 0 50_000))
+    (fun (kind, (t1, t2), inner, merge_elems) ->
+      let lo = min t1 t2 and hi = max t1 t2 in
+      let d trips =
+        (CP.predict ~cal:policy_cal ~max_domains:8 ~kind ~trips ~inner
+           ~merge_elems ())
+          .CP.d_domains
+      in
+      d lo <= d hi)
+
+(* A Serial race verdict must force the map sequential under the
+   predictive policy — the decision never reaches the pricing model. *)
+let racy_graph () =
+  let g, st = Build.single_state ~symbols:[ "N" ] "racy" in
+  Sdfg.add_array g "X" ~shape:[ E.int 4 ] ~dtype:T.F64;
+  ignore
+    (Build.mapped_tasklet g st ~name:"w" ~schedule:Defs.Cpu_multicore
+       ~params:[ "i" ]
+       ~ranges:[ S.range E.zero (E.sub (E.sym "N") E.one) ]
+       ~ins:[]
+       ~outs:[ Build.out_elem "x" "X" [ E.zero ] ]
+       ~code:(`Src "x = 1.0") ());
+  Build.finalize g
+
+let t_predict_serial_forced () =
+  let g = racy_graph () in
+  let x = Tensor.create T.F64 [| 4 |] in
+  let r =
+    Exec.run g
+      ~config:
+        Exec.Config.(
+          default |> with_engine Plan.compiled |> with_auto_domains ~cap:4)
+      ~symbols:[ ("N", 64) ]
+      ~args:[ ("X", x) ]
+  in
+  match r.Obs.Report.r_parallel with
+  | None -> Alcotest.fail "expected a parallel section"
+  | Some p -> (
+    match p.Obs.Report.par_decisions with
+    | [ d ] ->
+      Alcotest.(check bool) "decision is forced" true d.Obs.Report.pm_forced;
+      Alcotest.(check int) "forced maps run on 1 domain" 1
+        d.Obs.Report.pm_domains;
+      Alcotest.(check string) "policy reason" "forced-serial"
+        d.Obs.Report.pm_reason;
+      Alcotest.(check int) "every invocation counted forced"
+        d.Obs.Report.pm_invocations p.Obs.Report.par_forced_seq
+    | ds -> Alcotest.failf "expected one decision, got %d" (List.length ds))
+
+let policy_tests =
+  [ ("Serial verdict forces 1 domain under prediction", `Quick,
+      t_predict_serial_forced) ]
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_union_covers_both;
@@ -480,5 +572,7 @@ let suite =
       prop_propagation_sound;
       prop_expr_sexp_roundtrip;
       prop_tasklet_print_parse_eval;
-      prop_random_pipelines ]
-  @ error_path_tests @ race_table_tests
+      prop_random_pipelines;
+      prop_predict_deterministic;
+      prop_predict_monotone_trips ]
+  @ error_path_tests @ race_table_tests @ policy_tests

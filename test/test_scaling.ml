@@ -1,0 +1,198 @@
+(* Scaling-conformance battery (ISSUE: make multicore pay).
+
+   The contract under test: for every Polybench kernel, engine workload
+   and streaming workload, the compiled engine produces bit-identical
+   outputs and identical counter totals across the full execution
+   matrix — domain policy {forced 1, forced 2, forced 4, predictive cap
+   4} x bulk kernels {on, off}.  The one sanctioned relaxation is the
+   float WCR-accumulate path, where private per-domain accumulators
+   legally reorder a float reduction: those workloads are approx-equal
+   to sequential (and still counter-identical).  On top of value
+   conformance, every run's parallel report section must be internally
+   consistent: the policy string matches the configuration,
+   [par_forced_seq] equals the forced decisions' invocation total, and
+   each per-map prediction lies in [1, cap] with forced maps pinned to
+   1 domain. *)
+
+module R = Obs.Report
+open Interp
+
+let counter_list = Test_crossval.counter_list
+let check_bits = Test_parallel.check_bits
+let check_approx = Test_parallel.check_approx
+let float_accumulate = Test_parallel.float_accumulate
+
+(* --- the execution matrix ---------------------------------------------- *)
+
+type policy = Forced of int | Auto of int  (* predictive, capped *)
+
+let policy_label = function
+  | Forced d -> Fmt.str "fixed-%d" d
+  | Auto cap -> Fmt.str "auto-%d" cap
+
+let cap_of = function Forced d -> d | Auto cap -> cap
+
+let config ~kernels policy =
+  let base =
+    Exec.Config.(
+      default |> with_engine Plan.compiled |> with_kernels kernels)
+  in
+  match policy with
+  | Forced d -> Exec.Config.with_domains d base
+  | Auto cap -> Exec.Config.with_auto_domains ~cap base
+
+let policies = [ Forced 1; Forced 2; Forced 4; Auto 4 ]
+
+(* baseline first: forced 1 domain, kernels off *)
+let matrix =
+  List.concat_map (fun k -> List.map (fun p -> (p, k)) policies)
+    [ false; true ]
+
+(* --- report-consistency assertions -------------------------------------- *)
+
+let check_report tag policy (r : R.t) =
+  match r.R.r_parallel with
+  | None -> ()  (* runs with nothing to report may omit the section *)
+  | Some p ->
+    (match policy with
+    | Forced d when d > 1 ->
+      Alcotest.(check string) (tag ^ ": policy string") "fixed"
+        p.R.par_policy
+    | Forced _ -> ()
+    | Auto _ ->
+      Alcotest.(check string) (tag ^ ": policy string") "predictive"
+        p.R.par_policy);
+    let forced_invocations =
+      List.fold_left
+        (fun acc pm ->
+          if pm.R.pm_forced then acc + pm.R.pm_invocations else acc)
+        0 p.R.par_decisions
+    in
+    Alcotest.(check int)
+      (tag ^ ": forced_seq equals forced decisions' invocations")
+      forced_invocations p.R.par_forced_seq;
+    List.iter
+      (fun pm ->
+        if pm.R.pm_domains < 1 || pm.R.pm_domains > cap_of policy then
+          Alcotest.failf "%s: map %s predicted_domains %d outside [1,%d]"
+            tag pm.R.pm_map pm.R.pm_domains (cap_of policy);
+        if pm.R.pm_forced && pm.R.pm_domains <> 1 then
+          Alcotest.failf "%s: forced map %s not pinned to 1 domain (%d)"
+            tag pm.R.pm_map pm.R.pm_domains;
+        if pm.R.pm_invocations < 0 || pm.R.pm_trips < 0 then
+          Alcotest.failf "%s: map %s has negative tallies" tag pm.R.pm_map)
+      p.R.par_decisions
+
+(* Shared battery body: [run] executes one configuration and returns
+   (output tensors, report); outputs must match the baseline bitwise
+   (approx for float accumulators), counters exactly. *)
+let battery name ~approx run =
+  let base_args, base_r = run (Forced 1) false in
+  List.iter
+    (fun (policy, kernels) ->
+      let tag =
+        Fmt.str "%s [%s, kernels %s]" name (policy_label policy)
+          (if kernels then "on" else "off")
+      in
+      let args, r = run policy kernels in
+      Alcotest.(check (list int))
+        (tag ^ ": counter totals")
+        (counter_list base_r.R.r_counters)
+        (counter_list r.R.r_counters);
+      if approx then check_approx tag base_args args
+      else check_bits tag base_args args;
+      check_report tag policy r)
+    matrix
+
+(* --- every Polybench kernel --------------------------------------------- *)
+
+let test_polybench name () =
+  let k = Workloads.Polybench.find name in
+  let approx = float_accumulate (k.Workloads.Polybench.k_build ()) in
+  battery name ~approx (fun policy kernels ->
+      let g = k.Workloads.Polybench.k_build () in
+      let args = Test_polybench.alloc_args g k.Workloads.Polybench.k_mini in
+      let r =
+        Exec.run g ~config:(config ~kernels policy)
+          ~symbols:k.Workloads.Polybench.k_mini ~args
+      in
+      (args, r))
+
+(* --- every engine workload ---------------------------------------------- *)
+
+let engine_cases =
+  [ ("matmul", Workloads.Kernels.matmul,
+     [ ("M", 24); ("N", 20); ("K", 16) ]);
+    ("jacobi", Workloads.Kernels.jacobi, [ ("N", 32); ("T", 4) ]);
+    ("histogram", Workloads.Kernels.histogram, [ ("H", 24); ("W", 24) ]);
+    ("copy", Workloads.Kernels.copy, [ ("N", 512) ]);
+    ("eadd", Workloads.Kernels.eadd, [ ("N", 512) ]);
+    ("axpy", Workloads.Kernels.axpy, [ ("N", 512) ]) ]
+
+let test_engine_workload (name, build, symbols) () =
+  let approx = float_accumulate (build ()) in
+  battery name ~approx (fun policy kernels ->
+      let g = build () in
+      let args = Profile.make_args ~symbols g in
+      let r = Exec.run g ~config:(config ~kernels policy) ~symbols ~args in
+      (args, r))
+
+(* --- streaming workloads (lighter sweep: kernels stay on) ---------------- *)
+
+let streaming_config policy =
+  Exec.Config.with_stream_chunk 5 (config ~kernels:true policy)
+
+let value_bits (v : Tasklang.Types.value) =
+  match v with
+  | Tasklang.Types.F f -> Int64.to_string (Int64.bits_of_float f)
+  | Tasklang.Types.I n -> string_of_int n
+  | Tasklang.Types.B b -> string_of_bool b
+
+let run_streaming policy (_, mk, input, output, syms) =
+  let g = mk () in
+  let values = Workloads.Streaming.sample_values 83 7 in
+  let args = Profile.make_args ~symbols:syms g in
+  let inst = Exec.Instance.create ~config:(streaming_config policy) ~symbols:syms g in
+  let got = ref [] in
+  let rep =
+    Exec.Instance.run_streaming ~args ~input ?output
+      ~sink:(fun c -> got := c :: !got)
+      ~source:(Workloads.Streaming.chunked_source values 5)
+      inst
+  in
+  (Array.concat (List.rev !got), args, rep)
+
+let test_streaming_workload ((name, _, _, _, _) as w) () =
+  let base_out, base_args, base_r = run_streaming (Forced 1) w in
+  List.iter
+    (fun policy ->
+      let tag = Fmt.str "%s [%s]" name (policy_label policy) in
+      let out, args, r = run_streaming policy w in
+      Alcotest.(check (list string))
+        (tag ^ ": output stream")
+        (List.map value_bits (Array.to_list base_out))
+        (List.map value_bits (Array.to_list out));
+      check_bits tag base_args args;
+      Alcotest.(check (list int))
+        (tag ^ ": counter totals")
+        (counter_list base_r.R.r_counters)
+        (counter_list r.R.r_counters);
+      check_report tag policy r)
+    [ Forced 2; Forced 4; Auto 4 ]
+
+let suite =
+  List.map
+    (fun name ->
+      ( Fmt.str "polybench %s: policy x kernels matrix conforms" name,
+        `Quick, test_polybench name ))
+    Workloads.Polybench.names
+  @ List.map
+      (fun ((name, _, _) as c) ->
+        ( Fmt.str "engine %s: policy x kernels matrix conforms" name,
+          `Quick, test_engine_workload c ))
+      engine_cases
+  @ List.map
+      (fun ((name, _, _, _, _) as w) ->
+        ( Fmt.str "streaming %s: policies conform" name, `Quick,
+          test_streaming_workload w ))
+      Workloads.Streaming.all
