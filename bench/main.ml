@@ -1614,6 +1614,92 @@ let streaming () =
     "BENCH_stream.json";
   row "wrote BENCH_stream.json@."
 
+(* --- scenario workloads: baseline vs transformed variants ------------------------ *)
+
+(* Run each scenario family's baseline and DaCe-style transformed
+   variant on the same deterministic arguments — CFD spectral-element
+   (naive element loop vs batched gather/contract/scatter), attention
+   (untiled vs MapTiling on both contraction maps), im2col convolution
+   (direct affine contraction vs gather + GEMM) — and record wall
+   times, speedup and output agreement in BENCH_workloads.json.
+   Agreement is checked, not assumed: [values_agree] uses the approx
+   comparison sanctioned for reordered float accumulation,
+   [bit_identical] records whether the stricter bit comparison also
+   held. *)
+let workloads_bench () =
+  header "Scenario workloads: baseline vs transformed variants";
+  let runs = 5 in
+  let config =
+    Interp.Exec.Config.(
+      default |> with_engine Interp.Plan.compiled |> with_auto_domains ~cap:4)
+  in
+  let median a =
+    let s = Array.copy a in
+    Array.sort compare s;
+    s.(Array.length s / 2)
+  in
+  let time_variant build symbols args_of out =
+    let g = build () in
+    let args = ref (args_of ()) in
+    let samples =
+      Array.init runs (fun _ ->
+          args := args_of ();
+          let t0 = Unix.gettimeofday () in
+          ignore (Interp.Exec.run g ~config ~symbols ~args:!args);
+          Unix.gettimeofday () -. t0)
+    in
+    (median samples, List.assoc out !args)
+  in
+  let bench_family (family, base_name, base_build, opt_name, opt_build,
+                    symbols, args_of, out) =
+    let base_s, base_out = time_variant base_build symbols args_of out in
+    let opt_s, opt_out = time_variant opt_build symbols args_of out in
+    let agree = Interp.Tensor.approx_equal base_out opt_out in
+    let bits = Interp.Tensor.equal base_out opt_out in
+    let speedup = if opt_s > 0. then base_s /. opt_s else 0. in
+    row "%-10s%16.2f%16.2f%10.2fx%8s@." family (1e3 *. base_s)
+      (1e3 *. opt_s) speedup
+      (if bits then "bits" else if agree then "ok" else "DIFF");
+    ( family,
+      Obs.Json.Obj
+        [ ("baseline", Obs.Json.Str base_name);
+          ("optimized", Obs.Json.Str opt_name);
+          ("symbols",
+           Obs.Json.Obj
+             (List.map (fun (s, v) -> (s, Obs.Json.Int v)) symbols));
+          ("baseline_ms", Obs.Json.Float (1e3 *. base_s));
+          ("optimized_ms", Obs.Json.Float (1e3 *. opt_s));
+          ("speedup", Obs.Json.Float speedup);
+          ("values_agree", Obs.Json.Bool agree);
+          ("bit_identical", Obs.Json.Bool bits) ] )
+  in
+  let cfd_syms = [ ("NEL", 128); ("NP", 8); ("NDOF", 896) ] in
+  let att_syms = [ ("M", 96); ("N", 80); ("D", 48) ] in
+  let conv_syms = [ ("P", 256); ("Q", 8); ("F", 24); ("PAD", 263) ] in
+  let families =
+    [ ( "cfd", "cfd-naive", Workloads.Cfd.naive, "cfd-batched",
+        Workloads.Cfd.batched, cfd_syms,
+        (fun () -> Workloads.Cfd.args cfd_syms), "w" );
+      ( "attention", "attention", Workloads.Attention.base,
+        "attention-tiled", Workloads.Attention.tiled, att_syms,
+        (fun () -> Workloads.Attention.attention_args att_syms), "O" );
+      ( "conv", "conv-direct", Workloads.Attention.conv_direct,
+        "conv-im2col", Workloads.Attention.conv_im2col, conv_syms,
+        (fun () -> Workloads.Attention.conv_args conv_syms), "O2" ) ]
+  in
+  row "%-10s%16s%16s%11s%8s@." "family" "baseline ms" "optimized ms"
+    "speedup" "agree";
+  let results = List.map bench_family families in
+  Obs.Json.save
+    (Obs.Json.Obj
+       [ ("generated_by",
+          Obs.Json.Str "dune exec bench/main.exe workloads");
+         ("runs", Obs.Json.Int runs);
+         ("domains_policy", Obs.Json.Str "predictive-cap-4");
+         ("families", Obs.Json.Obj results) ])
+    "BENCH_workloads.json";
+  row "wrote BENCH_workloads.json@."
+
 (* --- driver --------------------------------------------------------------------- *)
 
 let experiments =
@@ -1623,7 +1709,7 @@ let experiments =
     ("table3", table3); ("ablations", ablations); ("micro", micro);
     ("engines", engines); ("engines_v2", engines_v2); ("autoopt", autoopt);
     ("calibrate", calibrate); ("parallel", parallel); ("serve", serve);
-    ("streaming", streaming) ]
+    ("streaming", streaming); ("workloads", workloads_bench) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1634,7 +1720,7 @@ let () =
         if not
              (List.mem name
                 [ "micro"; "engines"; "engines_v2"; "autoopt"; "serve";
-                  "streaming" ])
+                  "streaming"; "workloads" ])
         then f ())
       experiments;
     Fmt.pr "@.(run with argument 'micro' for bechamel microbenchmarks)@."

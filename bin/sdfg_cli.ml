@@ -25,7 +25,13 @@ let builders : (string * (unit -> Sdfg_ir.Sdfg.t)) list =
       ("spmv", Workloads.Kernels.spmv);
       ("bfs", Workloads.Graphs.bfs);
       ("sse-batched", Workloads.Sse.batched);
-      ("sse-naive", Workloads.Sse.naive) ]
+      ("sse-naive", Workloads.Sse.naive);
+      ("cfd-batched", Workloads.Cfd.batched);
+      ("cfd-naive", Workloads.Cfd.naive);
+      ("attention", Workloads.Attention.base);
+      ("attention-tiled", Workloads.Attention.tiled);
+      ("conv-im2col", Workloads.Attention.conv_im2col);
+      ("conv-direct", Workloads.Attention.conv_direct) ]
 
 let sizes_for name =
   match
@@ -42,6 +48,9 @@ let sizes_for name =
     | "spmv" -> [ ("H", 8192); ("W", 8192); ("nnz", 1 lsl 25) ]
     | "bfs" -> [ ("V", 1 lsl 20); ("Efull", 1 lsl 22); ("fsz", 4096) ]
     | "sse-batched" | "sse-naive" -> Workloads.Sse.paper
+    | "cfd-batched" | "cfd-naive" -> Workloads.Cfd.paper
+    | "attention" | "attention-tiled" -> Workloads.Attention.attention_paper
+    | "conv-im2col" | "conv-direct" -> Workloads.Attention.conv_paper
     | _ -> [])
 
 let build name =
@@ -251,7 +260,21 @@ let kernel_programs =
     ("histogram", Workloads.Kernels.histogram, [ ("H", 256); ("W", 256) ]);
     ("copy", Workloads.Kernels.copy, [ ("N", 65536) ]);
     ("eadd", Workloads.Kernels.eadd, [ ("N", 65536) ]);
-    ("axpy", Workloads.Kernels.axpy, [ ("N", 65536) ]) ]
+    ("axpy", Workloads.Kernels.axpy, [ ("N", 65536) ]);
+    (* scenario workloads; index-carrying extents stay >= 11 so
+       Profile.make_args' synthetic mod-11 index values are in bounds *)
+    ("cfd-batched", Workloads.Cfd.batched,
+     [ ("NEL", 64); ("NP", 8); ("NDOF", 448) ]);
+    ("cfd-naive", Workloads.Cfd.naive,
+     [ ("NEL", 64); ("NP", 8); ("NDOF", 448) ]);
+    ("attention", Workloads.Attention.base,
+     [ ("M", 64); ("N", 64); ("D", 32) ]);
+    ("attention-tiled", Workloads.Attention.tiled,
+     [ ("M", 64); ("N", 64); ("D", 32) ]);
+    ("conv-im2col", Workloads.Attention.conv_im2col,
+     [ ("P", 128); ("Q", 8); ("F", 16); ("PAD", 135) ]);
+    ("conv-direct", Workloads.Attention.conv_direct,
+     [ ("P", 128); ("Q", 8); ("F", 16); ("PAD", 135) ]) ]
 
 let find_program name =
   match

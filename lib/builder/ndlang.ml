@@ -1,7 +1,7 @@
 (* Numpy-like frontend (paper §2.1: "the code A @ B generates the dataflow
    of a matrix multiplication").  Expressions build a shape-checked tree
    eagerly; [assign] lowers the tree to SDFG states — elementwise subtrees
-   fuse into one mapped tasklet, matmul/reduction nodes materialize
+   fuse into one mapped tasklet, matmul/reduction/gather nodes materialize
    transients, states chain sequentially. *)
 
 module Expr = Symbolic.Expr
@@ -19,14 +19,21 @@ type shape = Expr.t list
 let pp_shape sh =
   "[" ^ String.concat ", " (List.map Expr.to_string sh) ^ "]"
 
+type rkind = Rsum | Rmax
+
+let rkind_name = function Rsum -> "sum" | Rmax -> "amax"
+
 type expr =
   | Const of float
   | Leaf of string * shape
   | Bin of Ast.binop * string * expr * expr * shape
   | Matmul of expr * expr * shape
   | Transpose of expr * shape
-  | Sum of int * expr * shape
-  | Sqrt of expr * shape
+  | Red of rkind * int * bool * expr * shape (* kind, axis, keepdims *)
+  | Un of Ast.unop * expr * shape
+  | Gather of expr * subscript list * shape
+
+and subscript = Ax of string | Ix of expr * string list
 
 let shape_of = function
   | Const _ -> []
@@ -34,8 +41,9 @@ let shape_of = function
   | Bin (_, _, _, _, s)
   | Matmul (_, _, s)
   | Transpose (_, s)
-  | Sum (_, _, s)
-  | Sqrt (_, s) -> s
+  | Red (_, _, _, _, s)
+  | Un (_, _, s)
+  | Gather (_, _, s) -> s
 
 type t = {
   nd_sdfg : Sdfg.t;
@@ -44,9 +52,9 @@ type t = {
 
 let program name = { nd_sdfg = Sdfg.create name; nd_last = None }
 
-let add_container g name ~shape =
-  if shape = [] then Sdfg.add_scalar g name ~dtype:T.F64
-  else Sdfg.add_array g name ~shape ~dtype:T.F64
+let add_container ?(transient = false) g name ~shape =
+  if shape = [] then Sdfg.add_scalar g name ~transient ~dtype:T.F64
+  else Sdfg.add_array g name ~transient ~shape ~dtype:T.F64
 
 let input p name ~shape =
   add_container p.nd_sdfg name ~shape;
@@ -54,34 +62,88 @@ let input p name ~shape =
 
 let output p name ~shape = add_container p.nd_sdfg name ~shape
 
+let temp p name ~shape = add_container ~transient:true p.nd_sdfg name ~shape
+
+let leaf p name =
+  if not (Sdfg.has_desc p.nd_sdfg name) then err "unknown container %S" name;
+  Leaf (name, Sdfg.desc p.nd_sdfg name |> Defs.ddesc_shape)
+
 let const f = Const f
 
 let shapes_equal a b =
   List.length a = List.length b && List.for_all2 Expr.equal a b
 
-(* Elementwise result shape: scalars broadcast, otherwise shapes must
-   match structurally.  Raised eagerly at operator application. *)
+(* Elementwise result shape: scalars broadcast; otherwise ranks must
+   match and each dimension must agree or be extent 1 (numpy-style
+   broadcast, without rank promotion).  Raised eagerly at operator
+   application. *)
 let ew_shape opname a b =
   match (shape_of a, shape_of b) with
   | [], s | s, [] -> s
   | sa, sb ->
-    if shapes_equal sa sb then sa
-    else
+    if List.length sa <> List.length sb then
       err "shape mismatch in %s: %s vs %s" opname (pp_shape sa) (pp_shape sb)
+    else
+      List.map2
+        (fun da db ->
+          if Expr.equal da db then da
+          else if Expr.equal da Expr.one then db
+          else if Expr.equal db Expr.one then da
+          else
+            err "shape mismatch in %s: %s vs %s" opname (pp_shape sa)
+              (pp_shape sb))
+        sa sb
 
 let binop op opname a b = Bin (op, opname, a, b, ew_shape opname a b)
 
+(* Gather output axes in first-appearance order, each with its extent:
+   a bare subscript contributes the operand's extent at that position,
+   an index expression contributes its own extents under its axis
+   names.  A repeated name must agree everywhere it appears. *)
+let gather_axes sa subs =
+  let axes = ref [] in
+  let add name extent =
+    match List.assoc_opt name !axes with
+    | None -> axes := !axes @ [ (name, extent) ]
+    | Some e ->
+      if not (Expr.equal e extent) then
+        err "gather: axis %S has extent %s here but %s earlier" name
+          (Expr.to_string extent) (Expr.to_string e)
+  in
+  List.iteri
+    (fun k sub ->
+      match sub with
+      | Ax name -> add name (List.nth sa k)
+      | Ix (ie, names) ->
+        let si = shape_of ie in
+        if List.length names <> List.length si then
+          err "gather: index expression of rank %d given %d axis names"
+            (List.length si) (List.length names)
+        else List.iter2 add names si)
+    subs;
+  !axes
+
+let gather a subs =
+  let sa = shape_of a in
+  if List.length subs <> List.length sa then
+    err "gather: %d subscripts for a rank-%d operand" (List.length subs)
+      (List.length sa);
+  if not (List.exists (function Ix _ -> true | Ax _ -> false) subs) then
+    err "gather: at least one subscript must be an index expression";
+  let axes = gather_axes sa subs in
+  Gather (a, subs, List.map snd axes)
+
 (* --- lowering --------------------------------------------------------- *)
 
-(* A reference to a container element: the permutation maps output indices
-   to subscripts (transpose = reversed permutation). *)
+(* A reference to a container element: the permutation maps data
+   dimensions to output axes (transpose = reversed permutation). *)
 type ref_ = { r_data : string; r_perm : int list; r_shape : shape }
 
 type ee =
   | EConst of float
   | ERef of ref_
   | EBin of Ast.binop * ee * ee
-  | ESqrt of ee
+  | EUn of Ast.unop * ee
 
 let new_state p label =
   let st = Sdfg.add_state p.nd_sdfg ~label () in
@@ -117,7 +179,7 @@ let collect_refs ee =
     | EBin (_, a, b) ->
       go a;
       go b
-    | ESqrt a -> go a
+    | EUn (_, a) -> go a
   in
   go ee;
   !refs
@@ -134,7 +196,16 @@ let emit_elementwise p dst shape ee =
   let pexprs = List.map Expr.sym params in
   let idxs_of r =
     if r.r_shape = [] then [ Expr.zero ]
-    else List.map (fun k -> List.nth pexprs k) r.r_perm
+    else
+      (* An extent-1 data dimension broadcast against a wider output
+         axis pins its subscript to 0. *)
+      let dshape = Sdfg.desc g r.r_data |> Defs.ddesc_shape in
+      List.map2
+        (fun ext k ->
+          if Expr.equal ext Expr.one && not (Expr.equal (List.nth shape k) Expr.one)
+          then Expr.zero
+          else List.nth pexprs k)
+        dshape r.r_perm
   in
   let ins =
     List.map2
@@ -145,7 +216,7 @@ let emit_elementwise p dst shape ee =
     | EConst f -> Ast.Float_lit f
     | ERef r -> Ast.Var (List.assoc (ref_key r) conns)
     | EBin (op, a, b) -> Ast.Binop (op, ast a, ast b)
-    | ESqrt a -> Ast.Unop (Ast.Sqrt, ast a)
+    | EUn (op, a) -> Ast.Unop (op, ast a)
   in
   let code = `Ast [ Ast.Assign (Ast.Lvar "o", ast ee) ] in
   if shape = [] then
@@ -155,7 +226,7 @@ let emit_elementwise p dst shape ee =
          ~code ())
   else
     ignore
-      (Build.mapped_tasklet g st ~name:(dst ^ "_ew") ~params
+      (Build.mapped_tasklet g st ~name:(dst ^ "_ew") ~schedule:Defs.Cpu_multicore ~params
          ~ranges:(List.map Subset.full shape)
          ~ins
          ~outs:[ Build.out_elem "o" dst pexprs ]
@@ -176,7 +247,7 @@ let emit_matmul p dst da sa db _sb =
   let st0 = new_state p (dst ^ "_init") in
   let i = Expr.sym "_mi" and j = Expr.sym "_mj" and kk = Expr.sym "_mk" in
   ignore
-    (Build.mapped_tasklet g st0 ~name:(dst ^ "_zero")
+    (Build.mapped_tasklet g st0 ~name:(dst ^ "_zero") ~schedule:Defs.Cpu_multicore
        ~params:[ "_mi"; "_mj" ]
        ~ranges:[ Subset.full m; Subset.full n ]
        ~ins:[]
@@ -185,7 +256,7 @@ let emit_matmul p dst da sa db _sb =
        ());
   let st1 = new_state p (dst ^ "_mm") in
   ignore
-    (Build.mapped_tasklet g st1 ~name:(dst ^ "_mult")
+    (Build.mapped_tasklet g st1 ~name:(dst ^ "_mult") ~schedule:Defs.Cpu_multicore
        ~params:[ "_mi"; "_mj"; "_mk" ]
        ~ranges:[ Subset.full m; Subset.full n; Subset.full k ]
        ~ins:[ Build.in_elem "a" da [ i; kk ]; Build.in_elem "b" db [ kk; j ] ]
@@ -197,7 +268,7 @@ let emit_matmul p dst da sa db _sb =
            ])
        ())
 
-(* Axis reduction through a Reduce node. *)
+(* Dropped-axis sum through a Reduce node. *)
 let emit_sum p dst axis da sa =
   let g = p.nd_sdfg in
   let st = new_state p (dst ^ "_reduce") in
@@ -217,14 +288,72 @@ let emit_sum p dst axis da sa =
     ~memlet:(Memlet.simple dst (Subset.of_shape out_shape))
     ~src:rnode ~dst:acc_out ()
 
-(* Flatten to an elementwise tree, materializing matmul/reductions (and
-   transposes of non-leaf subtrees) into transients. *)
+(* Axis reductions that a Reduce node cannot express — max (whose -inf
+   identity would not survive the tasklet-text round-trip) and keepdims
+   forms (Reduce always drops the axis) — lower as an init state (0 for
+   sum, the first slice along the axis for max) followed by a
+   WCR-accumulate map over the full source box. *)
+let emit_red_wcr p dst kind axis keep da sa =
+  let g = p.nd_sdfg in
+  let out_shape = Sdfg.desc g dst |> Defs.ddesc_shape in
+  let st0 = new_state p (dst ^ "_rinit") in
+  let oparams = List.mapi (fun i _ -> Fmt.str "_o%d" i) out_shape in
+  let opexprs = List.map Expr.sym oparams in
+  (* Source subscript of the init read: output axes, with 0 at [axis]. *)
+  let src_first =
+    List.mapi
+      (fun i _ ->
+        if i = axis then Expr.zero
+        else
+          let oi = if keep || i < axis then i else i - 1 in
+          List.nth opexprs oi)
+      sa
+  in
+  let init_ins, init_code =
+    match kind with
+    | Rsum -> ([], `Ast [ Ast.Assign (Ast.Lvar "o", Ast.Float_lit 0.) ])
+    | Rmax ->
+      ( [ Build.in_elem "v" da src_first ],
+        `Ast [ Ast.Assign (Ast.Lvar "o", Ast.Var "v") ] )
+  in
+  (if out_shape = [] then
+     ignore
+       (Build.simple_tasklet g st0 ~name:(dst ^ "_ri") ~ins:init_ins
+          ~outs:[ Build.out_elem "o" dst [ Expr.zero ] ]
+          ~code:init_code ())
+   else
+     ignore
+       (Build.mapped_tasklet g st0 ~name:(dst ^ "_ri") ~schedule:Defs.Cpu_multicore ~params:oparams
+          ~ranges:(List.map Subset.full out_shape)
+          ~ins:init_ins
+          ~outs:[ Build.out_elem "o" dst opexprs ]
+          ~code:init_code ()));
+  let st1 = new_state p (dst ^ "_racc") in
+  let params = List.mapi (fun i _ -> Fmt.str "_r%d" i) sa in
+  let pexprs = List.map Expr.sym params in
+  let out_idx =
+    if out_shape = [] then [ Expr.zero ]
+    else if keep then
+      List.mapi (fun i pe -> if i = axis then Expr.zero else pe) pexprs
+    else List.filteri (fun i _ -> i <> axis) pexprs
+  in
+  let wcr = match kind with Rsum -> Wcr.sum | Rmax -> Wcr.max_ in
+  ignore
+    (Build.mapped_tasklet g st1 ~name:(dst ^ "_ra") ~schedule:Defs.Cpu_multicore ~params
+       ~ranges:(List.map Subset.full sa)
+       ~ins:[ Build.in_elem "v" da pexprs ]
+       ~outs:[ Build.out_elem ~wcr "o" dst out_idx ]
+       ~code:(`Ast [ Ast.Assign (Ast.Lvar "o", Ast.Var "v") ])
+       ())
+
+(* Flatten to an elementwise tree, materializing matmul/reductions/
+   gathers (and transposes of non-leaf subtrees) into transients. *)
 let rec flatten p e : ee =
   match e with
   | Const f -> EConst f
   | Leaf (d, s) -> ERef { r_data = d; r_perm = identity_perm s; r_shape = s }
   | Bin (op, _, a, b, _) -> EBin (op, flatten p a, flatten p b)
-  | Sqrt (a, _) -> ESqrt (flatten p a)
+  | Un (op, a, _) -> EUn (op, flatten p a)
   | Transpose (a, _) -> (
     match flatten p a with
     | EConst f -> EConst f
@@ -238,7 +367,7 @@ let rec flatten p e : ee =
       ERef
         { r_data = d; r_perm = List.rev (identity_perm sa);
           r_shape = List.rev sa })
-  | Matmul (_, _, s) | Sum (_, _, s) ->
+  | Matmul (_, _, s) | Red (_, _, _, _, s) | Gather (_, _, s) ->
     let d = transient p s in
     emit_into p d e;
     ERef { r_data = d; r_perm = identity_perm s; r_shape = s }
@@ -247,7 +376,7 @@ let rec flatten p e : ee =
 and materialize p e : string * shape =
   match e with
   | Leaf (d, s) -> (d, s)
-  | Matmul (_, _, s) | Sum (_, _, s) ->
+  | Matmul (_, _, s) | Red (_, _, _, _, s) | Gather (_, _, s) ->
     let d = transient p s in
     emit_into p d e;
     (d, s)
@@ -263,10 +392,77 @@ and emit_into p dst e =
     let da, sa = materialize p a in
     let db, sb = materialize p b in
     emit_matmul p dst da sa db sb
-  | Sum (axis, a, _) ->
+  | Red (Rsum, axis, false, a, _) ->
     let da, sa = materialize p a in
     emit_sum p dst axis da sa
+  | Red (kind, axis, keep, a, _) ->
+    let da, sa = materialize p a in
+    emit_red_wcr p dst kind axis keep da sa
+  | Gather (a, subs, shape) -> emit_gather_of p dst a subs shape
   | _ -> emit_elementwise p dst (shape_of e) (flatten p e)
+
+and emit_gather_of p dst a subs shape =
+  let g = p.nd_sdfg in
+  let da, sa = materialize p a in
+  (* Materialize each index expression before opening the gather state. *)
+  let msubs =
+    List.mapi
+      (fun k sub ->
+        match sub with
+        | Ax n -> `Ax (n, List.nth sa k)
+        | Ix (ie, names) ->
+          let di, si = materialize p ie in
+          `Ix (Fmt.str "iv%d" k, di, si, names))
+      subs
+  in
+  let st = new_state p (dst ^ "_gather") in
+  (* Output axes in first-appearance order, as in [gather_axes]. *)
+  let axes = ref [] in
+  let add n ext =
+    if not (List.mem_assoc n !axes) then axes := !axes @ [ (n, ext) ]
+  in
+  List.iter
+    (function
+      | `Ax (n, ext) -> add n ext
+      | `Ix (_, _, si, names) -> List.iter2 add names si)
+    msubs;
+  let axes = !axes in
+  let param_tbl = List.mapi (fun i (n, _) -> (n, Fmt.str "_g%d" i)) axes in
+  let params = List.map snd param_tbl in
+  let pexpr n = Expr.sym (List.assoc n param_tbl) in
+  let idx_ins =
+    List.filter_map
+      (function
+        | `Ax _ -> None
+        | `Ix (conn, di, si, names) ->
+          let subs =
+            if si = [] then [ Expr.zero ] else List.map pexpr names
+          in
+          Some (Build.in_elem conn di subs))
+      msubs
+  in
+  let body_subs =
+    List.map
+      (function
+        | `Ax (n, _) -> Ast.Var (List.assoc n param_tbl)
+        | `Ix (conn, _, _, _) -> Ast.Unop (Ast.Floor, Ast.Var conn))
+      msubs
+  in
+  let av = Build.in_ ~dynamic:true "av" da (List.map Subset.full sa) in
+  let code = `Ast [ Ast.Assign (Ast.Lvar "o", Ast.Index ("av", body_subs)) ] in
+  if shape = [] then
+    ignore
+      (Build.simple_tasklet g st ~name:(dst ^ "_gx")
+         ~ins:(av :: idx_ins)
+         ~outs:[ Build.out_elem "o" dst [ Expr.zero ] ]
+         ~code ())
+  else
+    ignore
+      (Build.mapped_tasklet g st ~name:(dst ^ "_gx") ~schedule:Defs.Cpu_multicore ~params
+         ~ranges:(List.map (fun (_, ext) -> Subset.full ext) axes)
+         ~ins:(av :: idx_ins)
+         ~outs:[ Build.out_elem "o" dst (List.map (fun (n, _) -> pexpr n) axes) ]
+         ~code ())
 
 let assign p name e =
   let declared = Sdfg.desc p.nd_sdfg name |> Defs.ddesc_shape in
@@ -283,8 +479,11 @@ let finalize p = Build.finalize p.nd_sdfg
 let ( + ) a b = binop Ast.Add "+" a b
 let ( - ) a b = binop Ast.Sub "-" a b
 let ( * ) a b = binop Ast.Mul "*" a b
+let ( / ) a b = binop Ast.Div "/" a b
+let max_ a b = binop Ast.Max "max" a b
 
-let sqrt_ a = Sqrt (a, shape_of a)
+let sqrt_ a = Un (Ast.Sqrt, a, shape_of a)
+let exp_ a = Un (Ast.Exp, a, shape_of a)
 
 let transpose a = Transpose (a, List.rev (shape_of a))
 
@@ -299,11 +498,19 @@ let ( @@@ ) a b =
     err "matmul requires rank-2 operands, got %s and %s" (pp_shape sa)
       (pp_shape sb)
 
-let sum ~axis a =
+let red kind ?(keep = false) ~axis a =
   let s = shape_of a in
   if axis < 0 || axis >= List.length s then
-    err "sum: axis %d out of range for shape %s" axis (pp_shape s);
-  Sum (axis, a, List.filteri (fun i _ -> i <> axis) s)
+    err "%s: axis %d out of range for shape %s" (rkind_name kind) axis
+      (pp_shape s);
+  let rs =
+    if keep then List.mapi (fun i e -> if i = axis then Expr.one else e) s
+    else List.filteri (fun i _ -> i <> axis) s
+  in
+  Red (kind, axis, keep, a, rs)
+
+let sum ?keep ~axis a = red Rsum ?keep ~axis a
+let amax ?keep ~axis a = red Rmax ?keep ~axis a
 
 (* --- text frontend ----------------------------------------------------- *)
 
@@ -315,13 +522,17 @@ let sum ~axis a =
      input B[K, N]
      input x            # scalar
      output C[M, N]
+     temp T[M, N]       # transient scratch
      C = A @ B * 2.0 + transpose(D) - sqrt(x)
      output s[M]
-     s = sum(C, 1)
+     s = sum(C, 1)            # drop axis 1
+     m = amax(C, 1, keep)     # keep it as extent 1
+     E = exp(C - m)           # extent-1 axes broadcast
+     G = A[idx[i], j]         # gather rows of A by idx
 
    Dimensions are integer literals or symbol names (declared on the
-   SDFG as they appear).  [@] is matmul, [*] elementwise; [+ -] bind
-   loosest, [* @] tighter, calls and parentheses tightest.  Every
+   SDFG as they appear).  [@] is matmul, [* /] elementwise; [+ -] bind
+   loosest, [* / @] tighter, calls and parentheses tightest.  Every
    statement is one line; [#] starts a comment. *)
 
 type token = Tid of string | Tnum of float | Tp of char
@@ -353,7 +564,7 @@ let tokenize ~ln line =
     end
     else
       match c with
-      | '+' | '-' | '*' | '@' | '(' | ')' | '[' | ']' | ',' | '=' ->
+      | '+' | '-' | '*' | '/' | '@' | '(' | ')' | '[' | ']' | ',' | '=' ->
         toks := Tp c :: !toks;
         incr i
       | _ -> err "line %d: stray character %C" ln c
@@ -388,6 +599,7 @@ let leaf_of p ~ln name =
   Leaf (name, Sdfg.desc p.nd_sdfg name |> Defs.ddesc_shape)
 
 let parse_expr p ~ln toks =
+  let is_container n = Sdfg.has_desc p.nd_sdfg n in
   let rec expr toks =
     let lhs, rest = term toks in
     let rec more lhs = function
@@ -406,12 +618,68 @@ let parse_expr p ~ln toks =
       | Tp '*' :: r ->
         let rhs, r = factor r in
         more (binop Ast.Mul "*" lhs rhs) r
+      | Tp '/' :: r ->
+        let rhs, r = factor r in
+        more (binop Ast.Div "/" lhs rhs) r
       | Tp '@' :: r ->
         let rhs, r = factor r in
         more (( @@@ ) lhs rhs) r
       | r -> (lhs, r)
     in
     more lhs rest
+  and reduction name mk r =
+    let e, r = expr r in
+    match r with
+    | Tp ',' :: Tnum ax :: rest when Float.is_integer ax -> (
+      let axis = int_of_float ax in
+      match rest with
+      | Tp ')' :: r -> (mk ~keep:false ~axis e, r)
+      | Tp ',' :: Tid "keep" :: Tp ')' :: r -> (mk ~keep:true ~axis e, r)
+      | _ -> err "line %d: %s takes (expr, axis[, keep])" ln name)
+    | _ -> err "line %d: %s takes (expr, axis[, keep])" ln name
+  and unary_call name mk r =
+    let e, r = expr r in
+    match r with
+    | Tp ')' :: r -> (mk e, r)
+    | _ -> err "line %d: expected ')' to close %s" ln name
+  and gather_subs name r =
+    (* A[idx[p, q], j] — bare subscripts are fresh axis names, bracketed
+       ones read a declared index container at its own axis names. *)
+    let rec subs acc = function
+      | Tid n :: Tp '[' :: more ->
+        if not (is_container n) then
+          err "line %d: gather index %S must name a declared container" ln n;
+        let rec names accn = function
+          | Tid d :: rest ->
+            if is_container d then
+              err
+                "line %d: gather axis %S names a container; axes must be \
+                 fresh names"
+                ln d
+            else namesep (d :: accn) rest
+          | _ -> err "line %d: expected an axis name" ln
+        and namesep accn = function
+          | Tp ',' :: rest -> names accn rest
+          | Tp ']' :: rest -> (List.rev accn, rest)
+          | _ -> err "line %d: expected ',' or ']'" ln
+        in
+        let ns, more = names [] more in
+        sep (Ix (leaf_of p ~ln n, ns) :: acc) more
+      | Tid d :: more ->
+        if is_container d then
+          err
+            "line %d: gather subscript %S names a container; bare \
+             subscripts must be fresh axis names"
+            ln d
+        else sep (Ax d :: acc) more
+      | _ -> err "line %d: expected a gather subscript" ln
+    and sep acc = function
+      | Tp ',' :: more -> subs acc more
+      | Tp ']' :: more -> (List.rev acc, more)
+      | _ -> err "line %d: expected ',' or ']'" ln
+    in
+    let ss, r = subs [] r in
+    (gather (leaf_of p ~ln name) ss, r)
   and factor = function
     | Tnum f :: r -> (Const f, r)
     | Tp '-' :: r ->
@@ -422,22 +690,23 @@ let parse_expr p ~ln toks =
       match r with
       | Tp ')' :: r -> (e, r)
       | _ -> err "line %d: expected ')'" ln)
-    | Tid "transpose" :: Tp '(' :: r -> (
-      let e, r = expr r in
+    | Tid "transpose" :: Tp '(' :: r -> unary_call "transpose" transpose r
+    | Tid "sqrt" :: Tp '(' :: r -> unary_call "sqrt" sqrt_ r
+    | Tid "exp" :: Tp '(' :: r -> unary_call "exp" exp_ r
+    | Tid "max" :: Tp '(' :: r -> (
+      let a, r = expr r in
       match r with
-      | Tp ')' :: r -> (transpose e, r)
-      | _ -> err "line %d: expected ')'" ln)
-    | Tid "sqrt" :: Tp '(' :: r -> (
-      let e, r = expr r in
-      match r with
-      | Tp ')' :: r -> (sqrt_ e, r)
-      | _ -> err "line %d: expected ')'" ln)
-    | Tid "sum" :: Tp '(' :: r -> (
-      let e, r = expr r in
-      match r with
-      | Tp ',' :: Tnum ax :: Tp ')' :: r when Float.is_integer ax ->
-        (sum ~axis:(int_of_float ax) e, r)
-      | _ -> err "line %d: sum takes (expr, axis)" ln)
+      | Tp ',' :: r -> (
+        let b, r = expr r in
+        match r with
+        | Tp ')' :: r -> (max_ a b, r)
+        | _ -> err "line %d: expected ')'" ln)
+      | _ -> err "line %d: max takes (a, b)" ln)
+    | Tid "sum" :: Tp '(' :: r ->
+      reduction "sum" (fun ~keep ~axis e -> sum ~keep ~axis e) r
+    | Tid "amax" :: Tp '(' :: r ->
+      reduction "amax" (fun ~keep ~axis e -> amax ~keep ~axis e) r
+    | Tid name :: Tp '[' :: r -> gather_subs name r
     | Tid name :: r -> (leaf_of p ~ln name, r)
     | _ -> err "line %d: expected an expression" ln
   in
@@ -461,6 +730,10 @@ let parse_line p ~ln line =
     let shape, rest = parse_dims p ~ln rest in
     if rest <> [] then err "line %d: trailing tokens after output" ln;
     output p name ~shape
+  | Tid "temp" :: Tid name :: rest ->
+    let shape, rest = parse_dims p ~ln rest in
+    if rest <> [] then err "line %d: trailing tokens after temp" ln;
+    temp p name ~shape
   | Tid name :: Tp '=' :: rest -> (
     (* Shape/name diagnostics from the combinators carry no position;
        re-raise them with the line (syntax errors already have one). *)
@@ -468,7 +741,7 @@ let parse_line p ~ln line =
     | Frontend_error msg when not (String.starts_with ~prefix:"line " msg) ->
       err "line %d: %s" ln msg
     | Defs.Invalid_sdfg msg -> err "line %d: %s" ln msg)
-  | _ -> err "line %d: expected input/output/assignment" ln
+  | _ -> err "line %d: expected input/output/temp/assignment" ln
 
 let parse ?(name = "ndlang") (src : string) : Sdfg.t =
   let p = program name in

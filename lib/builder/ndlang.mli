@@ -40,6 +40,15 @@ val output : t -> string -> shape:shape -> unit
 (** Declare a container to {!assign} into (outputs may also be read
     back as leaves of later expressions through {!parse}'s text form). *)
 
+val temp : t -> string -> shape:shape -> unit
+(** Declare a transient container — scratch assigned and read inside
+    the program but not part of its argument surface.  Text form:
+    [temp T[M, N]]. *)
+
+val leaf : t -> string -> expr
+(** Read back any declared container (input/output/temp) as a leaf —
+    the combinator counterpart of naming it in a text expression. *)
+
 val const : float -> expr
 
 val assign : t -> string -> expr -> unit
@@ -51,17 +60,53 @@ val finalize : t -> Sdfg_ir.Sdfg.t
 
 (** {1 Operators}
 
-    [+ - *] are elementwise (scalars broadcast); [@@@] is matmul. *)
+    [+ - * /] are elementwise.  Scalars broadcast against any shape;
+    between equal-rank operands each dimension must agree or be
+    extent 1, and extent-1 axes broadcast numpy-style (the subscript
+    pins to 0).  [@@@] is matmul. *)
 
 val ( + ) : expr -> expr -> expr
 val ( - ) : expr -> expr -> expr
 val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
 val ( @@@ ) : expr -> expr -> expr
+
+val max_ : expr -> expr -> expr
+(** Elementwise maximum.  Text form: [max(a, b)]. *)
+
 val sqrt_ : expr -> expr
+
+val exp_ : expr -> expr
+(** Elementwise exponential.  Text form: [exp(a)]. *)
+
 val transpose : expr -> expr
 
-val sum : axis:int -> expr -> expr
-(** Axis reduction through a Reduce node. *)
+val sum : ?keep:bool -> axis:int -> expr -> expr
+(** Axis sum.  [~keep:false] (default) drops the axis and lowers
+    through a Reduce node; [~keep:true] keeps it as extent 1 (so the
+    result broadcasts against the operand, as softmax needs) and
+    lowers as a zero-init map plus a WCR-sum accumulate map.
+    Text form: [sum(e, axis)] / [sum(e, axis, keep)]. *)
+
+val amax : ?keep:bool -> axis:int -> expr -> expr
+(** Axis maximum.  Lowers as an init-from-first-slice map plus a
+    WCR-max accumulate map (a [-inf] Reduce identity would not survive
+    the tasklet-text round-trip).  Text form: [amax(e, axis[, keep])]. *)
+
+(** {1 Gather}
+
+    [gather a subs] indexes [a] with one subscript per dimension.
+    [Ax "i"] is a fresh axis name iterating that dimension directly;
+    [Ix (idx, ["p"; "q"])] reads the (F64) index expression [idx] at
+    its own fresh axes and uses [floor] of the value as the subscript —
+    data-dependent indirection, so the runtime window over [a] is
+    dynamic.  Output axes are the fresh names in first-appearance
+    order; a repeated name must carry the same extent everywhere.
+    Text form: [A[idx[p, q], j]]. *)
+
+type subscript = Ax of string | Ix of expr * string list
+
+val gather : expr -> subscript list -> expr
 
 (** {1 Text frontend} *)
 
@@ -78,8 +123,12 @@ val parse : ?name:string -> string -> Sdfg_ir.Sdfg.t
     v}
 
     Dimensions are integer literals or symbol names (declared on the
-    SDFG as they appear); [@] is matmul, [*] elementwise; [+ -] bind
-    loosest, [* @] tighter, calls and parentheses tightest; every
-    statement is one line.  Returns the finalized SDFG.
+    SDFG as they appear); [@] is matmul, [* /] elementwise; [+ -] bind
+    loosest, [* / @] tighter, calls and parentheses tightest; every
+    statement is one line.  Statements: [input]/[output]/[temp]
+    declarations and assignments; expression forms include
+    [transpose(e)], [sqrt(e)], [exp(e)], [max(a, b)],
+    [sum(e, axis[, keep])], [amax(e, axis[, keep])] and gather
+    subscripts [A[idx[p, q], j]].  Returns the finalized SDFG.
     @raise Frontend_error on syntax, shape or unknown-name errors,
     with the offending line number. *)

@@ -31,11 +31,14 @@ type config = {
   c_nested : bool;
   c_branch : bool;
   c_copy : bool;
+  c_indirect : bool;
+  c_chain : bool;
 }
 
 let default =
   { c_max_states = 3; c_max_ops = 3; c_max_rank = 3; c_wcr = true;
-    c_reduce = true; c_nested = true; c_branch = true; c_copy = true }
+    c_reduce = true; c_nested = true; c_branch = true; c_copy = true;
+    c_indirect = true; c_chain = true }
 
 let symbol_pool = [ ("N", 5); ("M", 4); ("K", 3) ]
 
@@ -234,6 +237,133 @@ let emit_map rng cfg g st ctrs slots isyms opid =
     List.iter (fun (_, c, _) -> slots.read <- c.cn :: slots.read) ins;
     true
 
+(* Gather through a data-dependent subscript: o[i...] = av[clamp(iv)],
+   with [iv] read from an I64 container through an affine memlet and
+   [av] a rank-1 dynamic full-window input (the spmv / mesh-gather
+   memlet shape).  The subscript is clamped into bounds with literal
+   min/max under the pool valuation, so every replay is safe whatever
+   the index values are; the body still taints the subscript with an
+   input connector, exercising the closure path's stable
+   "non-affine-indirect" classification and the dynamic-memlet race
+   verdict. *)
+let emit_indirect rng _cfg g st ctrs slots isyms opid =
+  ignore isyms;
+  ignore g;
+  let outs = writable ctrs slots in
+  let idxs_avail =
+    List.filter
+      (fun c -> c.cdt = T.I64 && not (List.mem c.cn slots.written))
+      ctrs
+  in
+  let triples =
+    List.concat_map
+      (fun o ->
+        List.concat_map
+          (fun src ->
+            if src.cn <> o.cn && src.cdt = o.cdt && rank src = 1
+               && not (List.mem src.cn slots.written)
+            then
+              List.filter_map
+                (fun ix ->
+                  if ix.cn <> o.cn then Some (o, src, ix) else None)
+                idxs_avail
+            else [])
+          ctrs)
+      outs
+  in
+  match triples with
+  | [] -> false
+  | _ ->
+    let o, src, ix = Rand.choose rng triples in
+    let params = List.mapi (fun d _ -> Printf.sprintf "g%d_%d" opid d) o.cshape in
+    let penv = List.combine params o.cshape in
+    let ranges =
+      List.map (fun e -> S.range E.zero (E.sub e E.one)) o.cshape
+    in
+    let n = List.hd src.cshape in
+    let hi = max 0 (concrete n - 1) in
+    let sub =
+      A.Binop (A.Min, A.Binop (A.Max, A.Var "iv", A.Int_lit 0), A.Int_lit hi)
+    in
+    let gathered = A.Index ("av", [ sub ]) in
+    let body =
+      if T.is_float o.cdt && Rand.chance rng 0.3 then
+        A.Unop (Rand.choose rng [ A.Neg; A.Abs ], gathered)
+      else gathered
+    in
+    ignore
+      (Builder.Build.mapped_tasklet g st
+         ~name:(Printf.sprintf "t%d" opid)
+         ~params ~schedule:(pick_schedule rng) ~ranges
+         ~ins:
+           [ Builder.Build.in_elem "iv" ix.cn
+               (List.map (gen_index rng penv) ix.cshape);
+             Builder.Build.in_ ~dynamic:true "av" src.cn [ S.full n ] ]
+         ~outs:
+           [ Builder.Build.out_elem "o" o.cn (List.map E.sym params) ]
+         ~code:(`Ast [ A.Assign (A.Lvar "o", body) ]) ());
+    slots.written <- o.cn :: slots.written;
+    slots.read <- ix.cn :: src.cn :: slots.read;
+    true
+
+(* Normalize-then-scale tail (the softmax dependency shape): three
+   appended states — zero a fresh scalar accumulator, WCR-sum a float
+   container's magnitudes into it, then scale that container in place
+   by the result.  Every stage reads a reduction of the previous state,
+   so the chain exercises state-sequenced float accumulation (a genuine
+   [Races] accumulate verdict) and in-place cross-state updates. *)
+let append_chain rng g ctrs last_id =
+  let cands =
+    List.filter (fun c -> T.is_float c.cdt && rank c >= 1 && not c.ctrans)
+      ctrs
+  in
+  match cands with
+  | [] -> ()
+  | _ ->
+    let src = Rand.choose rng cands in
+    let nrm = Sdfg.fresh_name g "nrm" in
+    Sdfg.add_array g nrm ~transient:true ~shape:[ E.one ] ~dtype:src.cdt;
+    let s_init = Sdfg.add_state g ~label:"chain_init" () in
+    let s_acc = Sdfg.add_state g ~label:"chain_acc" () in
+    let s_scale = Sdfg.add_state g ~label:"chain_scale" () in
+    ignore (Sdfg.add_transition g ~src:last_id ~dst:(State.id s_init) ());
+    ignore
+      (Sdfg.add_transition g ~src:(State.id s_init) ~dst:(State.id s_acc) ());
+    ignore
+      (Sdfg.add_transition g ~src:(State.id s_acc) ~dst:(State.id s_scale) ());
+    let params = List.mapi (fun d _ -> Printf.sprintf "c%d" d) src.cshape in
+    let ranges =
+      List.map (fun e -> S.range E.zero (E.sub e E.one)) src.cshape
+    in
+    let idxs = List.map E.sym params in
+    ignore
+      (Builder.Build.mapped_tasklet g s_init ~name:"chain_zero"
+         ~params:[ "z" ]
+         ~ranges:[ S.range E.zero E.zero ]
+         ~ins:[]
+         ~outs:[ Builder.Build.out_elem "o" nrm [ E.sym "z" ] ]
+         ~code:(`Ast [ A.Assign (A.Lvar "o", A.Float_lit 0.) ]) ());
+    ignore
+      (Builder.Build.mapped_tasklet g s_acc ~name:"chain_norm" ~params
+         ~schedule:(pick_schedule rng) ~ranges
+         ~ins:[ Builder.Build.in_elem "a" src.cn idxs ]
+         ~outs:
+           [ Builder.Build.out_elem ~wcr:Wcr.sum "o" nrm [ E.zero ] ]
+         ~code:(`Ast [ A.Assign (A.Lvar "o", A.Unop (A.Abs, A.Var "a")) ])
+         ());
+    ignore
+      (Builder.Build.mapped_tasklet g s_scale ~name:"chain_scale" ~params
+         ~schedule:(pick_schedule rng) ~ranges
+         ~ins:
+           [ Builder.Build.in_elem "a" src.cn idxs;
+             Builder.Build.in_elem "nv" nrm [ E.zero ] ]
+         ~outs:[ Builder.Build.out_elem "o" src.cn idxs ]
+         ~code:
+           (`Ast
+             [ A.Assign
+                 (A.Lvar "o", A.Binop (A.Mul, A.Var "a", A.Var "nv")) ])
+         ())
+
 let emit_copy rng _g st ctrs slots =
   let dsts = writable ctrs slots in
   let pairs =
@@ -392,7 +522,8 @@ let emit_state_ops rng cfg g st ctrs isyms state_idx =
         [ (6, `Map);
           ((if cfg.c_copy then 2 else 0), `Copy);
           ((if cfg.c_reduce then 2 else 0), `Reduce);
-          ((if cfg.c_nested then 1 else 0), `Nested) ]
+          ((if cfg.c_nested then 1 else 0), `Nested);
+          ((if cfg.c_indirect then 2 else 0), `Indirect) ]
     in
     let emitted =
       match kind with
@@ -400,6 +531,7 @@ let emit_state_ops rng cfg g st ctrs isyms state_idx =
       | `Copy -> emit_copy rng g st ctrs slots
       | `Reduce -> emit_reduce rng g st ctrs slots isyms opid
       | `Nested -> emit_nested rng g st ctrs slots opid
+      | `Indirect -> emit_indirect rng cfg g st ctrs slots isyms opid
     in
     (* fall back to a plain map so states rarely end up empty *)
     if (not emitted) && kind <> `Map then
@@ -499,4 +631,8 @@ let generate ?(config = default) seed =
       let isyms = if i = 0 then [] else assigned in
       emit_state_ops rng config g st ctrs isyms i)
     states;
+  (* normalize-then-scale tail off the last state in wiring order; on
+     the no-join branch shape the untaken arm simply stays terminal *)
+  if config.c_chain && Rand.chance rng 0.35 then
+    append_chain rng g ctrs (State.id (List.nth states (n_states - 1)));
   Builder.Build.finalize g

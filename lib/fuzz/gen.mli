@@ -22,6 +22,17 @@ type config = {
   c_nested : bool;     (** emit nested-SDFG nodes *)
   c_branch : bool;     (** emit conditional inter-state branches *)
   c_copy : bool;       (** emit access-to-access copy edges *)
+  c_indirect : bool;
+      (** emit gather ops whose subscript is derived from an input
+          connector (clamped in bounds with pool-valuation literals),
+          reading a dynamic full-window operand — the spmv / mesh-gather
+          memlet shape that takes the compiled engine's
+          ["non-affine-indirect"] closure path *)
+  c_chain : bool;
+      (** append a normalize-then-scale state chain (zero accumulator →
+          WCR-sum of magnitudes → in-place scale by the result), the
+          softmax dependency shape: state-sequenced float accumulation
+          under a genuine accumulate race verdict *)
 }
 
 val default : config

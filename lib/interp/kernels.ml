@@ -334,6 +334,63 @@ let kind_name = function
   | Kssum _ -> "ssum"
   | Kexpr -> "expr"
 
+(* Distinguish data-dependent subscripts ("indirection") from the other
+   body shapes the classifier rejects.  Taint every input connector,
+   flow taint through local assignments and For bounds to a fixpoint,
+   and report true when any subscript expression — read or write —
+   mentions a tainted name.  spmv's [xin[cols[j]]] (the For bounds come
+   from the [rows] connector) and histogram's computed bin are
+   indirection; an accumulation nest over symbol-bounded For loops is
+   not, whatever else the classifier disliked about it. *)
+let indirect_subscripts ~inputs (code : Ast.t) =
+  let module SS = Set.Make (String) in
+  let tainted = ref (SS.of_list inputs) in
+  let mentions e =
+    List.exists (fun n -> SS.mem n !tainted) (Ast.expr_names [] e)
+  in
+  let add x changed =
+    if SS.mem x !tainted then changed
+    else begin
+      tainted := SS.add x !tainted;
+      true
+    end
+  in
+  let rec flow changed = function
+    | Ast.Assign (Ast.Lvar x, e) -> if mentions e then add x changed else changed
+    | Ast.Assign (Ast.Lindex _, _) -> changed
+    | Ast.If (_, t, f) ->
+      List.fold_left flow (List.fold_left flow changed t) f
+    | Ast.For (v, lo, hi, body) ->
+      let changed =
+        if mentions lo || mentions hi then add v changed else changed
+      in
+      List.fold_left flow changed body
+  in
+  let rec fixpoint () =
+    if List.fold_left flow false code then fixpoint ()
+  in
+  fixpoint ();
+  let subs_tainted es = List.exists mentions es in
+  let rec expr_has = function
+    | Ast.Float_lit _ | Ast.Int_lit _ | Ast.Bool_lit _ | Ast.Var _ -> false
+    | Ast.Index (_, es) -> subs_tainted es || List.exists expr_has es
+    | Ast.Unop (_, e) -> expr_has e
+    | Ast.Binop (_, a, b) -> expr_has a || expr_has b
+    | Ast.Cond (c, a, b) -> expr_has c || expr_has a || expr_has b
+  in
+  let rec stmt_has = function
+    | Ast.Assign (lhs, e) ->
+      (match lhs with
+      | Ast.Lvar _ -> false
+      | Ast.Lindex (_, es) -> subs_tainted es || List.exists expr_has es)
+      || expr_has e
+    | Ast.If (c, t, f) ->
+      expr_has c || List.exists stmt_has t || List.exists stmt_has f
+    | Ast.For (_, lo, hi, body) ->
+      expr_has lo || expr_has hi || List.exists stmt_has body
+  in
+  List.exists stmt_has code
+
 let recognize_exn ~env ~st ~entry ~(info : map_info) ~comp : t =
   let params = info.mp_params in
   let nd = List.length params in
@@ -364,11 +421,6 @@ let recognize_exn ~env ~st ~entry ~(info : map_info) ~comp : t =
   (* a timed tasklet must keep its per-execution span *)
   if Obs.Collect.should_time env.Exec.collector ~flag:tk.t_instrument then
     reject "instrumented";
-  let body =
-    match Tasklang.Bodyclass.classify code with
-    | Ok b -> b
-    | Error r -> reject r
-  in
   (* connected memlets, in the closure engine's binding order *)
   let ins =
     List.filter_map
@@ -385,6 +437,14 @@ let recognize_exn ~env ~st ~entry ~(info : map_info) ~comp : t =
         | Some c, Some m -> Some (c, m)
         | _ -> None)
       (State.out_edges st nid)
+  in
+  let body =
+    match Tasklang.Bodyclass.classify code with
+    | Ok b -> b
+    | Error r ->
+      if indirect_subscripts ~inputs:(List.map fst ins) code then
+        reject "non-affine-indirect"
+      else reject r
   in
   let rec dup = function
     | [] -> false

@@ -65,4 +65,14 @@ val recognize :
     ["empty-body"], ["multi-stmt"], ["control-flow"], ["indexed-write"],
     ["indexed-read"], ["reads-output"], ["dup-conn"], ["out-mismatch"],
     ["connector-rank"], ["stream"], ["container"], ["rank"],
-    ["non-affine"], ["symbols"], ["shadowed"], ["wcr"], ["body-expr"]. *)
+    ["non-affine"], ["non-affine-indirect"], ["symbols"], ["shadowed"],
+    ["wcr"], ["body-expr"].
+
+    ["non-affine-indirect"] refines the classifier's rejections: when a
+    body the classifier would reject for its shape also subscripts data
+    with a value {e derived from an input connector} (taint-tracked
+    through local assignments and For bounds — spmv's [xin[cols[j]]],
+    histogram's computed bin, gather/scatter over a mesh index array),
+    the stable reason is indirection, not the surface shape.  A body
+    whose only non-scalar accesses use map parameters, symbols or
+    literal-bounded For variables keeps its original reason. *)

@@ -25,7 +25,37 @@
 
     Time is a roofline over the target's peak compute and bandwidth plus
     explicit overheads: OpenMP forks, kernel launches, PCIe copies, FPGA
-    initiation intervals. *)
+    initiation intervals.
+
+    {b Known blind spots} (exposed by the scenario workloads in
+    {!Workloads.Cfd} and {!Workloads.Attention}; documented rather than
+    silently mispriced):
+
+    - {b Dynamic windows are priced at full volume.}  A dynamic memlet
+      ([in_]/[out_] with [m_dynamic]) reports its whole declared window
+      per iteration, so a mesh gather that reads one of [NDOF] elements
+      per tasklet is modeled as if it read all of them ([dyn_bytes] is
+      deliberately never cache-collapsed).  Modeled traffic for
+      gather/scatter maps is therefore an upper bound; relative
+      comparisons between two variants that both carry dynamic windows
+      remain meaningful, absolute bytes do not.
+    - {b State-sequenced reduction chains serialize invisibly.}  States
+      are priced independently and summed.  A softmax-style chain
+      (contract → row-max → exp-normalize → contract) whose small
+      reduction maps sit between large contractions costs almost nothing
+      in the model, yet bounds the critical path at execution time:
+      every stage consumes a reduction of the previous one, so no
+      cross-state overlap exists to recover.  The model neither rewards
+      nor penalizes fusing such stages beyond their movement deltas.
+    - {b Per-visit interpreter overhead is not a roofline term.}
+      Visit counts from the state-machine walk multiply each state's
+      modeled time, but the fixed per-state-visit cost of the engines
+      (plan lookup, frame setup — what dominates a many-small-operations
+      element loop against its batched rewrite) appears only through
+      the launch/fork overhead options, which are calibrated for device
+      kernels, not interpreter states.  Batched-vs-naive speedups such
+      as [BENCH_workloads.json]'s CFD row are therefore under-predicted
+      by the model and must be measured. *)
 
 type target = Tcpu | Tgpu | Tfpga
 

@@ -15,6 +15,7 @@ let () =
       ("crossval", Test_crossval.suite);
       ("parallel", Test_parallel.suite);
       ("scaling", Test_scaling.suite);
+      ("workload_gauntlet", Test_workload_gauntlet.suite);
       ("kernels", Test_kernels.suite);
       ("session", Test_session.suite);
       ("report", Test_report.suite);

@@ -124,7 +124,13 @@ let test_recognized_kinds () =
         [ ("ssum", 2) ], [] );
       ( "histogram", Workloads.Kernels.histogram,
         [ ("H", 8); ("W", 8) ],
-        [ ("fill", 1) ], [ ("multi-stmt", 1) ] );
+        (* the scatter's computed bin is input-derived indirection *)
+        [ ("fill", 1) ], [ ("non-affine-indirect", 1) ] );
+      ( "spmv", Workloads.Kernels.spmv,
+        (* sizes ≥ 11 so Profile.make_args' mod-11 index values fit *)
+        [ ("H", 8); ("W", 16); ("nnz", 16) ],
+        (* the CSR row loop bounds and x gather come from connectors *)
+        [], [ ("non-affine-indirect", 1) ] );
       ("copy", Workloads.Kernels.copy, [ ("N", 16) ], [ ("copy", 1) ], []);
       ("eadd", Workloads.Kernels.eadd, [ ("N", 16) ], [ ("ebinop", 1) ], []);
       ("axpy", Workloads.Kernels.axpy, [ ("N", 16) ], [ ("axpy", 1) ], []) ]

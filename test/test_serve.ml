@@ -678,6 +678,60 @@ let test_server_ndlang () =
           Alcotest.(check bool) "alive after ndlang error" true
             (Serve.Client.ping c)))
 
+(* The scenario workloads' Ndlang sources — the exact strings
+   [Workloads.Attention] authors — accepted end-to-end: elaborated by
+   the daemon, run bit-identically to local elaboration + direct
+   execution on the same deterministic arguments, and keyed by the
+   canonical serialized graph so resubmission hits. *)
+let test_server_workload_ndlang () =
+  let cases =
+    [ ( "attention", Workloads.Attention.attention_src,
+        Workloads.Attention.attention_mini,
+        Workloads.Attention.attention_args, "O" );
+      ( "conv-im2col", Workloads.Attention.conv_src,
+        Workloads.Attention.conv_mini, Workloads.Attention.conv_args, "O2" )
+    ]
+  in
+  with_server (fun socket _srv ->
+      let c = Serve.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          List.iter
+            (fun (tag, src, symbols, args_of, out) ->
+              let g = Builder.Ndlang.parse src in
+              let expected = args_of symbols in
+              ignore (Exec.run ~config:compiled_1 ~symbols ~args:expected g);
+              let run label =
+                match
+                  Serve.Client.run ~symbols ~config:compiled_1
+                    ~args:(args_of symbols) c (Protocol.Prog_ndlang src)
+                with
+                | Error e -> Alcotest.fail (tag ^ " " ^ label ^ ": " ^ e)
+                | Ok (r : Protocol.run_result) ->
+                  (match List.assoc_opt out r.rs_outputs with
+                  | None ->
+                    Alcotest.fail
+                      (Fmt.str "%s %s: missing output %S" tag label out)
+                  | Some got ->
+                    Alcotest.(check (list int64))
+                      (Fmt.str "%s %s: %S matches direct execution" tag
+                         label out)
+                      (tensor_bits (List.assoc out expected))
+                      (tensor_bits got));
+                  r
+              in
+              let r1 = run "first" in
+              Alcotest.(check bool)
+                (tag ^ ": first submission misses") false r1.rs_hit;
+              let r2 = run "again" in
+              Alcotest.(check bool)
+                (tag ^ ": resubmission hits") true r2.rs_hit;
+              Alcotest.(check string)
+                (tag ^ ": content-addressed key is stable") r1.rs_key
+                r2.rs_key)
+            cases))
+
 (* A streaming session over the wire: stream_open holds the channel
    across push frames; output chunks flow back mid-run; the final done
    frame carries report + outputs; everything is bit-identical to a
@@ -794,6 +848,8 @@ let suite =
       test_server_persistent_restart;
     Alcotest.test_case "server: ndlang source submissions" `Quick
       test_server_ndlang;
+    Alcotest.test_case "server: attention and conv ndlang end-to-end"
+      `Quick test_server_workload_ndlang;
     Alcotest.test_case "server: streaming session over the wire" `Quick
       test_server_stream;
     Alcotest.test_case "server: shutdown request" `Quick
